@@ -1,0 +1,174 @@
+//! The q-event busy-window fixed point (Eq. 3 of the paper).
+
+use std::fmt;
+
+use rthv_time::Duration;
+
+/// Errors of the fixed-point iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The busy window exceeded the divergence horizon — the analyzed
+    /// resource is overloaded (utilization ≥ 1) for this demand.
+    Diverged {
+        /// The horizon that was exceeded.
+        horizon: Duration,
+    },
+    /// The busy-period search exceeded its activation cap without closing.
+    BusyPeriodTooLong {
+        /// Number of activations examined.
+        max_q: u64,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::Diverged { horizon } => write!(
+                f,
+                "busy window exceeded {horizon}; the resource is overloaded for this demand"
+            ),
+            AnalysisError::BusyPeriodTooLong { max_q } => write!(
+                f,
+                "busy period did not close within {max_q} activations"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Computes the q-event busy time `W(q)` (Eq. 3):
+///
+/// ```text
+/// W(q) = base(q) + interference(W(q))
+/// ```
+///
+/// iterated to the least fixed point, where `base(q)` is the demand of the
+/// `q` analyzed activations themselves (e.g. `q·C_i`) and `interference`
+/// maps a window length to the maximum interference inside it. The iteration
+/// starts at `base(q)` and is monotone, so the first repeated value is the
+/// least fixed point.
+///
+/// # Errors
+///
+/// Returns [`AnalysisError::Diverged`] when the window exceeds `horizon`
+/// (the interference keeps up with the window growth — overload).
+///
+/// # Examples
+///
+/// Classic response-time example: a 1 ms job interfered by a periodic
+/// 2 ms-period task with 0.5 ms jobs:
+///
+/// ```
+/// use rthv_analysis::{busy_window, EventModel};
+/// use rthv_time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let interferer = EventModel::periodic(Duration::from_millis(2));
+/// let w = busy_window(
+///     Duration::from_millis(1),
+///     |window| interferer.eta_plus(window) * Duration::from_micros(500),
+///     Duration::from_secs(1),
+/// )?;
+/// assert_eq!(w, Duration::from_micros(1_500));
+/// # Ok(())
+/// # }
+/// ```
+pub fn busy_window(
+    base: Duration,
+    interference: impl Fn(Duration) -> Duration,
+    horizon: Duration,
+) -> Result<Duration, AnalysisError> {
+    let mut window = base;
+    loop {
+        if window > horizon {
+            return Err(AnalysisError::Diverged { horizon });
+        }
+        let next = base.saturating_add(interference(window));
+        if next == window {
+            return Ok(window);
+        }
+        debug_assert!(next > window, "busy-window iteration must be monotone");
+        window = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EventModel;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn no_interference_is_identity() {
+        let w = busy_window(us(42), |_| Duration::ZERO, us(1_000)).expect("converges");
+        assert_eq!(w, us(42));
+    }
+
+    #[test]
+    fn classic_two_task_response_time() {
+        // Low task C=2ms; high task P=5ms, C=1ms → W = 2 + ⌈W/5⌉·1 → 3ms.
+        let hi = EventModel::periodic(Duration::from_millis(5));
+        let w = busy_window(
+            Duration::from_millis(2),
+            |window| hi.eta_plus(window) * Duration::from_millis(1),
+            Duration::from_secs(1),
+        )
+        .expect("converges");
+        assert_eq!(w, Duration::from_millis(3));
+    }
+
+    #[test]
+    fn interference_crossing_a_period_boundary_iterates() {
+        // C=4.5ms, interferer P=5ms C=1ms:
+        // W0=4.5 → 4.5+1=5.5 → ⌈5.5/5⌉=2 → 4.5+2=6.5 → ⌈6.5/5⌉=2 → 6.5. ✓
+        let hi = EventModel::periodic(Duration::from_millis(5));
+        let w = busy_window(
+            us(4_500),
+            |window| hi.eta_plus(window) * Duration::from_millis(1),
+            Duration::from_secs(1),
+        )
+        .expect("converges");
+        assert_eq!(w, us(6_500));
+    }
+
+    #[test]
+    fn overload_diverges() {
+        // Interferer consumes 2 ms every 1 ms — utilization 2.
+        let hi = EventModel::periodic(Duration::from_millis(1));
+        let err = busy_window(
+            us(100),
+            |window| hi.eta_plus(window) * Duration::from_millis(2),
+            Duration::from_millis(500),
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            AnalysisError::Diverged {
+                horizon: Duration::from_millis(500)
+            }
+        );
+        assert!(err.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn full_utilization_diverges() {
+        // Exactly 100 % interference never closes the window.
+        let hi = EventModel::periodic(Duration::from_millis(1));
+        let result = busy_window(
+            us(1),
+            |window| hi.eta_plus(window) * Duration::from_millis(1),
+            Duration::from_millis(100),
+        );
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn zero_base_with_interference() {
+        let w = busy_window(Duration::ZERO, |_| Duration::ZERO, us(10)).expect("converges");
+        assert_eq!(w, Duration::ZERO);
+    }
+}

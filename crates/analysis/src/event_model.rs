@@ -1,0 +1,330 @@
+//! Activation models: arrival curves `η⁺` and minimum-distance functions
+//! `δ⁻`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_monitor::DeltaFunction;
+use rthv_time::Duration;
+
+/// An activation model for one event stream, characterized by the dual pair
+/// `η⁺(Δt)` (maximum events in any half-open window of length `Δt`) and
+/// `δ⁻(q)` (minimum time spanned by `q` consecutive events).
+///
+/// The busy-window analysis uses the *half-open* (ceiling) convention
+/// throughout, matching the `⌈·⌉` terms of the paper:
+/// `η⁺(Δt) = max { q : δ⁻(q) < Δt }`, so a strictly periodic stream with
+/// period `P` has `η⁺(Δt) = ⌈Δt / P⌉`.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_analysis::EventModel;
+/// use rthv_time::Duration;
+///
+/// let periodic = EventModel::periodic(Duration::from_millis(5));
+/// assert_eq!(periodic.eta_plus(Duration::from_millis(10)), 2);
+/// assert_eq!(periodic.eta_plus(Duration::from_micros(10_001)), 3);
+/// assert_eq!(periodic.delta(3), Duration::from_millis(10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventModel {
+    /// Strictly periodic activations.
+    Periodic {
+        /// Activation period `P`.
+        period: Duration,
+    },
+    /// Periodic activations with release jitter and a minimum distance —
+    /// the classical PJD model of compositional analysis.
+    PeriodicJitter {
+        /// Activation period `P`.
+        period: Duration,
+        /// Release jitter `J`.
+        jitter: Duration,
+        /// Minimum distance `d_min` between consecutive activations.
+        dmin: Duration,
+    },
+    /// Sporadic activations with a minimum interarrival distance — exactly
+    /// the stream shape the δ⁻ monitor enforces with `l = 1`.
+    Sporadic {
+        /// Minimum distance `d_min` between consecutive activations.
+        dmin: Duration,
+    },
+    /// An arbitrary finite minimum-distance function (with superadditive
+    /// extension) — e.g. one learned by
+    /// [`DeltaLearner`](rthv_monitor::DeltaLearner) in Appendix A.
+    Delta(DeltaFunction),
+}
+
+impl EventModel {
+    /// Shorthand for [`EventModel::Periodic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn periodic(period: Duration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        EventModel::Periodic { period }
+    }
+
+    /// Shorthand for [`EventModel::PeriodicJitter`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn periodic_jitter(period: Duration, jitter: Duration, dmin: Duration) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        EventModel::PeriodicJitter {
+            period,
+            jitter,
+            dmin,
+        }
+    }
+
+    /// Shorthand for [`EventModel::Sporadic`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dmin` is zero (the resulting arrival curve would be
+    /// unbounded and no busy window could converge).
+    #[must_use]
+    pub fn sporadic(dmin: Duration) -> Self {
+        assert!(!dmin.is_zero(), "sporadic model needs a positive d_min");
+        EventModel::Sporadic { dmin }
+    }
+
+    /// `δ⁻(q)`: minimum time spanned by `q` consecutive activations
+    /// (`δ⁻(0) = δ⁻(1) = 0`).
+    #[must_use]
+    pub fn delta(&self, q: u64) -> Duration {
+        if q <= 1 {
+            return Duration::ZERO;
+        }
+        let spans = q - 1;
+        match self {
+            EventModel::Periodic { period } => period.saturating_mul(spans),
+            EventModel::PeriodicJitter {
+                period,
+                jitter,
+                dmin,
+            } => {
+                let periodic = period.saturating_mul(spans).saturating_sub(*jitter);
+                periodic.max(dmin.saturating_mul(spans))
+            }
+            EventModel::Sporadic { dmin } => dmin.saturating_mul(spans),
+            EventModel::Delta(delta) => delta.delta(q),
+        }
+    }
+
+    /// `η⁺(Δt)`: maximum activations in any half-open window of length `Δt`
+    /// (`η⁺(0) = 0`), i.e. `max { q : δ⁻(q) < Δt }`.
+    ///
+    /// Returns `u64::MAX` if the model admits an unbounded burst (a δ⁻
+    /// function whose `d_min` is zero).
+    #[must_use]
+    pub fn eta_plus(&self, dt: Duration) -> u64 {
+        if dt.is_zero() {
+            return 0;
+        }
+        match self {
+            EventModel::Periodic { period } => dt.div_ceil(*period),
+            EventModel::PeriodicJitter {
+                period,
+                jitter,
+                dmin,
+            } => {
+                // ⌈(Δt + J)/P⌉ capped by the d_min limit ⌈Δt/d_min⌉.
+                let by_period = dt.saturating_add(*jitter).div_ceil(*period);
+                if dmin.is_zero() {
+                    by_period
+                } else {
+                    by_period.min(dt.div_ceil(*dmin))
+                }
+            }
+            EventModel::Sporadic { dmin } => dt.div_ceil(*dmin),
+            EventModel::Delta(delta) => {
+                if delta.dmin().is_zero() {
+                    return u64::MAX;
+                }
+                // max q with δ⁻(q) < Δt; search upward (δ⁻ grows at least
+                // d_min per extra event, so this terminates).
+                let mut q = 1u64;
+                while delta.delta(q + 1) < dt {
+                    q += 1;
+                }
+                q
+            }
+        }
+    }
+
+    /// Long-term activation rate upper bound in events per second, if
+    /// bounded.
+    #[must_use]
+    pub fn rate_per_second(&self) -> Option<f64> {
+        let gap = match self {
+            EventModel::Periodic { period } => *period,
+            EventModel::PeriodicJitter { period, .. } => *period,
+            EventModel::Sporadic { dmin } => *dmin,
+            EventModel::Delta(delta) => {
+                // Long-run rate of the superadditive extension: limited by
+                // the largest entry span.
+                let entries = delta.entries();
+                let l = entries.len() as f64;
+                let last = entries[entries.len() - 1];
+                if last.is_zero() || last == Duration::MAX {
+                    delta.dmin()
+                } else {
+                    // l gaps take at least `last`: rate ≤ l / last.
+                    return Some(l / last.as_secs_f64());
+                }
+            }
+        };
+        if gap.is_zero() {
+            None
+        } else {
+            Some(1.0 / gap.as_secs_f64())
+        }
+    }
+}
+
+impl From<DeltaFunction> for EventModel {
+    fn from(delta: DeltaFunction) -> Self {
+        EventModel::Delta(delta)
+    }
+}
+
+impl fmt::Display for EventModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventModel::Periodic { period } => write!(f, "periodic(P={period})"),
+            EventModel::PeriodicJitter {
+                period,
+                jitter,
+                dmin,
+            } => write!(f, "pjd(P={period}, J={jitter}, d={dmin})"),
+            EventModel::Sporadic { dmin } => write!(f, "sporadic(d={dmin})"),
+            EventModel::Delta(delta) => write!(f, "{delta}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn periodic_eta_is_ceiling() {
+        let m = EventModel::periodic(us(1_000));
+        assert_eq!(m.eta_plus(Duration::ZERO), 0);
+        assert_eq!(m.eta_plus(us(1)), 1);
+        assert_eq!(m.eta_plus(us(1_000)), 1);
+        assert_eq!(m.eta_plus(us(1_001)), 2);
+        assert_eq!(m.eta_plus(us(2_000)), 2);
+    }
+
+    #[test]
+    fn periodic_delta_is_linear() {
+        let m = EventModel::periodic(us(1_000));
+        assert_eq!(m.delta(0), Duration::ZERO);
+        assert_eq!(m.delta(1), Duration::ZERO);
+        assert_eq!(m.delta(4), us(3_000));
+    }
+
+    #[test]
+    fn sporadic_matches_paper_ceiling_term() {
+        // Eq. 14 uses ⌈Δt/d_min⌉ — the sporadic η⁺ is exactly that.
+        let m = EventModel::sporadic(us(300));
+        assert_eq!(m.eta_plus(us(1)), 1);
+        assert_eq!(m.eta_plus(us(300)), 1);
+        assert_eq!(m.eta_plus(us(301)), 2);
+        assert_eq!(m.eta_plus(us(900)), 3);
+    }
+
+    #[test]
+    fn jitter_inflates_short_windows() {
+        let m = EventModel::periodic_jitter(us(1_000), us(500), us(100));
+        // Window of 1 ns can see ⌈(0.001+500)/1000⌉ = 1 event.
+        assert_eq!(m.eta_plus(us(1)), 1);
+        // 600 µs window: ⌈1100/1000⌉ = 2 but capped by ⌈600/100⌉ = 6 → 2.
+        assert_eq!(m.eta_plus(us(600)), 2);
+        // δ⁻(2) = max(P − J, d_min) = 500 µs.
+        assert_eq!(m.delta(2), us(500));
+        // Heavy jitter: d_min dominates close spans.
+        let bursty = EventModel::periodic_jitter(us(1_000), us(5_000), us(100));
+        assert_eq!(bursty.delta(2), us(100));
+        assert_eq!(bursty.eta_plus(us(200)), 2);
+    }
+
+    #[test]
+    fn eta_and_delta_are_dual() {
+        let models = [
+            EventModel::periodic(us(700)),
+            EventModel::periodic_jitter(us(700), us(300), us(50)),
+            EventModel::sporadic(us(130)),
+        ];
+        for m in &models {
+            for dt_us in [1u64, 99, 700, 701, 1_400, 3_333] {
+                let dt = us(dt_us);
+                let eta = m.eta_plus(dt);
+                assert!(m.delta(eta) < dt, "{m}: δ(η⁺(Δt)) < Δt violated at {dt}");
+                assert!(
+                    m.delta(eta + 1) >= dt,
+                    "{m}: maximality violated at {dt}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn delta_function_model_wraps_monitor_delta() {
+        let delta = DeltaFunction::new(vec![us(100), us(500)]).expect("valid");
+        let m = EventModel::from(delta);
+        assert_eq!(m.delta(3), us(500));
+        // Half-open convention: a window of exactly 500 µs sees only 2
+        // events (the third arrives exactly at the window edge).
+        assert_eq!(m.eta_plus(us(500)), 2);
+        assert_eq!(m.eta_plus(us(501)), 3);
+    }
+
+    #[test]
+    fn unbounded_delta_model_reports_max() {
+        let delta = DeltaFunction::from_dmin(Duration::ZERO).expect("valid");
+        let m = EventModel::Delta(delta);
+        assert_eq!(m.eta_plus(us(1)), u64::MAX);
+        assert_eq!(m.rate_per_second(), None);
+    }
+
+    #[test]
+    fn rates_are_inverse_gaps() {
+        assert_eq!(
+            EventModel::periodic(Duration::from_millis(2)).rate_per_second(),
+            Some(500.0)
+        );
+        assert_eq!(
+            EventModel::sporadic(Duration::from_millis(4)).rate_per_second(),
+            Some(250.0)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_rejected() {
+        let _ = EventModel::periodic(Duration::ZERO);
+    }
+
+    #[test]
+    fn display_names_models() {
+        assert_eq!(
+            EventModel::periodic(us(1_000)).to_string(),
+            "periodic(P=1ms)"
+        );
+        assert_eq!(EventModel::sporadic(us(5)).to_string(), "sporadic(d=5us)");
+    }
+}

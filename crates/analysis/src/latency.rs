@@ -1,0 +1,406 @@
+//! Worst-case IRQ latency analyses — Eq. 6–16 of the paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Duration;
+
+use crate::{busy_window, AnalysisError, EventModel};
+
+/// Cap on the number of activations examined when closing the busy period
+/// (Eq. 4). Busy periods of real configurations close within a handful of
+/// activations; hitting this cap indicates (near-)overload.
+const MAX_BUSY_Q: u64 = 100_000;
+
+/// The analyzed IRQ source: activation model and handler costs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IrqTask {
+    /// Activation model of the IRQ source (`η⁺_i` / `δ⁻_i`).
+    pub model: EventModel,
+    /// Top-handler WCET `C_THi` (use `C'_THi` of Eq. 15 when the monitoring
+    /// function runs; [`IrqTask::with_effective_costs`] does this for you).
+    pub top_cost: Duration,
+    /// Bottom-handler WCET `C_BHi` (use `C'_BHi` of Eq. 13 for the
+    /// interposed analysis).
+    pub bottom_cost: Duration,
+}
+
+impl IrqTask {
+    /// Derives the *effective-cost* task of the monitored system: the top
+    /// handler grows by `C_Mon` (Eq. 15) and the bottom handler by
+    /// `C_sched + 2·C_ctx` (Eq. 13).
+    #[must_use]
+    pub fn with_effective_costs(
+        &self,
+        monitor_cost: Duration,
+        sched_cost: Duration,
+        context_switch: Duration,
+    ) -> IrqTask {
+        IrqTask {
+            model: self.model.clone(),
+            top_cost: self.top_cost + monitor_cost,
+            bottom_cost: self.bottom_cost + sched_cost + context_switch * 2,
+        }
+    }
+}
+
+/// An interfering IRQ source: only its top handler disturbs the analyzed
+/// IRQ (Eq. 9).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Interferer {
+    /// Activation model `η⁺_j`.
+    pub model: EventModel,
+    /// Top-handler WCET `C_THj`.
+    pub top_cost: Duration,
+}
+
+/// TDMA geometry of the subscriber partition: cycle length `T_TDMA` and the
+/// partition's own slot `T_i`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdmaSlot {
+    /// TDMA cycle length `T_TDMA`.
+    pub cycle: Duration,
+    /// The subscriber's slot length `T_i`.
+    pub slot: Duration,
+}
+
+/// Result of a worst-case latency analysis.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WcrtResult {
+    /// The worst-case IRQ latency `R_i` (Eq. 5 / Eq. 12).
+    pub wcrt: Duration,
+    /// The activation index `q` attaining the maximum.
+    pub critical_q: u64,
+    /// Number of activations in the maximal busy period (`Q_i`, Eq. 4).
+    pub busy_activations: u64,
+}
+
+impl fmt::Display for WcrtResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "R = {} (critical q = {} of {})",
+            self.wcrt, self.critical_q, self.busy_activations
+        )
+    }
+}
+
+/// Eq. 8: worst-case interference from foreign TDMA slots (including
+/// context-switch overhead) inside a window `Δt`:
+/// `I_TDMA(Δt) = ⌈Δt / T_TDMA⌉ · (T_TDMA − T_i)`.
+///
+/// # Panics
+///
+/// Panics if the slot is longer than the cycle.
+#[must_use]
+pub fn tdma_interference(dt: Duration, tdma: TdmaSlot) -> Duration {
+    assert!(tdma.slot <= tdma.cycle, "slot cannot exceed the TDMA cycle");
+    (tdma.cycle - tdma.slot).saturating_mul(dt.div_ceil(tdma.cycle))
+}
+
+/// Eq. 9: total top-handler interference from other IRQ sources in `Δt`.
+fn top_interference(dt: Duration, interferers: &[Interferer]) -> Duration {
+    interferers
+        .iter()
+        .map(|j| j.top_cost.saturating_mul(j.model.eta_plus(dt)))
+        .fold(Duration::ZERO, Duration::saturating_add)
+}
+
+/// Eq. 10 folded into Eq. 11: interference from the analyzed source's *own*
+/// top handlers beyond the `q` analyzed activations.
+fn own_top_interference(dt: Duration, q: u64, task: &IrqTask) -> Duration {
+    let eta = task.model.eta_plus(dt);
+    task.top_cost.saturating_mul(eta.max(q) - q)
+}
+
+/// Runs the generic Eq. 4/5 busy-period sweep for a per-`q` window function.
+fn sweep_wcrt(
+    task: &IrqTask,
+    window_of: impl Fn(u64) -> Result<Duration, AnalysisError>,
+) -> Result<WcrtResult, AnalysisError> {
+    let mut best = Duration::ZERO;
+    let mut critical_q = 1;
+    let mut q = 1u64;
+    loop {
+        let window = window_of(q)?;
+        let response = window.saturating_sub(task.model.delta(q));
+        if response > best {
+            best = response;
+            critical_q = q;
+        }
+        // Eq. 4: the busy period contains activation q+1 only if it arrives
+        // before the q-event busy window ends.
+        if task.model.delta(q + 1) >= window {
+            return Ok(WcrtResult {
+                wcrt: best,
+                critical_q,
+                busy_activations: q,
+            });
+        }
+        q += 1;
+        if q > MAX_BUSY_Q {
+            return Err(AnalysisError::BusyPeriodTooLong { max_q: MAX_BUSY_Q });
+        }
+    }
+}
+
+/// A generous divergence horizon: a few thousand TDMA cycles / handler
+/// spans.
+fn horizon_for(task: &IrqTask, extra: Duration) -> Duration {
+    let unit = task
+        .bottom_cost
+        .saturating_add(task.top_cost)
+        .saturating_add(extra);
+    unit.saturating_mul(100_000)
+}
+
+/// Eq. 11/12: worst-case IRQ latency of the **baseline** (delayed) handling
+/// path, where the bottom handler only runs inside the subscriber's own
+/// TDMA slot:
+///
+/// ```text
+/// W(q) = q·C_BHi + η⁺_i(W)·C_THi + ⌈W/T_TDMA⌉·(T_TDMA − T_i)
+///        + Σ_j η⁺_j(W)·C_THj
+/// R_i  = max_q ( W(q) − δ⁻_i(q) )
+/// ```
+///
+/// # Errors
+///
+/// [`AnalysisError::Diverged`] when the IRQ demand exceeds the slot
+/// capacity, [`AnalysisError::BusyPeriodTooLong`] when the busy period does
+/// not close.
+pub fn baseline_irq_wcrt(
+    task: &IrqTask,
+    tdma: TdmaSlot,
+    interferers: &[Interferer],
+) -> Result<WcrtResult, AnalysisError> {
+    let horizon = horizon_for(task, tdma.cycle);
+    sweep_wcrt(task, |q| {
+        busy_window(
+            task.bottom_cost.saturating_mul(q),
+            |w| {
+                own_top_interference(w, q, task)
+                    .saturating_add(task.top_cost.saturating_mul(q))
+                    .saturating_add(tdma_interference(w, tdma))
+                    .saturating_add(top_interference(w, interferers))
+            },
+            horizon,
+        )
+    })
+}
+
+/// Eq. 16/12: worst-case IRQ latency of the **interposed** path for
+/// arrivals that satisfy the monitoring condition. Pass the *effective*
+/// costs ([`IrqTask::with_effective_costs`]) — and note the TDMA term is
+/// gone entirely:
+///
+/// ```text
+/// W(q) = q·C'_BHi + η⁺_i(W)·C'_THi + Σ_j η⁺_j(W)·C_THj
+/// ```
+///
+/// # Errors
+///
+/// Same conditions as [`baseline_irq_wcrt`].
+pub fn interposed_irq_wcrt(
+    effective_task: &IrqTask,
+    interferers: &[Interferer],
+) -> Result<WcrtResult, AnalysisError> {
+    let horizon = horizon_for(effective_task, Duration::ZERO);
+    sweep_wcrt(effective_task, |q| {
+        busy_window(
+            effective_task.bottom_cost.saturating_mul(q),
+            |w| {
+                own_top_interference(w, q, effective_task)
+                    .saturating_add(effective_task.top_cost.saturating_mul(q))
+                    .saturating_add(top_interference(w, interferers))
+            },
+            horizon,
+        )
+    })
+}
+
+/// Eq. 7 with `C'_TH` (Eq. 15): worst-case latency for arrivals that
+/// **violate** the monitoring condition — they fall back to delayed
+/// handling (full TDMA interference), and additionally pay the monitoring
+/// overhead in every top handler.
+///
+/// `monitor_cost` is `C_Mon`; the bottom-handler cost stays `C_BHi`
+/// (no extra context switches are introduced on the delayed path).
+///
+/// # Errors
+///
+/// Same conditions as [`baseline_irq_wcrt`].
+pub fn violating_irq_wcrt(
+    task: &IrqTask,
+    monitor_cost: Duration,
+    tdma: TdmaSlot,
+    interferers: &[Interferer],
+) -> Result<WcrtResult, AnalysisError> {
+    let monitored = IrqTask {
+        model: task.model.clone(),
+        top_cost: task.top_cost + monitor_cost,
+        bottom_cost: task.bottom_cost,
+    };
+    baseline_irq_wcrt(&monitored, tdma, interferers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    /// The paper's Section-6 geometry.
+    fn paper_tdma() -> TdmaSlot {
+        TdmaSlot {
+            cycle: us(14_000),
+            slot: us(6_000),
+        }
+    }
+
+    fn paper_task(dmin_us: u64) -> IrqTask {
+        IrqTask {
+            model: EventModel::sporadic(us(dmin_us)),
+            top_cost: us(2),
+            bottom_cost: us(30),
+        }
+    }
+
+    #[test]
+    fn tdma_interference_matches_eq8() {
+        let tdma = paper_tdma();
+        assert_eq!(tdma_interference(us(1), tdma), us(8_000));
+        assert_eq!(tdma_interference(us(14_000), tdma), us(8_000));
+        assert_eq!(tdma_interference(us(14_001), tdma), us(16_000));
+    }
+
+    #[test]
+    fn baseline_wcrt_is_tdma_dominated() {
+        let result = baseline_irq_wcrt(&paper_task(3_000), paper_tdma(), &[])
+            .expect("converges");
+        // One activation: W = 30 + 2 + 8000 plus the Eq. 10 term — an 8 ms
+        // window sees η⁺ = 3 arrivals at d_min = 3 ms, i.e. two extra top
+        // handlers: W = 8032 + 4 = 8036 µs; R = W − δ(1) = W.
+        assert_eq!(result.wcrt, us(8_036));
+        assert_eq!(result.critical_q, 1);
+        // d_min = 3 ms < W(1), so the busy period spans three activations
+        // before δ⁻(4) = 9 ms outruns the window.
+        assert_eq!(result.busy_activations, 3);
+    }
+
+    #[test]
+    fn baseline_busy_period_extends_under_pressure() {
+        // d_min = 5 ms < busy window (≈8 ms): the second activation lands
+        // inside the window, extending the busy period.
+        let result = baseline_irq_wcrt(&paper_task(5_000), paper_tdma(), &[])
+            .expect("converges");
+        assert!(result.busy_activations >= 2);
+        // q=1: W = 30 + 2 + (⌈8034/5000⌉−1)·2 + 8000 = 8034, R(1) = 8034;
+        // q=2: W = 60 + 2·2 + 8000 = 8064, R(2) = 8064 − 5000 = 3064.
+        assert_eq!(result.wcrt, us(8_034));
+        assert_eq!(result.critical_q, 1);
+    }
+
+    #[test]
+    fn interposed_wcrt_is_decoupled_from_tdma() {
+        let effective =
+            paper_task(3_000).with_effective_costs(us(1), us(4), us(50));
+        let result = interposed_irq_wcrt(&effective, &[]).expect("converges");
+        // W(1) = (30+4+100) + (2+1) = 137 µs, far below the TDMA cycle.
+        assert_eq!(result.wcrt, us(137));
+        assert!(result.wcrt < us(14_000));
+    }
+
+    #[test]
+    fn violating_wcrt_adds_monitor_overhead_to_baseline() {
+        let baseline = baseline_irq_wcrt(&paper_task(3_000), paper_tdma(), &[])
+            .expect("converges");
+        let violating =
+            violating_irq_wcrt(&paper_task(3_000), us(1), paper_tdma(), &[])
+                .expect("converges");
+        // Every top handler in the window (η⁺ = 3) pays C_Mon = 1 µs.
+        assert_eq!(violating.wcrt, baseline.wcrt + us(3));
+    }
+
+    #[test]
+    fn interferer_top_handlers_extend_the_window() {
+        let interferer = Interferer {
+            model: EventModel::periodic(us(1_000)),
+            top_cost: us(10),
+        };
+        let without = interposed_irq_wcrt(
+            &paper_task(3_000).with_effective_costs(us(1), us(4), us(50)),
+            &[],
+        )
+        .expect("converges");
+        let with = interposed_irq_wcrt(
+            &paper_task(3_000).with_effective_costs(us(1), us(4), us(50)),
+            &[interferer],
+        )
+        .expect("converges");
+        // The 137 µs window sees one interferer activation → +10 µs.
+        assert_eq!(with.wcrt, without.wcrt + us(10));
+    }
+
+    #[test]
+    fn overload_is_reported() {
+        // Bottom handler demand exceeds the slot share: 6 ms of work every
+        // 7 ms against a 6/14 duty slot.
+        let task = IrqTask {
+            model: EventModel::sporadic(us(7_000)),
+            top_cost: us(2),
+            bottom_cost: us(6_000),
+        };
+        let result = baseline_irq_wcrt(&task, paper_tdma(), &[]);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn effective_costs_match_eq13_and_eq15() {
+        let task = paper_task(3_000);
+        let effective = task.with_effective_costs(us(1), us(4), us(50));
+        assert_eq!(effective.top_cost, us(3));
+        assert_eq!(effective.bottom_cost, us(134));
+        assert_eq!(effective.model, task.model);
+    }
+
+    #[test]
+    fn wcrt_result_displays() {
+        let result = WcrtResult {
+            wcrt: us(8_032),
+            critical_q: 1,
+            busy_activations: 1,
+        };
+        assert!(result.to_string().contains("8032us"));
+    }
+
+    #[test]
+    #[should_panic(expected = "slot cannot exceed")]
+    fn tdma_interference_validates_geometry() {
+        let _ = tdma_interference(
+            us(1),
+            TdmaSlot {
+                cycle: us(10),
+                slot: us(20),
+            },
+        );
+    }
+
+    #[test]
+    fn periodic_activation_with_backlog_has_tail_latencies() {
+        // Periodic arrivals every 9 ms with an 8 ms TDMA hole: windows grow
+        // over multiple activations; ensure the sweep handles q > 1 and the
+        // result exceeds the single-event response.
+        let task = IrqTask {
+            model: EventModel::periodic(us(9_000)),
+            top_cost: us(2),
+            bottom_cost: us(2_000),
+        };
+        let result = baseline_irq_wcrt(&task, paper_tdma(), &[]).expect("converges");
+        assert!(result.busy_activations >= 2);
+        assert!(result.wcrt >= us(10_000));
+    }
+}

@@ -1,0 +1,277 @@
+//! Output event models and end-to-end chains — the compositional step of
+//! the analysis framework the paper builds on (Richter's standard event
+//! models, the paper's references [12]/[16]).
+//!
+//! An IRQ's bottom-handler *completions* are themselves an event stream:
+//! they activate follow-up processing (a consumer task in another
+//! partition, a network send, …). Completion timing inherits the input
+//! model's period, widened by the *response jitter* `R − B` between the
+//! worst-case and best-case response times. These helpers derive that
+//! output model and chain worst/best-case latencies end to end, so a full
+//! sensor→IRQ→gateway→actuator path can be bounded with the same machinery
+//! that bounds a single IRQ.
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Duration;
+
+use crate::EventModel;
+
+/// Worst-/best-case response pair of one processing stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResponseRange {
+    /// Best-case response time `B` (≥ the stage's pure execution time).
+    pub best: Duration,
+    /// Worst-case response time `R`.
+    pub worst: Duration,
+}
+
+impl ResponseRange {
+    /// Creates a response range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `best > worst`.
+    #[must_use]
+    pub fn new(best: Duration, worst: Duration) -> Self {
+        assert!(best <= worst, "best-case response cannot exceed worst case");
+        ResponseRange { best, worst }
+    }
+
+    /// The response jitter `R − B` this stage adds.
+    #[must_use]
+    pub fn jitter(&self) -> Duration {
+        self.worst - self.best
+    }
+}
+
+/// Best-case response of an IRQ under this reproduction's platform model:
+/// the top handler followed immediately by the undisturbed bottom handler
+/// (the IRQ arrives in its subscriber's slot with an empty queue).
+///
+/// This is the `B` to pair with the worst cases from
+/// [`baseline_irq_wcrt`](crate::baseline_irq_wcrt) /
+/// [`interposed_irq_wcrt`](crate::interposed_irq_wcrt).
+#[must_use]
+pub fn irq_best_case(top_cost: Duration, bottom_cost: Duration) -> Duration {
+    top_cost + bottom_cost
+}
+
+/// Derives the event model of a stage's *outputs* (completions) from its
+/// input model and response range.
+///
+/// * the long-term period is preserved,
+/// * the output jitter is the input jitter plus the response jitter,
+/// * the minimum output distance is floored by both the shrunk input
+///   distance `δ⁻_in(2) − (R − B)` and the stage's best-case response
+///   (two completions of the same handler cannot be closer than one
+///   undisturbed execution).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_analysis::{output_event_model, EventModel, ResponseRange};
+/// use rthv_time::Duration;
+///
+/// let input = EventModel::periodic(Duration::from_millis(5));
+/// let response = ResponseRange::new(
+///     Duration::from_micros(32),
+///     Duration::from_micros(137),
+/// );
+/// let output = output_event_model(&input, response);
+/// // Completions stay 5 ms-periodic with 105 µs of jitter.
+/// assert_eq!(output.delta(2), Duration::from_micros(4_895));
+/// ```
+#[must_use]
+pub fn output_event_model(input: &EventModel, response: ResponseRange) -> EventModel {
+    let response_jitter = response.jitter();
+    // Period: preserved by any work-conserving stage. Recover it from the
+    // long-run rate; for δ⁻-shaped inputs fall back to the pairwise
+    // distance.
+    let (period, input_jitter, input_dmin) = match input {
+        EventModel::Periodic { period } => (*period, Duration::ZERO, *period),
+        EventModel::PeriodicJitter {
+            period,
+            jitter,
+            dmin,
+        } => (*period, *jitter, *dmin),
+        EventModel::Sporadic { dmin } => (*dmin, Duration::ZERO, *dmin),
+        EventModel::Delta(delta) => (delta.dmin(), Duration::ZERO, delta.dmin()),
+    };
+    let out_jitter = input_jitter.saturating_add(response_jitter);
+    let out_dmin = input_dmin
+        .saturating_sub(response_jitter)
+        .max(response.best);
+    EventModel::PeriodicJitter {
+        period,
+        jitter: out_jitter,
+        dmin: out_dmin,
+    }
+}
+
+/// End-to-end latency range of a processing chain: the sum of the stage
+/// response ranges (each stage starts when its predecessor completes).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_analysis::{chain_latency, ResponseRange};
+/// use rthv_time::Duration;
+///
+/// let us = Duration::from_micros;
+/// let chain = [
+///     ResponseRange::new(us(32), us(137)),    // IRQ (interposed bound)
+///     ResponseRange::new(us(500), us(2_000)), // gateway task
+/// ];
+/// let total = chain_latency(&chain);
+/// assert_eq!(total.best, us(532));
+/// assert_eq!(total.worst, us(2_137));
+/// ```
+#[must_use]
+pub fn chain_latency(stages: &[ResponseRange]) -> ResponseRange {
+    let best = stages
+        .iter()
+        .map(|s| s.best)
+        .fold(Duration::ZERO, Duration::saturating_add);
+    let worst = stages
+        .iter()
+        .map(|s| s.worst)
+        .fold(Duration::ZERO, Duration::saturating_add);
+    ResponseRange { best, worst }
+}
+
+/// Propagates an event model through a chain of stages, returning the model
+/// of the final stage's completions.
+///
+/// Useful to feed the completions of an interposed IRQ into the analysis of
+/// a consumer in another partition (as an [`Interferer`](crate::Interferer)
+/// or as the consumer's own activation model).
+#[must_use]
+pub fn propagate_chain(input: &EventModel, stages: &[ResponseRange]) -> EventModel {
+    let mut model = input.clone();
+    for stage in stages {
+        model = output_event_model(&model, *stage);
+    }
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rthv_monitor::DeltaFunction;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn response_range_validates() {
+        let range = ResponseRange::new(us(10), us(40));
+        assert_eq!(range.jitter(), us(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn inverted_range_rejected() {
+        let _ = ResponseRange::new(us(2), us(1));
+    }
+
+    #[test]
+    fn periodic_input_gains_response_jitter() {
+        let input = EventModel::periodic(us(5_000));
+        let output = output_event_model(&input, ResponseRange::new(us(30), us(130)));
+        match output {
+            EventModel::PeriodicJitter {
+                period,
+                jitter,
+                dmin,
+            } => {
+                assert_eq!(period, us(5_000));
+                assert_eq!(jitter, us(100));
+                assert_eq!(dmin, us(4_900));
+            }
+            other => panic!("unexpected model {other}"),
+        }
+    }
+
+    #[test]
+    fn jitter_accumulates_through_stages() {
+        let input = EventModel::periodic_jitter(us(5_000), us(200), us(4_000));
+        let output = output_event_model(&input, ResponseRange::new(us(10), us(310)));
+        match output {
+            EventModel::PeriodicJitter { jitter, .. } => assert_eq!(jitter, us(500)),
+            other => panic!("unexpected model {other}"),
+        }
+    }
+
+    #[test]
+    fn output_distance_is_floored_by_best_case() {
+        // Huge response jitter would shrink δ⁻ below zero; two completions
+        // of the same handler still cannot be closer than B.
+        let input = EventModel::sporadic(us(100));
+        let output = output_event_model(&input, ResponseRange::new(us(40), us(5_000)));
+        match output {
+            EventModel::PeriodicJitter { dmin, .. } => assert_eq!(dmin, us(40)),
+            other => panic!("unexpected model {other}"),
+        }
+    }
+
+    #[test]
+    fn delta_input_uses_pairwise_distance() {
+        let delta = DeltaFunction::from_dmin(us(3_000)).expect("valid");
+        let output = output_event_model(
+            &EventModel::Delta(delta),
+            ResponseRange::new(us(32), us(137)),
+        );
+        assert_eq!(output.delta(2), us(2_895));
+    }
+
+    #[test]
+    fn chain_latency_sums_ranges() {
+        let total = chain_latency(&[
+            ResponseRange::new(us(10), us(100)),
+            ResponseRange::new(us(20), us(200)),
+            ResponseRange::new(us(30), us(300)),
+        ]);
+        assert_eq!(total.best, us(60));
+        assert_eq!(total.worst, us(600));
+    }
+
+    #[test]
+    fn empty_chain_is_zero() {
+        let total = chain_latency(&[]);
+        assert_eq!(total.best, Duration::ZERO);
+        assert_eq!(total.worst, Duration::ZERO);
+    }
+
+    #[test]
+    fn propagation_composes_stages() {
+        let input = EventModel::periodic(us(10_000));
+        let stages = [
+            ResponseRange::new(us(30), us(130)),
+            ResponseRange::new(us(500), us(1_500)),
+        ];
+        let output = propagate_chain(&input, &stages);
+        match output {
+            EventModel::PeriodicJitter { period, jitter, .. } => {
+                assert_eq!(period, us(10_000));
+                assert_eq!(jitter, us(1_100));
+            }
+            other => panic!("unexpected model {other}"),
+        }
+    }
+
+    #[test]
+    fn output_eta_is_sane() {
+        // The output of a 5 ms-periodic stream through a low-jitter stage
+        // still shows at most 3 events in a 10.2 ms window.
+        let input = EventModel::periodic(us(5_000));
+        let output = output_event_model(&input, ResponseRange::new(us(30), us(130)));
+        assert!(output.eta_plus(us(10_200)) <= 3);
+    }
+
+    #[test]
+    fn irq_best_case_is_top_plus_bottom() {
+        assert_eq!(irq_best_case(us(2), us(30)), us(32));
+    }
+}

@@ -1,0 +1,703 @@
+//! Supply-bound functions for hierarchical (guest-level) analysis.
+//!
+//! A TDMA partition is a *periodic resource*: it receives its slot `T_i`
+//! once per cycle `T_TDMA`. The worst-case supply a guest receives in any
+//! window `Δt` is the classical staircase starting right after the slot
+//! ends. Under the paper's monitored interposition, other partitions'
+//! bottom handlers may additionally steal up to `⌈Δt/d_min⌉ · C'_BH`
+//! (Eq. 14) plus the monitored top handlers — the *sufficient temporal
+//! independence* budget. [`MonitoredSupply`] subtracts exactly that, which
+//! lets guest task sets be verified against the interference the hypervisor
+//! enforces.
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Duration;
+
+use crate::AnalysisError;
+
+/// A lower bound on processor supply inside any window, usable by the
+/// hierarchical guest analysis ([`guest_task_wcrt`]).
+pub trait SupplyBound {
+    /// Minimum supply delivered in any window of length `dt`.
+    fn supply(&self, dt: Duration) -> Duration;
+
+    /// Smallest window guaranteed to deliver `demand` of supply, bounded by
+    /// `horizon`.
+    ///
+    /// The default implementation exponentially brackets and then binary
+    /// searches, relying only on monotonicity of [`supply`](Self::supply).
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::Diverged`] if even `horizon` does not supply the
+    /// demand.
+    fn smallest_window(
+        &self,
+        demand: Duration,
+        horizon: Duration,
+    ) -> Result<Duration, AnalysisError> {
+        if demand.is_zero() {
+            return Ok(Duration::ZERO);
+        }
+        if self.supply(horizon) < demand {
+            return Err(AnalysisError::Diverged { horizon });
+        }
+        // Exponential bracket.
+        let mut hi = Duration::from_nanos(1);
+        while self.supply(hi) < demand {
+            hi = (hi * 2).min(horizon);
+        }
+        let mut lo = Duration::ZERO; // supply(lo) < demand (demand > 0)
+        // Binary search for the smallest window with enough supply.
+        while hi.as_nanos() - lo.as_nanos() > 1 {
+            let mid = Duration::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2);
+            if self.supply(mid) >= demand {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Ok(hi)
+    }
+}
+
+/// The TDMA periodic-resource supply: slot `slot` every `cycle`, with the
+/// adversarial window alignment (starting right after the slot ends).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_analysis::{SupplyBound, TdmaSupply};
+/// use rthv_time::Duration;
+///
+/// let supply = TdmaSupply::new(
+///     Duration::from_millis(14),
+///     Duration::from_millis(6),
+/// );
+/// // A window of one gap length can contain no supply at all:
+/// assert_eq!(supply.supply(Duration::from_millis(8)), Duration::ZERO);
+/// // One full cycle always contains one full slot:
+/// assert_eq!(supply.supply(Duration::from_millis(14)), Duration::from_millis(6));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TdmaSupply {
+    cycle: Duration,
+    slot: Duration,
+}
+
+impl TdmaSupply {
+    /// Creates the supply model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot is zero or exceeds the cycle.
+    #[must_use]
+    pub fn new(cycle: Duration, slot: Duration) -> Self {
+        assert!(!slot.is_zero(), "slot must be positive");
+        assert!(slot <= cycle, "slot cannot exceed the cycle");
+        TdmaSupply { cycle, slot }
+    }
+
+    /// The TDMA cycle length.
+    #[must_use]
+    pub fn cycle(&self) -> Duration {
+        self.cycle
+    }
+
+    /// The partition's slot length.
+    #[must_use]
+    pub fn slot(&self) -> Duration {
+        self.slot
+    }
+
+    /// The per-cycle no-supply gap `T_TDMA − T_i`.
+    #[must_use]
+    pub fn gap(&self) -> Duration {
+        self.cycle - self.slot
+    }
+}
+
+impl SupplyBound for TdmaSupply {
+    fn supply(&self, dt: Duration) -> Duration {
+        // Worst alignment: the window opens right at the slot end. Full
+        // cycles contribute a slot each; the remainder contributes whatever
+        // exceeds the gap.
+        let cycles = dt.div_floor(self.cycle);
+        let remainder = dt - self.cycle * cycles;
+        self.slot * cycles + remainder.saturating_sub(self.gap())
+    }
+}
+
+/// TDMA supply minus the enforced interposition interference (Eq. 14) and
+/// the monitored top handlers of the interposing source.
+///
+/// This is the supply a *victim* partition is guaranteed under the paper's
+/// monitored hypervisor, no matter how the IRQ-subscribing partition or the
+/// interrupt source behave.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_analysis::{MonitoredSupply, SupplyBound, TdmaSupply};
+/// use rthv_time::Duration;
+///
+/// let tdma = TdmaSupply::new(Duration::from_millis(14), Duration::from_millis(6));
+/// let monitored = MonitoredSupply::new(
+///     tdma,
+///     Duration::from_millis(3),    // d_min
+///     Duration::from_micros(134),  // C'_BH
+///     Duration::from_micros(3),    // C'_TH
+/// );
+/// let window = Duration::from_millis(14);
+/// assert!(monitored.supply(window) < tdma.supply(window));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitoredSupply {
+    tdma: TdmaSupply,
+    dmin: Duration,
+    effective_bottom_cost: Duration,
+    monitored_top_cost: Duration,
+}
+
+impl MonitoredSupply {
+    /// Creates the monitored-supply model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dmin` is zero (unbounded interference) or the per-`d_min`
+    /// interference `C'_BH + C'_TH` is not strictly smaller than `d_min`
+    /// (the guarantee would be vacuous).
+    #[must_use]
+    pub fn new(
+        tdma: TdmaSupply,
+        dmin: Duration,
+        effective_bottom_cost: Duration,
+        monitored_top_cost: Duration,
+    ) -> Self {
+        assert!(!dmin.is_zero(), "d_min must be positive");
+        assert!(
+            effective_bottom_cost + monitored_top_cost < dmin,
+            "per-d_min interference must be smaller than d_min"
+        );
+        MonitoredSupply {
+            tdma,
+            dmin,
+            effective_bottom_cost,
+            monitored_top_cost,
+        }
+    }
+
+    /// The underlying TDMA supply.
+    #[must_use]
+    pub fn tdma(&self) -> TdmaSupply {
+        self.tdma
+    }
+
+    /// Interference budget inside a window `dt`: Eq. 14 plus the monitored
+    /// top handlers, with the closed-window-safe event count
+    /// `⌊dt/d_min⌋ + 1` (≥ the paper's `⌈dt/d_min⌉`, equal except at exact
+    /// multiples).
+    #[must_use]
+    pub fn interference(&self, dt: Duration) -> Duration {
+        if dt.is_zero() {
+            return Duration::ZERO;
+        }
+        let events = dt.div_floor(self.dmin) + 1;
+        (self.effective_bottom_cost + self.monitored_top_cost).saturating_mul(events)
+    }
+
+    /// Raw (non-monotone) pointwise bound `sbf_TDMA(s) − I(s)`.
+    fn raw(&self, s: Duration) -> Duration {
+        self.tdma.supply(s).saturating_sub(self.interference(s))
+    }
+}
+
+impl SupplyBound for MonitoredSupply {
+    /// The monotone closure `max_{s ≤ dt} (sbf_TDMA(s) − I(s))`: supply in
+    /// a window of length `dt` is at least the guaranteed supply of any
+    /// sub-window. The raw difference is piecewise increasing with a
+    /// downward jump after every `d_min` multiple, so the maximum is
+    /// attained either at `dt` itself or just before one of the jumps.
+    fn supply(&self, dt: Duration) -> Duration {
+        // On each piece [k·d_min, (k+1)·d_min) the interference count is
+        // constant, so the raw bound increases within the piece: the
+        // closure's maximum is attained at `dt` or one ns before a d_min
+        // multiple.
+        let ns = Duration::from_nanos(1);
+        let mut best = self.raw(dt);
+        let mut piece_end = self.dmin; // exclusive end of piece 0
+        while piece_end <= dt {
+            best = best.max(self.raw(piece_end - ns));
+            piece_end += self.dmin;
+        }
+        best
+    }
+}
+
+/// A guest task for the hierarchical analysis: WCET and period (implicit
+/// deadline; priorities by position, index 0 highest — rate-monotonic order
+/// is the caller's responsibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuestTaskSpec {
+    /// Worst-case execution time.
+    pub wcet: Duration,
+    /// Activation period.
+    pub period: Duration,
+}
+
+/// Hierarchical fixed-priority response-time analysis: worst-case response
+/// time of each guest task when the partition's processor supply is bounded
+/// below by `supply`.
+///
+/// For task `i` the classical demand `W_i(t) = C_i + Σ_{j<i} ⌈t/P_j⌉·C_j`
+/// must be covered by the supply: `R_i` is the least fixed point of
+/// `R = smallest_window(W_i(R))`.
+///
+/// # Errors
+///
+/// Per task, [`AnalysisError::Diverged`] when the demand cannot be supplied
+/// within `horizon`.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_analysis::{guest_task_wcrt, GuestTaskSpec, SupplyBound, TdmaSupply};
+/// use rthv_time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let supply = TdmaSupply::new(Duration::from_millis(14), Duration::from_millis(6));
+/// let tasks = [GuestTaskSpec {
+///     wcet: Duration::from_millis(2),
+///     period: Duration::from_millis(28),
+/// }];
+/// let wcrt = guest_task_wcrt(&tasks, &supply, Duration::from_secs(1));
+/// // 2 ms of demand needs a window of gap + 2 ms = 10 ms in the worst case.
+/// assert_eq!(wcrt[0].as_ref().expect("feasible"), &Duration::from_millis(10));
+/// # Ok(())
+/// # }
+/// ```
+pub fn guest_task_wcrt<S: SupplyBound>(
+    tasks: &[GuestTaskSpec],
+    supply: &S,
+    horizon: Duration,
+) -> Vec<Result<Duration, AnalysisError>> {
+    /// Busy-period activation cap; hitting it means (near-)overload.
+    const MAX_Q: u64 = 10_000;
+
+    tasks
+        .iter()
+        .enumerate()
+        .map(|(i, task)| {
+            // q-event busy window under limited supply: the window must
+            // supply q jobs of this task plus all higher-priority demand.
+            let window_of = |q: u64| -> Result<Duration, AnalysisError> {
+                let demand = |t: Duration| -> Duration {
+                    let mut total = task.wcet.saturating_mul(q);
+                    for higher in &tasks[..i] {
+                        total = total.saturating_add(
+                            higher.wcet.saturating_mul(t.div_ceil(higher.period)),
+                        );
+                    }
+                    total
+                };
+                let mut window = supply.smallest_window(demand(Duration::ZERO), horizon)?;
+                loop {
+                    let next = supply.smallest_window(demand(window), horizon)?;
+                    if next == window {
+                        return Ok(window);
+                    }
+                    debug_assert!(next > window, "hierarchical iteration must grow");
+                    window = next;
+                }
+            };
+            // Sweep activations until the busy period closes (the next job
+            // of this task arrives after the window ends).
+            let mut best = Duration::ZERO;
+            let mut q = 1u64;
+            loop {
+                let window = window_of(q)?;
+                let response = window.saturating_sub(task.period.saturating_mul(q - 1));
+                best = best.max(response);
+                if task.period.saturating_mul(q) >= window {
+                    return Ok(best);
+                }
+                q += 1;
+                if q > MAX_Q {
+                    return Err(AnalysisError::BusyPeriodTooLong { max_q: MAX_Q });
+                }
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn paper_supply() -> TdmaSupply {
+        TdmaSupply::new(ms(14), ms(6))
+    }
+
+    #[test]
+    fn tdma_supply_staircase() {
+        let s = paper_supply();
+        assert_eq!(s.supply(Duration::ZERO), Duration::ZERO);
+        assert_eq!(s.supply(ms(8)), Duration::ZERO);
+        assert_eq!(s.supply(ms(9)), ms(1));
+        assert_eq!(s.supply(ms(14)), ms(6));
+        assert_eq!(s.supply(ms(22)), ms(6));
+        assert_eq!(s.supply(ms(23)), ms(7));
+        assert_eq!(s.supply(ms(28)), ms(12));
+    }
+
+    #[test]
+    fn smallest_window_inverts_supply() {
+        let s = paper_supply();
+        let horizon = Duration::from_secs(1);
+        assert_eq!(s.smallest_window(Duration::ZERO, horizon), Ok(Duration::ZERO));
+        assert_eq!(s.smallest_window(ms(1), horizon), Ok(ms(9)));
+        assert_eq!(s.smallest_window(ms(6), horizon), Ok(ms(14)));
+        assert_eq!(s.smallest_window(ms(7), horizon), Ok(ms(23)));
+        // Consistency: supply(smallest_window(d)) ≥ d, and one ns less
+        // undersupplies.
+        for d_us in [1u64, 500, 2_000, 6_000, 6_001, 13_000] {
+            let d = Duration::from_micros(d_us);
+            let w = s.smallest_window(d, horizon).expect("feasible");
+            assert!(s.supply(w) >= d);
+            assert!(s.supply(w - Duration::from_nanos(1)) < d);
+        }
+    }
+
+    #[test]
+    fn smallest_window_reports_infeasible() {
+        let s = paper_supply();
+        let result = s.smallest_window(ms(10), ms(14));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn monitored_supply_subtracts_eq14() {
+        let tdma = paper_supply();
+        let monitored = MonitoredSupply::new(
+            tdma,
+            ms(3),
+            Duration::from_micros(134),
+            Duration::from_micros(3),
+        );
+        let window = ms(14);
+        // ⌈14/3⌉ = 5 events of 137 µs.
+        assert_eq!(
+            monitored.interference(window),
+            Duration::from_micros(5 * 137)
+        );
+        assert_eq!(
+            monitored.supply(window),
+            tdma.supply(window) - Duration::from_micros(685)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than d_min")]
+    fn vacuous_monitored_supply_rejected() {
+        let _ = MonitoredSupply::new(paper_supply(), ms(1), ms(1), Duration::ZERO);
+    }
+
+    #[test]
+    fn guest_wcrt_single_task_matches_hand_calc() {
+        let tasks = [GuestTaskSpec {
+            wcet: ms(2),
+            period: ms(28),
+        }];
+        let wcrt = guest_task_wcrt(&tasks, &paper_supply(), Duration::from_secs(1));
+        assert_eq!(wcrt[0], Ok(ms(10)));
+    }
+
+    #[test]
+    fn guest_wcrt_with_interference_from_higher_tasks() {
+        // High: C=2, P=14; Low: C=3, P=28.
+        // Low: W = 3 + 2·⌈t/14⌉; t1 = window(5) = 13; ⌈13/14⌉ = 1 → stays;
+        // supply(13) = 5 → R_low = 13 ms.
+        let tasks = [
+            GuestTaskSpec { wcet: ms(2), period: ms(14) },
+            GuestTaskSpec { wcet: ms(3), period: ms(28) },
+        ];
+        let wcrt = guest_task_wcrt(&tasks, &paper_supply(), Duration::from_secs(1));
+        assert_eq!(wcrt[0], Ok(ms(10)));
+        assert_eq!(wcrt[1], Ok(ms(13)));
+    }
+
+    #[test]
+    fn monitored_supply_inflates_guest_wcrt() {
+        let tdma = paper_supply();
+        let monitored = MonitoredSupply::new(
+            tdma,
+            ms(3),
+            Duration::from_micros(134),
+            Duration::from_micros(3),
+        );
+        let tasks = [GuestTaskSpec {
+            wcet: ms(2),
+            period: ms(28),
+        }];
+        let horizon = Duration::from_secs(1);
+        let plain = guest_task_wcrt(&tasks, &tdma, horizon)[0]
+            .expect("feasible");
+        let with_interference = guest_task_wcrt(&tasks, &monitored, horizon)[0]
+            .expect("feasible");
+        assert!(with_interference > plain);
+        // The inflation is bounded by the interference in the window.
+        assert!(with_interference < plain + ms(2));
+    }
+
+    #[test]
+    fn overloaded_guest_diverges() {
+        let tasks = [GuestTaskSpec {
+            wcet: ms(7),
+            period: ms(14),
+        }];
+        // 7 ms of demand every 14 ms against 6 ms of supply per cycle.
+        let wcrt = guest_task_wcrt(&tasks, &paper_supply(), Duration::from_secs(1));
+        assert!(wcrt[0].is_err());
+    }
+
+    #[test]
+    fn supply_is_monotone() {
+        let tdma = paper_supply();
+        let monitored = MonitoredSupply::new(
+            tdma,
+            ms(3),
+            Duration::from_micros(134),
+            Duration::from_micros(3),
+        );
+        for k in 0..200u64 {
+            let a = Duration::from_micros(k * 137);
+            let b = Duration::from_micros((k + 1) * 137);
+            assert!(tdma.supply(a) <= tdma.supply(b));
+            assert!(monitored.supply(a) <= monitored.supply(b));
+        }
+    }
+}
+
+/// Supply bound of an **arbitrary cyclic window layout** — the analysis
+/// counterpart of an ARINC653-style multi-window TDMA schedule, where a
+/// partition owns several windows per major frame.
+///
+/// The worst-case window alignment of such a pattern starts right at the
+/// end of one of the partition's windows; `supply` minimizes over those
+/// candidates.
+///
+/// # Examples
+///
+/// Splitting one 6 ms slot into two 3 ms windows improves the supply of
+/// short windows (the worst gap shrinks):
+///
+/// ```
+/// use rthv_analysis::{PatternSupply, SupplyBound, TdmaSupply};
+/// use rthv_time::Duration;
+///
+/// let ms = Duration::from_millis;
+/// let single = TdmaSupply::new(ms(14), ms(6));
+/// let split = PatternSupply::new(ms(14), vec![(ms(3), ms(3)), (ms(9), ms(3))])
+///     .expect("valid layout");
+/// // An 8 ms window may contain zero supply under the single slot, but the
+/// // split layout guarantees some:
+/// assert_eq!(single.supply(ms(8)), Duration::ZERO);
+/// assert!(split.supply(ms(8)) >= ms(3));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternSupply {
+    cycle: Duration,
+    /// The partition's windows as `(offset, length)`, sorted and disjoint.
+    windows: Vec<(Duration, Duration)>,
+}
+
+/// Error returned by [`PatternSupply::new`] for invalid layouts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternLayoutError {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+impl std::fmt::Display for PatternLayoutError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid supply pattern: {}", self.reason)
+    }
+}
+
+impl std::error::Error for PatternLayoutError {}
+
+impl PatternSupply {
+    /// Creates a pattern supply from the partition's windows within one
+    /// cycle.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty layouts, zero cycles, zero-length/overlapping windows,
+    /// and windows extending beyond the cycle.
+    pub fn new(
+        cycle: Duration,
+        mut windows: Vec<(Duration, Duration)>,
+    ) -> Result<Self, PatternLayoutError> {
+        if cycle.is_zero() {
+            return Err(PatternLayoutError { reason: "zero cycle".to_owned() });
+        }
+        if windows.is_empty() {
+            return Err(PatternLayoutError { reason: "no windows".to_owned() });
+        }
+        windows.sort_unstable();
+        let mut previous_end = Duration::ZERO;
+        for &(offset, length) in &windows {
+            if length.is_zero() {
+                return Err(PatternLayoutError {
+                    reason: "zero-length window".to_owned(),
+                });
+            }
+            if offset < previous_end {
+                return Err(PatternLayoutError {
+                    reason: "overlapping windows".to_owned(),
+                });
+            }
+            if offset + length > cycle {
+                return Err(PatternLayoutError {
+                    reason: "window beyond the cycle".to_owned(),
+                });
+            }
+            previous_end = offset + length;
+        }
+        Ok(PatternSupply { cycle, windows })
+    }
+
+    /// Total supply per cycle.
+    #[must_use]
+    pub fn per_cycle(&self) -> Duration {
+        self.windows.iter().map(|&(_, length)| length).sum()
+    }
+
+    /// Supply delivered in `[start, start + dt)` for a window-aligned
+    /// cyclic pattern, with `start` given as an offset within the cycle.
+    fn supplied_from(&self, start: Duration, dt: Duration) -> Duration {
+        let full_cycles = dt.div_floor(self.cycle);
+        let mut total = self.per_cycle().saturating_mul(full_cycles);
+        let remainder_len = dt - self.cycle * full_cycles;
+        if remainder_len.is_zero() {
+            return total;
+        }
+        // The remainder spans [start, start + remainder_len) modulo the
+        // cycle — at most one wrap.
+        let end = start + remainder_len;
+        for &(offset, length) in &self.windows {
+            let w_start = offset;
+            let w_end = offset + length;
+            // Intersection with [start, end) directly…
+            total += w_end.min(end).saturating_sub(w_start.max(start));
+            // …and with the wrapped tail [0, end − cycle).
+            if end > self.cycle {
+                let wrapped_end = end - self.cycle;
+                total += w_end.min(wrapped_end).saturating_sub(w_start);
+            }
+        }
+        total
+    }
+}
+
+impl SupplyBound for PatternSupply {
+    fn supply(&self, dt: Duration) -> Duration {
+        // Worst alignment starts right at the end of one of the windows.
+        self.windows
+            .iter()
+            .map(|&(offset, length)| self.supplied_from(offset + length, dt))
+            .min()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod pattern_tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn single_window_matches_tdma_supply() {
+        let tdma = TdmaSupply::new(ms(14), ms(6));
+        let pattern = PatternSupply::new(ms(14), vec![(ms(2), ms(6))]).expect("valid");
+        for dt_us in (0..60_000u64).step_by(317) {
+            let dt = Duration::from_micros(dt_us);
+            assert_eq!(pattern.supply(dt), tdma.supply(dt), "Δt = {dt}");
+        }
+    }
+
+    #[test]
+    fn split_layout_reduces_the_worst_gap() {
+        let single = TdmaSupply::new(ms(14), ms(6));
+        let split = PatternSupply::new(ms(14), vec![(ms(3), ms(3)), (ms(9), ms(3))])
+            .expect("valid");
+        // Same long-term share…
+        assert_eq!(split.per_cycle(), ms(6));
+        assert_eq!(split.supply(ms(28)), single.supply(ms(28)));
+        // …but the first unit of demand arrives much sooner.
+        let horizon = Duration::from_secs(1);
+        let single_first = single.smallest_window(ms(1), horizon).expect("feasible");
+        let split_first = split.smallest_window(ms(1), horizon).expect("feasible");
+        assert_eq!(single_first, ms(9));
+        assert_eq!(split_first, ms(6)); // worst gap 3 (P0) + 2 (hk) = 5 ms + 1
+        assert!(split_first < single_first);
+    }
+
+    #[test]
+    fn validation_rejects_bad_layouts() {
+        assert!(PatternSupply::new(ms(10), vec![]).is_err());
+        assert!(PatternSupply::new(Duration::ZERO, vec![(ms(0), ms(1))]).is_err());
+        assert!(PatternSupply::new(ms(10), vec![(ms(0), Duration::ZERO)]).is_err());
+        assert!(PatternSupply::new(ms(10), vec![(ms(0), ms(3)), (ms(2), ms(3))]).is_err());
+        assert!(PatternSupply::new(ms(10), vec![(ms(8), ms(3))]).is_err());
+        let err = PatternSupply::new(ms(10), vec![]).unwrap_err();
+        assert!(err.to_string().contains("no windows"));
+    }
+
+    #[test]
+    fn pattern_supply_is_monotone_and_cycle_exact() {
+        let pattern = PatternSupply::new(
+            ms(14),
+            vec![(ms(0), ms(2)), (ms(5), ms(3)), (ms(10), ms(1))],
+        )
+        .expect("valid");
+        let mut last = Duration::ZERO;
+        for dt_us in (0..70_000u64).step_by(211) {
+            let s = pattern.supply(Duration::from_micros(dt_us));
+            assert!(s >= last, "supply must be monotone at {dt_us}");
+            last = s;
+        }
+        for k in 1u64..4 {
+            assert_eq!(pattern.supply(ms(14) * k), ms(6) * k);
+        }
+    }
+
+    #[test]
+    fn guest_wcrt_improves_under_split_layout() {
+        // The analysis-side mirror of the machine-level measurement: the
+        // same guest task bound drops when the partition's slot is split.
+        let single = TdmaSupply::new(ms(14), ms(6));
+        let split = PatternSupply::new(ms(14), vec![(ms(3), ms(3)), (ms(9), ms(3))])
+            .expect("valid");
+        let tasks = [GuestTaskSpec {
+            wcet: ms(1),
+            period: ms(28),
+        }];
+        let horizon = Duration::from_secs(10);
+        let single_bound = guest_task_wcrt(&tasks, &single, horizon)[0]
+            .clone()
+            .expect("feasible");
+        let split_bound = guest_task_wcrt(&tasks, &split, horizon)[0]
+            .clone()
+            .expect("feasible");
+        assert!(split_bound < single_bound);
+    }
+}

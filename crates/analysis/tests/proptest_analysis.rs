@@ -1,0 +1,228 @@
+//! Property tests for the analysis crate: η⁺/δ⁻ duality, busy-window
+//! monotonicity, and structural properties of the WCRT formulas.
+
+use proptest::prelude::*;
+
+use rthv_analysis::{
+    baseline_irq_wcrt, busy_window, interposed_irq_wcrt, tdma_interference, EventModel,
+    IrqTask, TdmaSlot,
+};
+use rthv_time::Duration;
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+/// Strategy: a PJD or sporadic event model with sane microsecond parameters.
+fn model_strategy() -> impl Strategy<Value = EventModel> {
+    prop_oneof![
+        (100u64..20_000).prop_map(|p| EventModel::periodic(us(p))),
+        (100u64..20_000, 0u64..10_000, 1u64..100).prop_map(|(p, j, d)| {
+            EventModel::periodic_jitter(us(p), us(j), us(d.min(p)))
+        }),
+        (100u64..20_000).prop_map(|d| EventModel::sporadic(us(d))),
+    ]
+}
+
+proptest! {
+    /// η⁺ and δ⁻ are strict duals under the half-open convention:
+    /// δ⁻(η⁺(Δt)) < Δt ≤ δ⁻(η⁺(Δt) + 1) for Δt > 0.
+    #[test]
+    fn eta_delta_duality(model in model_strategy(), dt_us in 1u64..100_000) {
+        let dt = us(dt_us);
+        let eta = model.eta_plus(dt);
+        prop_assert!(model.delta(eta) < dt);
+        prop_assert!(model.delta(eta + 1) >= dt);
+    }
+
+    /// δ⁻ is non-decreasing in q, and η⁺ non-decreasing in Δt.
+    #[test]
+    fn curves_are_monotone(model in model_strategy(), q in 0u64..50, dt_us in 0u64..50_000) {
+        prop_assert!(model.delta(q) <= model.delta(q + 1));
+        prop_assert!(model.eta_plus(us(dt_us)) <= model.eta_plus(us(dt_us + 777)));
+    }
+
+    /// The busy-window fixed point is monotone in the base demand.
+    #[test]
+    fn busy_window_monotone_in_base(
+        base_us in 1u64..5_000,
+        extra_us in 0u64..5_000,
+        period_us in 1_000u64..50_000,
+        cost_us in 1u64..200,
+    ) {
+        let interferer = EventModel::periodic(us(period_us));
+        let horizon = Duration::from_secs(10);
+        let interference = |w: Duration| interferer.eta_plus(w) * us(cost_us);
+        let small = busy_window(us(base_us), interference, horizon);
+        let large = busy_window(us(base_us + extra_us), interference, horizon);
+        if let (Ok(small), Ok(large)) = (small, large) {
+            prop_assert!(large >= small);
+        }
+    }
+
+    /// The busy window is a true fixed point: W = base + I(W).
+    #[test]
+    fn busy_window_is_fixed_point(
+        base_us in 1u64..5_000,
+        period_us in 1_000u64..50_000,
+        cost_us in 1u64..200,
+    ) {
+        let interferer = EventModel::periodic(us(period_us));
+        let interference = |w: Duration| interferer.eta_plus(w) * us(cost_us);
+        if let Ok(w) = busy_window(us(base_us), interference, Duration::from_secs(10)) {
+            prop_assert_eq!(w, us(base_us) + interference(w));
+        }
+    }
+
+    /// Eq. 8 is monotone in the window and scales with the foreign share.
+    #[test]
+    fn tdma_interference_monotone(
+        dt_us in 1u64..200_000,
+        slot_us in 1u64..10_000,
+        extra_us in 1u64..10_000,
+    ) {
+        let tdma = TdmaSlot { cycle: us(slot_us + extra_us), slot: us(slot_us) };
+        let a = tdma_interference(us(dt_us), tdma);
+        let b = tdma_interference(us(dt_us + 1_000), tdma);
+        prop_assert!(b >= a);
+        // Full isolation sanity: the interference per cycle equals the
+        // foreign share.
+        prop_assert_eq!(tdma_interference(us(1), tdma), us(extra_us));
+    }
+
+    /// The baseline WCRT always dominates the interposed WCRT computed with
+    /// the same raw costs (zero monitoring overheads): removing the TDMA
+    /// term can only help.
+    #[test]
+    fn interposition_never_hurts_with_free_monitoring(
+        dmin_us in 2_000u64..20_000,
+        bottom_us in 1u64..200,
+        slot_us in 2_000u64..8_000,
+        foreign_us in 2_000u64..10_000,
+    ) {
+        let task = IrqTask {
+            model: EventModel::sporadic(us(dmin_us)),
+            top_cost: us(2),
+            bottom_cost: us(bottom_us),
+        };
+        let tdma = TdmaSlot { cycle: us(slot_us + foreign_us), slot: us(slot_us) };
+        let baseline = baseline_irq_wcrt(&task, tdma, &[]);
+        // Free monitoring: C_Mon = C_sched = C_ctx = 0 — the interposed
+        // system degenerates to "always run immediately".
+        let interposed = interposed_irq_wcrt(
+            &task.with_effective_costs(Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            &[],
+        );
+        if let (Ok(baseline), Ok(interposed)) = (baseline, interposed) {
+            prop_assert!(
+                baseline.wcrt >= interposed.wcrt,
+                "baseline {} < interposed {}", baseline.wcrt, interposed.wcrt
+            );
+        }
+    }
+
+    /// WCRT grows monotonically with the bottom-handler cost.
+    #[test]
+    fn wcrt_monotone_in_bottom_cost(
+        dmin_us in 5_000u64..20_000,
+        bottom_us in 1u64..500,
+    ) {
+        let tdma = TdmaSlot { cycle: us(14_000), slot: us(6_000) };
+        let make = |bottom: u64| IrqTask {
+            model: EventModel::sporadic(us(dmin_us)),
+            top_cost: us(2),
+            bottom_cost: us(bottom),
+        };
+        let small = baseline_irq_wcrt(&make(bottom_us), tdma, &[]);
+        let large = baseline_irq_wcrt(&make(bottom_us + 100), tdma, &[]);
+        if let (Ok(small), Ok(large)) = (small, large) {
+            prop_assert!(large.wcrt >= small.wcrt);
+        }
+    }
+}
+
+mod supply_props {
+    use super::*;
+    use rthv_analysis::{guest_task_wcrt, GuestTaskSpec, MonitoredSupply, SupplyBound, TdmaSupply};
+
+    proptest! {
+        /// TDMA supply is monotone, bounded by the window, and exact on
+        /// whole cycles.
+        #[test]
+        fn tdma_supply_shape(
+            slot_us in 100u64..10_000,
+            gap_us in 100u64..10_000,
+            dt_us in 0u64..200_000,
+        ) {
+            let cycle = us(slot_us + gap_us);
+            let supply = TdmaSupply::new(cycle, us(slot_us));
+            let a = supply.supply(us(dt_us));
+            let b = supply.supply(us(dt_us + 777));
+            prop_assert!(a <= b, "supply must be monotone");
+            prop_assert!(a <= us(dt_us), "supply cannot exceed the window");
+            // k whole cycles supply exactly k slots.
+            for k in 1u64..4 {
+                prop_assert_eq!(supply.supply(cycle * k), us(slot_us) * k);
+            }
+        }
+
+        /// smallest_window is the exact inverse of supply.
+        #[test]
+        fn smallest_window_inverts(
+            slot_us in 100u64..5_000,
+            gap_us in 100u64..5_000,
+            demand_us in 1u64..20_000,
+        ) {
+            let supply = TdmaSupply::new(us(slot_us + gap_us), us(slot_us));
+            let horizon = Duration::from_secs(10);
+            let w = supply.smallest_window(us(demand_us), horizon).expect("feasible");
+            prop_assert!(supply.supply(w) >= us(demand_us));
+            prop_assert!(supply.supply(w - Duration::from_nanos(1)) < us(demand_us));
+        }
+
+        /// The monitored supply never exceeds the raw TDMA supply and stays
+        /// monotone (its closure property).
+        #[test]
+        fn monitored_supply_is_monotone_and_dominated(
+            slot_us in 1_000u64..8_000,
+            gap_us in 1_000u64..8_000,
+            dmin_us in 500u64..5_000,
+            dt_us in 0u64..100_000,
+        ) {
+            let tdma = TdmaSupply::new(us(slot_us + gap_us), us(slot_us));
+            let cost = us(dmin_us / 10 + 1); // well below d_min
+            let monitored = MonitoredSupply::new(tdma, us(dmin_us), cost, us(1));
+            let a = monitored.supply(us(dt_us));
+            let b = monitored.supply(us(dt_us + 333));
+            prop_assert!(a <= b, "monitored supply must be monotone");
+            prop_assert!(a <= tdma.supply(us(dt_us)));
+        }
+
+        /// Guest WCRT bounds are monotone under supply degradation: the
+        /// monitored bound never beats the plain TDMA bound.
+        #[test]
+        fn guest_bounds_degrade_with_interference(
+            slot_us in 2_000u64..8_000,
+            gap_us in 2_000u64..8_000,
+            wcet_us in 100u64..1_000,
+        ) {
+            let tdma = TdmaSupply::new(us(slot_us + gap_us), us(slot_us));
+            let monitored = MonitoredSupply::new(
+                tdma,
+                us(3_000),
+                us(134),
+                us(3),
+            );
+            let tasks = [GuestTaskSpec {
+                wcet: us(wcet_us),
+                period: us((slot_us + gap_us) * 4),
+            }];
+            let horizon = Duration::from_secs(10);
+            let plain = guest_task_wcrt(&tasks, &tdma, horizon);
+            let degraded = guest_task_wcrt(&tasks, &monitored, horizon);
+            if let (Ok(plain), Ok(degraded)) = (&plain[0], &degraded[0]) {
+                prop_assert!(degraded >= plain);
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Analysis throughput: the Eq. 11/12 and Eq. 16/12 fixed points, and the
+//! δ⁻ superadditive extension, per evaluation. These run inside design
+//! loops (e.g. d_min sweeps), so they should stay well below a
+//! microsecond-to-millisecond budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rthv::analysis::{
+    baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask, TdmaSlot,
+};
+use rthv::monitor::DeltaFunction;
+use rthv::time::Duration;
+use rthv::CostModel;
+
+fn analysis_throughput(c: &mut Criterion) {
+    let costs = CostModel::paper_arm926ejs();
+    let us = Duration::from_micros;
+    let task = IrqTask {
+        model: EventModel::sporadic(us(3_000)),
+        top_cost: costs.top_handler,
+        bottom_cost: us(30),
+    };
+    let tdma = TdmaSlot {
+        cycle: us(14_000),
+        slot: us(6_000),
+    };
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("baseline_wcrt_eq11", |b| {
+        b.iter(|| black_box(baseline_irq_wcrt(black_box(&task), tdma, &[])));
+    });
+
+    let effective = task.with_effective_costs(
+        costs.monitor_check,
+        costs.sched_manip,
+        costs.context_switch,
+    );
+    group.bench_function("interposed_wcrt_eq16", |b| {
+        b.iter(|| black_box(interposed_irq_wcrt(black_box(&effective), &[])));
+    });
+
+    let delta = DeltaFunction::new(
+        (1..=5).map(|k| Duration::from_micros(137 * k)).collect(),
+    )
+    .expect("valid");
+    group.bench_function("delta_extension_q100", |b| {
+        b.iter(|| black_box(delta.delta(black_box(100))));
+    });
+    group.bench_function("eta_plus_10ms", |b| {
+        b.iter(|| black_box(delta.eta_plus(black_box(Duration::from_millis(10)))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, analysis_throughput);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end cost of regenerating one Figure-6 panel (scaled down): the
+//! workload generation + simulation + histogram pipeline for each variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use rthv::scenarios::{run_fig6, Fig6Config, Fig6Variant};
+
+fn fig6_scenarios(c: &mut Criterion) {
+    let config = Fig6Config {
+        irqs_per_load: 200,
+        ..Fig6Config::default()
+    };
+    let mut group = c.benchmark_group("fig6_panel_600_irqs");
+    group.sample_size(20);
+    for variant in [
+        Fig6Variant::Unmonitored,
+        Fig6Variant::Monitored,
+        Fig6Variant::MonitoredNoViolations,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &variant| {
+                b.iter(|| black_box(run_fig6(black_box(&config), variant)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig6_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Cost of the Appendix-A building blocks: learning a δ⁻ function from an
+//! activation stream (Algorithm 1 per event), the bounding step
+//! (Algorithm 2), and a scaled-down end-to-end Figure-7 curve.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rthv::monitor::DeltaLearner;
+use rthv::scenarios::{run_fig7, Fig7Bound, Fig7Config};
+use rthv::workload::AutomotiveTraceBuilder;
+
+fn fig7_learning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+
+    let trace = AutomotiveTraceBuilder::typical_ecu(1).build(1_100);
+    group.bench_function("algorithm1_learn_1100_events_l5", |b| {
+        b.iter_batched(
+            || DeltaLearner::new(5),
+            |mut learner| {
+                for &t in trace.as_slice() {
+                    learner.observe(black_box(t));
+                }
+                learner
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    let mut learner = DeltaLearner::new(5);
+    for &t in trace.as_slice() {
+        learner.observe(t);
+    }
+    let learned = learner.learned_delta().expect("monotonic");
+    group.bench_function("algorithm2_bound", |b| {
+        let bound = learned.scale_load(0.25);
+        b.iter(|| black_box(learned.bounded_by(black_box(&bound))));
+    });
+
+    group.sample_size(10);
+    let config = Fig7Config {
+        events: 1_100,
+        ..Fig7Config::default()
+    };
+    group.bench_function("end_to_end_curve_1100_events", |b| {
+        b.iter(|| black_box(run_fig7(black_box(&config), Fig7Bound::LoadFraction(0.25))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fig7_learning);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Cost of replaying a guest task set over recorded TDMA service intervals,
+//! and of the hierarchical supply-bound analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use rthv::analysis::{guest_task_wcrt, GuestTaskSpec, TdmaSupply};
+use rthv::guest::{replay, GuestTask, GuestTaskSet};
+use rthv::time::{Duration, Instant};
+use rthv::{ServiceInterval, ServiceKind};
+
+fn guest_replay(c: &mut Criterion) {
+    let ms = Duration::from_millis;
+    let horizon = Instant::ZERO + Duration::from_secs(2);
+    // 2 s of the paper's TDMA pattern: 6 ms of supply every 14 ms.
+    let supply: Vec<ServiceInterval> = (0..143)
+        .map(|k| ServiceInterval {
+            start: Instant::ZERO + ms(14) * k,
+            end: Instant::ZERO + ms(14) * k + ms(6),
+            kind: ServiceKind::User,
+        })
+        .collect();
+    let tasks = GuestTaskSet::new(vec![
+        GuestTask::new("control", ms(28), ms(2)),
+        GuestTask::new("fusion", ms(56), ms(4)),
+        GuestTask::new("logger", ms(112), ms(6)),
+    ])
+    .expect("valid");
+
+    let mut group = c.benchmark_group("guest");
+    group.bench_function("replay_2s_3_tasks", |b| {
+        b.iter(|| black_box(replay(black_box(&tasks), black_box(&supply), horizon)));
+    });
+
+    let specs = [
+        GuestTaskSpec { wcet: ms(2), period: ms(28) },
+        GuestTaskSpec { wcet: ms(4), period: ms(56) },
+        GuestTaskSpec { wcet: ms(6), period: ms(112) },
+    ];
+    let tdma = TdmaSupply::new(ms(14), ms(6));
+    group.bench_function("supply_bound_wcrt_3_tasks", |b| {
+        b.iter(|| {
+            black_box(guest_task_wcrt(
+                black_box(&specs),
+                &tdma,
+                Duration::from_secs(30),
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, guest_replay);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Simulation-engine throughput: virtual IRQs processed per host second in
+//! the three handling configurations. Guards against performance
+//! regressions in the event queue and the machine's dispatch paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use rthv::monitor::DeltaFunction;
+use rthv::time::{Duration, Instant};
+use rthv::workload::ExponentialArrivals;
+use rthv::{IrqHandlingMode, IrqSourceId, Machine, PaperSetup};
+
+const IRQS: usize = 1_000;
+
+fn run_one(mode: IrqHandlingMode, monitored: bool) -> usize {
+    let setup = PaperSetup::default();
+    let dmin = Duration::from_millis(3);
+    let monitor = monitored.then(|| DeltaFunction::from_dmin(dmin).expect("valid"));
+    let mut machine = Machine::new(setup.config(mode, monitor)).expect("valid");
+    let trace = ExponentialArrivals::new(dmin, 42).generate(IRQS, Instant::ZERO);
+    machine
+        .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
+        .expect("future");
+    let last = *trace.as_slice().last().expect("non-empty");
+    assert!(machine.run_until_complete(last + setup.tdma_cycle() * 100));
+    machine.finish().recorder.len()
+}
+
+fn machine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_throughput");
+    group.throughput(Throughput::Elements(IRQS as u64));
+    for (name, mode, monitored) in [
+        ("baseline", IrqHandlingMode::Baseline, false),
+        ("interposed", IrqHandlingMode::Interposed, true),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mode, |b, &mode| {
+            b.iter(|| black_box(run_one(mode, monitored)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, machine_throughput);
+criterion_main!(benches);

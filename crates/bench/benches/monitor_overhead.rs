@@ -1,0 +1,52 @@
+//! Microbenchmark of the monitoring function — the paper claims the
+//! monitoring overhead "is in the order of magnitude of 10 cycles" per
+//! check (Section 5.1) and 128 instructions including the scheduler call
+//! (Section 6.2). This bench measures the admission check of this
+//! implementation for l = 1 and l = 5.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use rthv::monitor::{ActivationMonitor, DeltaFunction};
+use rthv::time::{Duration, Instant};
+
+fn monitor_check(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_check");
+
+    let dmin = DeltaFunction::from_dmin(Duration::from_micros(300)).expect("valid");
+    group.bench_function("l1_check_only", |b| {
+        let mut monitor = ActivationMonitor::new(dmin.clone());
+        monitor.record_admitted(Instant::ZERO);
+        b.iter(|| black_box(monitor.check(black_box(Instant::from_micros(1_000)))));
+    });
+
+    let l5 = DeltaFunction::new(
+        (1..=5).map(|k| Duration::from_micros(100 * k)).collect(),
+    )
+    .expect("valid");
+    group.bench_function("l5_check_only", |b| {
+        let mut monitor = ActivationMonitor::new(l5.clone());
+        for k in 0..5u64 {
+            monitor.record_admitted(Instant::from_micros(k * 500));
+        }
+        b.iter(|| black_box(monitor.check(black_box(Instant::from_micros(100_000)))));
+    });
+
+    group.bench_function("l1_try_admit_stream", |b| {
+        b.iter_batched(
+            || ActivationMonitor::new(dmin.clone()),
+            |mut monitor| {
+                for k in 0..64u64 {
+                    black_box(monitor.try_admit(Instant::from_micros(k * 200)));
+                }
+                monitor
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, monitor_check);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Runs every experiment at full scale and prints a one-screen summary —
+//! the quick way to regenerate the headline numbers of EXPERIMENTS.md.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin all`
+
+use rthv::scenarios::{
+    run_ablation, run_bounds, run_fig6, run_fig7, run_guest_tasks, run_independence,
+    run_multi_source, run_overhead, run_shaper_comparison, run_splitting, AblationConfig,
+    BoundsConfig, Fig6Config, Fig6Variant, Fig7Bound, Fig7Config, GuestTasksConfig,
+    IndependenceConfig, MultiSourceConfig, OverheadConfig, ShaperComparisonConfig,
+    SplittingConfig,
+};
+use rthv_experiments::{percent, us};
+
+fn main() {
+    println!("== Figure 6 (15000 IRQs) ==");
+    let fig6 = Fig6Config::default();
+    for variant in [
+        Fig6Variant::Unmonitored,
+        Fig6Variant::Monitored,
+        Fig6Variant::MonitoredNoViolations,
+    ] {
+        let run = run_fig6(&fig6, variant);
+        let (d, i, l) = run.class_fractions();
+        println!(
+            "  {:<38} avg {:>10}  split {}/{}/{}",
+            variant.label(),
+            us(run.mean_latency),
+            percent(d),
+            percent(i),
+            percent(l),
+        );
+    }
+
+    println!("\n== Figure 7 (11000 ECU activations) ==");
+    let fig7 = Fig7Config::default();
+    for (label, bound) in [
+        ("a) unbounded", Fig7Bound::Unbounded),
+        ("b) 25%", Fig7Bound::LoadFraction(0.25)),
+        ("c) 12.5%", Fig7Bound::LoadFraction(0.125)),
+        ("d) 6.25%", Fig7Bound::LoadFraction(0.0625)),
+    ] {
+        let curve = run_fig7(&fig7, bound);
+        println!(
+            "  {:<14} learn {:>10}  run {:>10}",
+            label,
+            us(curve.learn_avg),
+            us(curve.run_avg)
+        );
+    }
+
+    println!("\n== Section 6.2 overhead ==");
+    let overhead = run_overhead(&OverheadConfig::default());
+    println!(
+        "  context switches +{} ({} interposed windows), monitor state {} B (l=1)",
+        percent(overhead.context_switch_increase),
+        overhead.interposed_windows,
+        overhead.monitor_state_bytes_l1,
+    );
+
+    println!("\n== Bounds (Sections 4/5.1) ==");
+    for row in run_bounds(&BoundsConfig::default()) {
+        println!(
+            "  {:<38} analytic {:>10}  simulated max {:>10}  holds {}",
+            row.name,
+            us(row.analytic),
+            us(row.simulated_max),
+            if row.holds { "yes" } else { "NO" },
+        );
+    }
+
+    println!("\n== Temporal independence (Eq. 14) ==");
+    let indep = run_independence(&IndependenceConfig::default());
+    println!(
+        "  victim lost {:>10} of bound {:>10}  holds {}",
+        us(indep.lost),
+        us(indep.interposed_bound + indep.top_handler_bound),
+        if indep.holds { "yes" } else { "NO" },
+    );
+
+    println!("\n== Guest-task independence ==");
+    let guest = run_guest_tasks(&GuestTasksConfig::default());
+    println!(
+        "  all storm WCRTs within monitored bounds: {}",
+        if guest.holds { "yes" } else { "NO" }
+    );
+
+    println!("\n== Policy ablation (delayed fraction) ==");
+    for row in run_ablation(&AblationConfig::default()) {
+        println!(
+            "  {:?}/{:?}: {}",
+            row.policies.boundary,
+            row.policies.admission_clock,
+            percent(row.delayed_fraction),
+        );
+    }
+
+    println!("\n== Multi-source ==");
+    let multi = run_multi_source(&MultiSourceConfig::default());
+    for row in &multi.sources {
+        println!(
+            "  {:<10} baseline {:>10} -> monitored {:>10}",
+            row.name,
+            us(row.baseline_mean),
+            us(row.monitored_mean),
+        );
+    }
+    println!(
+        "  aggregate interference holds: {}",
+        if multi.holds { "yes" } else { "NO" }
+    );
+
+    println!("\n== Slot splitting vs interposition (Section 1) ==");
+    for row in run_splitting(&SplittingConfig::default()) {
+        println!(
+            "  {:<36} mean {:>10}  hv overhead {}",
+            row.name,
+            us(row.mean_latency),
+            percent(row.hypervisor_fraction),
+        );
+    }
+
+    println!("\n== Shaper comparison (bursty workload) ==");
+    for row in run_shaper_comparison(&ShaperComparisonConfig::default()) {
+        println!(
+            "  {:<36} mean {:>10}  guaranteed {:>10}/cyc",
+            row.name,
+            us(row.mean_latency),
+            us(row.guaranteed_interference),
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Exports the figure data as CSV files (for gnuplot/pandas replotting)
+//! into `./artifacts/`.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin export [out_dir]`
+
+use std::fs;
+use std::path::PathBuf;
+
+use rthv::scenarios::{
+    run_fig6, run_fig7, Fig6Config, Fig6Variant, Fig7Bound, Fig7Config,
+};
+use rthv::stats::{csv_row, histogram_to_csv, series_to_csv};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir = PathBuf::from(
+        std::env::args().nth(1).unwrap_or_else(|| "artifacts".to_owned()),
+    );
+    fs::create_dir_all(&out_dir)?;
+
+    // Figure 6: one histogram CSV per variant plus a summary CSV.
+    let fig6_config = Fig6Config::default();
+    let mut summary = csv_row([
+        "variant",
+        "mean_us",
+        "max_us",
+        "direct",
+        "interposed",
+        "delayed",
+    ]);
+    for (stem, variant) in [
+        ("fig6a_unmonitored", Fig6Variant::Unmonitored),
+        ("fig6b_monitored", Fig6Variant::Monitored),
+        ("fig6c_conformant", Fig6Variant::MonitoredNoViolations),
+    ] {
+        let run = run_fig6(&fig6_config, variant);
+        let path = out_dir.join(format!("{stem}.csv"));
+        fs::write(&path, histogram_to_csv(&run.histogram))?;
+        println!("wrote {}", path.display());
+        summary.push_str(&csv_row([
+            stem.to_owned(),
+            run.mean_latency.as_micros().to_string(),
+            run.max_latency.as_micros().to_string(),
+            run.class_counts.0.to_string(),
+            run.class_counts.1.to_string(),
+            run.class_counts.2.to_string(),
+        ]));
+    }
+    let path = out_dir.join("fig6_summary.csv");
+    fs::write(&path, summary)?;
+    println!("wrote {}", path.display());
+
+    // Figure 7: the running-average series per bound.
+    let fig7_config = Fig7Config::default();
+    for (stem, bound) in [
+        ("fig7a_unbounded", Fig7Bound::Unbounded),
+        ("fig7b_load25", Fig7Bound::LoadFraction(0.25)),
+        ("fig7c_load12_5", Fig7Bound::LoadFraction(0.125)),
+        ("fig7d_load6_25", Fig7Bound::LoadFraction(0.0625)),
+    ] {
+        let curve = run_fig7(&fig7_config, bound);
+        let path = out_dir.join(format!("{stem}.csv"));
+        fs::write(&path, series_to_csv("avg_latency_us", &curve.running_avg))?;
+        println!("wrote {}", path.display());
+    }
+
+    println!("\nreplot with e.g.:");
+    println!("  gnuplot -e \"plot 'artifacts/fig6a_unmonitored.csv' skip 1 with boxes\"");
+    Ok(())
+}

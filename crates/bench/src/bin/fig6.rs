@@ -1,0 +1,66 @@
+//! Regenerates Figure 6 of the paper: IRQ latency histograms for 15000
+//! IRQs (5000 per load level of 1 %, 5 %, 10 %) in the three variants
+//! (a: monitoring disabled, b: monitoring enabled, c: monitoring enabled
+//! with d_min-conformant arrivals).
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin fig6`
+
+use rthv::scenarios::{run_fig6, Fig6Config, Fig6Variant};
+use rthv_experiments::{percent, rule, us};
+
+fn main() {
+    let config = Fig6Config::default();
+    println!(
+        "Figure 6 — latency histograms over {} IRQs (loads {:?}, C'_BH = {})",
+        config.irqs_per_load * config.loads.len(),
+        config.loads,
+        us(config.setup.effective_bottom_cost()),
+    );
+    println!(
+        "paper reference: 6a avg ~2500us (40% direct / 60% delayed); \
+         6b avg ~1200us (40/40/20); 6c avg ~150us (40/60/0), ~16x vs 6a\n"
+    );
+
+    let mut means = Vec::new();
+    for variant in [
+        Fig6Variant::Unmonitored,
+        Fig6Variant::Monitored,
+        Fig6Variant::MonitoredNoViolations,
+    ] {
+        let run = run_fig6(&config, variant);
+        let (direct, interposed, delayed) = run.class_fractions();
+        let header = format!("=== {} ===", variant.label());
+        println!("{header}");
+        println!("{}", rule(&header));
+        println!(
+            "avg {:>10}   max {:>10}   direct {:>6}   interposed {:>6}   delayed {:>6}",
+            us(run.mean_latency),
+            us(run.max_latency),
+            percent(direct),
+            percent(interposed),
+            percent(delayed),
+        );
+        for row in &run.per_load {
+            println!(
+                "  U = {:>4}  lambda = d_min = {:>10}  avg {:>10}  (d/i/d {:>4}/{:>4}/{:>4})",
+                percent(row.load),
+                us(row.lambda),
+                us(row.mean_latency),
+                row.class_counts.0,
+                row.class_counts.1,
+                row.class_counts.2,
+            );
+        }
+        println!("histogram (bin_start_us count):");
+        print!("{}", run.histogram);
+        println!();
+        means.push((variant, run.mean_latency));
+    }
+
+    let a = means[0].1.as_nanos() as f64;
+    let c = means[2].1.as_nanos() as f64;
+    println!(
+        "improvement 6c vs 6a: {:.1}x (paper: ~16x)",
+        a / c.max(1.0)
+    );
+}

@@ -1,0 +1,65 @@
+//! Regenerates Figure 7 (Appendix A): running-average IRQ latency over a
+//! bursty automotive activation trace. The first 10 % of the events learn a
+//! δ⁻ function with l = 5 (Algorithm 1), the remainder runs monitored with
+//! the learned function clamped (Algorithm 2) to bounds allowing
+//! 100 % / 25 % / 12.5 % / 6.25 % of the recorded load (graphs a–d).
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin fig7`
+
+use rthv::scenarios::{run_fig7, Fig7Bound, Fig7Config};
+use rthv_experiments::us;
+
+fn main() {
+    let config = Fig7Config::default();
+    println!(
+        "Figure 7 — self-learning delta-minus over {} synthetic ECU activations \
+         (learn = first {:.0} %, l = {})",
+        config.events,
+        config.learn_fraction * 100.0,
+        config.l,
+    );
+    println!(
+        "paper reference: learn ~2200us; run a) ~120us b) ~300us c) ~900us d) ~1600us\n"
+    );
+
+    let bounds = [
+        ("a) unbounded", Fig7Bound::Unbounded),
+        ("b) 25% load", Fig7Bound::LoadFraction(0.25)),
+        ("c) 12.5% load", Fig7Bound::LoadFraction(0.125)),
+        ("d) 6.25% load", Fig7Bound::LoadFraction(0.0625)),
+    ];
+
+    let mut curves = Vec::new();
+    println!(
+        "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "graph", "learn avg", "run avg", "direct", "interposed", "delayed"
+    );
+    for (label, bound) in bounds {
+        let curve = run_fig7(&config, bound);
+        println!(
+            "{:<16} {:>12} {:>12} {:>10} {:>10} {:>10}",
+            label,
+            us(curve.learn_avg),
+            us(curve.run_avg),
+            curve.run_class_counts.0,
+            curve.run_class_counts.1,
+            curve.run_class_counts.2,
+        );
+        curves.push((label, curve));
+    }
+
+    // The plotted series, decimated to every 250th event for readability.
+    println!("\nrunning average series (event_index a_us b_us c_us d_us):");
+    let len = curves[0].1.running_avg.len();
+    for i in (0..len).step_by(250).chain(std::iter::once(len - 1)) {
+        print!("{i:>8}");
+        for (_, curve) in &curves {
+            print!(" {:>10}", us(curve.running_avg[i]));
+        }
+        println!();
+    }
+    println!(
+        "\nlearn phase ends at event {} (vertical line of the paper's plot)",
+        curves[0].1.learn_events
+    );
+}

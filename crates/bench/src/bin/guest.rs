@@ -1,0 +1,55 @@
+//! Guest-task-level temporal independence: response times of a victim
+//! partition's guest task set with and without a maximum-rate interposed
+//! IRQ storm, against the hierarchical supply-bound analysis
+//! (TDMA supply − Eq. 14 interference).
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin guest`
+
+use rthv::scenarios::{run_guest_tasks, GuestTasksConfig};
+use rthv_experiments::us;
+
+fn main() {
+    let config = GuestTasksConfig::default();
+    let report = run_guest_tasks(&config);
+
+    println!(
+        "Guest tasks in victim partition {} under a d_min = {} storm over {}\n",
+        config.victim,
+        us(config.dmin),
+        us(config.horizon)
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>14} {:>16}",
+        "task", "idle wcrt", "storm wcrt", "TDMA bound", "monitored bound"
+    );
+    for (i, task) in config.tasks.tasks().iter().enumerate() {
+        let fmt_opt = |d: Option<rthv::time::Duration>| {
+            d.map_or_else(|| "-".to_string(), us)
+        };
+        println!(
+            "{:<16} {:>12} {:>12} {:>14} {:>16}",
+            task.name,
+            fmt_opt(report.idle.tasks[i].observed_wcrt),
+            fmt_opt(report.storm.tasks[i].observed_wcrt),
+            fmt_opt(report.tdma_bounds[i]),
+            fmt_opt(report.monitored_bounds[i]),
+        );
+    }
+    println!(
+        "\nall storm observations within the monitored bound: {}",
+        if report.holds { "yes" } else { "NO" }
+    );
+    println!(
+        "guest busy/idle inside supplied time — idle run: {}/{}, storm run: {}/{}",
+        us(report.idle.busy_time),
+        us(report.idle.idle_time),
+        us(report.storm.busy_time),
+        us(report.storm.idle_time),
+    );
+    println!(
+        "\nThis is Eq. 2 made executable at the guest level: the storm can \
+         only steal the Eq. 14 budget, so every guest deadline that holds \
+         under 'TDMA minus budget' keeps holding no matter what the \
+         IRQ-subscribing partition does."
+    );
+}

@@ -1,0 +1,50 @@
+//! Sufficient temporal independence, measured: the service a victim
+//! partition loses to a maximum-rate conformant IRQ storm, against the
+//! Eq. 14 interference bound.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin independence`
+
+use rthv::scenarios::{run_independence, IndependenceConfig};
+use rthv::PartitionId;
+use rthv_experiments::{percent, us};
+
+fn main() {
+    let base = IndependenceConfig::default();
+    println!(
+        "Temporal independence under a d_min = {} storm over {} (Eq. 2 / Eq. 14)\n",
+        us(base.dmin),
+        us(base.horizon)
+    );
+    println!(
+        "{:<14} {:>14} {:>14} {:>12} {:>14} {:>7}",
+        "victim", "idle service", "storm service", "lost", "bound", "holds"
+    );
+    for victim in [PartitionId::new(0), PartitionId::new(2)] {
+        let report = run_independence(&IndependenceConfig {
+            victim,
+            ..base.clone()
+        });
+        let bound = report.interposed_bound + report.top_handler_bound;
+        println!(
+            "{:<14} {:>14} {:>14} {:>12} {:>14} {:>7}",
+            victim.to_string(),
+            us(report.idle_service),
+            us(report.storm_service),
+            us(report.lost),
+            us(bound),
+            if report.holds { "yes" } else { "NO" },
+        );
+    }
+
+    let report = run_independence(&base);
+    println!(
+        "\n{} interposed windows opened; victim loss is {} of the bound — \
+         interference is real but strictly capped by the hypervisor, \
+         independent of how the IRQ-subscribing partition behaves.",
+        report.interposed_windows,
+        percent(
+            report.lost.as_nanos() as f64
+                / (report.interposed_bound + report.top_handler_bound).as_nanos() as f64
+        ),
+    );
+}

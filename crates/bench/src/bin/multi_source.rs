@@ -1,0 +1,44 @@
+//! Multiple independently monitored IRQ sources: per-source latency
+//! improvement and the aggregate interference budget.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin multi_source`
+
+use rthv::scenarios::{run_multi_source, MultiSourceConfig};
+use rthv_experiments::us;
+
+fn main() {
+    let config = MultiSourceConfig::default();
+    let report = run_multi_source(&config);
+
+    println!(
+        "Three IRQ sources over the paper's TDMA geometry ({} IRQs each)\n",
+        config.irqs_per_source
+    );
+    println!(
+        "{:<10} {:>14} {:>15} {:>8} {:>11} {:>8}",
+        "source", "baseline mean", "monitored mean", "direct", "interposed", "delayed"
+    );
+    for row in &report.sources {
+        println!(
+            "{:<10} {:>14} {:>15} {:>8} {:>11} {:>8}",
+            row.name,
+            us(row.baseline_mean),
+            us(row.monitored_mean),
+            row.class_counts.0,
+            row.class_counts.1,
+            row.class_counts.2,
+        );
+    }
+    println!(
+        "\naggregate interference budget: {}   worst measured service loss: {}   holds: {}",
+        us(report.aggregate_bound),
+        us(report.worst_service_loss),
+        if report.holds { "yes" } else { "NO" },
+    );
+    println!(
+        "\nEach monitored source carries its own delta-minus condition; windows \
+         are mutually exclusive, so simultaneous pressure degrades to delayed \
+         handling instead of stacking interference — the per-victim budget is \
+         simply the sum of the per-source Eq. 14 terms."
+    );
+}

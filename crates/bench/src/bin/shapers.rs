@@ -1,0 +1,38 @@
+//! Related-work comparison: the paper's δ⁻ activation monitor against
+//! token-bucket interrupt throttling (Regehr & Duongsaa, the paper's
+//! reference \[11\]) as the admission policy of the modified top handler,
+//! over an identical bursty CAN-style workload.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin shapers`
+
+use rthv::scenarios::{run_shaper_comparison, ShaperComparisonConfig};
+use rthv_experiments::{percent, us};
+
+fn main() {
+    let config = ShaperComparisonConfig::default();
+    println!(
+        "Shaper comparison over {} bursty IRQs (shaping interval {})\n",
+        config.irqs,
+        us(config.interval)
+    );
+    println!(
+        "{:<36} {:>11} {:>9} {:>26}",
+        "shaper", "mean", "delayed", "guaranteed interference"
+    );
+    for row in run_shaper_comparison(&config) {
+        println!(
+            "{:<36} {:>11} {:>9} {:>22}/cyc",
+            row.name,
+            us(row.mean_latency),
+            percent(row.delayed_fraction),
+            us(row.guaranteed_interference),
+        );
+    }
+    println!(
+        "\nBuckets absorb bursts (lower mean, fewer delayed) but every unit \
+         of burst capacity adds a full C'_BH to the interference every other \
+         partition must be certified against. The paper's δ⁻ monitor keeps \
+         the guarantee minimal and spills burst tails into delayed handling \
+         — the safety-first end of the trade-off."
+    );
+}

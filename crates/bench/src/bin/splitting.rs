@@ -1,0 +1,37 @@
+//! The Section-1 motivation, quantified: shrinking TDMA latencies by
+//! splitting the subscriber's slot across the frame costs context-switch
+//! overhead; interposition beats even fine splits on both axes.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin splitting`
+
+use rthv::scenarios::{run_splitting, SplittingConfig};
+use rthv_experiments::{percent, us};
+
+fn main() {
+    let config = SplittingConfig::default();
+    println!(
+        "Slot splitting vs interposition ({} conformant IRQs, lambda = {})\n",
+        config.irqs,
+        us(config.lambda)
+    );
+    println!(
+        "{:<36} {:>11} {:>11} {:>10} {:>12}",
+        "configuration", "mean", "max", "switches", "hv overhead"
+    );
+    for row in run_splitting(&config) {
+        println!(
+            "{:<36} {:>11} {:>11} {:>10} {:>12}",
+            row.name,
+            us(row.mean_latency),
+            us(row.max_latency),
+            row.context_switches,
+            percent(row.hypervisor_fraction),
+        );
+    }
+    println!(
+        "\nThis is the paper's Section-1 argument as numbers: splitting the \
+         slot buys latency linearly but pays context switches linearly too, \
+         while monitored interposition reaches a lower latency than any \
+         practical split at a fraction of the overhead."
+    );
+}

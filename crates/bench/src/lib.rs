@@ -1,0 +1,70 @@
+//! Shared table-rendering helpers for the experiment binaries.
+//!
+//! The binaries in `src/bin/` regenerate the paper's tables and figures as
+//! plain-text rows (gnuplot-friendly); this tiny library keeps their
+//! formatting consistent and testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rthv::time::Duration;
+
+/// Formats a duration as microseconds with a fixed `us` suffix, the unit of
+/// every figure in the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_experiments::us;
+/// use rthv::time::Duration;
+///
+/// assert_eq!(us(Duration::from_micros(2_500)), "2500.0us");
+/// assert_eq!(us(Duration::from_nanos(640)), "0.6us");
+/// ```
+#[must_use]
+pub fn us(duration: Duration) -> String {
+    format!("{:.1}us", duration.as_nanos() as f64 / 1_000.0)
+}
+
+/// Formats a fraction as a percentage with one decimal.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_experiments::percent;
+///
+/// assert_eq!(percent(0.399), "39.9%");
+/// ```
+#[must_use]
+pub fn percent(fraction: f64) -> String {
+    format!("{:.1}%", fraction * 100.0)
+}
+
+/// Renders a horizontal rule sized to a header line.
+#[must_use]
+pub fn rule(header: &str) -> String {
+    "-".repeat(header.chars().count())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn us_rounds_to_tenths() {
+        assert_eq!(us(Duration::from_nanos(87_025)), "87.0us");
+        assert_eq!(us(Duration::from_micros(8_000)), "8000.0us");
+        assert_eq!(us(Duration::ZERO), "0.0us");
+    }
+
+    #[test]
+    fn percent_scales() {
+        assert_eq!(percent(1.0), "100.0%");
+        assert_eq!(percent(0.0), "0.0%");
+    }
+
+    #[test]
+    fn rule_matches_length() {
+        assert_eq!(rule("abc"), "---");
+    }
+}

@@ -1,0 +1,41 @@
+//! Experiment runners — one per table/figure of the paper's evaluation.
+//!
+//! | Runner | Reproduces |
+//! |---|---|
+//! | [`fig6`] | Figure 6a/6b/6c — latency histograms for 15000 IRQs under 1/5/10 % load |
+//! | [`fig7`] | Figure 7 (Appendix A) — self-learning δ⁻ on an automotive trace, load-bounded run phase |
+//! | [`overhead`] | Section 6.2 — monitor/scheduler/context-switch overhead and the context-switch increase |
+//! | [`bounds`] | Section 4/5.1 — analytic worst-case latency vs simulated maximum |
+//! | [`independence`] | Eq. 2/14 — measured victim-partition interference vs the sufficient-independence bound |
+//! | [`guest_tasks`] | guest-level independence — a victim partition's task set under an interposed-IRQ storm vs the hierarchical supply-bound analysis |
+//! | [`ablation`] | design-decision ablation — boundary deferral vs abort, arrival-time vs processing-time admission |
+//! | [`multi_source`] | multiple IRQ sources — Eq. 9 top-handler interference, mutual window exclusion, aggregate Eq. 14 budgets |
+//! | [`shapers`] | related-work comparison — the δ⁻ monitor vs token-bucket throttling (Regehr & Duongsaa, ref. \[11\]) under bursty load |
+//! | [`splitting`] | the Section-1 motivation — slot splitting vs interposition: latency vs context-switch overhead |
+//!
+//! Each runner returns a plain-data result; the row-printing binaries live
+//! in the `rthv-experiments` crate.
+
+pub mod ablation;
+pub mod bounds;
+pub mod fig6;
+pub mod fig7;
+pub mod guest_tasks;
+pub mod independence;
+pub mod multi_source;
+pub mod overhead;
+pub mod shapers;
+pub mod splitting;
+
+pub use ablation::{run_ablation, AblationConfig, AblationRow};
+pub use bounds::{run_bounds, BoundsConfig, BoundsRow};
+pub use fig6::{run_fig6, Fig6Config, Fig6Run, Fig6Variant, LoadRun};
+pub use fig7::{run_fig7, Fig7Bound, Fig7Config, Fig7Curve};
+pub use guest_tasks::{run_guest_tasks, GuestTasksConfig, GuestTasksReport};
+pub use independence::{run_independence, IndependenceConfig, IndependenceReport};
+pub use multi_source::{
+    run_multi_source, MultiSourceConfig, MultiSourceReport, SourceRow, SourceSpec,
+};
+pub use overhead::{run_overhead, OverheadConfig, OverheadReport};
+pub use shapers::{run_shaper_comparison, ShaperComparisonConfig, ShaperRow};
+pub use splitting::{run_splitting, SplittingConfig, SplittingRow};

@@ -1,0 +1,196 @@
+//! Section 6.2: memory and runtime overhead of interposed handling.
+//!
+//! The paper reports (ARM926ej-s, `gcc -O1`):
+//!
+//! * 1120 B of hypervisor code (392 B scheduler changes, 456 B modified top
+//!   handler, 272 B monitoring function) and 28 B of monitor data;
+//! * `C_Mon` ≈ 128 instructions, `C_sched` ≈ 877 instructions, ~10000
+//!   cycles per context switch;
+//! * ~10 % more context switches in scenario 2 with `d_min = λ`.
+//!
+//! Code-size bytes are compiler artifacts of the original C implementation;
+//! this reproduction reports the architecturally meaningful counterparts:
+//! the cost-model parameters in cycles, the monitor state footprint, and
+//! the measured context-switch increase of the simulation.
+
+use rthv_hypervisor::{IrqHandlingMode, IrqSourceId, Machine};
+use rthv_monitor::DeltaFunction;
+use rthv_time::{ClockModel, Duration, Instant};
+use rthv_workload::ExponentialArrivals;
+
+use crate::PaperSetup;
+
+/// Parameters of the overhead experiment.
+#[derive(Debug, Clone)]
+pub struct OverheadConfig {
+    /// Platform setup (defaults to the paper's).
+    pub setup: PaperSetup,
+    /// Long-term bottom-handler load (scenario 2 uses `d_min = λ`).
+    pub load: f64,
+    /// Number of IRQs to run.
+    pub irqs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for OverheadConfig {
+    fn default() -> Self {
+        OverheadConfig {
+            setup: PaperSetup::default(),
+            load: 0.01,
+            irqs: 5_000,
+            seed: 0x0EA_2014,
+        }
+    }
+}
+
+/// Measured and modeled overheads.
+#[derive(Debug, Clone)]
+pub struct OverheadReport {
+    /// `C_Mon` in processor cycles (paper: 128 instructions).
+    pub monitor_cycles: u64,
+    /// `C_sched` in processor cycles (paper: 877 instructions).
+    pub sched_cycles: u64,
+    /// `C_ctx` in processor cycles (paper: ~10000).
+    pub context_switch_cycles: u64,
+    /// Monitor state footprint for `l = 1` on a 32-bit target (paper: 28 B
+    /// for its whole monitoring scheme).
+    pub monitor_state_bytes_l1: usize,
+    /// Monitor state footprint for the Appendix-A `l = 5` monitor.
+    pub monitor_state_bytes_l5: usize,
+    /// Context switches of the baseline run.
+    pub baseline_context_switches: u64,
+    /// Context switches of the monitored run over the same arrivals.
+    pub monitored_context_switches: u64,
+    /// Relative increase (paper: ~10 % for scenario 2).
+    pub context_switch_increase: f64,
+    /// Interposed windows opened in the monitored run.
+    pub interposed_windows: u64,
+    /// Hypervisor time of the baseline run.
+    pub baseline_hypervisor_time: Duration,
+    /// Hypervisor time of the monitored run.
+    pub monitored_hypervisor_time: Duration,
+}
+
+/// Runs the overhead experiment: the same `d_min`-conformant arrival trace
+/// on the baseline and the monitored hypervisor.
+///
+/// # Panics
+///
+/// Panics if either run fails to complete in a generous deadline.
+#[must_use]
+pub fn run_overhead(config: &OverheadConfig) -> OverheadReport {
+    let setup = &config.setup;
+    let lambda = setup.mean_interarrival(config.load);
+    let trace = ExponentialArrivals::new(lambda, config.seed)
+        .with_min_distance(lambda)
+        .generate(config.irqs, Instant::ZERO);
+    let last = *trace.as_slice().last().expect("non-empty trace");
+    let deadline = last + setup.tdma_cycle() * 100;
+
+    let run = |mode: IrqHandlingMode, monitor: Option<DeltaFunction>| {
+        let mut machine =
+            Machine::new(setup.config(mode, monitor)).expect("paper setup is valid");
+        machine
+            .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
+            .expect("trace lies in the future");
+        assert!(
+            machine.run_until_complete(deadline),
+            "overhead run did not complete"
+        );
+        machine.finish()
+    };
+
+    let baseline = run(IrqHandlingMode::Baseline, None);
+    let monitored = run(
+        IrqHandlingMode::Interposed,
+        Some(DeltaFunction::from_dmin(lambda).expect("positive d_min")),
+    );
+
+    let clock = ClockModel::ARM926EJS_200MHZ;
+    let increase = (monitored.counters.context_switches as f64
+        - baseline.counters.context_switches as f64)
+        / baseline.counters.context_switches as f64;
+
+    OverheadReport {
+        monitor_cycles: clock.duration_to_cycles(setup.costs.monitor_check),
+        sched_cycles: clock.duration_to_cycles(setup.costs.sched_manip),
+        context_switch_cycles: clock.duration_to_cycles(setup.costs.context_switch),
+        monitor_state_bytes_l1: DeltaFunction::from_dmin(lambda)
+            .expect("positive d_min")
+            .state_bytes_arm32(),
+        monitor_state_bytes_l5: DeltaFunction::new(vec![lambda; 5])
+            .expect("constant entries are monotonic")
+            .state_bytes_arm32(),
+        baseline_context_switches: baseline.counters.context_switches,
+        monitored_context_switches: monitored.counters.context_switches,
+        context_switch_increase: increase,
+        interposed_windows: monitored.counters.interposed_windows,
+        baseline_hypervisor_time: baseline.counters.hypervisor_time,
+        monitored_hypervisor_time: monitored.counters.hypervisor_time,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> OverheadConfig {
+        OverheadConfig {
+            irqs: 400,
+            ..OverheadConfig::default()
+        }
+    }
+
+    #[test]
+    fn cost_parameters_match_section_6_2() {
+        let report = run_overhead(&small());
+        assert_eq!(report.monitor_cycles, 128);
+        assert_eq!(report.sched_cycles, 877);
+        assert_eq!(report.context_switch_cycles, 10_000);
+    }
+
+    #[test]
+    fn monitor_state_is_tens_of_bytes() {
+        let report = run_overhead(&small());
+        assert_eq!(report.monitor_state_bytes_l1, 12);
+        assert_eq!(report.monitor_state_bytes_l5, 44);
+        // Same order of magnitude as the paper's 28 B.
+        assert!(report.monitor_state_bytes_l1 < 64);
+    }
+
+    #[test]
+    fn interpositions_add_two_switches_each() {
+        // The two runs end at slightly different virtual times, so the TDMA
+        // rotation counts may differ by one; everything beyond that is the
+        // two switches per interposed window.
+        let report = run_overhead(&small());
+        let extra =
+            report.monitored_context_switches - report.baseline_context_switches;
+        assert!(
+            extra.abs_diff(2 * report.interposed_windows) <= 1,
+            "extra {extra} vs 2x{}",
+            report.interposed_windows
+        );
+        assert!(report.interposed_windows > 0);
+    }
+
+    #[test]
+    fn context_switch_increase_is_moderate_at_one_percent_load() {
+        // At U = 1 % and d_min = λ ≈ 13.4 ms, interpositions are about as
+        // frequent as TDMA slots are in one direction — the paper reports
+        // ~10 %; accept the same order of magnitude.
+        let report = run_overhead(&small());
+        assert!(
+            (0.01..0.60).contains(&report.context_switch_increase),
+            "increase {}",
+            report.context_switch_increase
+        );
+    }
+
+    #[test]
+    fn monitored_run_spends_more_hypervisor_time() {
+        let report = run_overhead(&small());
+        assert!(report.monitored_hypervisor_time > report.baseline_hypervisor_time);
+    }
+}

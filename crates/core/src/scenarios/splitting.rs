@@ -1,0 +1,200 @@
+//! Slot splitting vs interposition — the paper's motivating trade-off.
+//!
+//! Section 1: "Reduction of the TDMA cycle length to reduce interrupt
+//! latencies is not always an option as this requires frequent partition
+//! switches, which may significantly increase overhead." This experiment
+//! quantifies exactly that: the subscriber's 6 ms slot is split into
+//! 1/2/4/8 interleaved windows (ARINC653-style layouts with the same
+//! per-cycle share), all under *baseline* handling, and compared against
+//! interposition on the unsplit layout.
+
+use rthv_hypervisor::{IrqHandlingMode, IrqSourceId, Machine, PartitionId, SlotSpec};
+use rthv_monitor::DeltaFunction;
+use rthv_time::{Duration, Instant};
+use rthv_workload::ExponentialArrivals;
+
+use crate::PaperSetup;
+
+/// Parameters of the splitting experiment.
+#[derive(Debug, Clone)]
+pub struct SplittingConfig {
+    /// Platform setup (defaults to the paper's).
+    pub setup: PaperSetup,
+    /// Split factors to evaluate (1 = the paper's single-slot layout).
+    pub splits: Vec<u32>,
+    /// Mean interarrival time (also `d_min` for the interposed row).
+    pub lambda: Duration,
+    /// Number of IRQs.
+    pub irqs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SplittingConfig {
+    fn default() -> Self {
+        SplittingConfig {
+            setup: PaperSetup::default(),
+            splits: vec![1, 2, 4, 8],
+            lambda: Duration::from_millis(3),
+            irqs: 4_000,
+            seed: 0x5B1_2014,
+        }
+    }
+}
+
+/// One latency-cure configuration's outcome.
+#[derive(Debug, Clone)]
+pub struct SplittingRow {
+    /// Configuration name.
+    pub name: String,
+    /// Mean IRQ latency.
+    pub mean_latency: Duration,
+    /// Maximum IRQ latency.
+    pub max_latency: Duration,
+    /// Total context switches over the run.
+    pub context_switches: u64,
+    /// Fraction of processor time spent in the hypervisor.
+    pub hypervisor_fraction: f64,
+}
+
+/// The interleaved layout for split factor `k`: `k` alternating P0/P1
+/// windows of `6000/k µs` each, then the 2 ms housekeeping window.
+fn split_layout(setup: &PaperSetup, k: u32) -> Vec<SlotSpec> {
+    let slice = setup.app_slot / u64::from(k);
+    let mut windows = Vec::new();
+    for _ in 0..k {
+        windows.push(SlotSpec::new(PartitionId::new(0), slice));
+        windows.push(SlotSpec::new(PartitionId::new(1), slice));
+    }
+    windows.push(SlotSpec::new(PartitionId::new(2), setup.housekeeping_slot));
+    windows
+}
+
+/// Runs the identical arrival trace under every split factor (baseline
+/// handling) and under interposition on the unsplit layout.
+///
+/// # Panics
+///
+/// Panics if a run fails to complete within a generous deadline.
+#[must_use]
+pub fn run_splitting(config: &SplittingConfig) -> Vec<SplittingRow> {
+    let setup = &config.setup;
+    let trace = ExponentialArrivals::new(config.lambda, config.seed)
+        .with_min_distance(config.lambda)
+        .generate(config.irqs, Instant::ZERO);
+    let last = *trace.as_slice().last().expect("non-empty trace");
+    let deadline = last + setup.tdma_cycle() * 200;
+
+    let run = |name: String,
+               mode: IrqHandlingMode,
+               monitor: Option<DeltaFunction>,
+               windows: Option<Vec<SlotSpec>>| {
+        let mut cfg = setup.config(mode, monitor);
+        cfg.windows = windows;
+        let mut machine = Machine::new(cfg).expect("valid layout");
+        machine
+            .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
+            .expect("trace lies in the future");
+        assert!(
+            machine.run_until_complete(deadline),
+            "splitting run did not complete"
+        );
+        let report = machine.finish();
+        let elapsed = report.end.duration_since(Instant::ZERO);
+        SplittingRow {
+            name,
+            mean_latency: report.recorder.mean_latency().expect("completions"),
+            max_latency: report.recorder.max_latency().expect("completions"),
+            context_switches: report.counters.context_switches,
+            hypervisor_fraction: report.counters.hypervisor_time.as_nanos() as f64
+                / elapsed.as_nanos() as f64,
+        }
+    };
+
+    let mut rows: Vec<SplittingRow> = config
+        .splits
+        .iter()
+        .map(|&k| {
+            let windows = (k > 1).then(|| split_layout(setup, k));
+            run(
+                format!("baseline, slot split x{k}"),
+                IrqHandlingMode::Baseline,
+                None,
+                windows,
+            )
+        })
+        .collect();
+    rows.push(run(
+        format!("interposed, unsplit (d_min = {})", config.lambda),
+        IrqHandlingMode::Interposed,
+        Some(DeltaFunction::from_dmin(config.lambda).expect("positive d_min")),
+        None,
+    ));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SplittingConfig {
+        SplittingConfig {
+            irqs: 800,
+            ..SplittingConfig::default()
+        }
+    }
+
+    #[test]
+    fn splitting_trades_latency_for_switch_overhead() {
+        let rows = run_splitting(&small());
+        // Finer splits: strictly lower mean latency…
+        for pair in rows[..rows.len() - 1].windows(2) {
+            assert!(
+                pair[1].mean_latency < pair[0].mean_latency,
+                "{} vs {}",
+                pair[0].name,
+                pair[1].name
+            );
+        }
+        // …and strictly higher hypervisor overhead.
+        for pair in rows[..rows.len() - 1].windows(2) {
+            assert!(pair[1].hypervisor_fraction > pair[0].hypervisor_fraction);
+            assert!(pair[1].context_switches > pair[0].context_switches);
+        }
+    }
+
+    #[test]
+    fn interposition_beats_even_the_finest_split() {
+        let rows = run_splitting(&small());
+        let finest_split = &rows[rows.len() - 2];
+        let interposed = rows.last().expect("interposed row");
+        assert!(
+            interposed.mean_latency < finest_split.mean_latency,
+            "interposed {} vs x8 split {}",
+            interposed.mean_latency,
+            finest_split.mean_latency
+        );
+        assert!(
+            interposed.hypervisor_fraction < finest_split.hypervisor_fraction,
+            "interposed overhead {} vs split overhead {}",
+            interposed.hypervisor_fraction,
+            finest_split.hypervisor_fraction
+        );
+    }
+
+    #[test]
+    fn split_layouts_preserve_the_cycle_and_share() {
+        let setup = PaperSetup::default();
+        for k in [2u32, 4, 8] {
+            let windows = split_layout(&setup, k);
+            let cycle: Duration = windows.iter().map(|w| w.length).sum();
+            assert_eq!(cycle, setup.tdma_cycle());
+            let p1: Duration = windows
+                .iter()
+                .filter(|w| w.owner == PartitionId::new(1))
+                .map(|w| w.length)
+                .sum();
+            assert_eq!(p1, setup.app_slot);
+        }
+    }
+}

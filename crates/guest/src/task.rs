@@ -1,0 +1,234 @@
+//! Guest task definitions.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Duration;
+
+/// One periodic guest task.
+///
+/// Priorities are implicit: tasks are scheduled rate-monotonically in the
+/// order of the [`GuestTaskSet`] (index 0 = highest priority), which is the
+/// classic uC/OS-style fixed-priority arrangement.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuestTask {
+    /// Human-readable name used in reports.
+    pub name: String,
+    /// Activation period.
+    pub period: Duration,
+    /// Worst-case execution time per job.
+    pub wcet: Duration,
+    /// Release offset of the first job.
+    pub offset: Duration,
+    /// Relative deadline (defaults to the period).
+    pub deadline: Duration,
+}
+
+impl GuestTask {
+    /// Creates a task with implicit deadline (= period) and zero offset.
+    #[must_use]
+    pub fn new(name: impl Into<String>, period: Duration, wcet: Duration) -> Self {
+        GuestTask {
+            name: name.into(),
+            period,
+            wcet,
+            offset: Duration::ZERO,
+            deadline: period,
+        }
+    }
+
+    /// Sets the release offset (builder style).
+    #[must_use]
+    pub fn with_offset(mut self, offset: Duration) -> Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Sets a constrained deadline (builder style).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// The task's processor utilization `C/P`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.wcet.as_nanos() as f64 / self.period.as_nanos() as f64
+    }
+}
+
+impl fmt::Display for GuestTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(P={}, C={})", self.name, self.period, self.wcet)
+    }
+}
+
+/// A validated, priority-ordered guest task set (index 0 = highest
+/// priority).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GuestTaskSet {
+    tasks: Vec<GuestTask>,
+}
+
+/// Error returned by [`GuestTaskSet::new`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskSetError {
+    /// The task list was empty.
+    Empty,
+    /// A task has a zero period.
+    ZeroPeriod {
+        /// Index of the offending task.
+        index: usize,
+    },
+    /// A task has a zero WCET.
+    ZeroWcet {
+        /// Index of the offending task.
+        index: usize,
+    },
+    /// A task's WCET exceeds its deadline — it can never finish in time.
+    WcetExceedsDeadline {
+        /// Index of the offending task.
+        index: usize,
+    },
+}
+
+impl fmt::Display for TaskSetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskSetError::Empty => write!(f, "guest task set has no tasks"),
+            TaskSetError::ZeroPeriod { index } => {
+                write!(f, "guest task {index} has a zero period")
+            }
+            TaskSetError::ZeroWcet { index } => {
+                write!(f, "guest task {index} has a zero WCET")
+            }
+            TaskSetError::WcetExceedsDeadline { index } => {
+                write!(f, "guest task {index} has a WCET beyond its deadline")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskSetError {}
+
+impl GuestTaskSet {
+    /// Validates and wraps a priority-ordered task list.
+    ///
+    /// # Errors
+    ///
+    /// See [`TaskSetError`] for the rejected shapes.
+    pub fn new(tasks: Vec<GuestTask>) -> Result<Self, TaskSetError> {
+        if tasks.is_empty() {
+            return Err(TaskSetError::Empty);
+        }
+        for (index, task) in tasks.iter().enumerate() {
+            if task.period.is_zero() {
+                return Err(TaskSetError::ZeroPeriod { index });
+            }
+            if task.wcet.is_zero() {
+                return Err(TaskSetError::ZeroWcet { index });
+            }
+            if task.wcet > task.deadline {
+                return Err(TaskSetError::WcetExceedsDeadline { index });
+            }
+        }
+        Ok(GuestTaskSet { tasks })
+    }
+
+    /// The tasks, highest priority first.
+    #[must_use]
+    pub fn tasks(&self) -> &[GuestTask] {
+        &self.tasks
+    }
+
+    /// Number of tasks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` only for the degenerate case that `new` rejects.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total processor utilization `Σ C_i/P_i`.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.tasks.iter().map(GuestTask::utilization).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn validates_task_shapes() {
+        assert_eq!(GuestTaskSet::new(vec![]), Err(TaskSetError::Empty));
+        let zero_period = GuestTask::new("t", Duration::ZERO, ms(1));
+        assert!(matches!(
+            GuestTaskSet::new(vec![zero_period]),
+            Err(TaskSetError::ZeroPeriod { index: 0 })
+        ));
+        let zero_wcet = GuestTask::new("t", ms(10), Duration::ZERO);
+        assert!(matches!(
+            GuestTaskSet::new(vec![zero_wcet]),
+            Err(TaskSetError::ZeroWcet { index: 0 })
+        ));
+        let hopeless = GuestTask::new("t", ms(10), ms(5)).with_deadline(ms(2));
+        assert!(matches!(
+            GuestTaskSet::new(vec![hopeless]),
+            Err(TaskSetError::WcetExceedsDeadline { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn defaults_are_implicit_deadline_zero_offset() {
+        let task = GuestTask::new("t", ms(10), ms(2));
+        assert_eq!(task.deadline, ms(10));
+        assert_eq!(task.offset, Duration::ZERO);
+        assert!((task.utilization() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let task = GuestTask::new("t", ms(10), ms(2))
+            .with_offset(ms(3))
+            .with_deadline(ms(7));
+        assert_eq!(task.offset, ms(3));
+        assert_eq!(task.deadline, ms(7));
+    }
+
+    #[test]
+    fn utilization_sums() {
+        let set = GuestTaskSet::new(vec![
+            GuestTask::new("a", ms(10), ms(2)),
+            GuestTask::new("b", ms(20), ms(5)),
+        ])
+        .expect("valid");
+        assert!((set.utilization() - 0.45).abs() < 1e-12);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(TaskSetError::Empty.to_string().contains("no tasks"));
+        assert!(TaskSetError::ZeroPeriod { index: 3 }
+            .to_string()
+            .contains("task 3"));
+    }
+
+    #[test]
+    fn display_shows_parameters() {
+        let task = GuestTask::new("ctl", ms(10), ms(2));
+        assert_eq!(task.to_string(), "ctl(P=10ms, C=2ms)");
+    }
+}

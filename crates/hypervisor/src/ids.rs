@@ -1,0 +1,101 @@
+//! Identifier newtypes for partitions and IRQ sources.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Index of an application partition in the hypervisor configuration.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_hypervisor::PartitionId;
+///
+/// let p = PartitionId::new(2);
+/// assert_eq!(p.index(), 2);
+/// assert_eq!(p.to_string(), "P2");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct PartitionId(u32);
+
+impl PartitionId {
+    /// Creates a partition id from its configuration index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        PartitionId(index)
+    }
+
+    /// The configuration index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Index of an interrupt source in the hypervisor configuration.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_hypervisor::IrqSourceId;
+///
+/// let irq = IrqSourceId::new(0);
+/// assert_eq!(irq.to_string(), "IRQ0");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct IrqSourceId(u32);
+
+impl IrqSourceId {
+    /// Creates an IRQ source id from its configuration index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        IrqSourceId(index)
+    }
+
+    /// The configuration index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for IrqSourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "IRQ{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        assert_eq!(PartitionId::new(3).index(), 3);
+        assert_eq!(IrqSourceId::new(7).index(), 7);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(PartitionId::new(0) < PartitionId::new(1));
+        assert!(IrqSourceId::new(1) < IrqSourceId::new(2));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(PartitionId::new(0).to_string(), "P0");
+        assert_eq!(IrqSourceId::new(12).to_string(), "IRQ12");
+    }
+}

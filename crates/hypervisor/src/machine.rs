@@ -1,0 +1,913 @@
+//! The simulated platform: a single CPU executing partitions under TDMA
+//! control, with hypervisor interrupt handling.
+//!
+//! # Execution model
+//!
+//! The CPU is always doing exactly one of:
+//!
+//! * **partition-level work** — the active partition's bottom handlers
+//!   (front of its IRQ queue, FIFO) or, when the queue is empty, its
+//!   user-level task. Partition-level work is preemptible by IRQs and by
+//!   TDMA slot boundaries.
+//! * **hypervisor work** — top handlers (incl. the monitoring function),
+//!   scheduler manipulation and context switches. Hypervisor work runs with
+//!   interrupts latched: IRQs arriving inside it are queued and their top
+//!   handlers run back-to-back at the end of the current block; a slot
+//!   boundary inside it is deferred to the end of the block.
+//!
+//! An **interposed execution window** (the paper's contribution) is opened
+//! when the modified top handler's monitoring function admits a foreign-slot
+//! IRQ: the hypervisor charges `C_sched + C_ctx`, the subscriber partition
+//! runs its queue front for at most the window budget (`C_BH` of the
+//! admitted source), and a final `C_ctx` returns to the interrupted
+//! partition. A TDMA boundary arriving during a window defers the rotation
+//! until the window closes — the deferral is bounded by the enforced window
+//! budget, so it stays inside the Eq. 14 interference envelope.
+
+use std::collections::VecDeque;
+use std::mem;
+
+use rthv_monitor::{MonitorStats, Shaper};
+use rthv_sim::{EventId, EventQueue};
+use rthv_time::{Duration, Instant};
+
+use crate::{
+    AdmissionClock, BoundaryPolicy, ConfigError, Counters, HandlingClass, HypervisorConfig,
+    IrqCompletion, IrqHandlingMode, IrqSourceId, PartitionId, ServiceInterval, ServiceKind,
+    Span, TdmaSchedule, TraceRecorder,
+};
+
+/// Events driving the machine.
+#[derive(Debug)]
+enum Event {
+    /// A hardware IRQ fires.
+    Arrival { source: IrqSourceId, seq: u64 },
+    /// The current hypervisor block completes.
+    HvEnd,
+    /// The current partition-level bottom-handler segment ends (completion
+    /// or interposition-budget expiry, whichever was scheduled).
+    SegEnd,
+    /// A TDMA slot boundary.
+    Boundary { index: u64 },
+}
+
+/// What to do when the current hypervisor block finishes.
+#[derive(Debug)]
+enum HvCont {
+    /// Top handler (and, in interposed mode for foreign IRQs, the monitoring
+    /// function) completed.
+    TopHandler {
+        source: IrqSourceId,
+        seq: u64,
+        arrival: Instant,
+    },
+    /// Scheduler manipulation + context switch into the subscriber finished;
+    /// open the interposed window.
+    EnterInterposed {
+        partition: PartitionId,
+        budget: Duration,
+    },
+    /// Context switch back from an interposed window finished.
+    ExitInterposed,
+    /// TDMA context switch finished; the new slot begins.
+    SlotSwitch { slot: u64 },
+}
+
+/// Current partition-level activity (only meaningful while no hypervisor
+/// block runs).
+#[derive(Debug, Default)]
+enum Activity {
+    /// CPU is inside a hypervisor block (or between dispatch steps).
+    #[default]
+    None,
+    /// The active partition's user-level task runs.
+    User { partition: PartitionId, since: Instant },
+    /// The active partition processes its IRQ-queue front.
+    Bottom {
+        partition: PartitionId,
+        since: Instant,
+        end_event: EventId,
+    },
+}
+
+/// A running hypervisor block: its continuation and start time (for exact
+/// hypervisor-time accounting at block end).
+#[derive(Debug)]
+struct HvBlock {
+    cont: HvCont,
+    started: Instant,
+}
+
+/// An open interposed execution window.
+#[derive(Debug, Clone, Copy)]
+struct InterposedWindow {
+    partition: PartitionId,
+    opened: Instant,
+    budget_end: Instant,
+}
+
+/// An IRQ that fired while the hypervisor had interrupts latched.
+#[derive(Debug, Clone, Copy)]
+struct LatchedIrq {
+    source: IrqSourceId,
+    seq: u64,
+    arrival: Instant,
+}
+
+/// A queued bottom-handler request (the paper's per-partition IRQ event
+/// queue of Figure 2).
+#[derive(Debug, Clone, Copy)]
+struct PendingIrq {
+    source: IrqSourceId,
+    seq: u64,
+    arrival: Instant,
+    /// Bottom-handler work left to execute.
+    remaining: Duration,
+}
+
+/// Per-partition run-time state.
+#[derive(Debug, Default)]
+struct PartitionRt {
+    queue: VecDeque<PendingIrq>,
+}
+
+/// Final result of a simulation run; returned by [`Machine::finish`].
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-IRQ completion records.
+    pub recorder: TraceRecorder,
+    /// Global counters (context switches, service accounting, …).
+    pub counters: Counters,
+    /// The virtual time at which the run was finalized.
+    pub end: Instant,
+    /// Final monitor statistics per IRQ source (`None` for unmonitored
+    /// sources).
+    pub monitor_stats: Vec<Option<MonitorStats>>,
+    /// Admission timestamps of every interposed window, in order. The δ⁻
+    /// conformance of this stream is what sufficient temporal independence
+    /// rests on (Eq. 14).
+    pub window_openings: Vec<Instant>,
+    /// Per-partition service intervals, if
+    /// [`Machine::enable_service_trace`] was called (indexed by partition).
+    pub service_intervals: Option<Vec<Vec<ServiceInterval>>>,
+    /// Hypervisor block spans, if tracing was enabled.
+    pub hv_spans: Option<Vec<Span>>,
+    /// Interposed window spans (open to close), if tracing was enabled.
+    pub window_spans: Option<Vec<Span>>,
+}
+
+/// The simulated hypervisor platform.
+///
+/// Construct with a validated [`HypervisorConfig`], feed IRQ arrival traces
+/// with [`schedule_irq_trace`](Machine::schedule_irq_trace), drive virtual
+/// time with [`run_until`](Machine::run_until) or
+/// [`run_until_complete`](Machine::run_until_complete), then harvest the
+/// [`RunReport`] with [`finish`](Machine::finish).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_hypervisor::{
+///     CostModel, HypervisorConfig, IrqHandlingMode, IrqSourceSpec, Machine,
+///     PartitionId, PartitionSpec,
+/// };
+/// use rthv_time::{Duration, Instant};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let config = HypervisorConfig {
+///     partitions: vec![
+///         PartitionSpec::new("app1", Duration::from_micros(6_000)),
+///         PartitionSpec::new("app2", Duration::from_micros(6_000)),
+///     ],
+///     sources: vec![IrqSourceSpec::new(
+///         "timer",
+///         PartitionId::new(1),
+///         Duration::from_micros(30),
+///     )],
+///     costs: CostModel::paper_arm926ejs(),
+///     mode: IrqHandlingMode::Baseline,
+///     policies: Default::default(),
+///     windows: None,
+/// };
+/// let mut machine = Machine::new(config)?;
+/// machine.schedule_irq_trace(
+///     rthv_hypervisor::IrqSourceId::new(0),
+///     &[Instant::from_micros(100), Instant::from_micros(7_000)],
+/// )?;
+/// machine.run_until_complete(Instant::from_micros(100_000));
+/// let report = machine.finish();
+/// assert_eq!(report.recorder.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    config: HypervisorConfig,
+    schedule: TdmaSchedule,
+    queue: EventQueue<Event>,
+    /// The running hypervisor block, if any.
+    hv: Option<HvBlock>,
+    activity: Activity,
+    window: Option<InterposedWindow>,
+    /// Latest slot index whose boundary passed while the hypervisor was busy.
+    pending_boundary: Option<u64>,
+    latched: VecDeque<LatchedIrq>,
+    current_slot: u64,
+    partitions: Vec<PartitionRt>,
+    monitors: Vec<Option<Shaper>>,
+    recorder: TraceRecorder,
+    counters: Counters,
+    /// Per-source next sequence number.
+    next_seq: Vec<u64>,
+    /// Bottom-handler completions still expected (one per subscriber per
+    /// scheduled arrival).
+    expected_completions: u64,
+    window_openings: Vec<Instant>,
+    /// Per-partition service intervals, populated when tracing is enabled.
+    service_trace: Option<Vec<Vec<ServiceInterval>>>,
+    /// Hypervisor block spans, populated when tracing is enabled.
+    hv_trace: Option<Vec<Span>>,
+    /// Interposed window spans, populated when tracing is enabled.
+    window_trace: Option<Vec<Span>>,
+}
+
+impl Machine {
+    /// Builds a machine for the given configuration.
+    ///
+    /// The first TDMA slot (partition 0) starts immediately at
+    /// [`Instant::ZERO`] without an initial context switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`ConfigError`] from
+    /// [`HypervisorConfig::validate`](HypervisorConfig::validate).
+    pub fn new(config: HypervisorConfig) -> Result<Self, ConfigError> {
+        config.validate()?;
+        let schedule = TdmaSchedule::from_windows(&config.slot_windows());
+        let monitors = config
+            .sources
+            .iter()
+            .map(|s| s.monitor.as_ref().map(Shaper::from_config))
+            .collect();
+        let mut queue = EventQueue::new();
+        queue
+            .schedule_at(schedule.boundary_time(1), Event::Boundary { index: 1 })
+            .expect("first boundary is in the future");
+        let partition_count = config.partitions.len();
+        let source_count = config.sources.len();
+        Ok(Machine {
+            schedule,
+            queue,
+            hv: None,
+            activity: Activity::User {
+                partition: PartitionId::new(0),
+                since: Instant::ZERO,
+            },
+            window: None,
+            pending_boundary: None,
+            latched: VecDeque::new(),
+            current_slot: 0,
+            partitions: (0..partition_count).map(|_| PartitionRt::default()).collect(),
+            monitors,
+            recorder: TraceRecorder::new(),
+            counters: Counters::new(partition_count),
+            next_seq: vec![0; source_count],
+            expected_completions: 0,
+            window_openings: Vec::new(),
+            service_trace: None,
+            hv_trace: None,
+            window_trace: None,
+            config,
+        })
+    }
+
+    /// The machine's configuration.
+    #[must_use]
+    pub fn config(&self) -> &HypervisorConfig {
+        &self.config
+    }
+
+    /// The derived TDMA schedule.
+    #[must_use]
+    pub fn schedule(&self) -> &TdmaSchedule {
+        &self.schedule
+    }
+
+    /// Current virtual time (timestamp of the last processed event).
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.queue.now()
+    }
+
+    /// Completion records collected so far.
+    #[must_use]
+    pub fn recorder(&self) -> &TraceRecorder {
+        &self.recorder
+    }
+
+    /// Counters collected so far.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// Monitor statistics of one source, if it is monitored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source index is out of range.
+    #[must_use]
+    pub fn monitor_stats(&self, source: IrqSourceId) -> Option<MonitorStats> {
+        self.monitors[source.index()].as_ref().map(Shaper::stats)
+    }
+
+    /// Enables per-partition service-interval recording (off by default —
+    /// long runs would accumulate many intervals). Must be called before
+    /// any partition-level execution is to be captured.
+    ///
+    /// The recorded intervals drive the guest-OS replay layer
+    /// (`rthv-guest`), which schedules a guest task set over exactly the
+    /// processor time the partition actually received.
+    pub fn enable_service_trace(&mut self) {
+        if self.service_trace.is_none() {
+            self.service_trace = Some(vec![Vec::new(); self.config.partitions.len()]);
+            self.hv_trace = Some(Vec::new());
+            self.window_trace = Some(Vec::new());
+        }
+    }
+
+    /// Switches the top-handler variant at run time.
+    ///
+    /// The Appendix-A scenario starts in [`IrqHandlingMode::Baseline`]
+    /// during its learning phase ("only delayed and direct IRQ handling is
+    /// active") and flips to [`IrqHandlingMode::Interposed`] when the
+    /// monitored run mode begins.
+    pub fn set_mode(&mut self, mode: IrqHandlingMode) {
+        self.config.mode = mode;
+    }
+
+    /// Replaces the δ⁻ function of a monitored source at run time (used by
+    /// the Appendix-A learn-then-run scenario).
+    ///
+    /// Returns `false` if the source is unmonitored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source index is out of range.
+    pub fn set_monitor_delta(
+        &mut self,
+        source: IrqSourceId,
+        delta: rthv_monitor::DeltaFunction,
+    ) -> bool {
+        match &mut self.monitors[source.index()] {
+            Some(shaper) => shaper.set_delta(delta),
+            None => false,
+        }
+    }
+
+    /// Schedules a single IRQ arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the source index is out of range or `at` lies in
+    /// the simulated past.
+    pub fn schedule_irq(
+        &mut self,
+        source: IrqSourceId,
+        at: Instant,
+    ) -> Result<(), ScheduleIrqError> {
+        if source.index() >= self.config.sources.len() {
+            return Err(ScheduleIrqError::UnknownSource { source });
+        }
+        let seq = self.next_seq[source.index()];
+        self.queue
+            .schedule_at(at, Event::Arrival { source, seq })
+            .map_err(|e| ScheduleIrqError::InPast { at: e.at, now: e.now })?;
+        self.next_seq[source.index()] += 1;
+        // Shared sources yield one completion per subscriber.
+        self.expected_completions += self.config.sources[source.index()]
+            .subscribers()
+            .count() as u64;
+        Ok(())
+    }
+
+    /// Schedules a whole arrival trace for one source.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`schedule_irq`](Machine::schedule_irq); arrivals
+    /// before the first failing one remain scheduled.
+    pub fn schedule_irq_trace(
+        &mut self,
+        source: IrqSourceId,
+        arrivals: &[Instant],
+    ) -> Result<(), ScheduleIrqError> {
+        for &at in arrivals {
+            self.schedule_irq(source, at)?;
+        }
+        Ok(())
+    }
+
+    /// Number of bottom-handler completions still outstanding (one per
+    /// subscriber per scheduled arrival; queue entries lost to flag
+    /// coalescing will never complete and do not count).
+    #[must_use]
+    pub fn outstanding_irqs(&self) -> u64 {
+        self.expected_completions - self.recorder.len() as u64 - self.counters.coalesced_irqs
+    }
+
+    /// Processes all events up to and including virtual time `until`.
+    pub fn run_until(&mut self, until: Instant) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let (_, event) = self.queue.pop().expect("peeked event exists");
+            self.handle(event);
+        }
+    }
+
+    /// Runs until every scheduled IRQ has completed, or `deadline` is
+    /// reached. Returns `true` when all IRQs completed.
+    pub fn run_until_complete(&mut self, deadline: Instant) -> bool {
+        while self.outstanding_irqs() > 0 {
+            match self.queue.peek_time() {
+                Some(t) if t <= deadline => {
+                    let (_, event) = self.queue.pop().expect("peeked event exists");
+                    self.handle(event);
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Finalizes the run: closes the books on the in-progress partition
+    /// segment (so service accounting includes it) and returns the report.
+    #[must_use]
+    pub fn finish(mut self) -> RunReport {
+        let end = self.now();
+        self.preempt_activity();
+        // Charge the elapsed part of an in-flight hypervisor block so the
+        // time-conservation invariant (Σ service + hypervisor time = end)
+        // holds exactly.
+        if let Some(block) = self.hv.take() {
+            self.counters.hypervisor_time += end.duration_since(block.started);
+        }
+        RunReport {
+            recorder: self.recorder,
+            counters: self.counters,
+            end,
+            monitor_stats: self
+                .monitors
+                .iter()
+                .map(|m| m.as_ref().map(Shaper::stats))
+                .collect(),
+            window_openings: self.window_openings,
+            service_intervals: self.service_trace,
+            hv_spans: self.hv_trace,
+            window_spans: self.window_trace,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handling
+    // ------------------------------------------------------------------
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrival { source, seq } => self.on_arrival(source, seq),
+            Event::HvEnd => self.on_hv_end(),
+            Event::SegEnd => self.on_segment_end(),
+            Event::Boundary { index } => self.on_boundary(index),
+        }
+    }
+
+    fn on_arrival(&mut self, source: IrqSourceId, seq: u64) {
+        let arrival = self.now();
+        if self.hv.is_some() {
+            self.counters.latched_irqs += 1;
+            self.latched.push_back(LatchedIrq { source, seq, arrival });
+            return;
+        }
+        self.preempt_activity();
+        self.begin_top_handler(source, seq, arrival);
+    }
+
+    fn on_hv_end(&mut self) {
+        let block = self.hv.take().expect("HvEnd without running hypervisor block");
+        self.counters.hypervisor_time += self.now().duration_since(block.started);
+        let ended = self.now();
+        if let Some(trace) = &mut self.hv_trace {
+            trace.push(Span {
+                start: block.started,
+                end: ended,
+            });
+        }
+        match block.cont {
+            HvCont::TopHandler { source, seq, arrival } => {
+                self.after_top_handler(source, seq, arrival)
+            }
+            HvCont::EnterInterposed { partition, budget } => {
+                self.window = Some(InterposedWindow {
+                    partition,
+                    opened: self.now(),
+                    budget_end: self.now() + budget,
+                });
+                self.dispatch();
+            }
+            HvCont::ExitInterposed => self.dispatch(),
+            HvCont::SlotSwitch { slot } => {
+                self.current_slot = slot;
+                self.dispatch();
+            }
+        }
+    }
+
+    fn on_segment_end(&mut self) {
+        let now = self.now();
+        let Activity::Bottom { partition, since, .. } = mem::take(&mut self.activity) else {
+            panic!("SegEnd without a running bottom-handler segment");
+        };
+        let elapsed = now.duration_since(since);
+        self.counters.service[partition.index()].bottom += elapsed;
+        self.record_service(partition, since, now, ServiceKind::Bottom);
+        let rt = &mut self.partitions[partition.index()];
+        let front = rt
+            .queue
+            .front_mut()
+            .expect("bottom segment implies a pending IRQ");
+        front.remaining = front.remaining.saturating_sub(elapsed);
+        if front.remaining.is_zero() {
+            let pending = rt.queue.pop_front().expect("front exists");
+            let class = if self.window.is_some() {
+                HandlingClass::Interposed
+            } else if self.schedule.owner_at(pending.arrival) == partition {
+                HandlingClass::Direct
+            } else {
+                HandlingClass::Delayed
+            };
+            self.recorder.record(IrqCompletion {
+                source: pending.source,
+                seq: pending.seq,
+                partition,
+                arrival: pending.arrival,
+                completed: now,
+                class,
+            });
+            if self.window.is_some() {
+                self.close_window();
+            } else {
+                self.dispatch();
+            }
+        } else {
+            // The segment was cut by the interposition budget: the window
+            // expired with work left, which re-queues at the front and waits
+            // for the subscriber's own slot (or a later admission).
+            debug_assert!(
+                self.window.is_some_and(|w| now >= w.budget_end),
+                "partial segment end must coincide with budget expiry"
+            );
+            self.counters.expired_windows += 1;
+            self.close_window();
+        }
+    }
+
+    fn on_boundary(&mut self, index: u64) {
+        let next = index + 1;
+        self.queue
+            .schedule_at(self.schedule.boundary_time(next), Event::Boundary { index: next })
+            .expect("future boundary");
+        if self.window.is_some() {
+            match self.config.policies.boundary {
+                BoundaryPolicy::DeferToWindow => {
+                    // An interposed window is active (or being
+                    // entered/exited): the rotation defers until the window
+                    // closes. The deferral is bounded by the window budget
+                    // plus the bracketing context switches — exactly the
+                    // C'_BH interference Eq. 14 accounts.
+                    self.counters.deferred_boundaries += 1;
+                    self.pending_boundary = Some(index);
+                }
+                BoundaryPolicy::AbortWindow => {
+                    if self.hv.is_some() {
+                        // Terminate the window as soon as the hypervisor
+                        // block ends.
+                        self.pending_boundary = Some(index);
+                    } else {
+                        self.preempt_activity();
+                        let window = self.window.take().expect("abort requires a window");
+                        self.record_window_span(window);
+                        self.counters.aborted_windows += 1;
+                        self.start_slot_switch(index);
+                    }
+                }
+            }
+        } else if self.hv.is_some() {
+            // Hypervisor primitives run with interrupts latched; the
+            // rotation happens right after the current block.
+            self.pending_boundary = Some(index);
+        } else {
+            self.preempt_activity();
+            self.start_slot_switch(index);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Transitions
+    // ------------------------------------------------------------------
+
+    /// Partition whose code runs at partition level right now: the window's
+    /// partition during an interposed window, otherwise the slot owner.
+    fn active_partition(&self) -> PartitionId {
+        match &self.window {
+            Some(w) => w.partition,
+            None => self.schedule.owner_of_slot(self.current_slot),
+        }
+    }
+
+    /// Starts a hypervisor block of `duration`; IRQs latch until it ends.
+    fn start_hv(&mut self, duration: Duration, cont: HvCont) {
+        debug_assert!(self.hv.is_none(), "hypervisor blocks never nest");
+        debug_assert!(
+            matches!(self.activity, Activity::None),
+            "partition activity must be preempted before hypervisor work"
+        );
+        self.queue.schedule_in(duration, Event::HvEnd);
+        self.hv = Some(HvBlock {
+            cont,
+            started: self.now(),
+        });
+    }
+
+    /// Appends a service interval when tracing is enabled.
+    fn record_service(
+        &mut self,
+        partition: PartitionId,
+        start: Instant,
+        end: Instant,
+        kind: ServiceKind,
+    ) {
+        if start == end {
+            return;
+        }
+        if let Some(trace) = &mut self.service_trace {
+            trace[partition.index()].push(ServiceInterval { start, end, kind });
+        }
+    }
+
+    /// Saves the progress of the current partition-level activity.
+    fn preempt_activity(&mut self) {
+        let now = self.now();
+        match mem::take(&mut self.activity) {
+            Activity::None => {}
+            Activity::User { partition, since } => {
+                self.counters.service[partition.index()].user +=
+                    now.duration_since(since);
+                self.record_service(partition, since, now, ServiceKind::User);
+            }
+            Activity::Bottom {
+                partition,
+                since,
+                end_event,
+            } => {
+                self.queue.cancel(end_event);
+                let elapsed = now.duration_since(since);
+                self.counters.service[partition.index()].bottom += elapsed;
+                self.record_service(partition, since, now, ServiceKind::Bottom);
+                let front = self.partitions[partition.index()]
+                    .queue
+                    .front_mut()
+                    .expect("bottom segment implies a pending IRQ");
+                front.remaining = front.remaining.saturating_sub(elapsed);
+            }
+        }
+    }
+
+    fn begin_top_handler(&mut self, source: IrqSourceId, seq: u64, arrival: Instant) {
+        let spec = &self.config.sources[source.index()];
+        let foreign = spec.subscriber != self.active_partition();
+        let monitored = self.config.mode == IrqHandlingMode::Interposed
+            && self.monitors[source.index()].is_some();
+        // Eq. 15: the monitoring function extends the top handler for
+        // foreign-slot IRQs of monitored sources.
+        let cost = if foreign && monitored {
+            self.config.costs.monitored_top_cost()
+        } else {
+            self.config.costs.top_handler
+        };
+        self.start_hv(cost, HvCont::TopHandler { source, seq, arrival });
+    }
+
+    fn after_top_handler(&mut self, source: IrqSourceId, seq: u64, arrival: Instant) {
+        let now = self.now();
+        let spec = &self.config.sources[source.index()];
+        let subscriber = spec.subscriber;
+        let budget = spec.bottom_cost;
+        let flag = spec.flag_semantics;
+        let subscribers: Vec<PartitionId> = spec.subscribers().collect();
+        // The top handler pushes the event into the queue of *each*
+        // subscribing partition (Figure 2 / Section 3); queues preserve
+        // FIFO order. Under non-counting flag semantics an event whose
+        // request is still pending unserviced is absorbed and lost — the
+        // effect the paper warns about for masked sources.
+        for &partition in &subscribers {
+            if flag == crate::IrqFlagSemantics::Flag {
+                let already_pending = self.partitions[partition.index()]
+                    .queue
+                    .iter()
+                    .any(|p| p.source == source && p.remaining == budget);
+                if already_pending {
+                    self.counters.coalesced_irqs += 1;
+                    continue;
+                }
+            }
+            self.partitions[partition.index()].queue.push_back(PendingIrq {
+                source,
+                seq,
+                arrival,
+                remaining: budget,
+            });
+        }
+        let foreign = subscriber != self.active_partition();
+        let mut interpose = false;
+        if foreign
+            && self.config.mode == IrqHandlingMode::Interposed
+            && self.window.is_none()
+        {
+            if let Some(monitor) = &mut self.monitors[source.index()] {
+                // By default the monitoring condition is evaluated on the
+                // hardware IRQ timestamp (the paper's timestamp timer), not
+                // on the — possibly latched — top-handler completion time;
+                // otherwise hypervisor-induced jitter would spuriously deny
+                // arrivals that conform to d_min. The processing-time
+                // variant exists for ablation.
+                let check_at = match self.config.policies.admission_clock {
+                    AdmissionClock::IrqTimestamp => arrival,
+                    AdmissionClock::ProcessingTime => now,
+                };
+                if monitor.try_admit(check_at) {
+                    interpose = true;
+                    self.counters.monitor_admitted += 1;
+                } else {
+                    self.counters.monitor_denied += 1;
+                }
+            }
+        }
+        if interpose {
+            self.window_openings.push(now);
+            self.counters.interposed_windows += 1;
+            self.counters.context_switches += 1;
+            self.start_hv(
+                self.config.costs.sched_manip + self.config.costs.context_switch,
+                HvCont::EnterInterposed {
+                    partition: subscriber,
+                    budget,
+                },
+            );
+        } else {
+            self.dispatch();
+        }
+    }
+
+    /// Starts the TDMA context switch into slot `index`.
+    fn start_slot_switch(&mut self, index: u64) {
+        debug_assert!(self.window.is_none(), "rotation never preempts a window");
+        self.counters.context_switches += 1;
+        self.counters.slot_switches += 1;
+        self.start_hv(
+            self.config.costs.context_switch,
+            HvCont::SlotSwitch { slot: index },
+        );
+    }
+
+    /// Records a cleared window's span in the execution trace.
+    fn record_window_span(&mut self, window: InterposedWindow) {
+        let ended = self.now();
+        if let Some(trace) = &mut self.window_trace {
+            trace.push(Span {
+                start: window.opened,
+                end: ended,
+            });
+        }
+    }
+
+    /// Closes the open interposed window: one context switch back to the
+    /// interrupted slot owner.
+    fn close_window(&mut self) {
+        let window = self.window.take().expect("no window to close");
+        self.record_window_span(window);
+        self.counters.context_switches += 1;
+        self.start_hv(self.config.costs.context_switch, HvCont::ExitInterposed);
+    }
+
+    /// Central dispatch after hypervisor work: drain latched IRQs, honour a
+    /// deferred slot switch, then resume partition-level execution.
+    fn dispatch(&mut self) {
+        debug_assert!(self.hv.is_none());
+        if let Some(latched) = self.latched.pop_front() {
+            self.begin_top_handler(latched.source, latched.seq, latched.arrival);
+            return;
+        }
+        // A deferred rotation waits further while a window is still open
+        // (defer policy) or terminates the window now (abort policy).
+        if let Some(index) = self.pending_boundary {
+            let rotate = match self.config.policies.boundary {
+                BoundaryPolicy::DeferToWindow => self.window.is_none(),
+                BoundaryPolicy::AbortWindow => {
+                    if let Some(window) = self.window.take() {
+                        self.record_window_span(window);
+                        self.counters.aborted_windows += 1;
+                    }
+                    true
+                }
+            };
+            if rotate {
+                self.pending_boundary = None;
+                self.start_slot_switch(index);
+                return;
+            }
+        }
+        self.resume_partition();
+    }
+
+    /// Resumes partition-level execution for the active partition.
+    fn resume_partition(&mut self) {
+        let now = self.now();
+        if let Some(window) = self.window {
+            if now >= window.budget_end {
+                // The budget elapsed while the hypervisor was busy.
+                if !self.partitions[window.partition.index()].queue.is_empty() {
+                    self.counters.expired_windows += 1;
+                }
+                self.close_window();
+                return;
+            }
+        }
+        let partition = self.active_partition();
+        let front_remaining = self.partitions[partition.index()]
+            .queue
+            .front()
+            .map(|p| p.remaining);
+        match front_remaining {
+            Some(remaining) => {
+                let mut end = now + remaining;
+                if let Some(window) = self.window {
+                    end = end.min(window.budget_end);
+                }
+                let end_event = self
+                    .queue
+                    .schedule_at(end, Event::SegEnd)
+                    .expect("segment end is not in the past");
+                self.activity = Activity::Bottom {
+                    partition,
+                    since: now,
+                    end_event,
+                };
+            }
+            None if self.window.is_some() => {
+                // Nothing left to run in the window (the admitted IRQ was
+                // already drained); hand the slot back.
+                self.close_window();
+            }
+            None => {
+                self.activity = Activity::User {
+                    partition,
+                    since: now,
+                };
+            }
+        }
+    }
+}
+
+/// Error returned by [`Machine::schedule_irq`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleIrqError {
+    /// The source index does not exist in the configuration.
+    UnknownSource {
+        /// The offending source id.
+        source: IrqSourceId,
+    },
+    /// The requested arrival time is before current virtual time.
+    InPast {
+        /// The rejected arrival time.
+        at: Instant,
+        /// Current virtual time.
+        now: Instant,
+    },
+}
+
+impl std::fmt::Display for ScheduleIrqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleIrqError::UnknownSource { source } => {
+                write!(f, "unknown IRQ source {source}")
+            }
+            ScheduleIrqError::InPast { at, now } => {
+                write!(f, "cannot schedule IRQ at {at}; simulation time is {now}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleIrqError {}

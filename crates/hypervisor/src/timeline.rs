@@ -1,0 +1,243 @@
+//! ASCII execution timelines — a Gantt-style view of a traced run, for
+//! debugging latency behaviour at a glance.
+//!
+//! ```text
+//! t+0us, 100us/tick
+//! slots   AAAAAAAAAAAABBBBBBBBBBBBCCCC
+//! cpu     AAAA#b______#BBBBbBBBBBB#CCC
+//! window      ^~~~^
+//! irqs    .^......v...................
+//! ```
+//!
+//! * `slots` — the static TDMA ownership (letter = partition index).
+//! * `cpu` — what actually ran at each tick start: partition user code
+//!   (uppercase), bottom handlers (lowercase), hypervisor work (`#`), or
+//!   unaccounted/idle (`_`).
+//! * `window` — `~` while an interposed window is open (`^` at edges).
+//! * `irqs` — `^` marks IRQ arrivals, `v` bottom-handler completions.
+
+use std::fmt::Write as _;
+
+use rthv_time::{Duration, Instant};
+
+use crate::{RunReport, ServiceKind, TdmaSchedule};
+
+/// Renders an ASCII timeline of a traced run over `[start, end)` with one
+/// character per `tick`.
+///
+/// Requires the run to have been traced
+/// ([`Machine::enable_service_trace`](crate::Machine::enable_service_trace));
+/// returns a short notice otherwise.
+///
+/// # Panics
+///
+/// Panics if `tick` is zero or `end <= start`.
+#[must_use]
+pub fn render_timeline(
+    report: &RunReport,
+    schedule: &TdmaSchedule,
+    start: Instant,
+    end: Instant,
+    tick: Duration,
+) -> String {
+    assert!(!tick.is_zero(), "tick must be positive");
+    assert!(end > start, "empty timeline range");
+    let Some(service) = &report.service_intervals else {
+        return "timeline unavailable: run without service tracing".to_owned();
+    };
+    let hv_spans = report.hv_spans.as_deref().unwrap_or(&[]);
+    let window_spans = report.window_spans.as_deref().unwrap_or(&[]);
+
+    let ticks = end.duration_since(start).div_ceil(tick) as usize;
+    let letter = |p: usize, kind: ServiceKind| -> char {
+        let base = match kind {
+            ServiceKind::User => b'A',
+            ServiceKind::Bottom => b'a',
+        };
+        (base + (p % 26) as u8) as char
+    };
+
+    let mut slots = String::with_capacity(ticks);
+    let mut cpu = vec!['_'; ticks];
+    let mut window = vec![' '; ticks];
+    let mut irqs = vec!['.'; ticks];
+
+    for k in 0..ticks {
+        let t = start + tick * k as u64;
+        slots.push(letter(schedule.owner_at(t).index(), ServiceKind::User));
+    }
+    let tick_index = |t: Instant| -> Option<usize> {
+        if t < start || t >= end {
+            return None;
+        }
+        Some((t.duration_since(start).as_nanos() / tick.as_nanos()) as usize)
+    };
+    let fill = |row: &mut Vec<char>, from: Instant, to: Instant, c: char| {
+        let lo = from.max(start);
+        let hi = to.min(end);
+        if lo >= hi {
+            return;
+        }
+        let first = (lo.duration_since(start).as_nanos() / tick.as_nanos()) as usize;
+        let last =
+            (hi.duration_since(start).as_nanos().saturating_sub(1) / tick.as_nanos()) as usize;
+        for cell in row.iter_mut().take(last.min(ticks - 1) + 1).skip(first) {
+            *cell = c;
+        }
+    };
+
+    for (p, intervals) in service.iter().enumerate() {
+        for interval in intervals {
+            fill(&mut cpu, interval.start, interval.end, letter(p, interval.kind));
+        }
+    }
+    for span in hv_spans {
+        fill(&mut cpu, span.start, span.end, '#');
+    }
+    for span in window_spans {
+        fill(&mut window, span.start, span.end, '~');
+        if let Some(i) = tick_index(span.start) {
+            window[i] = '^';
+        }
+    }
+    for completion in report.recorder.completions() {
+        if let Some(i) = tick_index(completion.arrival) {
+            irqs[i] = '^';
+        }
+        if let Some(i) = tick_index(completion.completed) {
+            irqs[i] = if irqs[i] == '^' { 'x' } else { 'v' };
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{start}, {tick}/tick");
+    let _ = writeln!(out, "slots   {slots}");
+    let _ = writeln!(out, "cpu     {}", cpu.into_iter().collect::<String>());
+    let _ = writeln!(out, "window  {}", window.into_iter().collect::<String>());
+    let _ = writeln!(out, "irqs    {}", irqs.into_iter().collect::<String>());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        CostModel, HypervisorConfig, IrqHandlingMode, IrqSourceId, IrqSourceSpec, Machine,
+        PartitionId, PartitionSpec,
+    };
+    use rthv_monitor::{DeltaFunction, ShaperConfig};
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn traced_run(mode: IrqHandlingMode) -> (RunReport, TdmaSchedule) {
+        let mut source = IrqSourceSpec::new("irq", PartitionId::new(1), us(30));
+        source.monitor = Some(ShaperConfig::Delta(
+            DeltaFunction::from_dmin(us(100)).expect("valid"),
+        ));
+        let config = HypervisorConfig {
+            partitions: vec![
+                PartitionSpec::new("a", us(1_000)),
+                PartitionSpec::new("b", us(1_000)),
+            ],
+            sources: vec![source],
+            costs: CostModel::paper_arm926ejs(),
+            mode,
+            policies: Default::default(),
+            windows: None,
+        };
+        let mut machine = Machine::new(config).expect("valid");
+        machine.enable_service_trace();
+        machine
+            .schedule_irq(IrqSourceId::new(0), Instant::from_micros(200))
+            .expect("future");
+        assert!(machine.run_until_complete(Instant::from_micros(20_000)));
+        machine.run_until(Instant::from_micros(4_000));
+        let schedule = machine.schedule().clone();
+        (machine.finish(), schedule)
+    }
+
+    #[test]
+    fn timeline_shows_slots_cpu_and_irqs() {
+        let (report, schedule) = traced_run(IrqHandlingMode::Baseline);
+        let text = render_timeline(
+            &report,
+            &schedule,
+            Instant::ZERO,
+            Instant::from_micros(4_000),
+            us(50),
+        );
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        // 4000 µs / 50 µs = 80 ticks.
+        assert_eq!(lines[1].len(), "slots   ".len() + 80);
+        // Slot row alternates A and B every 20 ticks.
+        assert!(lines[1].contains("AAAA"));
+        assert!(lines[1].contains("BBBB"));
+        // The context switch at 1 ms shows as hypervisor work.
+        let cpu = lines[2].strip_prefix("cpu     ").expect("cpu row");
+        assert_eq!(cpu.as_bytes()[20] as char, '#');
+        // The arrival at 200 µs is marked.
+        let irqs = lines[4].strip_prefix("irqs    ").expect("irq row");
+        assert_eq!(irqs.as_bytes()[4] as char, '^');
+        // Baseline run: no window marks anywhere.
+        assert!(!lines[3].contains('~'));
+    }
+
+    #[test]
+    fn timeline_shows_interposed_windows() {
+        let (report, schedule) = traced_run(IrqHandlingMode::Interposed);
+        let text = render_timeline(
+            &report,
+            &schedule,
+            Instant::ZERO,
+            Instant::from_micros(1_000),
+            us(10),
+        );
+        // The foreign-slot IRQ at 200 µs opens a window shortly after.
+        let window_row = text.lines().nth(3).expect("window row");
+        assert!(window_row.contains('^'), "window edge missing: {text}");
+        // And partition 1's bottom handler runs inside partition 0's slot.
+        let cpu_row = text.lines().nth(2).expect("cpu row");
+        assert!(cpu_row.contains('b'), "interposed bottom missing: {text}");
+    }
+
+    #[test]
+    fn untraced_run_reports_nicely() {
+        let mut source = IrqSourceSpec::new("irq", PartitionId::new(0), us(30));
+        source.monitor = None;
+        let config = HypervisorConfig {
+            partitions: vec![PartitionSpec::new("a", us(1_000))],
+            sources: vec![source],
+            costs: CostModel::paper_arm926ejs(),
+            mode: IrqHandlingMode::Baseline,
+            policies: Default::default(),
+            windows: None,
+        };
+        let machine = Machine::new(config).expect("valid");
+        let schedule = machine.schedule().clone();
+        let report = machine.finish();
+        let text = render_timeline(
+            &report,
+            &schedule,
+            Instant::ZERO,
+            Instant::from_micros(100),
+            us(10),
+        );
+        assert!(text.contains("without service tracing"));
+    }
+
+    #[test]
+    #[should_panic(expected = "tick must be positive")]
+    fn zero_tick_rejected() {
+        let (report, schedule) = traced_run(IrqHandlingMode::Baseline);
+        let _ = render_timeline(
+            &report,
+            &schedule,
+            Instant::ZERO,
+            Instant::from_micros(1),
+            Duration::ZERO,
+        );
+    }
+}

@@ -1,0 +1,116 @@
+//! Exhaustive small-state validation: enumerate every placement of a small
+//! number of IRQs on a coarse time grid across one TDMA cycle, in both
+//! modes, and check the machine's global invariants on all of them.
+//!
+//! Unlike the randomized property tests, this sweep *provably* covers every
+//! alignment class of the grid — arrivals at slot starts, slot ends, inside
+//! context switches, colliding with each other, and straddling boundaries.
+
+use rthv_hypervisor::{
+    CostModel, HandlingClass, HypervisorConfig, IrqHandlingMode, IrqSourceId, IrqSourceSpec,
+    Machine, PartitionId, PartitionSpec,
+};
+use rthv_monitor::{DeltaFunction, ShaperConfig};
+use rthv_time::{Duration, Instant};
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn config(mode: IrqHandlingMode) -> HypervisorConfig {
+    let mut source = IrqSourceSpec::new("irq", PartitionId::new(1), us(30));
+    source.monitor = Some(ShaperConfig::Delta(
+        DeltaFunction::from_dmin(us(300)).expect("valid"),
+    ));
+    HypervisorConfig {
+        partitions: vec![
+            PartitionSpec::new("a", us(1_000)),
+            PartitionSpec::new("b", us(1_000)),
+            PartitionSpec::new("c", us(500)),
+        ],
+        sources: vec![source],
+        costs: CostModel::paper_arm926ejs(),
+        mode,
+        policies: Default::default(),
+        windows: None,
+    }
+}
+
+/// Every (ordered) choice of 3 arrival offsets from a 17-point grid across
+/// one 2.5 ms TDMA cycle — 680 distinct scenarios per mode.
+fn grid() -> Vec<u64> {
+    // Deliberately includes slot boundaries (0/1000/2000/2500), the ends of
+    // context-switch windows (+50) and sub-handler-scale spacings.
+    vec![
+        0, 1, 29, 49, 51, 130, 300, 970, 999, 1_000, 1_001, 1_049, 1_051, 1_970, 2_000,
+        2_050, 2_499,
+    ]
+}
+
+#[test]
+fn all_small_placements_preserve_invariants() {
+    let grid = grid();
+    let mut scenarios = 0u64;
+    for mode in [IrqHandlingMode::Baseline, IrqHandlingMode::Interposed] {
+        for i in 0..grid.len() {
+            for j in i..grid.len() {
+                for k in j..grid.len() {
+                    scenarios += 1;
+                    let arrivals = [grid[i], grid[j], grid[k]];
+                    let mut machine = Machine::new(config(mode)).expect("valid");
+                    for &offset in &arrivals {
+                        machine
+                            .schedule_irq(IrqSourceId::new(0), Instant::from_micros(offset))
+                            .expect("future");
+                    }
+                    let done = machine.run_until_complete(Instant::from_micros(60_000));
+                    assert!(done, "{mode} {arrivals:?}: did not complete");
+                    let report = machine.finish();
+
+                    // 1. No IRQ lost or duplicated, FIFO preserved.
+                    assert_eq!(report.recorder.len(), 3, "{mode} {arrivals:?}");
+                    let seqs: Vec<u64> =
+                        report.recorder.completions().iter().map(|c| c.seq).collect();
+                    assert_eq!(seqs, vec![0, 1, 2], "{mode} {arrivals:?}");
+
+                    // 2. Latency floor: top + bottom handler.
+                    for c in report.recorder.completions() {
+                        assert!(
+                            c.latency() >= us(32),
+                            "{mode} {arrivals:?}: impossible latency {}",
+                            c.latency()
+                        );
+                    }
+
+                    // 3. Time conservation.
+                    let service: Duration =
+                        report.counters.service.iter().map(|p| p.total()).sum();
+                    assert_eq!(
+                        service + report.counters.hypervisor_time,
+                        report.end.duration_since(Instant::ZERO),
+                        "{mode} {arrivals:?}: CPU time leak"
+                    );
+
+                    // 4. Context-switch identity.
+                    assert_eq!(
+                        report.counters.context_switches,
+                        report.counters.slot_switches
+                            + 2 * report.counters.interposed_windows,
+                        "{mode} {arrivals:?}"
+                    );
+
+                    // 5. Mode-specific: baseline never interposes.
+                    if mode == IrqHandlingMode::Baseline {
+                        assert_eq!(
+                            report.recorder.count_class(HandlingClass::Interposed),
+                            0,
+                            "{mode} {arrivals:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+    // C(17+2, 3) with repetition = 969 per mode.
+    assert_eq!(scenarios, 2 * 969);
+}

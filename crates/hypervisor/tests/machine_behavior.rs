@@ -1,0 +1,596 @@
+//! Behavioural tests of the simulated platform: exact latencies of the
+//! three handling paths, window enforcement, FIFO ordering, accounting.
+
+use rthv_hypervisor::{
+    CostModel, HandlingClass, HypervisorConfig, IrqHandlingMode, IrqSourceId, IrqSourceSpec,
+    Machine, PartitionId, PartitionSpec,
+};
+use rthv_monitor::DeltaFunction;
+use rthv_time::{Duration, Instant};
+
+const US: u64 = 1_000; // ns per µs
+
+fn us(n: u64) -> Duration {
+    Duration::from_micros(n)
+}
+
+fn at_us(n: u64) -> Instant {
+    Instant::from_micros(n)
+}
+
+/// The paper's Section-6 setup: 6 ms + 6 ms app slots, 2 ms housekeeping,
+/// one timer IRQ subscribed by partition 1 with C_BH = 30 µs.
+fn paper_config(mode: IrqHandlingMode, monitor: Option<DeltaFunction>) -> HypervisorConfig {
+    let mut source = IrqSourceSpec::new("timer", PartitionId::new(1), us(30));
+    source.monitor = monitor.map(rthv_monitor::ShaperConfig::Delta);
+    HypervisorConfig {
+        partitions: vec![
+            PartitionSpec::new("app1", us(6_000)),
+            PartitionSpec::new("app2", us(6_000)),
+            PartitionSpec::new("housekeeping", us(2_000)),
+        ],
+        sources: vec![source],
+        costs: CostModel::paper_arm926ejs(),
+        mode,
+        policies: Default::default(),
+        windows: None,
+    }
+}
+
+fn dmin(micros: u64) -> DeltaFunction {
+    DeltaFunction::from_dmin(us(micros)).expect("valid δ⁻")
+}
+
+const IRQ0: IrqSourceId = IrqSourceId::new(0);
+
+#[test]
+fn direct_irq_latency_is_top_plus_bottom() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Partition 1 owns [6000, 12000) µs; arrival inside it is direct.
+    m.schedule_irq(IRQ0, at_us(7_000)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let c = report.recorder.completions()[0];
+    assert_eq!(c.class, HandlingClass::Direct);
+    // C_TH (2 µs) + C_BH (30 µs).
+    assert_eq!(c.latency(), Duration::from_nanos(32 * US));
+}
+
+#[test]
+fn delayed_irq_waits_for_own_slot() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Arrival at 100 µs is in partition 0's slot; partition 1's slot starts
+    // at 6000 µs, entered after a 50 µs context switch.
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let c = report.recorder.completions()[0];
+    assert_eq!(c.class, HandlingClass::Delayed);
+    // Completion at 6000 + 50 (ctx) + 30 (bottom) = 6080 µs.
+    assert_eq!(c.completed, at_us(6_080));
+    assert_eq!(c.latency(), Duration::from_nanos(5_980 * US));
+}
+
+#[test]
+fn interposed_irq_latency_matches_modified_path() {
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(300)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let c = report.recorder.completions()[0];
+    assert_eq!(c.class, HandlingClass::Interposed);
+    // C'_TH (2640 ns) + C_sched (4385 ns) + C_ctx (50 µs) + C_BH (30 µs).
+    assert_eq!(c.latency(), Duration::from_nanos(2_640 + 4_385 + 50_000 + 30_000));
+    // Interposition adds two context switches on top of the slot rotation.
+    assert_eq!(report.counters.interposed_windows, 1);
+    assert_eq!(
+        report.counters.context_switches,
+        report.counters.slot_switches + 2
+    );
+}
+
+#[test]
+fn monitor_denial_falls_back_to_delayed() {
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(5_000)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    m.schedule_irq(IRQ0, at_us(1_000)).expect("in the future"); // 900 µs < d_min
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let classes: Vec<_> = report.recorder.completions().iter().map(|c| c.class).collect();
+    assert_eq!(classes, vec![HandlingClass::Interposed, HandlingClass::Delayed]);
+    assert_eq!(report.counters.monitor_admitted, 1);
+    assert_eq!(report.counters.monitor_denied, 1);
+    let stats = report.monitor_stats[0].expect("monitored source");
+    assert_eq!(stats.admitted, 1);
+    assert_eq!(stats.denied, 1);
+}
+
+#[test]
+fn direct_irqs_skip_the_monitor() {
+    // IRQs arriving in the subscriber's own slot never consult the monitor,
+    // even in interposed mode.
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(5_000)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(6_100)).expect("in the future");
+    m.schedule_irq(IRQ0, at_us(6_200)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.count_class(HandlingClass::Direct), 2);
+    let stats = report.monitor_stats[0].expect("monitored source");
+    assert_eq!(stats.total(), 0, "own-slot IRQs must not touch the monitor");
+}
+
+#[test]
+fn window_straddling_a_boundary_defers_the_rotation() {
+    // Use a 200 µs bottom handler and fire the IRQ so close to the boundary
+    // that the admitted window cannot finish before the slot ends: the
+    // rotation waits for the window (deferral ≤ the enforced budget).
+    let mut cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(300)));
+    cfg.sources[0].bottom_cost = us(200);
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(5_900)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.counters.deferred_boundaries, 1);
+    let c = report.recorder.completions()[0];
+    assert_eq!(c.class, HandlingClass::Interposed);
+    // Window opens after C'_TH (2.64 µs) + C_sched + C_ctx (54.385 µs) at
+    // 5957.025 µs and runs the full 200 µs handler across the 6000 µs
+    // boundary.
+    assert_eq!(c.completed, Instant::from_nanos(6_157_025));
+    // The deferred rotation happens right after the window's exit switch,
+    // and the interposition still costs exactly two extra switches.
+    assert_eq!(
+        report.counters.context_switches,
+        report.counters.slot_switches + 2
+    );
+}
+
+#[test]
+fn fifo_order_is_preserved_across_mixed_handling() {
+    // An older delayed IRQ must complete before a newer interposed one: the
+    // interposed window processes the queue *front*.
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(300)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    // First IRQ denied (no admission because it is the first and admitted?)
+    // — instead force order with two arrivals 400 µs apart, both admitted:
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    m.schedule_irq(IRQ0, at_us(500)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let seqs: Vec<_> = report.recorder.completions().iter().map(|c| c.seq).collect();
+    assert_eq!(seqs, vec![0, 1], "completions must preserve arrival order");
+}
+
+#[test]
+fn delayed_backlog_drains_fifo_at_slot_start() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    for k in 0..5 {
+        m.schedule_irq(IRQ0, at_us(100 + k * 200)).expect("in the future");
+    }
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let seqs: Vec<_> = report.recorder.completions().iter().map(|c| c.seq).collect();
+    assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+    // All five complete back-to-back after the slot entry at 6050 µs.
+    let completions = report.recorder.completions();
+    for (k, c) in completions.iter().enumerate() {
+        assert_eq!(c.completed, at_us(6_050 + 30 * (k as u64 + 1)));
+        assert_eq!(c.class, HandlingClass::Delayed);
+    }
+}
+
+#[test]
+fn irq_during_top_handler_is_latched_not_lost() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Second arrival lands 1 µs after the first, inside its 2 µs top handler.
+    m.schedule_irq(IRQ0, at_us(7_000)).expect("in the future");
+    m.schedule_irq(IRQ0, Instant::from_nanos(7_001 * US)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.len(), 2);
+    assert_eq!(report.counters.latched_irqs, 1);
+}
+
+#[test]
+fn baseline_worst_case_is_bounded_by_foreign_slots() {
+    // Sweep arrivals across one whole TDMA cycle; no baseline latency may
+    // exceed T_TDMA − T_i plus the handling overheads.
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let cycle_us = 14_000u64;
+    let mut worst = Duration::ZERO;
+    for offset in (0..cycle_us).step_by(97) {
+        let mut m = Machine::new(paper_config(IrqHandlingMode::Baseline, None))
+            .expect("valid config");
+        m.schedule_irq(IRQ0, at_us(3 * cycle_us + offset)).expect("in the future");
+        assert!(m.run_until_complete(at_us(40 * cycle_us)));
+        let report = m.finish();
+        worst = worst.max(report.recorder.max_latency().expect("one completion"));
+    }
+    let bound = us(cycle_us - 6_000) + cfg.costs.context_switch + us(30) + cfg.costs.top_handler;
+    assert!(worst <= bound, "worst {worst} exceeds bound {bound}");
+    // And the sweep does reach near the bound.
+    assert!(worst >= us(7_900), "sweep should approach T_TDMA - T_i, got {worst}");
+}
+
+#[test]
+fn interposed_mode_with_compliant_arrivals_never_delays() {
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(1_000)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Strictly 1.5 ms apart — always admitted.
+    for k in 0..40u64 {
+        m.schedule_irq(IRQ0, at_us(100 + k * 1_500)).expect("in the future");
+    }
+    assert!(m.run_until_complete(at_us(1_000_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.count_class(HandlingClass::Delayed), 0);
+    // Worst case is decoupled from the TDMA cycle: every latency far below
+    // the 8 ms baseline worst case.
+    assert!(report.recorder.max_latency().expect("completions") < us(500));
+}
+
+#[test]
+fn overloaded_machine_reports_incomplete() {
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.sources[0].bottom_cost = us(5_000);
+    let mut m = Machine::new(cfg).expect("valid config");
+    // 5 ms of bottom work per ~1 ms: hopeless overload.
+    for k in 0..50u64 {
+        m.schedule_irq(IRQ0, at_us(100 + k * 1_000)).expect("in the future");
+    }
+    assert!(!m.run_until_complete(at_us(60_000)));
+    let mut m2 = Machine::new(paper_config(IrqHandlingMode::Baseline, None))
+        .expect("valid config");
+    m2.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    assert!(m2.run_until_complete(at_us(60_000)));
+}
+
+#[test]
+fn idle_service_accounting_matches_slot_shares() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let costs = cfg.costs;
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Run exactly 10 cycles with no IRQs at all.
+    m.run_until(at_us(140_000));
+    let report = m.finish();
+    // Partition 0's first slot has no entry switch; later slots lose C_ctx.
+    let p0 = report.counters.service_of(PartitionId::new(0));
+    let expected_p0 = us(6_000) * 10 - costs.context_switch * 9;
+    assert_eq!(p0.user, expected_p0);
+    assert_eq!(p0.bottom, Duration::ZERO);
+    let p2 = report.counters.service_of(PartitionId::new(2));
+    assert_eq!(p2.user, (us(2_000) - costs.context_switch) * 10);
+    assert_eq!(report.counters.slot_switches, 30);
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let build = || {
+        let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(700)));
+        let mut m = Machine::new(cfg).expect("valid config");
+        for k in 0..200u64 {
+            m.schedule_irq(IRQ0, at_us(37 + k * 613)).expect("in the future");
+        }
+        assert!(m.run_until_complete(at_us(10_000_000)));
+        m.finish()
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.recorder.completions(), b.recorder.completions());
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn admitted_interpositions_respect_dmin_spacing() {
+    // The victim-side guarantee: openings of interposed windows are at
+    // least d_min apart (conformance of the admitted stream).
+    let dmin_us = 700u64;
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(dmin_us)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Aggressive arrivals every 150 µs — most must be denied.
+    for k in 0..300u64 {
+        m.schedule_irq(IRQ0, at_us(50 + k * 150)).expect("in the future");
+    }
+    assert!(m.run_until_complete(at_us(10_000_000)));
+    let report = m.finish();
+    let admissions = &report.window_openings;
+    assert!(!admissions.is_empty(), "some interpositions must occur");
+    assert!(admissions.is_sorted());
+    // Admission is judged on hardware IRQ timestamps; window openings
+    // additionally carry the (bounded) top-handler processing jitter of at
+    // most one latched hypervisor primitive plus the monitored top handler.
+    let jitter = us(50) + us(5) + us(3);
+    for pair in admissions.windows(2) {
+        let gap = pair[1].duration_since(pair[0]);
+        assert!(
+            gap + jitter >= us(dmin_us),
+            "admitted interpositions {} and {} violate d_min",
+            pair[0],
+            pair[1]
+        );
+    }
+}
+
+#[test]
+fn schedule_irq_rejects_bad_input() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    assert!(m.schedule_irq(IrqSourceId::new(5), at_us(10)).is_err());
+    m.schedule_irq(IRQ0, at_us(10)).expect("in the future");
+    m.run_until(at_us(1_000));
+    let err = m.schedule_irq(IRQ0, at_us(5)).unwrap_err();
+    assert!(err.to_string().contains("simulation time"));
+}
+
+#[test]
+fn hypervisor_time_accumulates_all_overheads() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let costs = cfg.costs;
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(7_000)).expect("in the future");
+    m.run_until(at_us(14_000 - 1)); // stop before the cycle's final switch
+    let report = m.finish();
+    // Two slot switches (at 6 ms and 12 ms) plus one top handler.
+    assert_eq!(
+        report.counters.hypervisor_time,
+        costs.context_switch * 2 + costs.top_handler
+    );
+}
+
+#[test]
+fn flag_semantics_coalesce_unserviced_repeats() {
+    // Two foreign-slot IRQs 100 µs apart under non-counting flag
+    // semantics: the second is absorbed by the pending flag and lost.
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.sources[0].flag_semantics = rthv_hypervisor::IrqFlagSemantics::Flag;
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    m.schedule_irq(IRQ0, at_us(200)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.len(), 1);
+    assert_eq!(report.counters.coalesced_irqs, 1);
+    assert_eq!(report.recorder.completions()[0].seq, 0);
+}
+
+#[test]
+fn counting_semantics_never_lose_irqs() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    m.schedule_irq(IRQ0, at_us(200)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.len(), 2);
+    assert_eq!(report.counters.coalesced_irqs, 0);
+}
+
+#[test]
+fn flag_repeats_after_service_are_kept() {
+    // Under flag semantics a repeat *after* the previous bottom handler
+    // completed is a fresh event.
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.sources[0].flag_semantics = rthv_hypervisor::IrqFlagSemantics::Flag;
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Both in the subscriber's own slot: the first completes at ~7032 µs,
+    // well before the second arrives.
+    m.schedule_irq(IRQ0, at_us(7_000)).expect("in the future");
+    m.schedule_irq(IRQ0, at_us(7_500)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.len(), 2);
+    assert_eq!(report.counters.coalesced_irqs, 0);
+}
+
+#[test]
+fn interposition_reduces_flag_losses() {
+    // A burst of 5 IRQs 400 µs apart in a foreign slot. Baseline: the
+    // first stays pending until the subscriber's slot, so the rest
+    // coalesce. Interposed (d_min = 300 µs): each one is serviced
+    // immediately, so none are lost.
+    let run = |mode: IrqHandlingMode, monitor: Option<DeltaFunction>| {
+        let mut cfg = paper_config(mode, monitor);
+        cfg.sources[0].flag_semantics = rthv_hypervisor::IrqFlagSemantics::Flag;
+        let mut m = Machine::new(cfg).expect("valid config");
+        for k in 0..5u64 {
+            m.schedule_irq(IRQ0, at_us(100 + k * 400)).expect("in the future");
+        }
+        assert!(m.run_until_complete(at_us(100_000)));
+        m.finish()
+    };
+    let baseline = run(IrqHandlingMode::Baseline, None);
+    assert_eq!(baseline.counters.coalesced_irqs, 4);
+    assert_eq!(baseline.recorder.len(), 1);
+    let interposed = run(IrqHandlingMode::Interposed, Some(dmin(300)));
+    assert_eq!(interposed.counters.coalesced_irqs, 0);
+    assert_eq!(interposed.recorder.len(), 5);
+}
+
+#[test]
+fn shared_irq_completes_in_every_subscriber() {
+    // One IRQ shared by partitions 1 and 0 (Section 3: the top handler
+    // pushes into the queue of *each* reacting partition).
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.sources[0] = cfg.sources[0]
+        .clone()
+        .also_subscribed_by(rthv_hypervisor::PartitionId::new(0));
+    let mut m = Machine::new(cfg).expect("valid config");
+    // Arrival inside P0's slot: direct for P0, delayed for P1.
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.len(), 2);
+    let by_partition: Vec<_> = report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| (c.partition.index(), c.class))
+        .collect();
+    assert!(by_partition.contains(&(0, HandlingClass::Direct)));
+    assert!(by_partition.contains(&(1, HandlingClass::Delayed)));
+}
+
+#[test]
+fn shared_monitored_source_is_rejected() {
+    let mut cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(300)));
+    cfg.sources[0] = cfg.sources[0]
+        .clone()
+        .also_subscribed_by(rthv_hypervisor::PartitionId::new(0));
+    let err = Machine::new(cfg).unwrap_err();
+    assert!(err.to_string().contains("cannot be monitored"));
+}
+
+#[test]
+fn duplicate_subscriber_is_rejected() {
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.sources[0] = cfg.sources[0]
+        .clone()
+        .also_subscribed_by(rthv_hypervisor::PartitionId::new(1));
+    let err = Machine::new(cfg).unwrap_err();
+    assert!(err.to_string().contains("more than once"));
+}
+
+#[test]
+fn shared_irq_flag_semantics_apply_per_queue() {
+    // Two close arrivals of a shared flag-semantics source: the partition
+    // that drains quickly (direct) keeps both; the delayed one coalesces.
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.sources[0] = cfg.sources[0]
+        .clone()
+        .also_subscribed_by(rthv_hypervisor::PartitionId::new(0));
+    cfg.sources[0].flag_semantics = rthv_hypervisor::IrqFlagSemantics::Flag;
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(100)).expect("in the future");
+    m.schedule_irq(IRQ0, at_us(400)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    // P0 (own slot) services the first before the second arrives → both
+    // complete; P1's pending entry absorbs the second → one completion.
+    assert_eq!(report.counters.coalesced_irqs, 1);
+    assert_eq!(report.recorder.len(), 3);
+}
+
+#[test]
+fn service_intervals_sum_to_counters() {
+    // The traced intervals are an exact decomposition of the aggregate
+    // counters: per partition, Σ interval lengths = service totals, and
+    // hypervisor spans sum to hypervisor_time.
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(700)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.enable_service_trace();
+    for k in 0..40u64 {
+        m.schedule_irq(IRQ0, at_us(137 + k * 613)).expect("in the future");
+    }
+    assert!(m.run_until_complete(at_us(1_000_000)));
+    let report = m.finish();
+    let intervals = report.service_intervals.as_ref().expect("tracing enabled");
+    for (p, partition_intervals) in intervals.iter().enumerate() {
+        let mut user = Duration::ZERO;
+        let mut bottom = Duration::ZERO;
+        for interval in partition_intervals {
+            match interval.kind {
+                rthv_hypervisor::ServiceKind::User => user += interval.length(),
+                rthv_hypervisor::ServiceKind::Bottom => bottom += interval.length(),
+            }
+        }
+        assert_eq!(user, report.counters.service[p].user, "partition {p} user");
+        assert_eq!(bottom, report.counters.service[p].bottom, "partition {p} bottom");
+        // Intervals are sorted and disjoint (replayable by rthv-guest).
+        for pair in partition_intervals.windows(2) {
+            assert!(pair[0].end <= pair[1].start, "partition {p} overlap");
+        }
+    }
+    let hv_total: Duration = report
+        .hv_spans
+        .as_ref()
+        .expect("tracing enabled")
+        .iter()
+        .map(rthv_hypervisor::Span::length)
+        .sum();
+    assert_eq!(hv_total, report.counters.hypervisor_time);
+    // One window span per interposed window, each within its budget plus
+    // the entry bracket.
+    let windows = report.window_spans.as_ref().expect("tracing enabled");
+    assert_eq!(windows.len() as u64, report.counters.interposed_windows);
+    for w in windows {
+        assert!(w.length() <= us(30) + us(1), "window overran its budget: {w:?}");
+    }
+}
+
+#[test]
+fn explicit_window_layout_splits_a_partition_across_the_frame() {
+    // ARINC653-style layout: the subscriber (P1) gets two 3 ms windows
+    // instead of one 6 ms slot, halving the worst foreign gap.
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let p = rthv_hypervisor::PartitionId::new;
+    cfg.windows = Some(vec![
+        rthv_hypervisor::SlotSpec::new(p(0), us(3_000)),
+        rthv_hypervisor::SlotSpec::new(p(1), us(3_000)),
+        rthv_hypervisor::SlotSpec::new(p(0), us(3_000)),
+        rthv_hypervisor::SlotSpec::new(p(1), us(3_000)),
+        rthv_hypervisor::SlotSpec::new(p(2), us(2_000)),
+    ]);
+    let mut m = Machine::new(cfg).expect("valid layout");
+    assert_eq!(m.schedule().cycle(), us(14_000));
+    assert_eq!(m.schedule().slot_length(p(1)), us(6_000));
+    assert_eq!(m.schedule().windows_of(p(1)).len(), 2);
+    // A delayed IRQ arriving right at P1's first window end now waits at
+    // most 3 + 2 + 3 = ... the worst gap is the 3(P0) + 2(hk) + wrap = 5 ms
+    // stretch, not 8 ms.
+    let mut worst = Duration::ZERO;
+    for offset in (0..14_000u64).step_by(137) {
+        let mut m = {
+            let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+            cfg.windows = Some(vec![
+                rthv_hypervisor::SlotSpec::new(p(0), us(3_000)),
+                rthv_hypervisor::SlotSpec::new(p(1), us(3_000)),
+                rthv_hypervisor::SlotSpec::new(p(0), us(3_000)),
+                rthv_hypervisor::SlotSpec::new(p(1), us(3_000)),
+                rthv_hypervisor::SlotSpec::new(p(2), us(2_000)),
+            ]);
+            Machine::new(cfg).expect("valid layout")
+        };
+        m.schedule_irq(IRQ0, at_us(14_000 * 2 + offset)).expect("in the future");
+        assert!(m.run_until_complete(at_us(200_000)));
+        worst = worst.max(m.finish().recorder.max_latency().expect("one IRQ"));
+    }
+    // Single-slot layout reaches ~8 ms; the split layout stays near 5 ms.
+    assert!(worst < us(5_300), "split layout worst {worst}");
+    assert!(worst > us(4_000), "sweep should reach the largest gap, got {worst}");
+}
+
+#[test]
+fn invalid_window_layouts_are_rejected() {
+    let p = rthv_hypervisor::PartitionId::new;
+    let base = paper_config(IrqHandlingMode::Baseline, None);
+
+    let mut starved = base.clone();
+    starved.windows = Some(vec![
+        rthv_hypervisor::SlotSpec::new(p(0), us(1_000)),
+        rthv_hypervisor::SlotSpec::new(p(1), us(1_000)),
+    ]);
+    assert!(Machine::new(starved)
+        .unwrap_err()
+        .to_string()
+        .contains("owns no window"));
+
+    let mut unknown = base.clone();
+    unknown.windows = Some(vec![rthv_hypervisor::SlotSpec::new(p(9), us(1_000))]);
+    assert!(Machine::new(unknown)
+        .unwrap_err()
+        .to_string()
+        .contains("unknown partition"));
+
+    let mut empty = base;
+    empty.windows = Some(vec![]);
+    assert!(Machine::new(empty)
+        .unwrap_err()
+        .to_string()
+        .contains("no windows"));
+}

@@ -1,0 +1,428 @@
+//! Finite minimum-distance functions δ⁻ and their arrival-curve dual η⁺.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Duration;
+
+/// A finite minimum-distance function δ⁻ of length `l`.
+///
+/// `entries[i]` is the minimum admissible distance between an event and the
+/// `(i + 1)`-th previous event, i.e. the classical `δ⁻(q)` for
+/// `q = i + 2` consecutive events. A length-1 function is exactly the
+/// `d_min` rule of the paper's Section 5; Appendix A uses `l = 5`.
+///
+/// # Invariants
+///
+/// * at least one entry,
+/// * entries are non-decreasing (spanning more events can never require
+///   *less* time).
+///
+/// Construction goes through [`DeltaFunction::new`], which validates both
+/// ([C-VALIDATE]).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_monitor::DeltaFunction;
+/// use rthv_time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let delta = DeltaFunction::new(vec![
+///     Duration::from_micros(100), // two consecutive events: ≥ 100 µs apart
+///     Duration::from_micros(500), // any three events: ≥ 500 µs span
+/// ])?;
+/// assert_eq!(delta.dmin(), Duration::from_micros(100));
+/// // In a 1 ms window at most 5 events conform to this δ⁻
+/// // (e.g. at 0, 100, 500, 600 and 1000 µs):
+/// assert_eq!(delta.eta_plus(Duration::from_millis(1)), 5);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct DeltaFunction {
+    entries: Vec<Duration>,
+}
+
+/// Error returned by [`DeltaFunction::new`] for invalid entry vectors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaFunctionError {
+    /// The entry vector was empty.
+    Empty,
+    /// `entries[index]` was smaller than `entries[index - 1]`.
+    NotMonotonic {
+        /// Index of the offending entry.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DeltaFunctionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaFunctionError::Empty => write!(f, "minimum-distance function has no entries"),
+            DeltaFunctionError::NotMonotonic { index } => write!(
+                f,
+                "minimum-distance entries must be non-decreasing (violated at index {index})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaFunctionError {}
+
+impl DeltaFunction {
+    /// Creates a minimum-distance function from its entries.
+    ///
+    /// `entries[i]` is the minimum distance between an event and the
+    /// `(i + 1)`-th previous one.
+    ///
+    /// Entries are normalized to their **superadditive closure**
+    /// (`δ(q₁+q₂−1) ≥ δ(q₁)+δ(q₂)`): any stream whose pairwise/short-span
+    /// distances satisfy the given entries automatically satisfies the
+    /// closure, so the admitted behaviour is unchanged while the derived
+    /// arrival curve `η⁺` becomes as tight as the inputs allow. Every
+    /// minimum-distance function recorded from an actual trace already is
+    /// its own closure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeltaFunctionError::Empty`] for an empty vector and
+    /// [`DeltaFunctionError::NotMonotonic`] if the entries decrease.
+    pub fn new(entries: Vec<Duration>) -> Result<Self, DeltaFunctionError> {
+        if entries.is_empty() {
+            return Err(DeltaFunctionError::Empty);
+        }
+        for (index, pair) in entries.windows(2).enumerate() {
+            if pair[1] < pair[0] {
+                return Err(DeltaFunctionError::NotMonotonic { index: index + 1 });
+            }
+        }
+        Ok(DeltaFunction {
+            entries: superadditive_closure(entries),
+        })
+    }
+
+    /// Creates the `l = 1` function used throughout Section 5: consecutive
+    /// admitted events must be at least `dmin` apart.
+    ///
+    /// # Errors
+    ///
+    /// Never fails for this constructor shape, but keeps the fallible
+    /// signature so call sites handle δ⁻ construction uniformly.
+    pub fn from_dmin(dmin: Duration) -> Result<Self, DeltaFunctionError> {
+        DeltaFunction::new(vec![dmin])
+    }
+
+    /// Number of entries `l`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` only for the degenerate case, which [`DeltaFunction::new`]
+    /// rejects; present for API completeness with `len`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The minimum distance between two consecutive events (`entries[0]`).
+    #[must_use]
+    pub fn dmin(&self) -> Duration {
+        self.entries[0]
+    }
+
+    /// The validated entries.
+    #[must_use]
+    pub fn entries(&self) -> &[Duration] {
+        &self.entries
+    }
+
+    /// `δ⁻(q)`: the minimum time span of `q` consecutive conforming events.
+    ///
+    /// For `q ≤ l + 1` this reads the stored entries; for larger `q` it uses
+    /// the tightest superadditive extension
+    /// `δ̂(q) = max_j ( δ̂(q - j + 1) + δ̂(j) )`, which for `l = 1`
+    /// collapses to the familiar `(q − 1)·d_min`.
+    ///
+    /// `δ⁻(0)` and `δ⁻(1)` are zero by convention.
+    #[must_use]
+    pub fn delta(&self, q: u64) -> Duration {
+        if q <= 1 {
+            return Duration::ZERO;
+        }
+        let l = self.entries.len() as u64;
+        if q - 2 < l {
+            return self.entries[(q - 2) as usize];
+        }
+        // Superadditive extension, computed iteratively. `table[n]` holds
+        // δ̂(n + 2) for n in 0..q-1.
+        let q_us = q as usize;
+        let mut table: Vec<Duration> = Vec::with_capacity(q_us - 1);
+        table.extend_from_slice(&self.entries);
+        for n in table.len()..q_us - 1 {
+            // δ̂(n + 2) = max over j in 2..=l+1 of δ̂(n + 2 - j + 1) + δ(j)
+            //          = max over i in 0..l of δ̂(n + 1 - i) + entries[i]
+            let mut best = Duration::ZERO;
+            for (i, &entry) in self.entries.iter().enumerate() {
+                // span of (n + 1 - i) events; index into table is that minus 2.
+                let prev_q = n + 1 - i; // ≥ 2 because n ≥ l ≥ i + 1
+                let prev = table[prev_q - 2];
+                best = best.max(prev.saturating_add(entry));
+            }
+            table.push(best);
+        }
+        table[q_us - 2]
+    }
+
+    /// `η⁺(Δt)`: the maximum number of conforming events inside any
+    /// *closed* time window of length `Δt` — the dual of δ⁻ used by the
+    /// paper's interference terms.
+    ///
+    /// For `l = 1` this is the closed form `⌊Δt/d_min⌋ + 1`. When
+    /// `d_min` is zero the event count is unbounded and `u64::MAX` is
+    /// returned.
+    #[must_use]
+    pub fn eta_plus(&self, dt: Duration) -> u64 {
+        if self.dmin().is_zero() {
+            return u64::MAX;
+        }
+        if self.entries.len() == 1 {
+            return dt.div_floor(self.dmin()) + 1;
+        }
+        // Find the largest q with δ⁻(q) ≤ Δt. δ⁻ grows at least dmin per
+        // extra event beyond the stored prefix, so the search terminates.
+        let mut q = 1u64;
+        while self.delta(q + 1) <= dt {
+            q += 1;
+        }
+        q
+    }
+
+    /// Scales the admissible long-term load by `fraction` (0 < fraction ≤ 1)
+    /// by stretching every distance by `1 / fraction`.
+    ///
+    /// This is how Appendix A derives the 25 % / 12.5 % / 6.25 % bounds
+    /// δ⁻_b from a recorded δ⁻: admitted event *rate* is inversely
+    /// proportional to the distances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is not in `(0, 1]` or is not finite.
+    #[must_use]
+    pub fn scale_load(&self, fraction: f64) -> DeltaFunction {
+        assert!(
+            fraction.is_finite() && fraction > 0.0 && fraction <= 1.0,
+            "load fraction must be in (0, 1], got {fraction}"
+        );
+        let entries = self
+            .entries
+            .iter()
+            .map(|d| {
+                let scaled = (d.as_nanos() as f64 / fraction).round();
+                Duration::from_nanos(if scaled >= u64::MAX as f64 {
+                    u64::MAX
+                } else {
+                    scaled as u64
+                })
+            })
+            .collect();
+        DeltaFunction::new(entries).expect("scaling preserves monotonicity")
+    }
+
+    /// Applies Algorithm 2 of the paper: raises every entry that is below
+    /// the corresponding entry of the upper bound `bound` to that bound.
+    ///
+    /// The result never admits more load than `bound` allows. If the bound
+    /// is shorter than `self`, only the common prefix is adjusted; if it is
+    /// longer, the extra bound entries are appended (they only constrain
+    /// further).
+    #[must_use]
+    pub fn bounded_by(&self, bound: &DeltaFunction) -> DeltaFunction {
+        let mut entries = self.entries.clone();
+        for (entry, bound_entry) in entries.iter_mut().zip(&bound.entries) {
+            if *entry < *bound_entry {
+                *entry = *bound_entry;
+            }
+        }
+        if bound.entries.len() > entries.len() {
+            entries.extend_from_slice(&bound.entries[entries.len()..]);
+        }
+        // Raising individual entries can break monotonicity only if the
+        // bound itself were non-monotonic, which `new` excludes; still,
+        // re-normalize defensively by propagating the running maximum.
+        let mut running = Duration::ZERO;
+        for entry in &mut entries {
+            running = running.max(*entry);
+            *entry = running;
+        }
+        DeltaFunction::new(entries).expect("normalized entries are monotonic")
+    }
+
+    /// Approximate state footprint of the RTSS'12 monitor for this function
+    /// on the paper's 32-bit platform: `l` trace-buffer timestamps plus `l`
+    /// δ⁻ entries, 4 bytes each, plus a 4-byte fill counter.
+    ///
+    /// The paper reports 28 bytes of data memory for its monitoring scheme
+    /// (Section 6.2); this accessor lets the overhead experiment compare.
+    #[must_use]
+    pub fn state_bytes_arm32(&self) -> usize {
+        self.entries.len() * 4 * 2 + 4
+    }
+}
+
+/// Tightens stored entries to their superadditive closure:
+/// `δ̂(q) = max(δ(q), max_j δ̂(q−j+1) + δ̂(j))` over the stored prefix.
+fn superadditive_closure(mut entries: Vec<Duration>) -> Vec<Duration> {
+    // entries[i] represents δ(i + 2), and a q-event span splits into two
+    // shorter spans sharing one event: q = q₁ + q₂ − 1. With q₁ = a + 2 and
+    // q₂ = b + 2 that is a + b = i − 1, so:
+    for i in 0..entries.len() {
+        for a in 0..i {
+            let b = i - 1 - a;
+            let combined = entries[a].saturating_add(entries[b]);
+            if combined > entries[i] {
+                entries[i] = combined;
+            }
+        }
+    }
+    entries
+}
+
+impl fmt::Display for DeltaFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "δ⁻[")?;
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{entry}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(values: &[u64]) -> Vec<Duration> {
+        values.iter().copied().map(Duration::from_micros).collect()
+    }
+
+    #[test]
+    fn new_validates_monotonicity() {
+        assert!(DeltaFunction::new(micros(&[100, 300, 900])).is_ok());
+        assert_eq!(
+            DeltaFunction::new(micros(&[100, 50])),
+            Err(DeltaFunctionError::NotMonotonic { index: 1 })
+        );
+        assert_eq!(DeltaFunction::new(vec![]), Err(DeltaFunctionError::Empty));
+    }
+
+    #[test]
+    fn error_messages_are_meaningful() {
+        assert!(DeltaFunctionError::Empty.to_string().contains("no entries"));
+        assert!(DeltaFunctionError::NotMonotonic { index: 3 }
+            .to_string()
+            .contains("index 3"));
+    }
+
+    #[test]
+    fn dmin_extension_is_linear() {
+        let delta = DeltaFunction::from_dmin(Duration::from_micros(300)).expect("valid");
+        assert_eq!(delta.delta(0), Duration::ZERO);
+        assert_eq!(delta.delta(1), Duration::ZERO);
+        assert_eq!(delta.delta(2), Duration::from_micros(300));
+        assert_eq!(delta.delta(5), Duration::from_micros(1_200));
+        assert_eq!(delta.delta(11), Duration::from_micros(3_000));
+    }
+
+    #[test]
+    fn eta_plus_is_floor_plus_one_for_dmin() {
+        let delta = DeltaFunction::from_dmin(Duration::from_micros(300)).expect("valid");
+        assert_eq!(delta.eta_plus(Duration::ZERO), 1);
+        assert_eq!(delta.eta_plus(Duration::from_micros(299)), 1);
+        assert_eq!(delta.eta_plus(Duration::from_micros(300)), 2);
+        assert_eq!(delta.eta_plus(Duration::from_micros(899)), 3);
+        assert_eq!(delta.eta_plus(Duration::from_micros(900)), 4);
+    }
+
+    #[test]
+    fn eta_plus_unbounded_for_zero_dmin() {
+        let delta = DeltaFunction::from_dmin(Duration::ZERO).expect("valid");
+        assert_eq!(delta.eta_plus(Duration::from_micros(1)), u64::MAX);
+    }
+
+    #[test]
+    fn multi_entry_extension_uses_all_entries() {
+        // δ⁻(2) = 100, δ⁻(3) = 500: pairs may be close but triples sparse.
+        let delta = DeltaFunction::new(micros(&[100, 500])).expect("valid");
+        assert_eq!(delta.delta(3), Duration::from_micros(500));
+        // δ̂(4) = max(δ̂(3) + δ(2), δ̂(2) + δ(3)) = max(600, 600) = 600.
+        assert_eq!(delta.delta(4), Duration::from_micros(600));
+        // δ̂(5) = max(δ̂(4) + δ(2), δ̂(3) + δ(3)) = max(700, 1000) = 1000.
+        assert_eq!(delta.delta(5), Duration::from_micros(1_000));
+    }
+
+    #[test]
+    fn eta_plus_matches_delta_inverse_for_multi_entry() {
+        let delta = DeltaFunction::new(micros(&[100, 500])).expect("valid");
+        for dt_us in [0u64, 99, 100, 499, 500, 599, 600, 999, 1_000, 5_000] {
+            let dt = Duration::from_micros(dt_us);
+            let eta = delta.eta_plus(dt);
+            assert!(delta.delta(eta) <= dt, "δ(η⁺(Δt)) must fit in Δt");
+            assert!(delta.delta(eta + 1) > dt, "η⁺ must be maximal");
+        }
+    }
+
+    #[test]
+    fn scale_load_stretches_distances() {
+        let delta = DeltaFunction::new(micros(&[100, 400])).expect("valid");
+        let quarter = delta.scale_load(0.25);
+        assert_eq!(quarter.entries(), &micros(&[400, 1_600])[..]);
+        let full = delta.scale_load(1.0);
+        assert_eq!(full, delta);
+    }
+
+    #[test]
+    #[should_panic(expected = "load fraction")]
+    fn scale_load_rejects_zero() {
+        let delta = DeltaFunction::from_dmin(Duration::from_micros(1)).expect("valid");
+        let _ = delta.scale_load(0.0);
+    }
+
+    #[test]
+    fn bounded_by_raises_small_entries() {
+        let learned = DeltaFunction::new(micros(&[50, 200, 900])).expect("valid");
+        let bound = DeltaFunction::new(micros(&[100, 150])).expect("valid");
+        let adjusted = learned.bounded_by(&bound);
+        // 50 → 100 (below bound), 200 stays (above), 900 stays.
+        assert_eq!(adjusted.entries(), &micros(&[100, 200, 900])[..]);
+    }
+
+    #[test]
+    fn bounded_by_appends_longer_bound() {
+        let learned = DeltaFunction::new(micros(&[50])).expect("valid");
+        let bound = DeltaFunction::new(micros(&[100, 400])).expect("valid");
+        let adjusted = learned.bounded_by(&bound);
+        assert_eq!(adjusted.entries(), &micros(&[100, 400])[..]);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let delta = DeltaFunction::new(micros(&[100, 500])).expect("valid");
+        assert_eq!(delta.to_string(), "δ⁻[100us, 500us]");
+    }
+
+    #[test]
+    fn state_bytes_tracks_length() {
+        let l1 = DeltaFunction::from_dmin(Duration::from_micros(1)).expect("valid");
+        assert_eq!(l1.state_bytes_arm32(), 12);
+        let l5 = DeltaFunction::new(micros(&[1, 2, 3, 4, 5])).expect("valid");
+        assert_eq!(l5.state_bytes_arm32(), 44);
+    }
+}

@@ -1,0 +1,169 @@
+//! Interference bounds on other partitions — Eq. 14 of the paper.
+
+use rthv_time::Duration;
+
+use crate::DeltaFunction;
+
+/// Worst-case interference interposed bottom handlers impose on any other
+/// partition within a window `Δt`, for the `l = 1` monitoring setup —
+/// Eq. 14 of the paper:
+///
+/// ```text
+/// I_interposed(Δt) = ⌈Δt / d_min⌉ · C'_BH
+/// ```
+///
+/// where `C'_BH = C_BH + C_sched + 2·C_ctx` (Eq. 13) is the *effective*
+/// cost of one interposition including scheduler manipulation and the two
+/// extra context switches.
+///
+/// # Panics
+///
+/// Panics if `dmin` is zero (the interference would be unbounded — exactly
+/// the situation the monitor exists to prevent).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_monitor::interference_bound_dmin;
+/// use rthv_time::Duration;
+///
+/// // A 6 ms victim slot, d_min = 3 ms, effective cost 134 µs:
+/// let bound = interference_bound_dmin(
+///     Duration::from_millis(6),
+///     Duration::from_millis(3),
+///     Duration::from_micros(134),
+/// );
+/// assert_eq!(bound, Duration::from_micros(268));
+/// ```
+#[must_use]
+pub fn interference_bound_dmin(
+    dt: Duration,
+    dmin: Duration,
+    effective_bottom_cost: Duration,
+) -> Duration {
+    assert!(
+        !dmin.is_zero(),
+        "interference is unbounded for d_min = 0; the monitor must enforce a positive distance"
+    );
+    effective_bottom_cost.saturating_mul(dt.div_ceil(dmin))
+}
+
+/// Generalization of Eq. 14 to an arbitrary δ⁻ monitoring condition
+/// (Appendix A): the admitted activation stream conforms to `delta`, so at
+/// most `η⁺(Δt)` interpositions can fall into any window `Δt`.
+///
+/// Returns [`Duration::MAX`] when the δ⁻ admits an unbounded number of
+/// events (i.e. `d_min = 0`).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_monitor::{interference_bound, DeltaFunction};
+/// use rthv_time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let delta = DeltaFunction::from_dmin(Duration::from_millis(3))?;
+/// let bound = interference_bound(
+///     Duration::from_millis(6),
+///     &delta,
+///     Duration::from_micros(134),
+/// );
+/// // η⁺(6 ms) = ⌊6/3⌋ + 1 = 3 admitted activations.
+/// assert_eq!(bound, Duration::from_micros(402));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn interference_bound(
+    dt: Duration,
+    delta: &DeltaFunction,
+    effective_bottom_cost: Duration,
+) -> Duration {
+    let events = delta.eta_plus(dt);
+    if events == u64::MAX {
+        return Duration::MAX;
+    }
+    effective_bottom_cost.saturating_mul(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dmin_bound_matches_paper_formula() {
+        // ⌈14 ms / 3 ms⌉ = 5 invocations of 134 µs.
+        let bound = interference_bound_dmin(
+            Duration::from_millis(14),
+            Duration::from_millis(3),
+            Duration::from_micros(134),
+        );
+        assert_eq!(bound, Duration::from_micros(670));
+    }
+
+    #[test]
+    fn dmin_bound_exact_multiple_uses_ceil() {
+        let bound = interference_bound_dmin(
+            Duration::from_millis(6),
+            Duration::from_millis(2),
+            Duration::from_micros(100),
+        );
+        assert_eq!(bound, Duration::from_micros(300));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbounded")]
+    fn dmin_bound_rejects_zero_distance() {
+        let _ = interference_bound_dmin(
+            Duration::from_millis(1),
+            Duration::ZERO,
+            Duration::from_micros(1),
+        );
+    }
+
+    #[test]
+    fn general_bound_uses_eta_plus() {
+        let delta = DeltaFunction::new(vec![
+            Duration::from_micros(100),
+            Duration::from_micros(500),
+        ])
+        .expect("valid");
+        // η⁺(1 ms) = 5: events at 0, 100, 500, 600, 1000 µs conform
+        // (pairs ≥ 100 µs, triples ≥ 500 µs), and δ̂(6) = 1100 µs > 1 ms.
+        let bound = interference_bound(
+            Duration::from_millis(1),
+            &delta,
+            Duration::from_micros(10),
+        );
+        assert_eq!(bound, Duration::from_micros(50));
+    }
+
+    #[test]
+    fn general_bound_saturates_for_unbounded_delta() {
+        let delta = DeltaFunction::from_dmin(Duration::ZERO).expect("valid");
+        let bound = interference_bound(
+            Duration::from_millis(1),
+            &delta,
+            Duration::from_micros(10),
+        );
+        assert_eq!(bound, Duration::MAX);
+    }
+
+    #[test]
+    fn ceil_and_eta_differ_by_at_most_one_event() {
+        // Paper uses ⌈Δt/d_min⌉; the η⁺ dual is ⌊Δt/d_min⌋ + 1. They agree
+        // except at exact multiples, where η⁺ admits one more (the closed
+        // window can contain both endpoints). The general bound is therefore
+        // never *below* the paper's.
+        for dt_us in [1u64, 999, 1_000, 1_001, 5_000] {
+            let dt = Duration::from_micros(dt_us);
+            let dmin = Duration::from_micros(1_000);
+            let cost = Duration::from_micros(7);
+            let paper = interference_bound_dmin(dt, dmin, cost);
+            let delta = DeltaFunction::from_dmin(dmin).expect("valid");
+            let general = interference_bound(dt, &delta, cost);
+            assert!(general >= paper);
+            assert!(general - paper <= cost);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Self-learning δ⁻ functions — Appendix A, Algorithms 1 and 2.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use rthv_time::{Duration, Instant};
+
+use crate::{DeltaFunction, DeltaFunctionError};
+
+/// Records the minimum observed distances of an activation stream —
+/// Algorithm 1 of the paper.
+///
+/// The learner keeps a trace buffer of the last `l` **observed** timestamps
+/// and, for each new activation, shrinks `δ⁻[i]` to the distance between the
+/// activation and the `i`-th most recent buffered one whenever that distance
+/// is smaller than the value recorded so far. Entries start at "large
+/// positive numbers" ([`Duration::MAX`]), exactly as the paper initializes
+/// them.
+///
+/// After the learning phase, [`DeltaLearner::finish`] applies Algorithm 2:
+/// every learned entry below the predefined upper bound `δ⁻_b` is raised to
+/// the bound, so the monitored run mode never admits more load than the
+/// bound allows.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_monitor::{DeltaFunction, DeltaLearner};
+/// use rthv_time::{Duration, Instant};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut learner = DeltaLearner::new(2);
+/// for t in [0u64, 400, 500, 1_200] {
+///     learner.observe(Instant::from_micros(t));
+/// }
+/// // Closest pair: 400→500 (100 µs); closest triple: 0→500 (500 µs).
+/// let learned = learner.learned_delta()?;
+/// assert_eq!(learned.entries()[0], Duration::from_micros(100));
+/// assert_eq!(learned.entries()[1], Duration::from_micros(500));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeltaLearner {
+    /// Learned minimum distances; `learned[i]` pairs with the `i`-th most
+    /// recent trace-buffer entry.
+    learned: Vec<Duration>,
+    /// Most recent observed timestamp first; at most `l` entries.
+    trace_buffer: VecDeque<Instant>,
+    observed: u64,
+}
+
+impl DeltaLearner {
+    /// Creates a learner for a δ⁻ function with `l` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero.
+    #[must_use]
+    pub fn new(l: usize) -> Self {
+        assert!(l > 0, "a minimum-distance function needs at least one entry");
+        DeltaLearner {
+            learned: vec![Duration::MAX; l],
+            trace_buffer: VecDeque::with_capacity(l),
+            observed: 0,
+        }
+    }
+
+    /// Number of δ⁻ entries being learned.
+    #[must_use]
+    pub fn l(&self) -> usize {
+        self.learned.len()
+    }
+
+    /// Number of activations observed so far.
+    #[must_use]
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Feeds one activation timestamp — one execution of Algorithm 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `timestamp` precedes the latest observed
+    /// activation.
+    pub fn observe(&mut self, timestamp: Instant) {
+        debug_assert!(
+            self.trace_buffer.front().is_none_or(|&last| timestamp >= last),
+            "learner observed time running backwards"
+        );
+        for (i, &previous) in self.trace_buffer.iter().enumerate() {
+            let distance = timestamp.saturating_duration_since(previous);
+            if distance < self.learned[i] {
+                self.learned[i] = distance;
+            }
+        }
+        if self.trace_buffer.len() == self.learned.len() {
+            self.trace_buffer.pop_back();
+        }
+        self.trace_buffer.push_front(timestamp);
+        self.observed += 1;
+    }
+
+    /// The learned δ⁻ so far (without bounding).
+    ///
+    /// Entries never updated (because the stream was shorter than their
+    /// span) remain at [`Duration::MAX`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeltaFunctionError`] if the learned distances are not
+    /// monotonic — which cannot happen for distances harvested from a single
+    /// time-ordered stream, but the validated constructor is used regardless.
+    pub fn learned_delta(&self) -> Result<DeltaFunction, DeltaFunctionError> {
+        DeltaFunction::new(self.learned.clone())
+    }
+
+    /// Finishes learning: applies the upper bound `δ⁻_b` (Algorithm 2) and
+    /// returns the δ⁻ to enforce during the monitored run mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeltaFunctionError`] from the learned function (see
+    /// [`learned_delta`](Self::learned_delta)).
+    pub fn finish(&self, bound: &DeltaFunction) -> Result<DeltaFunction, DeltaFunctionError> {
+        Ok(self.learned_delta()?.bounded_by(bound))
+    }
+}
+
+impl fmt::Display for DeltaLearner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "learner(l={}, observed {})", self.l(), self.observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn observe_all(learner: &mut DeltaLearner, micros: &[u64]) {
+        for &t in micros {
+            learner.observe(Instant::from_micros(t));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_length_learner_is_rejected() {
+        let _ = DeltaLearner::new(0);
+    }
+
+    #[test]
+    fn learns_pairwise_minimum() {
+        let mut learner = DeltaLearner::new(1);
+        observe_all(&mut learner, &[0, 700, 1_000, 1_800]);
+        let delta = learner.learned_delta().expect("monotonic");
+        assert_eq!(delta.dmin(), Duration::from_micros(300));
+    }
+
+    #[test]
+    fn learns_span_minima_matching_brute_force() {
+        let trace: Vec<u64> = vec![0, 120, 130, 400, 410, 420, 1_000];
+        let l = 3;
+        let mut learner = DeltaLearner::new(l);
+        observe_all(&mut learner, &trace);
+        let delta = learner.learned_delta().expect("monotonic");
+        // Brute force: δ⁻[i] = min over windows of i+2 consecutive events.
+        for i in 0..l {
+            let span = i + 1;
+            let expected = trace
+                .windows(span + 1)
+                .map(|w| w[span] - w[0])
+                .min()
+                .expect("trace long enough");
+            assert_eq!(
+                delta.entries()[i],
+                Duration::from_micros(expected),
+                "entry {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn unfilled_entries_stay_at_max() {
+        let mut learner = DeltaLearner::new(5);
+        observe_all(&mut learner, &[0, 100]);
+        let delta = learner.learned_delta().expect("monotonic");
+        assert_eq!(delta.entries()[0], Duration::from_micros(100));
+        for entry in &delta.entries()[1..] {
+            assert_eq!(*entry, Duration::MAX);
+        }
+    }
+
+    #[test]
+    fn finish_applies_bound_upwards_only() {
+        let mut learner = DeltaLearner::new(2);
+        observe_all(&mut learner, &[0, 50, 400, 450]);
+        // learned: δ[0] = 50 (0→50 and 400→450), δ[1] = 400 (both triples).
+        let bound = DeltaFunction::new(vec![
+            Duration::from_micros(100),
+            Duration::from_micros(200),
+        ])
+        .expect("valid");
+        let finished = learner.finish(&bound).expect("monotonic");
+        assert_eq!(finished.entries()[0], Duration::from_micros(100));
+        assert_eq!(finished.entries()[1], Duration::from_micros(400));
+    }
+
+    #[test]
+    fn observed_counts_events() {
+        let mut learner = DeltaLearner::new(2);
+        assert_eq!(learner.observed(), 0);
+        observe_all(&mut learner, &[0, 1, 2]);
+        assert_eq!(learner.observed(), 3);
+        assert_eq!(learner.to_string(), "learner(l=2, observed 3)");
+    }
+
+    #[test]
+    fn simultaneous_events_learn_zero_distance() {
+        let mut learner = DeltaLearner::new(1);
+        observe_all(&mut learner, &[100, 100]);
+        let delta = learner.learned_delta().expect("monotonic");
+        assert_eq!(delta.dmin(), Duration::ZERO);
+    }
+}

@@ -1,0 +1,60 @@
+//! δ⁻-based activation monitoring — the mechanism that makes *interposed*
+//! interrupt handling safe.
+//!
+//! The DAC'14 paper permits IRQ bottom handlers to run inside *foreign* TDMA
+//! slots only when a **monitoring function** admits them. The monitor (taken
+//! from Neukirchner et al., RTSS 2012, reference \[8\] of the paper) keeps the
+//! timestamps of the last `l` admitted activations and admits a new one only
+//! if its distance to each of them is at least the corresponding entry of a
+//! **minimum-distance function** δ⁻. With `l = 1` this degenerates to the
+//! `d_min` rule of Section 5: two consecutive interposed bottom handlers must
+//! be at least `d_min` apart.
+//!
+//! Because every *admitted* activation conforms to δ⁻ by construction, the
+//! interference interposed handlers impose on any other partition in a window
+//! `Δt` is bounded by `η⁺(Δt) · C'_BH` (Eq. 14 of the paper, with
+//! `η⁺ = ⌈Δt/d_min⌉` in the `l = 1` case) — this is the *sufficient temporal
+//! independence* argument.
+//!
+//! The crate provides:
+//!
+//! * [`DeltaFunction`] — a validated, finite minimum-distance function with
+//!   superadditive extension and the dual arrival curve `η⁺`;
+//! * [`ActivationMonitor`] — the run-time admission check (Figure 4b's
+//!   *"Interposing IRQ denied?"* diamond);
+//! * [`DeltaLearner`] — the self-learning δ⁻ recorder of Appendix A
+//!   (Algorithm 1) and its bounding step (Algorithm 2);
+//! * [`interference_bound`] / [`interference_bound_dmin`] — Eq. 14.
+//!
+//! # Examples
+//!
+//! ```
+//! use rthv_monitor::{ActivationMonitor, DeltaFunction};
+//! use rthv_time::{Duration, Instant};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // d_min = 300 µs, the l = 1 setup of Section 5.
+//! let delta = DeltaFunction::from_dmin(Duration::from_micros(300))?;
+//! let mut monitor = ActivationMonitor::new(delta);
+//!
+//! assert!(monitor.try_admit(Instant::from_micros(0)));    // first is free
+//! assert!(!monitor.try_admit(Instant::from_micros(100))); // too close → delayed IRQ
+//! assert!(monitor.try_admit(Instant::from_micros(300)));  // exactly d_min → interposed
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod delta;
+mod interference;
+mod learning;
+mod monitor;
+mod throttle;
+
+pub use delta::{DeltaFunction, DeltaFunctionError};
+pub use interference::{interference_bound, interference_bound_dmin};
+pub use learning::DeltaLearner;
+pub use monitor::{ActivationMonitor, Admission, MonitorStats};
+pub use throttle::{token_bucket_interference, Shaper, ShaperConfig, TokenBucket};

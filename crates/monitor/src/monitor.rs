@@ -1,0 +1,341 @@
+//! Run-time admission check — the *"Interposing IRQ denied?"* diamond of
+//! Figure 4b.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Instant;
+
+use crate::DeltaFunction;
+
+/// Outcome of an admission check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Admission {
+    /// The activation conforms to δ⁻; the bottom handler may be interposed.
+    Admitted,
+    /// The activation violates δ⁻ against the `violated_distance + 1`-th
+    /// previous admitted activation; the IRQ falls back to delayed handling.
+    Denied {
+        /// Index into the δ⁻ entries of the first violated constraint
+        /// (0 = distance to the immediately preceding admitted activation).
+        violated_distance: usize,
+    },
+}
+
+impl Admission {
+    /// Returns `true` for [`Admission::Admitted`].
+    #[must_use]
+    pub fn is_admitted(self) -> bool {
+        matches!(self, Admission::Admitted)
+    }
+}
+
+/// Counters kept by an [`ActivationMonitor`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonitorStats {
+    /// Number of activations admitted (interposed).
+    pub admitted: u64,
+    /// Number of activations denied (delayed).
+    pub denied: u64,
+}
+
+impl MonitorStats {
+    /// Total number of checked activations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.admitted + self.denied
+    }
+}
+
+/// The δ⁻ activation monitor of the paper (the mechanism of reference \[8\]).
+///
+/// The monitor stores the timestamps of the last `l` **admitted**
+/// activations. A new activation at time `t` is admitted iff for every
+/// `i ∈ [0, l)` with a recorded `i`-th previous admitted activation at `t_i`:
+///
+/// ```text
+/// t − t_i ≥ δ⁻.entries()[i]
+/// ```
+///
+/// Admitting against the *admitted* stream (rather than the raw arrival
+/// stream) makes the admitted stream δ⁻-conformant by construction, which is
+/// precisely the property the interference bound of Eq. 14 requires.
+///
+/// The check itself is a handful of subtractions and compares — the paper
+/// reports 128 instructions for `C_Mon` including the scheduler call; the
+/// criterion bench `monitor_overhead` in `rthv-experiments` measures this
+/// implementation.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_monitor::{ActivationMonitor, Admission, DeltaFunction};
+/// use rthv_time::{Duration, Instant};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let delta = DeltaFunction::new(vec![
+///     Duration::from_micros(100),
+///     Duration::from_micros(500),
+/// ])?;
+/// let mut monitor = ActivationMonitor::new(delta);
+///
+/// assert!(monitor.try_admit(Instant::from_micros(0)));
+/// assert!(monitor.try_admit(Instant::from_micros(150))); // ≥ 100 µs gap
+/// // 150 µs later satisfies the pairwise gap but violates the 3-event span:
+/// assert_eq!(
+///     monitor.check(Instant::from_micros(300)),
+///     Admission::Denied { violated_distance: 1 },
+/// );
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ActivationMonitor {
+    delta: DeltaFunction,
+    /// Most recent admitted timestamp first; at most `delta.len()` entries.
+    trace_buffer: VecDeque<Instant>,
+    stats: MonitorStats,
+}
+
+impl ActivationMonitor {
+    /// Creates a monitor enforcing the given minimum-distance function.
+    #[must_use]
+    pub fn new(delta: DeltaFunction) -> Self {
+        let capacity = delta.len();
+        ActivationMonitor {
+            delta,
+            trace_buffer: VecDeque::with_capacity(capacity),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// The enforced minimum-distance function.
+    #[must_use]
+    pub fn delta(&self) -> &DeltaFunction {
+        &self.delta
+    }
+
+    /// Replaces the enforced δ⁻ (used when Appendix A's learning phase
+    /// finishes) without clearing the trace buffer or counters.
+    pub fn set_delta(&mut self, delta: DeltaFunction) {
+        while self.trace_buffer.len() > delta.len() {
+            self.trace_buffer.pop_back();
+        }
+        self.delta = delta;
+    }
+
+    /// Admission / denial counters.
+    #[must_use]
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// Timestamp of the most recent admitted activation, if any.
+    #[must_use]
+    pub fn last_admitted(&self) -> Option<Instant> {
+        self.trace_buffer.front().copied()
+    }
+
+    /// Checks whether an activation at `now` would be admitted, **without**
+    /// recording it.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `now` precedes the last admitted
+    /// activation — simulation time must be monotonic.
+    #[must_use]
+    pub fn check(&self, now: Instant) -> Admission {
+        debug_assert!(
+            self.trace_buffer.front().is_none_or(|&last| now >= last),
+            "monitor observed time running backwards"
+        );
+        for (i, &previous) in self.trace_buffer.iter().enumerate() {
+            let distance = now.saturating_duration_since(previous);
+            if distance < self.delta.entries()[i] {
+                return Admission::Denied {
+                    violated_distance: i,
+                };
+            }
+        }
+        Admission::Admitted
+    }
+
+    /// Records an activation at `now` as admitted.
+    ///
+    /// Call only after [`check`](Self::check) returned
+    /// [`Admission::Admitted`]; the monitor does not re-validate.
+    pub fn record_admitted(&mut self, now: Instant) {
+        if self.trace_buffer.len() == self.delta.len() {
+            self.trace_buffer.pop_back();
+        }
+        self.trace_buffer.push_front(now);
+        self.stats.admitted += 1;
+    }
+
+    /// Checks an activation and records the outcome; returns `true` when
+    /// admitted.
+    ///
+    /// This is the exact sequence the modified top handler runs for every
+    /// IRQ that arrives in a foreign slot.
+    pub fn try_admit(&mut self, now: Instant) -> bool {
+        match self.check(now) {
+            Admission::Admitted => {
+                self.record_admitted(now);
+                true
+            }
+            Admission::Denied { .. } => {
+                self.stats.denied += 1;
+                false
+            }
+        }
+    }
+
+    /// Clears the trace buffer and counters.
+    pub fn reset(&mut self) {
+        self.trace_buffer.clear();
+        self.stats = MonitorStats::default();
+    }
+}
+
+impl fmt::Display for ActivationMonitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "monitor({}, admitted {}, denied {})",
+            self.delta, self.stats.admitted, self.stats.denied
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rthv_time::Duration;
+
+    fn dmin_monitor(micros: u64) -> ActivationMonitor {
+        ActivationMonitor::new(
+            DeltaFunction::from_dmin(Duration::from_micros(micros)).expect("valid"),
+        )
+    }
+
+    #[test]
+    fn first_activation_is_always_admitted() {
+        let mut m = dmin_monitor(1_000);
+        assert!(m.try_admit(Instant::ZERO));
+        assert_eq!(m.stats().admitted, 1);
+    }
+
+    #[test]
+    fn dmin_rule_admits_at_exact_distance() {
+        let mut m = dmin_monitor(300);
+        assert!(m.try_admit(Instant::from_micros(0)));
+        assert!(!m.try_admit(Instant::from_micros(299)));
+        assert!(m.try_admit(Instant::from_micros(300)));
+        assert_eq!(m.stats(), MonitorStats { admitted: 2, denied: 1 });
+    }
+
+    #[test]
+    fn denied_events_do_not_reset_the_window() {
+        // A denied event must not push the next admission further out:
+        // admitted at 0, denied at 250, the event at 300 is ≥ d_min after
+        // the last *admitted* one and must pass.
+        let mut m = dmin_monitor(300);
+        assert!(m.try_admit(Instant::from_micros(0)));
+        assert!(!m.try_admit(Instant::from_micros(250)));
+        assert!(m.try_admit(Instant::from_micros(300)));
+    }
+
+    #[test]
+    fn multi_entry_denial_reports_violated_distance() {
+        let delta = DeltaFunction::new(vec![
+            Duration::from_micros(100),
+            Duration::from_micros(500),
+        ])
+        .expect("valid");
+        let mut m = ActivationMonitor::new(delta);
+        m.record_admitted(Instant::from_micros(0));
+        m.record_admitted(Instant::from_micros(150));
+        assert_eq!(
+            m.check(Instant::from_micros(300)),
+            Admission::Denied { violated_distance: 1 }
+        );
+        assert_eq!(
+            m.check(Instant::from_micros(200)),
+            Admission::Denied { violated_distance: 0 }
+        );
+        assert_eq!(m.check(Instant::from_micros(500)), Admission::Admitted);
+    }
+
+    #[test]
+    fn trace_buffer_is_bounded_by_l() {
+        let delta = DeltaFunction::new(vec![
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+        ])
+        .expect("valid");
+        let mut m = ActivationMonitor::new(delta);
+        for k in 0..100u64 {
+            let _ = m.try_admit(Instant::from_micros(k * 1_000));
+        }
+        assert!(m.trace_buffer.len() <= 2);
+        assert_eq!(m.stats().admitted, 100);
+    }
+
+    #[test]
+    fn set_delta_shrinks_trace_buffer() {
+        let delta = DeltaFunction::new(vec![
+            Duration::from_micros(10),
+            Duration::from_micros(20),
+            Duration::from_micros(30),
+        ])
+        .expect("valid");
+        let mut m = ActivationMonitor::new(delta);
+        for k in 0..3u64 {
+            m.record_admitted(Instant::from_micros(k * 100));
+        }
+        m.set_delta(DeltaFunction::from_dmin(Duration::from_micros(50)).expect("valid"));
+        assert_eq!(m.trace_buffer.len(), 1);
+        assert_eq!(m.last_admitted(), Some(Instant::from_micros(200)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut m = dmin_monitor(100);
+        let _ = m.try_admit(Instant::ZERO);
+        let _ = m.try_admit(Instant::from_micros(1));
+        m.reset();
+        assert_eq!(m.stats().total(), 0);
+        assert!(m.last_admitted().is_none());
+        assert!(m.try_admit(Instant::from_micros(2)));
+    }
+
+    #[test]
+    fn check_does_not_mutate() {
+        let mut m = dmin_monitor(100);
+        let _ = m.try_admit(Instant::ZERO);
+        let before = m.stats();
+        let _ = m.check(Instant::from_micros(500));
+        assert_eq!(m.stats(), before);
+        assert_eq!(m.last_admitted(), Some(Instant::ZERO));
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let mut m = dmin_monitor(100);
+        let _ = m.try_admit(Instant::ZERO);
+        let _ = m.try_admit(Instant::from_nanos(1));
+        let text = m.to_string();
+        assert!(text.contains("admitted 1"));
+        assert!(text.contains("denied 1"));
+    }
+
+    #[test]
+    fn zero_dmin_admits_everything() {
+        let mut m = dmin_monitor(0);
+        for k in 0..10 {
+            assert!(m.try_admit(Instant::from_nanos(k)));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Property tests for the δ⁻ monitor — the invariants on which the paper's
+//! sufficient-temporal-independence argument rests.
+
+use proptest::prelude::*;
+
+use rthv_monitor::{ActivationMonitor, DeltaFunction, DeltaLearner};
+use rthv_time::{Duration, Instant};
+
+/// Strategy: a normalized (non-decreasing) δ⁻ with 1..=5 entries in
+/// microsecond scale.
+fn delta_strategy() -> impl Strategy<Value = DeltaFunction> {
+    prop::collection::vec(1u64..5_000, 1..=5).prop_map(|raw| {
+        let mut sum = 0u64;
+        let entries = raw
+            .into_iter()
+            .map(|gap| {
+                sum += gap;
+                Duration::from_micros(sum)
+            })
+            .collect();
+        DeltaFunction::new(entries).expect("cumulative sums are monotonic")
+    })
+}
+
+/// Strategy: a time-ordered arrival sequence from positive gaps.
+fn arrivals_strategy() -> impl Strategy<Value = Vec<Instant>> {
+    prop::collection::vec(1u64..2_000, 1..200).prop_map(|gaps| {
+        let mut t = 0u64;
+        gaps.into_iter()
+            .map(|g| {
+                t += g;
+                Instant::from_micros(t)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Whatever arrives, the *admitted* subsequence conforms to δ⁻: the
+    /// distance from each admitted event to its k-th admitted predecessor
+    /// is at least δ⁻[k−1]. This is exactly the premise of Eq. 14.
+    #[test]
+    fn admitted_stream_conforms_to_delta(
+        delta in delta_strategy(),
+        arrivals in arrivals_strategy(),
+    ) {
+        let l = delta.len();
+        let mut monitor = ActivationMonitor::new(delta.clone());
+        let mut admitted: Vec<Instant> = Vec::new();
+        for t in arrivals {
+            if monitor.try_admit(t) {
+                admitted.push(t);
+            }
+        }
+        for (i, &t) in admitted.iter().enumerate() {
+            for k in 1..=l.min(i) {
+                let predecessor = admitted[i - k];
+                prop_assert!(
+                    t.duration_since(predecessor) >= delta.entries()[k - 1],
+                    "admitted event {i} violates δ⁻[{}.]", k - 1
+                );
+            }
+        }
+    }
+
+    /// In any closed window Δt, the number of admitted events never exceeds
+    /// η⁺(Δt) of the enforced δ⁻ — the counting form of Eq. 14.
+    #[test]
+    fn admissions_in_any_window_bounded_by_eta(
+        delta in delta_strategy(),
+        arrivals in arrivals_strategy(),
+        window_us in 1u64..50_000,
+    ) {
+        let window = Duration::from_micros(window_us);
+        let mut monitor = ActivationMonitor::new(delta.clone());
+        let admitted: Vec<Instant> = arrivals
+            .into_iter()
+            .filter(|&t| monitor.try_admit(t))
+            .collect();
+        let eta = delta.eta_plus(window);
+        for (i, &start) in admitted.iter().enumerate() {
+            let in_window = admitted[i..]
+                .iter()
+                .take_while(|&&t| t.duration_since(start) <= window)
+                .count() as u64;
+            prop_assert!(
+                in_window <= eta,
+                "{in_window} admissions in a {window} window exceed η⁺ = {eta}"
+            );
+        }
+    }
+
+    /// Denials never block a later conforming event: an arrival ≥ δ⁻ after
+    /// every retained admitted predecessor is always admitted.
+    #[test]
+    fn conforming_event_is_always_admitted(
+        delta in delta_strategy(),
+        arrivals in arrivals_strategy(),
+    ) {
+        let mut monitor = ActivationMonitor::new(delta.clone());
+        let mut last_admitted: Option<Instant> = None;
+        for t in arrivals {
+            // An event later than the largest entry after the last admitted
+            // one satisfies every distance constraint.
+            let clearly_conforming = last_admitted.is_none_or(|last| {
+                t.duration_since(last) >= *delta.entries().last().expect("non-empty")
+            });
+            let admitted = monitor.try_admit(t);
+            if clearly_conforming {
+                prop_assert!(admitted, "conforming event at {t} was denied");
+            }
+            if admitted {
+                last_admitted = Some(t);
+            }
+        }
+    }
+
+    /// Algorithm 1 learns exactly the brute-force minimum distances.
+    #[test]
+    fn learner_matches_brute_force(
+        arrivals in arrivals_strategy(),
+        l in 1usize..=5,
+    ) {
+        let mut learner = DeltaLearner::new(l);
+        for &t in &arrivals {
+            learner.observe(t);
+        }
+        let learned = learner.learned_delta().expect("monotonic");
+        for i in 0..l {
+            let span = i + 1;
+            let expected = arrivals
+                .windows(span + 1)
+                .map(|w| w[span].duration_since(w[0]))
+                .min()
+                .unwrap_or(Duration::MAX);
+            prop_assert_eq!(learned.entries()[i], expected, "entry {}", i);
+        }
+    }
+
+    /// Algorithm 2 never lowers an entry, and the result admits no more
+    /// load than the bound allows (pointwise ≥ bound on the common prefix).
+    #[test]
+    fn bounding_is_monotone(
+        learned in delta_strategy(),
+        bound in delta_strategy(),
+    ) {
+        let adjusted = learned.bounded_by(&bound);
+        for (i, entry) in adjusted.entries().iter().enumerate() {
+            if i < learned.len() {
+                prop_assert!(*entry >= learned.entries()[i]);
+            }
+            if i < bound.len() {
+                prop_assert!(*entry >= bound.entries()[i]);
+            }
+        }
+    }
+
+    /// δ̂ extension is superadditive: δ(a + b − 1) ≥ δ(a) + δ(b).
+    #[test]
+    fn delta_extension_is_superadditive(
+        delta in delta_strategy(),
+        a in 2u64..20,
+        b in 2u64..20,
+    ) {
+        let lhs = delta.delta(a + b - 1);
+        let rhs = delta.delta(a).saturating_add(delta.delta(b));
+        prop_assert!(lhs >= rhs, "δ({}) = {} < {}", a + b - 1, lhs, rhs);
+    }
+
+    /// Scaling the load down stretches every distance accordingly.
+    #[test]
+    fn scale_load_stretches(
+        delta in delta_strategy(),
+        denom in 2u64..=16,
+    ) {
+        let fraction = 1.0 / denom as f64;
+        let scaled = delta.scale_load(fraction);
+        for (orig, stretched) in delta.entries().iter().zip(scaled.entries()) {
+            prop_assert_eq!(*stretched, *orig * denom);
+        }
+    }
+}

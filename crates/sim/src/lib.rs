@@ -1,0 +1,37 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! The hypervisor model in `rthv-hypervisor` advances virtual time by popping
+//! events off an [`EventQueue`]. The engine guarantees:
+//!
+//! * **monotonic time** — events pop in non-decreasing timestamp order and
+//!   scheduling in the past is an error;
+//! * **deterministic tie-breaking** — events with equal timestamps pop in the
+//!   order they were scheduled (FIFO), so a simulation is a pure function of
+//!   its inputs;
+//! * **O(log n) scheduling and cancellation** — cancellation is lazy (a
+//!   tombstone set), which keeps identifiers stable.
+//!
+//! # Examples
+//!
+//! ```
+//! use rthv_sim::EventQueue;
+//! use rthv_time::{Duration, Instant};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { SlotEnd, Irq(u32) }
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule_at(Instant::from_micros(10), Ev::Irq(7)).expect("in the future");
+//! q.schedule_at(Instant::from_micros(5), Ev::SlotEnd).expect("in the future");
+//!
+//! let (t, ev) = q.pop().expect("two events queued");
+//! assert_eq!((t, ev), (Instant::from_micros(5), Ev::SlotEnd));
+//! assert_eq!(q.now(), Instant::from_micros(5));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod queue;
+
+pub use queue::{EventId, EventQueue, SchedulePastError};

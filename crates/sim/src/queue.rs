@@ -1,0 +1,374 @@
+//! Time-ordered event queue with stable FIFO tie-breaking and lazy
+//! cancellation.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeSet, BinaryHeap, HashSet};
+use std::fmt;
+
+use rthv_time::{Duration, Instant};
+
+/// Identifier of a scheduled event, usable to [cancel](EventQueue::cancel) it
+/// before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// Error returned when scheduling an event strictly before the queue's
+/// current time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchedulePastError {
+    /// The queue's current time when scheduling was attempted.
+    pub now: Instant,
+    /// The (rejected) requested firing time.
+    pub at: Instant,
+}
+
+impl fmt::Display for SchedulePastError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot schedule event at {} — simulation time is already {}",
+            self.at, self.now
+        )
+    }
+}
+
+impl std::error::Error for SchedulePastError {}
+
+/// One heap entry. Ordered by `(time, seq)` so the [`BinaryHeap`] (a max-heap
+/// with a reversed `Ord`) pops the earliest event first and breaks ties in
+/// scheduling order.
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    id: EventId,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: the binary heap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Dense-id set with a watermark, used to answer "has this event already been
+/// consumed (fired or drained after cancellation)?" with O(pending) memory.
+///
+/// Sequence numbers are dense, so once every id below `watermark` has been
+/// consumed the individual entries can be forgotten.
+#[derive(Debug, Default)]
+struct ConsumedSet {
+    /// Every id strictly below this watermark has been consumed.
+    watermark: u64,
+    /// Consumed ids at or above the watermark.
+    above: BTreeSet<u64>,
+}
+
+impl ConsumedSet {
+    fn insert(&mut self, id: EventId) {
+        self.above.insert(id.0);
+        while self.above.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+    }
+
+    fn contains(&self, id: EventId) -> bool {
+        id.0 < self.watermark || self.above.contains(&id.0)
+    }
+}
+
+/// A deterministic, time-ordered event queue.
+///
+/// See the [crate-level docs](crate) for the guarantees and a usage example.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    /// Pending cancellations (tombstones), removed lazily.
+    cancelled: HashSet<EventId>,
+    /// Ids that have left the heap (fired or drained after cancellation).
+    consumed: ConsumedSet,
+    next_seq: u64,
+    now: Instant,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time [`Instant::ZERO`].
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            consumed: ConsumedSet::default(),
+            next_seq: 0,
+            now: Instant::ZERO,
+        }
+    }
+
+    /// The queue's current time: the timestamp of the last popped event (or
+    /// [`Instant::ZERO`] before the first pop).
+    #[must_use]
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Number of live (non-cancelled) events still queued.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// Returns `true` if no live events are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedules `event` to fire at the absolute time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedulePastError`] if `at` is strictly before
+    /// [`now`](Self::now). Scheduling *at* the current time is permitted and
+    /// fires after every already-queued event with the same timestamp.
+    pub fn schedule_at(&mut self, at: Instant, event: E) -> Result<EventId, SchedulePastError> {
+        if at < self.now {
+            return Err(SchedulePastError { now: self.now, at });
+        }
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            event,
+        });
+        self.next_seq += 1;
+        Ok(id)
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    ///
+    /// Never fails: the firing time cannot be in the past.
+    pub fn schedule_in(&mut self, delay: Duration, event: E) -> EventId {
+        let at = self.now + delay;
+        self.schedule_at(at, event)
+            .expect("now + delay is never in the past")
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event was still pending, `false` if it already
+    /// fired, was already cancelled, or was never issued by this queue.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq || self.consumed.contains(id) || self.cancelled.contains(&id) {
+            return false;
+        }
+        self.cancelled.insert(id);
+        true
+    }
+
+    /// Pops the earliest live event, advancing [`now`](Self::now) to its
+    /// timestamp.
+    ///
+    /// Returns `None` when the queue is empty.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                self.consumed.insert(entry.id);
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "heap yielded an event in the past");
+            self.now = entry.at;
+            self.consumed.insert(entry.id);
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Timestamp of the earliest live event without popping it.
+    #[must_use]
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.id) {
+                let entry = self.heap.pop().expect("peeked entry exists");
+                self.cancelled.remove(&entry.id);
+                self.consumed.insert(entry.id);
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum Ev {
+        A,
+        B,
+        C,
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_nanos(30), Ev::C).expect("future");
+        q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        assert_eq!(q.pop(), Some((Instant::from_nanos(10), Ev::A)));
+        assert_eq!(q.pop(), Some((Instant::from_nanos(20), Ev::B)));
+        assert_eq!(q.pop(), Some((Instant::from_nanos(30), Ev::C)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_nanos(5);
+        q.schedule_at(t, Ev::A).expect("future");
+        q.schedule_at(t, Ev::B).expect("future");
+        q.schedule_at(t, Ev::C).expect("future");
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Ev::A));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Ev::B));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Ev::C));
+    }
+
+    #[test]
+    fn rejects_scheduling_in_the_past() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        let _ = q.pop();
+        let err = q.schedule_at(Instant::from_nanos(5), Ev::B).unwrap_err();
+        assert_eq!(err.now, Instant::from_nanos(10));
+        assert_eq!(err.at, Instant::from_nanos(5));
+        assert!(err.to_string().contains("cannot schedule"));
+        // Scheduling *at* now is fine.
+        assert!(q.schedule_at(Instant::from_nanos(10), Ev::B).is_ok());
+    }
+
+    #[test]
+    fn cancel_removes_pending_event() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop(), Some((Instant::from_nanos(20), Ev::B)));
+    }
+
+    #[test]
+    fn cancel_after_fire_reports_false() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        let _ = q.pop();
+        assert!(!q.cancel(a));
+        // Double cancel also reports false.
+        let b = q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        assert!(q.cancel(b));
+        assert!(!q.cancel(b));
+    }
+
+    #[test]
+    fn cancel_unknown_id_is_false() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        assert!(!q.cancel(EventId(99)));
+    }
+
+    #[test]
+    fn cancelled_then_drained_id_stays_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        q.cancel(a);
+        // Draining pops past the tombstone.
+        assert_eq!(q.pop(), Some((Instant::from_nanos(20), Ev::B)));
+        assert!(!q.cancel(a), "drained tombstone must not be cancellable again");
+    }
+
+    #[test]
+    fn peek_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Instant::from_nanos(20)));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_nanos(100), Ev::A).expect("future");
+        let _ = q.pop();
+        q.schedule_in(Duration::from_nanos(5), Ev::B);
+        assert_eq!(q.pop(), Some((Instant::from_nanos(105), Ev::B)));
+    }
+
+    #[test]
+    fn len_accounts_for_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule_at(Instant::from_nanos(1), Ev::A).expect("future");
+        q.schedule_at(Instant::from_nanos(2), Ev::B).expect("future");
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        let _ = q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn consumed_set_watermark_advances_densely() {
+        let mut s = ConsumedSet::default();
+        s.insert(EventId(0));
+        s.insert(EventId(2));
+        assert!(s.contains(EventId(0)));
+        assert!(!s.contains(EventId(1)));
+        assert!(s.contains(EventId(2)));
+        s.insert(EventId(1));
+        assert_eq!(s.watermark, 3);
+        assert!(s.above.is_empty());
+    }
+
+    #[test]
+    fn memory_stays_bounded_over_long_runs() {
+        // After consuming everything, the consumed set collapses to a
+        // watermark and the tombstone set is empty.
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule_at(Instant::from_nanos(i), Ev::A).expect("future");
+        }
+        while q.pop().is_some() {}
+        assert!(q.consumed.above.is_empty());
+        assert!(q.cancelled.is_empty());
+    }
+}

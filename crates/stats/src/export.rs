@@ -1,0 +1,143 @@
+//! CSV export for external plotting (gnuplot, pandas, …).
+//!
+//! The experiment binaries print human-readable rows; these helpers render
+//! the same data as RFC-4180-style CSV without pulling in a CSV dependency.
+
+use std::fmt::Write as _;
+
+use rthv_time::Duration;
+
+use crate::LatencyHistogram;
+
+/// Escapes one CSV field: quotes it if it contains commas, quotes or
+/// newlines, doubling inner quotes.
+#[must_use]
+pub fn csv_field(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        let mut out = String::with_capacity(field.len() + 2);
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+        out
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Renders one CSV row from fields.
+#[must_use]
+pub fn csv_row<I, S>(fields: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = String::new();
+    for (i, field) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&csv_field(field.as_ref()));
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders a histogram as `bin_start_us,count` CSV with a header row; the
+/// overflow bin appears as a final `overflow` row when non-empty.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_stats::{histogram_to_csv, LatencyHistogram};
+/// use rthv_time::Duration;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut hist = LatencyHistogram::new(
+///     Duration::from_micros(50),
+///     Duration::from_micros(100),
+/// )?;
+/// hist.add(Duration::from_micros(10));
+/// let csv = histogram_to_csv(&hist);
+/// assert!(csv.starts_with("bin_start_us,count\n0,1\n"));
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn histogram_to_csv(histogram: &LatencyHistogram) -> String {
+    let mut out = String::from("bin_start_us,count\n");
+    for (start, count) in histogram.iter() {
+        let _ = writeln!(out, "{},{count}", start.as_micros());
+    }
+    if histogram.overflow() > 0 {
+        let _ = writeln!(out, "overflow,{}", histogram.overflow());
+    }
+    out
+}
+
+/// Renders a series of `(index, value)` samples — e.g. the Figure-7 running
+/// average — as `index,value_us` CSV with a header row.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_stats::series_to_csv;
+/// use rthv_time::Duration;
+///
+/// let csv = series_to_csv("avg_latency_us", &[Duration::from_micros(120)]);
+/// assert_eq!(csv, "index,avg_latency_us\n0,120\n");
+/// ```
+#[must_use]
+pub fn series_to_csv(value_label: &str, series: &[Duration]) -> String {
+    let mut out = format!("index,{}\n", csv_field(value_label));
+    for (i, value) in series.iter().enumerate() {
+        let _ = writeln!(out, "{i},{}", value.as_micros());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_escape_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("with,comma"), "\"with,comma\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn rows_join_with_commas() {
+        assert_eq!(csv_row(["a", "b,c", "d"]), "a,\"b,c\",d\n");
+        assert_eq!(csv_row(Vec::<String>::new()), "\n");
+    }
+
+    #[test]
+    fn histogram_csv_includes_overflow() {
+        let mut hist = LatencyHistogram::new(
+            Duration::from_micros(100),
+            Duration::from_micros(200),
+        )
+        .expect("valid");
+        hist.add(Duration::from_micros(10));
+        hist.add(Duration::from_micros(150));
+        hist.add(Duration::from_micros(999));
+        let csv = histogram_to_csv(&hist);
+        assert_eq!(csv, "bin_start_us,count\n0,1\n100,1\noverflow,1\n");
+    }
+
+    #[test]
+    fn series_csv_is_indexed() {
+        let csv = series_to_csv(
+            "latency",
+            &[Duration::from_micros(5), Duration::from_micros(7)],
+        );
+        assert_eq!(csv, "index,latency\n0,5\n1,7\n");
+    }
+}

@@ -1,0 +1,260 @@
+//! Fixed-bin latency histograms — the data behind the Figure-6 plots.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Duration;
+
+/// A histogram over `[0, range)` with fixed-width bins plus an overflow
+/// bin for samples at or beyond `range`.
+///
+/// See the [crate-level example](crate) for usage.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    bin_width: Duration,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    total_nanos: u128,
+}
+
+/// Error returned by [`LatencyHistogram::new`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramError {
+    /// The bin width was zero.
+    ZeroBinWidth,
+    /// The range was smaller than one bin.
+    RangeTooSmall,
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::ZeroBinWidth => write!(f, "histogram bin width must be positive"),
+            HistogramError::RangeTooSmall => {
+                write!(f, "histogram range must cover at least one bin")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}
+
+impl LatencyHistogram {
+    /// Creates a histogram with the given bin width covering `[0, range)`.
+    ///
+    /// # Errors
+    ///
+    /// [`HistogramError::ZeroBinWidth`] if `bin_width` is zero,
+    /// [`HistogramError::RangeTooSmall`] if `range < bin_width`.
+    pub fn new(bin_width: Duration, range: Duration) -> Result<Self, HistogramError> {
+        if bin_width.is_zero() {
+            return Err(HistogramError::ZeroBinWidth);
+        }
+        if range < bin_width {
+            return Err(HistogramError::RangeTooSmall);
+        }
+        let bins = range.div_ceil(bin_width) as usize;
+        Ok(LatencyHistogram {
+            bin_width,
+            bins: vec![0; bins],
+            overflow: 0,
+            count: 0,
+            total_nanos: 0,
+        })
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, sample: Duration) {
+        let index = (sample.as_nanos() / self.bin_width.as_nanos()) as usize;
+        if index < self.bins.len() {
+            self.bins[index] += 1;
+        } else {
+            self.overflow += 1;
+        }
+        self.count += 1;
+        self.total_nanos += u128::from(sample.as_nanos());
+    }
+
+    /// Adds every sample of an iterator.
+    pub fn add_all<I: IntoIterator<Item = Duration>>(&mut self, samples: I) {
+        for sample in samples {
+            self.add(sample);
+        }
+    }
+
+    /// Total number of samples (including overflow).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of regular bins.
+    #[must_use]
+    pub fn bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// The bin width.
+    #[must_use]
+    pub fn bin_width(&self) -> Duration {
+        self.bin_width
+    }
+
+    /// Sample count of bin `index` (`[index·w, (index+1)·w)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn bin_count(&self, index: usize) -> u64 {
+        self.bins[index]
+    }
+
+    /// Lower edge of bin `index`.
+    #[must_use]
+    pub fn bin_start(&self, index: usize) -> Duration {
+        self.bin_width * index as u64
+    }
+
+    /// Samples at or beyond the histogram range.
+    #[must_use]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Mean of all samples, or `None` when empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<Duration> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(Duration::from_nanos(
+            u64::try_from(self.total_nanos / u128::from(self.count)).unwrap_or(u64::MAX),
+        ))
+    }
+
+    /// Iterates over `(bin_start, count)` pairs of the regular bins.
+    pub fn iter(&self) -> impl Iterator<Item = (Duration, u64)> + '_ {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| (self.bin_start(i), count))
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths or bin counts differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin widths must match");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin counts must match");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.total_nanos += other.total_nanos;
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    /// Renders one `start_us count` row per bin (gnuplot-friendly), plus an
+    /// overflow row when non-empty.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (start, count) in self.iter() {
+            writeln!(f, "{:>10} {count}", start.as_micros())?;
+        }
+        if self.overflow > 0 {
+            writeln!(f, "  overflow {}", self.overflow)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert_eq!(
+            LatencyHistogram::new(Duration::ZERO, us(100)).unwrap_err(),
+            HistogramError::ZeroBinWidth
+        );
+        assert_eq!(
+            LatencyHistogram::new(us(100), us(50)).unwrap_err(),
+            HistogramError::RangeTooSmall
+        );
+        let h = LatencyHistogram::new(us(250), us(8_000)).expect("valid");
+        assert_eq!(h.bins(), 32);
+    }
+
+    #[test]
+    fn samples_land_in_correct_bins() {
+        let mut h = LatencyHistogram::new(us(100), us(1_000)).expect("valid");
+        h.add(us(0));
+        h.add(us(99));
+        h.add(us(100));
+        h.add(us(999));
+        h.add(us(1_000)); // overflow
+        assert_eq!(h.bin_count(0), 2);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(9), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn mean_accumulates() {
+        let mut h = LatencyHistogram::new(us(10), us(100)).expect("valid");
+        assert_eq!(h.mean(), None);
+        h.add_all([us(10), us(20), us(30)]);
+        assert_eq!(h.mean(), Some(us(20)));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = LatencyHistogram::new(us(10), us(100)).expect("valid");
+        let mut b = LatencyHistogram::new(us(10), us(100)).expect("valid");
+        a.add(us(5));
+        b.add(us(5));
+        b.add(us(95));
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bin_count(0), 2);
+        assert_eq!(a.bin_count(9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bin widths must match")]
+    fn merge_rejects_mismatched_geometry() {
+        let mut a = LatencyHistogram::new(us(10), us(100)).expect("valid");
+        let b = LatencyHistogram::new(us(20), us(100)).expect("valid");
+        a.merge(&b);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let mut h = LatencyHistogram::new(us(50), us(100)).expect("valid");
+        h.add(us(10));
+        h.add(us(200));
+        let text = h.to_string();
+        assert!(text.contains("         0 1"));
+        assert!(text.contains("overflow 1"));
+    }
+
+    #[test]
+    fn iter_covers_all_bins() {
+        let h = LatencyHistogram::new(us(25), us(100)).expect("valid");
+        let bins: Vec<_> = h.iter().collect();
+        assert_eq!(bins.len(), 4);
+        assert_eq!(bins[3].0, us(75));
+    }
+}

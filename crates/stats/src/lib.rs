@@ -1,0 +1,33 @@
+//! Latency statistics: fixed-bin histograms (the Figure-6 plots), running
+//! averages (the Figure-7 curves) and distribution summaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use rthv_stats::LatencyHistogram;
+//! use rthv_time::Duration;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut hist = LatencyHistogram::new(
+//!     Duration::from_micros(250),  // bin width
+//!     Duration::from_micros(8_000), // range
+//! )?;
+//! hist.add(Duration::from_micros(40));
+//! hist.add(Duration::from_micros(40));
+//! hist.add(Duration::from_micros(7_900));
+//! assert_eq!(hist.count(), 3);
+//! assert_eq!(hist.bin_count(0), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod histogram;
+mod summary;
+
+pub use export::{csv_field, csv_row, histogram_to_csv, series_to_csv};
+pub use histogram::{HistogramError, LatencyHistogram};
+pub use summary::{running_average, Summary};

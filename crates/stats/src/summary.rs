@@ -1,0 +1,170 @@
+//! Distribution summaries and the running-average series of Figure 7.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_time::Duration;
+
+/// Summary statistics of a latency sample set.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_stats::Summary;
+/// use rthv_time::Duration;
+///
+/// let summary = Summary::from_samples(
+///     [10, 20, 30, 40, 100].map(Duration::from_micros),
+/// ).expect("non-empty");
+/// assert_eq!(summary.mean, Duration::from_micros(40));
+/// assert_eq!(summary.median, Duration::from_micros(30));
+/// assert_eq!(summary.max, Duration::from_micros(100));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Smallest sample.
+    pub min: Duration,
+    /// Largest sample.
+    pub max: Duration,
+    /// 50th percentile (nearest-rank).
+    pub median: Duration,
+    /// 95th percentile (nearest-rank).
+    pub p95: Duration,
+    /// 99th percentile (nearest-rank).
+    pub p99: Duration,
+}
+
+impl Summary {
+    /// Computes the summary of a sample set; `None` when empty.
+    #[must_use]
+    pub fn from_samples<I: IntoIterator<Item = Duration>>(samples: I) -> Option<Self> {
+        let mut sorted: Vec<Duration> = samples.into_iter().collect();
+        if sorted.is_empty() {
+            return None;
+        }
+        sorted.sort_unstable();
+        let count = sorted.len() as u64;
+        let total: u128 = sorted.iter().map(|d| u128::from(d.as_nanos())).sum();
+        let mean = Duration::from_nanos(
+            u64::try_from(total / u128::from(count)).unwrap_or(u64::MAX),
+        );
+        let rank = |p: f64| -> Duration {
+            // Nearest-rank percentile: ⌈p·n⌉-th smallest (1-indexed).
+            let k = ((p * count as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[k - 1]
+        };
+        Some(Summary {
+            count,
+            mean,
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            median: rank(0.50),
+            p95: rank(0.95),
+            p99: rank(0.99),
+        })
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} p50={} p95={} p99={} max={}",
+            self.count, self.mean, self.min, self.median, self.p95, self.p99, self.max
+        )
+    }
+}
+
+/// The cumulative running average after each sample — the y-series of the
+/// paper's Figure 7 ("Avg. IRQ latency" over "IRQ events").
+///
+/// Element `i` is the mean of samples `0..=i`.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_stats::running_average;
+/// use rthv_time::Duration;
+///
+/// let series = running_average([10, 30, 20].map(Duration::from_micros));
+/// assert_eq!(series[1], Duration::from_micros(20));
+/// assert_eq!(series[2], Duration::from_micros(20));
+/// ```
+#[must_use]
+pub fn running_average<I: IntoIterator<Item = Duration>>(samples: I) -> Vec<Duration> {
+    let mut total: u128 = 0;
+    let mut out = Vec::new();
+    for (i, sample) in samples.into_iter().enumerate() {
+        total += u128::from(sample.as_nanos());
+        let mean = total / (i as u128 + 1);
+        out.push(Duration::from_nanos(u64::try_from(mean).unwrap_or(u64::MAX)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn empty_samples_have_no_summary() {
+        assert_eq!(Summary::from_samples(std::iter::empty()), None);
+    }
+
+    #[test]
+    fn single_sample_summary() {
+        let s = Summary::from_samples([us(7)]).expect("non-empty");
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, us(7));
+        assert_eq!(s.min, us(7));
+        assert_eq!(s.max, us(7));
+        assert_eq!(s.median, us(7));
+        assert_eq!(s.p99, us(7));
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let samples: Vec<Duration> = (1..=100).map(us).collect();
+        let s = Summary::from_samples(samples).expect("non-empty");
+        assert_eq!(s.median, us(50));
+        assert_eq!(s.p95, us(95));
+        assert_eq!(s.p99, us(99));
+        assert_eq!(s.max, us(100));
+    }
+
+    #[test]
+    fn unsorted_input_is_handled() {
+        let s = Summary::from_samples([us(30), us(10), us(20)]).expect("non-empty");
+        assert_eq!(s.min, us(10));
+        assert_eq!(s.median, us(20));
+        assert_eq!(s.max, us(30));
+    }
+
+    #[test]
+    fn running_average_is_cumulative() {
+        let series = running_average([us(100), us(0), us(200), us(100)]);
+        assert_eq!(series, vec![us(100), us(50), us(100), us(100)]);
+    }
+
+    #[test]
+    fn running_average_of_empty_is_empty() {
+        assert!(running_average(std::iter::empty()).is_empty());
+    }
+
+    #[test]
+    fn display_mentions_key_stats() {
+        let s = Summary::from_samples([us(10), us(20)]).expect("non-empty");
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=15us"));
+    }
+}

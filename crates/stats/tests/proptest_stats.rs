@@ -1,0 +1,113 @@
+//! Property tests for the statistics crate: histogram/summary consistency
+//! against brute force, CSV well-formedness.
+
+use proptest::prelude::*;
+
+use rthv_stats::{
+    csv_field, csv_row, histogram_to_csv, running_average, LatencyHistogram, Summary,
+};
+use rthv_time::Duration;
+
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..20_000, 1..300)
+}
+
+proptest! {
+    /// Histogram bin counts sum to the sample count, and the mean matches
+    /// brute force exactly.
+    #[test]
+    fn histogram_is_conservative(samples in samples_strategy()) {
+        let mut hist = LatencyHistogram::new(
+            Duration::from_micros(250),
+            Duration::from_micros(8_000),
+        ).expect("valid geometry");
+        hist.add_all(samples.iter().map(|&s| Duration::from_micros(s)));
+        let binned: u64 = hist.iter().map(|(_, c)| c).sum::<u64>() + hist.overflow();
+        prop_assert_eq!(binned, samples.len() as u64);
+        let brute_mean = samples.iter().map(|&s| s as u128 * 1_000).sum::<u128>()
+            / samples.len() as u128;
+        prop_assert_eq!(
+            hist.mean().expect("non-empty").as_nanos() as u128,
+            brute_mean
+        );
+    }
+
+    /// Every sample lands in the bin whose range contains it.
+    #[test]
+    fn samples_land_in_containing_bins(samples in samples_strategy()) {
+        let width = Duration::from_micros(100);
+        let mut hist = LatencyHistogram::new(width, Duration::from_micros(2_000))
+            .expect("valid geometry");
+        let mut brute = [0u64; 20];
+        let mut overflow = 0u64;
+        for &s in &samples {
+            let sample = Duration::from_micros(s);
+            hist.add(sample);
+            let idx = (s / 100) as usize;
+            if idx < 20 { brute[idx] += 1 } else { overflow += 1 }
+        }
+        for (i, &expected) in brute.iter().enumerate() {
+            prop_assert_eq!(hist.bin_count(i), expected, "bin {}", i);
+        }
+        prop_assert_eq!(hist.overflow(), overflow);
+    }
+
+    /// Summary invariants: min ≤ median ≤ p95 ≤ p99 ≤ max, and the mean is
+    /// within [min, max].
+    #[test]
+    fn summary_orderings_hold(samples in samples_strategy()) {
+        let summary = Summary::from_samples(
+            samples.iter().map(|&s| Duration::from_micros(s)),
+        ).expect("non-empty");
+        prop_assert!(summary.min <= summary.median);
+        prop_assert!(summary.median <= summary.p95);
+        prop_assert!(summary.p95 <= summary.p99);
+        prop_assert!(summary.p99 <= summary.max);
+        prop_assert!(summary.min <= summary.mean && summary.mean <= summary.max);
+        prop_assert_eq!(summary.count, samples.len() as u64);
+    }
+
+    /// The running average is always between the running min and max.
+    #[test]
+    fn running_average_is_bounded(samples in samples_strategy()) {
+        let series = running_average(samples.iter().map(|&s| Duration::from_micros(s)));
+        let mut min = u64::MAX;
+        let mut max = 0u64;
+        for (avg, &s) in series.iter().zip(&samples) {
+            min = min.min(s);
+            max = max.max(s);
+            prop_assert!(avg.as_micros() >= min && avg.as_micros() <= max);
+        }
+    }
+
+    /// CSV fields round-trip structurally: escaped output has balanced
+    /// quotes and rows have one more comma than separators inside fields.
+    #[test]
+    fn csv_escaping_is_balanced(field in ".{0,40}") {
+        let escaped = csv_field(&field);
+        if field.contains([',', '"', '\n', '\r']) {
+            prop_assert!(escaped.starts_with('"') && escaped.ends_with('"'));
+            // Inner quotes are doubled: total quote count is even.
+            prop_assert_eq!(escaped.matches('"').count() % 2, 0);
+        } else {
+            prop_assert_eq!(&escaped, &field);
+        }
+    }
+
+    /// A histogram CSV has exactly one data row per bin (plus header and
+    /// optional overflow).
+    #[test]
+    fn histogram_csv_row_count(samples in samples_strategy()) {
+        let mut hist = LatencyHistogram::new(
+            Duration::from_micros(500),
+            Duration::from_micros(5_000),
+        ).expect("valid geometry");
+        hist.add_all(samples.iter().map(|&s| Duration::from_micros(s)));
+        let csv = histogram_to_csv(&hist);
+        let rows = csv.lines().count();
+        let expected = 1 + hist.bins() + usize::from(hist.overflow() > 0);
+        prop_assert_eq!(rows, expected);
+        prop_assert!(csv.starts_with("bin_start_us,count\n"));
+        let _ = csv_row(["smoke"]);
+    }
+}

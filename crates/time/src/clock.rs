@@ -1,0 +1,164 @@
+//! Processor clock model: cycles ↔ virtual time.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Duration;
+
+/// Converts between processor cycles/instructions and virtual time for a
+/// fixed core frequency.
+///
+/// The paper's evaluation platform is an ARM926ej-s at 200 MHz and reports
+/// most overheads in *instructions* or *cycles* (Section 6.2). The simulation
+/// charges those costs in virtual time, so the clock model is the single
+/// place where "877 instructions" becomes "4385 ns". For the simple ARMv5
+/// five-stage pipeline of the paper's platform the reproduction assumes one
+/// instruction per cycle, which is the same granularity at which the paper
+/// itself mixes "instructions" and "cycles".
+///
+/// # Examples
+///
+/// ```
+/// use rthv_time::{ClockModel, Duration};
+///
+/// let clock = ClockModel::new(200_000_000).expect("valid frequency");
+/// assert_eq!(clock.cycles_to_duration(877), Duration::from_nanos(4_385));
+/// assert_eq!(clock.duration_to_cycles(Duration::from_micros(1)), 200);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ClockModel {
+    /// Core frequency in Hz.
+    frequency_hz: u64,
+}
+
+/// Error returned when constructing a [`ClockModel`] with an invalid
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidFrequencyError {
+    frequency_hz: u64,
+}
+
+impl fmt::Display for InvalidFrequencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "clock frequency {} Hz is outside the supported range (1 Hz ..= 1 THz)",
+            self.frequency_hz
+        )
+    }
+}
+
+impl std::error::Error for InvalidFrequencyError {}
+
+impl ClockModel {
+    /// The paper's evaluation platform: ARM926ej-s @ 200 MHz (5 ns/cycle).
+    pub const ARM926EJS_200MHZ: ClockModel = ClockModel {
+        frequency_hz: 200_000_000,
+    };
+
+    /// Creates a clock model for a core running at `frequency_hz`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidFrequencyError`] if the frequency is zero or above
+    /// 1 THz (where single-nanosecond resolution would round every cycle to
+    /// zero time).
+    pub fn new(frequency_hz: u64) -> Result<Self, InvalidFrequencyError> {
+        if frequency_hz == 0 || frequency_hz > 1_000_000_000_000 {
+            return Err(InvalidFrequencyError { frequency_hz });
+        }
+        Ok(ClockModel { frequency_hz })
+    }
+
+    /// The core frequency in Hz.
+    #[must_use]
+    pub const fn frequency_hz(self) -> u64 {
+        self.frequency_hz
+    }
+
+    /// Converts a cycle count into virtual time, rounding to the nearest
+    /// nanosecond.
+    #[must_use]
+    pub fn cycles_to_duration(self, cycles: u64) -> Duration {
+        // cycles * 1e9 / f, computed in u128 to avoid overflow.
+        let nanos = (u128::from(cycles) * 1_000_000_000 + u128::from(self.frequency_hz) / 2)
+            / u128::from(self.frequency_hz);
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+
+    /// Converts a virtual-time span into whole cycles (truncating).
+    #[must_use]
+    pub fn duration_to_cycles(self, duration: Duration) -> u64 {
+        let cycles = u128::from(duration.as_nanos()) * u128::from(self.frequency_hz)
+            / 1_000_000_000;
+        u64::try_from(cycles).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for ClockModel {
+    /// Defaults to the paper's 200 MHz ARM926ej-s.
+    fn default() -> Self {
+        ClockModel::ARM926EJS_200MHZ
+    }
+}
+
+impl fmt::Display for ClockModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.frequency_hz.is_multiple_of(1_000_000) {
+            write!(f, "{} MHz", self.frequency_hz / 1_000_000)
+        } else {
+            write!(f, "{} Hz", self.frequency_hz)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_platform_is_five_ns_per_cycle() {
+        let clock = ClockModel::ARM926EJS_200MHZ;
+        assert_eq!(clock.cycles_to_duration(1), Duration::from_nanos(5));
+        // Section 6.2 cost anchors.
+        assert_eq!(clock.cycles_to_duration(128), Duration::from_nanos(640));
+        assert_eq!(clock.cycles_to_duration(877), Duration::from_nanos(4_385));
+        assert_eq!(clock.cycles_to_duration(10_000), Duration::from_micros(50));
+    }
+
+    #[test]
+    fn rejects_degenerate_frequencies() {
+        assert!(ClockModel::new(0).is_err());
+        assert!(ClockModel::new(2_000_000_000_000).is_err());
+        let err = ClockModel::new(0).unwrap_err();
+        assert!(err.to_string().contains("0 Hz"));
+    }
+
+    #[test]
+    fn roundtrip_cycles_duration() {
+        let clock = ClockModel::ARM926EJS_200MHZ;
+        for cycles in [0, 1, 7, 128, 877, 10_000, 1_000_000] {
+            let d = clock.cycles_to_duration(cycles);
+            assert_eq!(clock.duration_to_cycles(d), cycles);
+        }
+    }
+
+    #[test]
+    fn rounding_is_nearest() {
+        // 3 cycles at 999 MHz ≈ 3.003 ns → rounds to 3 ns.
+        let clock = ClockModel::new(999_000_000).expect("valid");
+        assert_eq!(clock.cycles_to_duration(3), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn display_formats_mhz() {
+        assert_eq!(ClockModel::ARM926EJS_200MHZ.to_string(), "200 MHz");
+        assert_eq!(ClockModel::new(1_500).expect("valid").to_string(), "1500 Hz");
+    }
+
+    #[test]
+    fn default_is_paper_platform() {
+        assert_eq!(ClockModel::default(), ClockModel::ARM926EJS_200MHZ);
+    }
+}

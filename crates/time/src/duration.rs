@@ -1,0 +1,388 @@
+//! Span-of-time newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of virtual time, in nanoseconds.
+///
+/// `Duration` is the unit in which every cost-model parameter of the
+/// simulated platform (context-switch overhead, handler WCETs, TDMA slot
+/// lengths, …) is expressed. Arithmetic is checked in debug builds and
+/// saturating variants are provided for analysis code that must not panic.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_time::Duration;
+///
+/// let slot = Duration::from_micros(6_000);
+/// let cycle = slot * 2 + Duration::from_micros(2_000);
+/// assert_eq!(cycle, Duration::from_millis(14));
+/// assert_eq!(cycle.as_micros(), 14_000);
+/// ```
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration(nanos)
+    }
+
+    /// Creates a duration from microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micros * 1000` overflows `u64`.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        match micros.checked_mul(1_000) {
+            Some(nanos) => Duration(nanos),
+            None => panic!("Duration::from_micros overflow"),
+        }
+    }
+
+    /// Creates a duration from milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `millis * 1_000_000` overflows `u64`.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        match millis.checked_mul(1_000_000) {
+            Some(nanos) => Duration(nanos),
+            None => panic!("Duration::from_millis overflow"),
+        }
+    }
+
+    /// Creates a duration from whole seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs * 1e9` overflows `u64`.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        match secs.checked_mul(1_000_000_000) {
+            Some(nanos) => Duration(nanos),
+            None => panic!("Duration::from_secs overflow"),
+        }
+    }
+
+    /// Returns the duration in whole nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole microseconds (truncating).
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration in whole milliseconds (truncating).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the duration as fractional microseconds.
+    #[must_use]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Returns the duration as fractional seconds.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns `true` if this duration is zero.
+    #[must_use]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked addition; `None` on overflow.
+    #[must_use]
+    pub const fn checked_add(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_add(rhs.0) {
+            Some(nanos) => Some(Duration(nanos)),
+            None => None,
+        }
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    #[must_use]
+    pub const fn checked_sub(self, rhs: Duration) -> Option<Duration> {
+        match self.0.checked_sub(rhs.0) {
+            Some(nanos) => Some(Duration(nanos)),
+            None => None,
+        }
+    }
+
+    /// Checked multiplication by a scalar; `None` on overflow.
+    #[must_use]
+    pub const fn checked_mul(self, rhs: u64) -> Option<Duration> {
+        match self.0.checked_mul(rhs) {
+            Some(nanos) => Some(Duration(nanos)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition.
+    #[must_use]
+    pub const fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    #[must_use]
+    pub const fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating multiplication by a scalar.
+    #[must_use]
+    pub const fn saturating_mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+
+    /// Number of times `rhs` fits into `self`, rounded **up**
+    /// (`⌈self / rhs⌉`), as used by the interference terms of the paper's
+    /// analysis (e.g. Eq. 8 and Eq. 14).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[must_use]
+    pub const fn div_ceil(self, rhs: Duration) -> u64 {
+        assert!(rhs.0 != 0, "division by zero duration");
+        self.0.div_ceil(rhs.0)
+    }
+
+    /// Number of times `rhs` fits into `self`, rounded down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    #[must_use]
+    pub const fn div_floor(self, rhs: Duration) -> u64 {
+        assert!(rhs.0 != 0, "division by zero duration");
+        self.0 / rhs.0
+    }
+
+    /// Returns the smaller of two durations.
+    #[must_use]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Mul<Duration> for u64 {
+    type Output = Duration;
+
+    fn mul(self, rhs: Duration) -> Duration {
+        Duration(self * rhs.0)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = u64;
+
+    /// Truncating division between two durations.
+    fn div(self, rhs: Duration) -> u64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Duration {
+    /// Human-readable rendering with an automatically chosen unit.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == 0 {
+            write!(f, "0ns")
+        } else if ns.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns.is_multiple_of(1_000) {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl From<std::time::Duration> for Duration {
+    fn from(value: std::time::Duration) -> Self {
+        Duration(u64::try_from(value.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+impl From<Duration> for std::time::Duration {
+    fn from(value: Duration) -> Self {
+        std::time::Duration::from_nanos(value.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_scale_units() {
+        assert_eq!(Duration::from_micros(1).as_nanos(), 1_000);
+        assert_eq!(Duration::from_millis(1).as_nanos(), 1_000_000);
+        assert_eq!(Duration::from_secs(1).as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Duration::from_micros(30);
+        let b = Duration::from_micros(12);
+        assert_eq!((a + b) - b, a);
+        assert_eq!(a * 3 / 3, a);
+    }
+
+    #[test]
+    fn div_ceil_matches_paper_interference_shape() {
+        // ⌈Δt/d_min⌉ with Δt = 14ms, d_min = 3ms → 5 invocations.
+        let dt = Duration::from_millis(14);
+        let dmin = Duration::from_millis(3);
+        assert_eq!(dt.div_ceil(dmin), 5);
+        // Exactly divisible window.
+        assert_eq!(Duration::from_millis(12).div_ceil(dmin), 4);
+    }
+
+    #[test]
+    fn saturating_ops_clamp() {
+        assert_eq!(Duration::MAX.saturating_add(Duration::from_nanos(1)), Duration::MAX);
+        assert_eq!(Duration::ZERO.saturating_sub(Duration::from_nanos(1)), Duration::ZERO);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+    }
+
+    #[test]
+    fn checked_ops_detect_overflow() {
+        assert!(Duration::MAX.checked_add(Duration::from_nanos(1)).is_none());
+        assert!(Duration::ZERO.checked_sub(Duration::from_nanos(1)).is_none());
+        assert!(Duration::MAX.checked_mul(2).is_none());
+        assert_eq!(
+            Duration::from_micros(2).checked_mul(3),
+            Some(Duration::from_micros(6))
+        );
+    }
+
+    #[test]
+    fn display_picks_natural_unit() {
+        assert_eq!(Duration::ZERO.to_string(), "0ns");
+        assert_eq!(Duration::from_nanos(640).to_string(), "640ns");
+        assert_eq!(Duration::from_micros(50).to_string(), "50us");
+        assert_eq!(Duration::from_millis(14).to_string(), "14ms");
+        assert_eq!(Duration::from_secs(2).to_string(), "2s");
+    }
+
+    #[test]
+    fn sum_of_slots_is_tdma_cycle() {
+        let slots = [
+            Duration::from_micros(6_000),
+            Duration::from_micros(6_000),
+            Duration::from_micros(2_000),
+        ];
+        let cycle: Duration = slots.iter().copied().sum();
+        assert_eq!(cycle, Duration::from_millis(14));
+    }
+
+    #[test]
+    fn std_duration_conversion_roundtrips() {
+        let d = Duration::from_micros(1_234);
+        let std: std::time::Duration = d.into();
+        assert_eq!(Duration::from(std), d);
+    }
+
+    #[test]
+    fn min_max_order() {
+        let a = Duration::from_nanos(3);
+        let b = Duration::from_nanos(9);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+}

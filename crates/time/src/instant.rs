@@ -1,0 +1,211 @@
+//! Point-in-time newtype.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::Duration;
+
+/// An absolute point on the virtual simulation timeline, in nanoseconds since
+/// simulation start.
+///
+/// `Instant` and [`Duration`] are distinct types so a slot *length* can never
+/// be confused with a slot *boundary* ([C-NEWTYPE]).
+///
+/// # Examples
+///
+/// ```
+/// use rthv_time::{Duration, Instant};
+///
+/// let irq_arrival = Instant::ZERO + Duration::from_micros(100);
+/// let bottom_done = irq_arrival + Duration::from_micros(37);
+/// let latency = bottom_done - irq_arrival;
+/// assert_eq!(latency, Duration::from_micros(37));
+/// ```
+///
+/// [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Instant(u64);
+
+impl Instant {
+    /// The simulation start.
+    pub const ZERO: Instant = Instant(0);
+
+    /// The latest representable instant.
+    pub const MAX: Instant = Instant(u64::MAX);
+
+    /// Creates an instant from nanoseconds since simulation start.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Instant(nanos)
+    }
+
+    /// Creates an instant from microseconds since simulation start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `micros * 1000` overflows `u64`.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        match micros.checked_mul(1_000) {
+            Some(nanos) => Instant(nanos),
+            None => panic!("Instant::from_micros overflow"),
+        }
+    }
+
+    /// Nanoseconds since simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Whole microseconds since simulation start (truncating).
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Duration elapsed since `earlier`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    #[must_use]
+    pub fn duration_since(self, earlier: Instant) -> Duration {
+        self.checked_duration_since(earlier)
+            .expect("duration_since: earlier instant is later than self")
+    }
+
+    /// Duration elapsed since `earlier`, or `None` if `earlier > self`.
+    #[must_use]
+    pub fn checked_duration_since(self, earlier: Instant) -> Option<Duration> {
+        self.0.checked_sub(earlier.0).map(Duration::from_nanos)
+    }
+
+    /// Duration elapsed since `earlier`, clamped at zero.
+    #[must_use]
+    pub fn saturating_duration_since(self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked forward shift; `None` on overflow.
+    #[must_use]
+    pub fn checked_add(self, d: Duration) -> Option<Instant> {
+        self.0.checked_add(d.as_nanos()).map(Instant)
+    }
+
+    /// Offset into a repeating cycle of length `cycle` that started at
+    /// `Instant::ZERO`.
+    ///
+    /// Used to locate the active TDMA slot for an arbitrary instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycle` is zero.
+    #[must_use]
+    pub fn cycle_offset(self, cycle: Duration) -> Duration {
+        assert!(!cycle.is_zero(), "cycle length must be non-zero");
+        Duration::from_nanos(self.0 % cycle.as_nanos())
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.as_nanos();
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant(self.0 - rhs.as_nanos())
+    }
+}
+
+impl SubAssign<Duration> for Instant {
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.as_nanos();
+    }
+}
+
+impl Sub for Instant {
+    type Output = Duration;
+
+    /// Equivalent to [`Instant::duration_since`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rhs` is later than `self`.
+    fn sub(self, rhs: Instant) -> Duration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", Duration::from_nanos(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_then_subtract_roundtrips() {
+        let t = Instant::from_micros(100);
+        let d = Duration::from_micros(42);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+    }
+
+    #[test]
+    fn duration_since_orders() {
+        let early = Instant::from_nanos(10);
+        let late = Instant::from_nanos(25);
+        assert_eq!(late.duration_since(early), Duration::from_nanos(15));
+        assert!(early.checked_duration_since(late).is_none());
+        assert_eq!(early.saturating_duration_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is later")]
+    fn duration_since_panics_on_inversion() {
+        let _ = Instant::from_nanos(1).duration_since(Instant::from_nanos(2));
+    }
+
+    #[test]
+    fn cycle_offset_wraps() {
+        let cycle = Duration::from_micros(14_000);
+        let t = Instant::from_micros(14_000 * 3 + 2_500);
+        assert_eq!(t.cycle_offset(cycle), Duration::from_micros(2_500));
+        assert_eq!(Instant::ZERO.cycle_offset(cycle), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_shows_offset() {
+        assert_eq!(Instant::from_micros(50).to_string(), "t+50us");
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Instant::MAX.checked_add(Duration::from_nanos(1)).is_none());
+        assert_eq!(
+            Instant::ZERO.checked_add(Duration::from_nanos(7)),
+            Some(Instant::from_nanos(7))
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Virtual-time primitives for the rt-hypervisor reproduction.
+//!
+//! Everything in the simulated platform is expressed in **virtual
+//! nanoseconds** held in `u64`. Two newtypes keep points in time and spans of
+//! time apart ([C-NEWTYPE]):
+//!
+//! * [`Instant`] — an absolute point on the simulation timeline,
+//! * [`Duration`] — a span between two instants.
+//!
+//! A [`ClockModel`] converts between processor cycles and time for a
+//! configurable core frequency; the paper's platform is an ARM926ej-s at
+//! 200 MHz, i.e. 5 ns per cycle (see [`ClockModel::ARM926EJS_200MHZ`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use rthv_time::{Duration, Instant, ClockModel};
+//!
+//! let t0 = Instant::ZERO;
+//! let t1 = t0 + Duration::from_micros(6_000);
+//! assert_eq!(t1 - t0, Duration::from_micros(6_000));
+//!
+//! // The paper reports the monitor costs 128 instructions on the 200 MHz
+//! // ARM926ej-s; that is 640 ns of virtual time.
+//! let clock = ClockModel::ARM926EJS_200MHZ;
+//! assert_eq!(clock.cycles_to_duration(128), Duration::from_nanos(640));
+//! ```
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod duration;
+mod instant;
+
+pub use clock::{ClockModel, InvalidFrequencyError};
+pub use duration::Duration;
+pub use instant::Instant;

@@ -1,0 +1,73 @@
+//! Property tests for the time primitives: arithmetic laws, clock
+//! round-trips, ordering consistency.
+
+use proptest::prelude::*;
+
+use rthv_time::{ClockModel, Duration, Instant};
+
+proptest! {
+    /// (t + d) − d = t and (t + d) − t = d for all in-range values.
+    #[test]
+    fn instant_arithmetic_roundtrips(t in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let instant = Instant::from_nanos(t);
+        let delta = Duration::from_nanos(d);
+        prop_assert_eq!((instant + delta) - delta, instant);
+        prop_assert_eq!((instant + delta) - instant, delta);
+    }
+
+    /// Duration addition is commutative and associative (in range).
+    #[test]
+    fn duration_addition_laws(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4, c in 0u64..u64::MAX / 4) {
+        let (a, b, c) = (Duration::from_nanos(a), Duration::from_nanos(b), Duration::from_nanos(c));
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    /// div_ceil and div_floor bracket the true quotient.
+    #[test]
+    fn div_ceil_floor_bracket(n in 0u64..u64::MAX / 2, d in 1u64..1_000_000) {
+        let num = Duration::from_nanos(n);
+        let den = Duration::from_nanos(d);
+        let floor = num.div_floor(den);
+        let ceil = num.div_ceil(den);
+        prop_assert!(floor <= ceil);
+        prop_assert!(ceil - floor <= 1);
+        prop_assert!(den.saturating_mul(floor) <= num);
+        prop_assert!(den.saturating_mul(ceil) >= num);
+    }
+
+    /// Cycle offsets are always below the cycle and consistent with
+    /// subtraction.
+    #[test]
+    fn cycle_offset_is_modular(t in 0u64..u64::MAX / 2, cycle in 1u64..10_000_000) {
+        let instant = Instant::from_nanos(t);
+        let cycle = Duration::from_nanos(cycle);
+        let offset = instant.cycle_offset(cycle);
+        prop_assert!(offset < cycle);
+        prop_assert_eq!((t - offset.as_nanos()) % cycle.as_nanos(), 0);
+    }
+
+    /// Cycles → duration → cycles round-trips for every frequency that
+    /// divides 1 GHz evenly (where the conversion is exact).
+    #[test]
+    fn clock_roundtrip_exact_frequencies(
+        cycles in 0u64..1_000_000_000,
+        mhz in prop::sample::select(vec![1u64, 2, 4, 5, 8, 10, 20, 25, 40, 50, 100, 125, 200, 250, 500, 1000]),
+    ) {
+        let clock = ClockModel::new(mhz * 1_000_000).expect("valid");
+        let duration = clock.cycles_to_duration(cycles);
+        prop_assert_eq!(clock.duration_to_cycles(duration), cycles);
+    }
+
+    /// Saturating operations never panic and respect ordering.
+    #[test]
+    fn saturating_ops_are_total(a in any::<u64>(), b in any::<u64>()) {
+        let (x, y) = (Duration::from_nanos(a), Duration::from_nanos(b));
+        prop_assert!(x.saturating_add(y) >= x.max(y));
+        prop_assert!(x.saturating_sub(y) <= x);
+        let _ = x.saturating_mul(b);
+        let instant = Instant::from_nanos(a);
+        prop_assert!(instant.saturating_duration_since(Instant::from_nanos(b))
+            <= Duration::from_nanos(a));
+    }
+}

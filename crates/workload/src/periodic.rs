@@ -1,0 +1,195 @@
+//! Periodic-with-jitter arrival generation — the workload counterpart of
+//! the analysis crate's PJD event model, used for interferer IRQ sources.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rthv_time::{Duration, Instant};
+
+use crate::ArrivalTrace;
+
+/// Generator of periodic arrivals with bounded uniform release jitter and
+/// an optional enforced minimum distance.
+///
+/// The generated stream conforms to the analysis-side
+/// `EventModel::PeriodicJitter { period, jitter, dmin }` by construction,
+/// so simulated latencies can be checked against bounds computed from the
+/// same parameters.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_workload::PeriodicJitterArrivals;
+/// use rthv_time::{Duration, Instant};
+///
+/// let trace = PeriodicJitterArrivals::new(Duration::from_millis(5), 42)
+///     .with_jitter(Duration::from_micros(500))
+///     .generate(100, Instant::ZERO);
+/// assert_eq!(trace.len(), 100);
+/// // Consecutive nominal releases are 5 ms apart; jitter shifts each by
+/// // at most 500 µs, so gaps stay within 5 ms ± 500 µs.
+/// let min = trace.min_distance().expect("arrivals");
+/// assert!(min >= Duration::from_micros(4_500));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PeriodicJitterArrivals {
+    period: Duration,
+    jitter: Duration,
+    min_distance: Option<Duration>,
+    seed: u64,
+}
+
+impl PeriodicJitterArrivals {
+    /// Creates a strictly periodic generator (no jitter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(period: Duration, seed: u64) -> Self {
+        assert!(!period.is_zero(), "period must be positive");
+        PeriodicJitterArrivals {
+            period,
+            jitter: Duration::ZERO,
+            min_distance: None,
+            seed,
+        }
+    }
+
+    /// Adds uniform release jitter in `[0, jitter]` (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter` is not smaller than the period (the stream would
+    /// no longer be meaningfully periodic).
+    #[must_use]
+    pub fn with_jitter(mut self, jitter: Duration) -> Self {
+        assert!(jitter < self.period, "jitter must be below the period");
+        self.jitter = jitter;
+        self
+    }
+
+    /// Clamps consecutive arrivals to at least `dmin` apart (builder
+    /// style) — useful to keep a jittered stream monitor-conformant.
+    #[must_use]
+    pub fn with_min_distance(mut self, dmin: Duration) -> Self {
+        self.min_distance = Some(dmin);
+        self
+    }
+
+    /// The nominal period.
+    #[must_use]
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Generates `count` arrivals with nominal releases at
+    /// `start + k·period`.
+    #[must_use]
+    pub fn generate(&self, count: usize, start: Instant) -> ArrivalTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut arrivals = Vec::with_capacity(count);
+        let mut previous: Option<Instant> = None;
+        for k in 0..count {
+            let nominal = start + self.period * k as u64;
+            let jitter_ns = if self.jitter.is_zero() {
+                0
+            } else {
+                rng.gen_range(0..=self.jitter.as_nanos())
+            };
+            let mut t = nominal + Duration::from_nanos(jitter_ns);
+            if let Some(prev) = previous {
+                // Jitter can locally reorder releases; restore order, then
+                // apply the optional minimum distance.
+                let floor = match self.min_distance {
+                    Some(dmin) => prev + dmin,
+                    None => prev,
+                };
+                if t < floor {
+                    t = floor;
+                }
+            }
+            arrivals.push(t);
+            previous = Some(t);
+        }
+        ArrivalTrace::new(arrivals).expect("monotone construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn no_jitter_is_strictly_periodic() {
+        let trace = PeriodicJitterArrivals::new(ms(5), 0).generate(20, Instant::ZERO);
+        for (k, t) in trace.iter().enumerate() {
+            assert_eq!(*t, Instant::ZERO + ms(5) * k as u64);
+        }
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let jitter = Duration::from_micros(800);
+        let trace = PeriodicJitterArrivals::new(ms(5), 7)
+            .with_jitter(jitter)
+            .generate(200, Instant::ZERO);
+        for (k, t) in trace.iter().enumerate() {
+            let nominal = Instant::ZERO + ms(5) * k as u64;
+            assert!(*t >= nominal, "release {k} before nominal");
+            assert!(t.duration_since(nominal) <= jitter, "release {k} over-jittered");
+        }
+    }
+
+    #[test]
+    fn min_distance_is_enforced() {
+        let dmin = Duration::from_micros(4_800);
+        let trace = PeriodicJitterArrivals::new(ms(5), 11)
+            .with_jitter(Duration::from_micros(4_000))
+            .with_min_distance(dmin)
+            .generate(500, Instant::ZERO);
+        assert!(trace.min_distance().expect("arrivals") >= dmin);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let make = |seed| {
+            PeriodicJitterArrivals::new(ms(2), seed)
+                .with_jitter(Duration::from_micros(300))
+                .generate(50, Instant::ZERO)
+        };
+        assert_eq!(make(3), make(3));
+        assert_ne!(make(3), make(4));
+    }
+
+    #[test]
+    fn conforms_to_pjd_event_model_shape() {
+        // Empirical check of the analysis-side claim: in any window Δt the
+        // stream has at most ⌈(Δt + J)/P⌉ events.
+        let period = ms(5);
+        let jitter = Duration::from_micros(900);
+        let trace = PeriodicJitterArrivals::new(period, 13)
+            .with_jitter(jitter)
+            .generate(300, Instant::ZERO);
+        let arrivals = trace.as_slice();
+        let window = ms(12);
+        let eta = (window + jitter).div_ceil(period); // ⌈(Δt+J)/P⌉
+        for (i, &start) in arrivals.iter().enumerate() {
+            let inside = arrivals[i..]
+                .iter()
+                .take_while(|t| t.duration_since(start) < window)
+                .count() as u64;
+            assert!(inside <= eta, "{inside} events exceed η⁺ = {eta}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "below the period")]
+    fn oversized_jitter_rejected() {
+        let _ = PeriodicJitterArrivals::new(ms(1), 0).with_jitter(ms(2));
+    }
+}

@@ -1,0 +1,342 @@
+//! Validated arrival traces and their empirical characterizations.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use rthv_monitor::{DeltaFunction, DeltaFunctionError, DeltaLearner};
+use rthv_time::{Duration, Instant};
+
+/// A time-ordered sequence of IRQ arrival instants.
+///
+/// The constructor validates ordering ([C-VALIDATE]); generators in this
+/// crate always produce valid traces.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_workload::ArrivalTrace;
+/// use rthv_time::{Duration, Instant};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = ArrivalTrace::new(vec![
+///     Instant::from_micros(0),
+///     Instant::from_micros(400),
+///     Instant::from_micros(900),
+/// ])?;
+/// assert_eq!(trace.min_distance(), Some(Duration::from_micros(400)));
+/// assert_eq!(trace.span(), Duration::from_micros(900));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [C-VALIDATE]: https://rust-lang.github.io/api-guidelines/dependability.html
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    arrivals: Vec<Instant>,
+}
+
+/// Error returned by [`ArrivalTrace::new`] for out-of-order arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceError {
+    /// Index of the first arrival earlier than its predecessor.
+    pub index: usize,
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "arrival trace is not time-ordered at index {}",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl ArrivalTrace {
+    /// Creates a trace from time-ordered arrival instants.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if any arrival precedes its predecessor
+    /// (equal timestamps are allowed — hardware IRQs can coincide).
+    pub fn new(arrivals: Vec<Instant>) -> Result<Self, TraceError> {
+        for (index, pair) in arrivals.windows(2).enumerate() {
+            if pair[1] < pair[0] {
+                return Err(TraceError { index: index + 1 });
+            }
+        }
+        Ok(ArrivalTrace { arrivals })
+    }
+
+    /// The arrival instants.
+    #[must_use]
+    pub fn as_slice(&self) -> &[Instant] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// `true` if the trace has no arrivals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Iterates over the arrival instants.
+    pub fn iter(&self) -> std::slice::Iter<'_, Instant> {
+        self.arrivals.iter()
+    }
+
+    /// Consecutive interarrival distances (the paper's "distance array",
+    /// used to reload the trigger timer).
+    #[must_use]
+    pub fn distances(&self) -> Vec<Duration> {
+        self.arrivals
+            .windows(2)
+            .map(|pair| pair[1].duration_since(pair[0]))
+            .collect()
+    }
+
+    /// Rebuilds a trace from a distance array and a start instant — the
+    /// inverse of [`distances`](Self::distances).
+    #[must_use]
+    pub fn from_distances(start: Instant, distances: &[Duration]) -> Self {
+        let mut arrivals = Vec::with_capacity(distances.len() + 1);
+        let mut t = start;
+        arrivals.push(t);
+        for &gap in distances {
+            t += gap;
+            arrivals.push(t);
+        }
+        ArrivalTrace { arrivals }
+    }
+
+    /// Smallest interarrival distance, or `None` for traces with fewer than
+    /// two arrivals.
+    #[must_use]
+    pub fn min_distance(&self) -> Option<Duration> {
+        self.distances().into_iter().min()
+    }
+
+    /// Mean interarrival distance, or `None` for traces with fewer than two
+    /// arrivals.
+    #[must_use]
+    pub fn mean_distance(&self) -> Option<Duration> {
+        let distances = self.distances();
+        if distances.is_empty() {
+            return None;
+        }
+        let total: u128 = distances.iter().map(|d| u128::from(d.as_nanos())).sum();
+        Some(Duration::from_nanos(
+            u64::try_from(total / distances.len() as u128).unwrap_or(u64::MAX),
+        ))
+    }
+
+    /// Time spanned from the first to the last arrival.
+    #[must_use]
+    pub fn span(&self) -> Duration {
+        match (self.arrivals.first(), self.arrivals.last()) {
+            (Some(&first), Some(&last)) => last.duration_since(first),
+            _ => Duration::ZERO,
+        }
+    }
+
+    /// Long-term bottom-handler load this trace induces, as a fraction of
+    /// one CPU: `n · C_BH / span`.
+    ///
+    /// Returns `None` for traces spanning zero time.
+    #[must_use]
+    pub fn load(&self, bottom_cost: Duration) -> Option<f64> {
+        let span = self.span();
+        if span.is_zero() {
+            return None;
+        }
+        Some(
+            self.arrivals.len() as f64 * bottom_cost.as_nanos() as f64
+                / span.as_nanos() as f64,
+        )
+    }
+
+    /// The empirical length-`l` minimum-distance function of this trace —
+    /// exactly what Appendix A's learning phase records (Algorithm 1 over
+    /// the whole trace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DeltaFunctionError`] (cannot occur for a time-ordered
+    /// trace, but the validated constructor is used).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l` is zero.
+    pub fn empirical_delta(&self, l: usize) -> Result<DeltaFunction, DeltaFunctionError> {
+        let mut learner = DeltaLearner::new(l);
+        for &arrival in &self.arrivals {
+            learner.observe(arrival);
+        }
+        learner.learned_delta()
+    }
+
+    /// Splits the trace at `fraction` (0..=1) of its *events*: the learn
+    /// prefix and the run suffix of Appendix A.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `[0, 1]`.
+    #[must_use]
+    pub fn split_at_fraction(&self, fraction: f64) -> (ArrivalTrace, ArrivalTrace) {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be within [0, 1], got {fraction}"
+        );
+        let cut = (self.arrivals.len() as f64 * fraction).round() as usize;
+        let cut = cut.min(self.arrivals.len());
+        (
+            ArrivalTrace {
+                arrivals: self.arrivals[..cut].to_vec(),
+            },
+            ArrivalTrace {
+                arrivals: self.arrivals[cut..].to_vec(),
+            },
+        )
+    }
+
+    /// Shifts every arrival forward by `offset`.
+    #[must_use]
+    pub fn shifted(&self, offset: Duration) -> ArrivalTrace {
+        ArrivalTrace {
+            arrivals: self.arrivals.iter().map(|&t| t + offset).collect(),
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a ArrivalTrace {
+    type Item = &'a Instant;
+    type IntoIter = std::slice::Iter<'a, Instant>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.arrivals.iter()
+    }
+}
+
+impl fmt::Display for ArrivalTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace({} arrivals over {})", self.len(), self.span())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(micros: &[u64]) -> ArrivalTrace {
+        ArrivalTrace::new(micros.iter().map(|&t| Instant::from_micros(t)).collect())
+            .expect("ordered")
+    }
+
+    #[test]
+    fn rejects_out_of_order() {
+        let err = ArrivalTrace::new(vec![
+            Instant::from_micros(10),
+            Instant::from_micros(5),
+        ])
+        .unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(err.to_string().contains("index 1"));
+    }
+
+    #[test]
+    fn allows_simultaneous_arrivals() {
+        let t = ArrivalTrace::new(vec![Instant::ZERO, Instant::ZERO]).expect("ordered");
+        assert_eq!(t.min_distance(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn distances_roundtrip() {
+        let t = trace(&[100, 400, 900, 1_000]);
+        let distances = t.distances();
+        assert_eq!(
+            distances,
+            vec![
+                Duration::from_micros(300),
+                Duration::from_micros(500),
+                Duration::from_micros(100)
+            ]
+        );
+        let rebuilt = ArrivalTrace::from_distances(Instant::from_micros(100), &distances);
+        assert_eq!(rebuilt, t);
+    }
+
+    #[test]
+    fn statistics() {
+        let t = trace(&[0, 300, 900]);
+        assert_eq!(t.min_distance(), Some(Duration::from_micros(300)));
+        assert_eq!(t.mean_distance(), Some(Duration::from_micros(450)));
+        assert_eq!(t.span(), Duration::from_micros(900));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_statistics() {
+        let t = ArrivalTrace::new(vec![]).expect("ordered");
+        assert!(t.is_empty());
+        assert_eq!(t.min_distance(), None);
+        assert_eq!(t.mean_distance(), None);
+        assert_eq!(t.span(), Duration::ZERO);
+        assert_eq!(t.load(Duration::from_micros(1)), None);
+    }
+
+    #[test]
+    fn load_is_work_over_span() {
+        // 3 arrivals of 30 µs work over 900 µs → 10 %.
+        let t = trace(&[0, 300, 900]);
+        let load = t.load(Duration::from_micros(30)).expect("nonzero span");
+        assert!((load - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_delta_matches_brute_force() {
+        let t = trace(&[0, 120, 130, 400, 410, 420, 1_000]);
+        let delta = t.empirical_delta(3).expect("monotonic");
+        let raw: Vec<u64> = vec![0, 120, 130, 400, 410, 420, 1_000];
+        for i in 0..3usize {
+            let span = i + 1;
+            let expected = raw.windows(span + 1).map(|w| w[span] - w[0]).min().unwrap();
+            assert_eq!(delta.entries()[i], Duration::from_micros(expected));
+        }
+    }
+
+    #[test]
+    fn split_at_fraction_partitions_events() {
+        let t = trace(&[0, 1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let (learn, run) = t.split_at_fraction(0.1);
+        assert_eq!(learn.len(), 1);
+        assert_eq!(run.len(), 9);
+        let (all, none) = t.split_at_fraction(1.0);
+        assert_eq!(all.len(), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn shifted_moves_all_arrivals() {
+        let t = trace(&[0, 100]);
+        let s = t.shifted(Duration::from_micros(50));
+        assert_eq!(
+            s.as_slice(),
+            &[Instant::from_micros(50), Instant::from_micros(150)]
+        );
+    }
+
+    #[test]
+    fn display_summarizes() {
+        assert_eq!(trace(&[0, 900]).to_string(), "trace(2 arrivals over 900us)");
+    }
+}

@@ -1,0 +1,184 @@
+//! Plain-text trace files: one arrival timestamp (nanoseconds) per line.
+//!
+//! The paper's Appendix A replays a recorded ECU activation trace; this
+//! module defines the interchange format this reproduction uses for such
+//! recordings — trivially producible from any logging setup:
+//!
+//! ```text
+//! # automotive ECU activation trace, timestamps in ns
+//! 0
+//! 5000321
+//! 5100022
+//! ```
+//!
+//! Lines starting with `#` (and blank lines) are ignored.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+use rthv_time::Instant;
+
+use crate::{ArrivalTrace, TraceError};
+
+/// Error returned by [`read_trace`].
+#[derive(Debug)]
+pub enum ReadTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line was not a valid nanosecond timestamp.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The timestamps were not time-ordered.
+    Order(TraceError),
+}
+
+impl fmt::Display for ReadTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadTraceError::Io(err) => write!(f, "failed to read trace: {err}"),
+            ReadTraceError::Parse { line, text } => {
+                write!(f, "line {line} is not a nanosecond timestamp: {text:?}")
+            }
+            ReadTraceError::Order(err) => write!(f, "trace file {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadTraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadTraceError::Io(err) => Some(err),
+            ReadTraceError::Parse { .. } => None,
+            ReadTraceError::Order(err) => Some(err),
+        }
+    }
+}
+
+impl From<io::Error> for ReadTraceError {
+    fn from(err: io::Error) -> Self {
+        ReadTraceError::Io(err)
+    }
+}
+
+/// Reads a trace from any [`BufRead`] source (pass `&mut reader` to keep
+/// ownership).
+///
+/// # Errors
+///
+/// See [`ReadTraceError`].
+///
+/// # Examples
+///
+/// ```
+/// use rthv_workload::read_trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let text = "# comment\n100\n\n250\n";
+/// let trace = read_trace(text.as_bytes())?;
+/// assert_eq!(trace.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn read_trace<R: BufRead>(reader: R) -> Result<ArrivalTrace, ReadTraceError> {
+    let mut arrivals = Vec::new();
+    for (index, line) in reader.lines().enumerate() {
+        let line = line?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let nanos: u64 = text.parse().map_err(|_| ReadTraceError::Parse {
+            line: index + 1,
+            text: text.to_owned(),
+        })?;
+        arrivals.push(Instant::from_nanos(nanos));
+    }
+    ArrivalTrace::new(arrivals).map_err(ReadTraceError::Order)
+}
+
+/// Writes a trace to any [`Write`] sink, one nanosecond timestamp per line,
+/// preceded by a small header comment.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_workload::{read_trace, write_trace, ArrivalTrace};
+/// use rthv_time::Instant;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let trace = ArrivalTrace::new(vec![Instant::from_nanos(7)])?;
+/// let mut buffer = Vec::new();
+/// write_trace(&mut buffer, &trace)?;
+/// assert_eq!(read_trace(buffer.as_slice())?, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(mut writer: W, trace: &ArrivalTrace) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# rthv arrival trace: {} events, timestamps in ns",
+        trace.len()
+    )?;
+    for arrival in trace {
+        writeln!(writer, "{}", arrival.as_nanos())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::AutomotiveTraceBuilder;
+
+    #[test]
+    fn round_trips_through_text() {
+        let trace = AutomotiveTraceBuilder::typical_ecu(1).build(500);
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &trace).expect("in-memory write");
+        let read = read_trace(buffer.as_slice()).expect("well-formed");
+        assert_eq!(read, trace);
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n10\n   # indented comment\n20\n";
+        let trace = read_trace(text.as_bytes()).expect("well-formed");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.as_slice()[1], Instant::from_nanos(20));
+    }
+
+    #[test]
+    fn reports_parse_errors_with_line_numbers() {
+        let text = "10\nnot-a-number\n30\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        match err {
+            ReadTraceError::Parse { line, ref text } => {
+                assert_eq!(line, 2);
+                assert_eq!(text, "not-a-number");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn reports_out_of_order_traces() {
+        let text = "100\n50\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert!(matches!(err, ReadTraceError::Order(_)));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_trace() {
+        let trace = read_trace("# nothing here\n".as_bytes()).expect("well-formed");
+        assert!(trace.is_empty());
+    }
+}

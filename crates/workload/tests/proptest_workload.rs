@@ -1,0 +1,110 @@
+//! Property tests for the workload generators: determinism, constraint
+//! conformance, trace I/O round-trips.
+
+use proptest::prelude::*;
+
+use rthv_time::{Duration, Instant};
+use rthv_workload::{
+    read_trace, write_trace, ArrivalTrace, ExponentialArrivals, PeriodicJitterArrivals,
+};
+
+proptest! {
+    /// Clamped exponential traces never violate the minimum distance, and
+    /// the same seed reproduces the identical trace.
+    #[test]
+    fn clamped_exponential_conforms(
+        mean_us in 100u64..10_000,
+        dmin_us in 1u64..10_000,
+        count in 2usize..400,
+        seed in any::<u64>(),
+    ) {
+        let make = || {
+            ExponentialArrivals::new(Duration::from_micros(mean_us), seed)
+                .with_min_distance(Duration::from_micros(dmin_us))
+                .generate(count, Instant::ZERO)
+        };
+        let trace = make();
+        prop_assert_eq!(trace.len(), count);
+        prop_assert!(trace.min_distance().expect("count ≥ 2")
+            >= Duration::from_micros(dmin_us));
+        prop_assert_eq!(make(), trace);
+    }
+
+    /// PJD traces stay within [nominal, nominal + jitter] per release.
+    #[test]
+    fn pjd_releases_stay_in_their_windows(
+        period_us in 100u64..5_000,
+        jitter_frac in 0u64..100,
+        count in 1usize..200,
+        seed in any::<u64>(),
+    ) {
+        let period = Duration::from_micros(period_us);
+        let jitter = Duration::from_nanos(period.as_nanos() * jitter_frac / 101);
+        let trace = PeriodicJitterArrivals::new(period, seed)
+            .with_jitter(jitter)
+            .generate(count, Instant::ZERO);
+        for (k, t) in trace.iter().enumerate() {
+            let nominal = Instant::ZERO + period * k as u64;
+            prop_assert!(*t >= nominal);
+            prop_assert!(t.duration_since(nominal) <= jitter);
+        }
+    }
+
+    /// Distance arrays round-trip: distances → trace → distances.
+    #[test]
+    fn distance_arrays_roundtrip(
+        start_us in 0u64..1_000_000,
+        gaps in prop::collection::vec(0u64..100_000, 0..200),
+    ) {
+        let distances: Vec<Duration> =
+            gaps.iter().map(|&g| Duration::from_micros(g)).collect();
+        let trace = ArrivalTrace::from_distances(Instant::from_micros(start_us), &distances);
+        prop_assert_eq!(trace.len(), distances.len() + 1);
+        prop_assert_eq!(trace.distances(), distances);
+    }
+
+    /// Text trace files round-trip for arbitrary ordered traces.
+    #[test]
+    fn text_io_roundtrips(gaps in prop::collection::vec(0u64..1_000_000, 0..200)) {
+        let mut t = 0u64;
+        let arrivals: Vec<Instant> = gaps
+            .iter()
+            .map(|&g| {
+                t += g;
+                Instant::from_nanos(t)
+            })
+            .collect();
+        let trace = ArrivalTrace::new(arrivals).expect("ordered");
+        let mut buffer = Vec::new();
+        write_trace(&mut buffer, &trace).expect("in-memory write");
+        let read = read_trace(buffer.as_slice()).expect("well-formed");
+        prop_assert_eq!(read, trace);
+    }
+
+    /// The empirical δ⁻ of a trace admits the trace itself: replaying the
+    /// trace through a monitor with its own learned function denies
+    /// nothing.
+    #[test]
+    fn empirical_delta_admits_its_own_trace(
+        gaps in prop::collection::vec(1u64..50_000, 2..150),
+        l in 1usize..=5,
+    ) {
+        let mut t = 0u64;
+        let arrivals: Vec<Instant> = gaps
+            .iter()
+            .map(|&g| {
+                t += g;
+                Instant::from_micros(t)
+            })
+            .collect();
+        let trace = ArrivalTrace::new(arrivals.clone()).expect("ordered");
+        let delta = trace.empirical_delta(l).expect("monotonic");
+        let mut monitor = rthv_monitor::ActivationMonitor::new(delta);
+        for arrival in arrivals {
+            prop_assert!(
+                monitor.try_admit(arrival),
+                "the learned δ⁻ must admit its own trace"
+            );
+        }
+    }
+}

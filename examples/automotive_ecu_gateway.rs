@@ -1,0 +1,51 @@
+//! Automotive CAN/Ethernet gateway: the Appendix-A workflow end to end —
+//! learn a δ⁻ function from the first 10 % of a bursty ECU activation
+//! trace, clamp it to an allowed-load bound, then run monitored.
+//!
+//! Run with: `cargo run --example automotive_ecu_gateway`
+
+use rthv::scenarios::{run_fig7, Fig7Bound, Fig7Config};
+use rthv::workload::AutomotiveTraceBuilder;
+
+fn main() {
+    // Inspect the synthetic ECU trace the scenario replays.
+    let config = Fig7Config {
+        events: 6_000,
+        ..Fig7Config::default()
+    };
+    let trace = AutomotiveTraceBuilder::typical_ecu(config.seed).build(config.events);
+    println!(
+        "synthetic ECU trace: {} activations over {:.2} s (min gap {}, mean gap {})\n",
+        trace.len(),
+        trace.span().as_secs_f64(),
+        trace.min_distance().expect("activations"),
+        trace.mean_distance().expect("activations"),
+    );
+
+    println!(
+        "{:<28} {:>11} {:>11} {:>9} {:>9}",
+        "bound (allowed load)", "learn avg", "run avg", "interposed", "delayed"
+    );
+    for (label, bound) in [
+        ("unbounded (100 %)", Fig7Bound::Unbounded),
+        ("25 %", Fig7Bound::LoadFraction(0.25)),
+        ("12.5 %", Fig7Bound::LoadFraction(0.125)),
+        ("6.25 %", Fig7Bound::LoadFraction(0.0625)),
+    ] {
+        let curve = run_fig7(&config, bound);
+        println!(
+            "{:<28} {:>11} {:>11} {:>9} {:>9}",
+            label,
+            curve.learn_avg.to_string(),
+            curve.run_avg.to_string(),
+            curve.run_class_counts.1,
+            curve.run_class_counts.2,
+        );
+    }
+
+    println!(
+        "\nTighter δ⁻ bounds trade reaction time for guaranteed lower \
+         interference on the other partitions — the gateway stays below the \
+         budget certified for the module even if the CAN bus misbehaves."
+    );
+}

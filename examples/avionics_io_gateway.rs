@@ -1,0 +1,96 @@
+//! Avionics I/O gateway: an ARINC653-style integrated-modular-avionics
+//! layout where an I/O partition serves network interrupts for the whole
+//! module — the workload the paper's introduction motivates.
+//!
+//! Four partitions share one core under TDMA: flight control (highest
+//! criticality), displays, maintenance, and the I/O gateway. AFDX-style
+//! network frames raise IRQs subscribed by the gateway. Without
+//! interposition the gateway only sees frames during its own 4 ms slot of a
+//! 25 ms major frame, so frame-handling latencies reach ~21 ms. With the
+//! monitor set to d_min = 2 ms the gateway reacts within ~100 µs while
+//! flight control provably loses at most ⌈Δt/d_min⌉·C'_BH of service.
+//!
+//! Run with: `cargo run --example avionics_io_gateway`
+
+use rthv::monitor::{interference_bound_dmin, DeltaFunction};
+use rthv::time::{Duration, Instant};
+use rthv::workload::ExponentialArrivals;
+use rthv::{CostModel, HandlingClass, IrqHandlingMode, IrqSourceId, PartitionId, SystemBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ms = Duration::from_millis;
+    let us = Duration::from_micros;
+
+    let dmin = ms(2);
+    let frame_handler = us(40); // C_BH: copy + route one frame batch
+    let costs = CostModel::paper_arm926ejs();
+
+    // AFDX frames: bursty arrivals with a 2 ms bandwidth-allocation gap —
+    // the virtual-link BAG maps naturally onto the monitoring condition.
+    let frames = ExponentialArrivals::new(dmin, 1701)
+        .with_min_distance(dmin)
+        .generate(3_000, Instant::ZERO);
+
+    let run = |mode: IrqHandlingMode| -> Result<_, Box<dyn std::error::Error>> {
+        let mut builder = SystemBuilder::new()
+            .partition("flight-control", ms(10))
+            .partition("displays", ms(6))
+            .partition("maintenance", ms(5))
+            .partition("io-gateway", ms(4))
+            .costs(costs)
+            .mode(mode);
+        builder = match mode {
+            IrqHandlingMode::Baseline => builder.irq_source("afdx", 3, frame_handler),
+            IrqHandlingMode::Interposed => builder.monitored_irq_source(
+                "afdx",
+                3,
+                frame_handler,
+                DeltaFunction::from_dmin(dmin)?,
+            ),
+        };
+        let mut machine = builder.build()?;
+        machine.schedule_irq_trace(IrqSourceId::new(0), frames.as_slice())?;
+        let last = *frames.as_slice().last().expect("frames exist");
+        machine.run_until_complete(last + ms(250));
+        Ok(machine.finish())
+    };
+
+    println!("ARINC653-style module: 10/6/5/4 ms slots, AFDX IRQs -> io-gateway\n");
+    let baseline = run(IrqHandlingMode::Baseline)?;
+    let monitored = run(IrqHandlingMode::Interposed)?;
+
+    for (name, report) in [("baseline", &baseline), ("interposed", &monitored)] {
+        println!(
+            "{name:<11} mean {:>10}  max {:>10}  delayed {:>5}  interposed {:>5}",
+            report.recorder.mean_latency().expect("frames").to_string(),
+            report.recorder.max_latency().expect("frames").to_string(),
+            report.recorder.count_class(HandlingClass::Delayed),
+            report.recorder.count_class(HandlingClass::Interposed),
+        );
+    }
+
+    // The safety argument for the flight-control partition.
+    let effective = costs.effective_bottom_cost(frame_handler);
+    let horizon = ms(10); // one flight-control slot
+    let bound = interference_bound_dmin(horizon, dmin, effective);
+    let fc_idle = baseline
+        .counters
+        .service_of(PartitionId::new(0))
+        .total();
+    let fc_monitored = monitored
+        .counters
+        .service_of(PartitionId::new(0))
+        .total();
+    println!(
+        "\nflight-control service: baseline {fc_idle}, monitored {fc_monitored} \
+         (loss {})",
+        fc_idle.saturating_sub(fc_monitored)
+    );
+    println!(
+        "per-slot interference bound (Eq. 14): {} of a {} slot ({:.2} %)",
+        bound,
+        horizon,
+        100.0 * bound.as_nanos() as f64 / horizon.as_nanos() as f64
+    );
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Pure worst-case analysis (no simulation): sweep the monitoring distance
+//! d_min and print the baseline vs interposed latency bounds of
+//! Sections 4/5.1 — showing where interposition pays off and how the
+//! interference bound on other partitions grows as d_min shrinks.
+//!
+//! Run with: `cargo run --example latency_analysis`
+
+use rthv::analysis::{
+    baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask, TdmaSlot,
+};
+use rthv::monitor::interference_bound_dmin;
+use rthv::time::Duration;
+use rthv::CostModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let us = Duration::from_micros;
+    let costs = CostModel::paper_arm926ejs();
+    let bottom = us(30);
+    let tdma = TdmaSlot {
+        cycle: us(14_000),
+        slot: us(6_000) - costs.context_switch, // usable slot
+    };
+
+    println!("paper platform: T_TDMA = 14 ms, T_i = 6 ms, C_BH = 30 us\n");
+    println!(
+        "{:>10} {:>16} {:>16} {:>8} {:>22}",
+        "d_min", "baseline WCRT", "interposed WCRT", "gain", "victim load (Eq. 14)"
+    );
+
+    for dmin_us in [500u64, 1_000, 2_000, 3_000, 5_000, 10_000, 20_000] {
+        let dmin = us(dmin_us);
+        let task = IrqTask {
+            model: EventModel::sporadic(dmin),
+            top_cost: costs.top_handler,
+            bottom_cost: bottom,
+        };
+        let baseline = baseline_irq_wcrt(&task, tdma, &[])?;
+        let effective = task.with_effective_costs(
+            costs.monitor_check,
+            costs.sched_manip,
+            costs.context_switch,
+        );
+        let interposed = interposed_irq_wcrt(&effective, &[])?;
+        let gain = baseline.wcrt.as_nanos() as f64 / interposed.wcrt.as_nanos() as f64;
+        // Long-term fraction of any victim window lost to interpositions.
+        let window = us(1_000_000);
+        let interference = interference_bound_dmin(
+            window,
+            dmin,
+            costs.effective_bottom_cost(bottom),
+        );
+        let victim_load =
+            100.0 * interference.as_nanos() as f64 / window.as_nanos() as f64;
+        println!(
+            "{:>10} {:>16} {:>16} {:>7.0}x {:>21.2}%",
+            dmin.to_string(),
+            baseline.wcrt.to_string(),
+            interposed.wcrt.to_string(),
+            gain,
+            victim_load,
+        );
+    }
+
+    println!(
+        "\nThe baseline bound is pinned near T_TDMA - T_i regardless of d_min; \
+         the interposed bound scales with the handler costs alone. The price \
+         is the rightmost column: guaranteed interference on every other \
+         partition, strictly controlled by d_min."
+    );
+    Ok(())
+}

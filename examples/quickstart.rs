@@ -1,0 +1,79 @@
+//! Quickstart: the same IRQ stream on the baseline and the monitored
+//! hypervisor, side by side.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rthv::monitor::DeltaFunction;
+use rthv::time::{Duration, Instant};
+use rthv::workload::ExponentialArrivals;
+use rthv::{HandlingClass, IrqHandlingMode, IrqSourceId, SystemBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A classic TDMA layout: two 6 ms application partitions and a 2 ms
+    // housekeeping partition, exactly as in the paper's evaluation.
+    let app_slot = Duration::from_micros(6_000);
+    let dmin = Duration::from_millis(3);
+
+    // One timer IRQ subscribed by partition 1 ("app2") with a 30 µs bottom
+    // handler; arrivals are exponential with mean d_min, clamped to d_min
+    // so the monitoring condition is always satisfied.
+    let trace = ExponentialArrivals::new(dmin, 7)
+        .with_min_distance(dmin)
+        .generate(2_000, Instant::ZERO);
+
+    let build = |mode: IrqHandlingMode| -> Result<_, Box<dyn std::error::Error>> {
+        let mut builder = SystemBuilder::new()
+            .partition("app1", app_slot)
+            .partition("app2", app_slot)
+            .partition("housekeeping", Duration::from_micros(2_000))
+            .mode(mode);
+        builder = match mode {
+            IrqHandlingMode::Baseline => {
+                builder.irq_source("timer", 1, Duration::from_micros(30))
+            }
+            IrqHandlingMode::Interposed => builder.monitored_irq_source(
+                "timer",
+                1,
+                Duration::from_micros(30),
+                DeltaFunction::from_dmin(dmin)?,
+            ),
+        };
+        let mut machine = builder.build()?;
+        machine.schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())?;
+        let last = *trace.as_slice().last().expect("non-empty trace");
+        machine.run_until_complete(last + Duration::from_millis(1_400));
+        Ok(machine.finish())
+    };
+
+    println!("2000 IRQs, exponential interarrivals (mean = d_min = 3 ms), C_BH = 30 us\n");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8} {:>11} {:>8}",
+        "mode", "mean", "max", "direct", "interposed", "delayed"
+    );
+    for mode in [IrqHandlingMode::Baseline, IrqHandlingMode::Interposed] {
+        let report = build(mode)?;
+        println!(
+            "{:<12} {:>12} {:>12} {:>8} {:>11} {:>8}",
+            mode.to_string(),
+            report
+                .recorder
+                .mean_latency()
+                .expect("completions")
+                .to_string(),
+            report
+                .recorder
+                .max_latency()
+                .expect("completions")
+                .to_string(),
+            report.recorder.count_class(HandlingClass::Direct),
+            report.recorder.count_class(HandlingClass::Interposed),
+            report.recorder.count_class(HandlingClass::Delayed),
+        );
+    }
+    println!(
+        "\nThe monitored hypervisor handles foreign-slot IRQs immediately \
+         (interposed), cutting the mean latency by more than an order of \
+         magnitude while Eq. 14 bounds the interference on other partitions."
+    );
+    Ok(())
+}

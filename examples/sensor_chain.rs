@@ -1,0 +1,103 @@
+//! End-to-end chain analysis: sensor IRQ → gateway guest task → actuator
+//! command, spanning two partitions of the monitored hypervisor.
+//!
+//! Composes the three analysis layers of this reproduction:
+//!
+//! 1. the interposed IRQ bound (Eq. 16) for the sensor interrupt,
+//! 2. the hierarchical supply-bound analysis (TDMA − Eq. 14) for the
+//!    gateway task consuming the samples,
+//! 3. output-event-model propagation to bound the whole chain and derive
+//!    the jitter of the actuator commands.
+//!
+//! Run with: `cargo run --example sensor_chain`
+
+use rthv::analysis::{
+    baseline_irq_wcrt, chain_latency, guest_task_wcrt, interposed_irq_wcrt, irq_best_case,
+    output_event_model, EventModel, GuestTaskSpec, IrqTask, MonitoredSupply, ResponseRange,
+    TdmaSlot, TdmaSupply,
+};
+use rthv::time::Duration;
+use rthv::{CostModel, PaperSetup};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let us = Duration::from_micros;
+    let setup = PaperSetup::default();
+    let costs: CostModel = setup.costs;
+
+    // Stage 1 — the sensor IRQ, sampled every 3 ms, interposed.
+    let dmin = us(3_000);
+    let irq = IrqTask {
+        model: EventModel::sporadic(dmin),
+        top_cost: costs.top_handler,
+        bottom_cost: setup.bottom_cost,
+    };
+    let irq_worst = interposed_irq_wcrt(
+        &irq.with_effective_costs(costs.monitor_check, costs.sched_manip, costs.context_switch),
+        &[],
+    )?
+    .wcrt;
+    let irq_best = irq_best_case(costs.top_handler, setup.bottom_cost);
+    let irq_stage = ResponseRange::new(irq_best, irq_worst);
+
+    // For contrast: the same stage on the unmodified hypervisor.
+    let tdma = TdmaSlot {
+        cycle: setup.tdma_cycle(),
+        slot: setup.app_slot - costs.context_switch,
+    };
+    let baseline_worst = baseline_irq_wcrt(&irq, tdma, &[])?.wcrt;
+
+    // Stage 2 — the gateway guest task (2 ms of processing per sample
+    // batch, released every 6 ms) inside the victim partition, whose supply
+    // is the TDMA slot minus the enforced interposition budget.
+    let supply = MonitoredSupply::new(
+        TdmaSupply::new(setup.tdma_cycle(), setup.app_slot - costs.context_switch),
+        dmin,
+        setup.effective_bottom_cost(),
+        costs.monitored_top_cost(),
+    );
+    let gateway = GuestTaskSpec {
+        wcet: us(2_000),
+        period: us(6_000),
+    };
+    let gateway_worst = guest_task_wcrt(&[gateway], &supply, Duration::from_secs(30))[0]?;
+    let gateway_stage = ResponseRange::new(gateway.wcet, gateway_worst);
+
+    // The same gateway under the *baseline* hypervisor: the supply has no
+    // interposition interference, but the IRQ stage pays the TDMA price.
+    let plain_supply = TdmaSupply::new(setup.tdma_cycle(), setup.app_slot - costs.context_switch);
+    let gateway_plain = guest_task_wcrt(&[gateway], &plain_supply, Duration::from_secs(30))[0]?;
+    let baseline_total = chain_latency(&[
+        ResponseRange::new(irq_best, baseline_worst),
+        ResponseRange::new(gateway.wcet, gateway_plain),
+    ]);
+
+    // Chain: IRQ completion activates the gateway.
+    let chain = [irq_stage, gateway_stage];
+    let total = chain_latency(&chain);
+    let sensor_model = EventModel::sporadic(dmin);
+    let irq_output = output_event_model(&sensor_model, irq_stage);
+    let command_model = output_event_model(&irq_output, gateway_stage);
+
+    println!("sensor → IRQ (interposed) → gateway task → actuator command\n");
+    println!(
+        "stage 1 (IRQ):      best {:>10}  worst {:>10}   (baseline hypervisor: {})",
+        irq_stage.best, irq_stage.worst, baseline_worst
+    );
+    println!(
+        "stage 2 (gateway):  best {:>10}  worst {:>10}",
+        gateway_stage.best, gateway_stage.worst
+    );
+    println!(
+        "end to end:         best {:>10}  worst {:>10}   (baseline hypervisor: {})",
+        total.best, total.worst, baseline_total.worst
+    );
+    println!("\nactuator command stream: {command_model}");
+    let saved = baseline_total.worst - total.worst;
+    println!(
+        "\nInterposition removes the TDMA term from the IRQ stage, cutting \
+         the certified end-to-end worst case by {saved} — while the gateway \
+         partition's own bound absorbs the (small, enforced) interference \
+         the monitored supply accounts for."
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Workspace-root helper crate.
+//!
+//! The actual library lives in the [`rthv`] facade crate (and the
+//! `rthv-*` sub-crates it re-exports). This root package only exists to host
+//! the runnable `examples/` and the cross-crate integration tests under
+//! `tests/`; it re-exports [`rthv`] so both can use a single import path.
+
+pub use rthv;
