@@ -27,10 +27,9 @@ impl fmt::Display for AnalysisError {
                 f,
                 "busy window exceeded {horizon}; the resource is overloaded for this demand"
             ),
-            AnalysisError::BusyPeriodTooLong { max_q } => write!(
-                f,
-                "busy period did not close within {max_q} activations"
-            ),
+            AnalysisError::BusyPeriodTooLong { max_q } => {
+                write!(f, "busy period did not close within {max_q} activations")
+            }
         }
     }
 }

@@ -274,10 +274,7 @@ mod tests {
                 let dt = us(dt_us);
                 let eta = m.eta_plus(dt);
                 assert!(m.delta(eta) < dt, "{m}: δ(η⁺(Δt)) < Δt violated at {dt}");
-                assert!(
-                    m.delta(eta + 1) >= dt,
-                    "{m}: maximality violated at {dt}"
-                );
+                assert!(m.delta(eta + 1) >= dt, "{m}: maximality violated at {dt}");
             }
         }
     }

@@ -279,8 +279,7 @@ mod tests {
 
     #[test]
     fn baseline_wcrt_is_tdma_dominated() {
-        let result = baseline_irq_wcrt(&paper_task(3_000), paper_tdma(), &[])
-            .expect("converges");
+        let result = baseline_irq_wcrt(&paper_task(3_000), paper_tdma(), &[]).expect("converges");
         // One activation: W = 30 + 2 + 8000 plus the Eq. 10 term — an 8 ms
         // window sees η⁺ = 3 arrivals at d_min = 3 ms, i.e. two extra top
         // handlers: W = 8032 + 4 = 8036 µs; R = W − δ(1) = W.
@@ -295,8 +294,7 @@ mod tests {
     fn baseline_busy_period_extends_under_pressure() {
         // d_min = 5 ms < busy window (≈8 ms): the second activation lands
         // inside the window, extending the busy period.
-        let result = baseline_irq_wcrt(&paper_task(5_000), paper_tdma(), &[])
-            .expect("converges");
+        let result = baseline_irq_wcrt(&paper_task(5_000), paper_tdma(), &[]).expect("converges");
         assert!(result.busy_activations >= 2);
         // q=1: W = 30 + 2 + (⌈8034/5000⌉−1)·2 + 8000 = 8034, R(1) = 8034;
         // q=2: W = 60 + 2·2 + 8000 = 8064, R(2) = 8064 − 5000 = 3064.
@@ -306,8 +304,7 @@ mod tests {
 
     #[test]
     fn interposed_wcrt_is_decoupled_from_tdma() {
-        let effective =
-            paper_task(3_000).with_effective_costs(us(1), us(4), us(50));
+        let effective = paper_task(3_000).with_effective_costs(us(1), us(4), us(50));
         let result = interposed_irq_wcrt(&effective, &[]).expect("converges");
         // W(1) = (30+4+100) + (2+1) = 137 µs, far below the TDMA cycle.
         assert_eq!(result.wcrt, us(137));
@@ -316,11 +313,9 @@ mod tests {
 
     #[test]
     fn violating_wcrt_adds_monitor_overhead_to_baseline() {
-        let baseline = baseline_irq_wcrt(&paper_task(3_000), paper_tdma(), &[])
-            .expect("converges");
+        let baseline = baseline_irq_wcrt(&paper_task(3_000), paper_tdma(), &[]).expect("converges");
         let violating =
-            violating_irq_wcrt(&paper_task(3_000), us(1), paper_tdma(), &[])
-                .expect("converges");
+            violating_irq_wcrt(&paper_task(3_000), us(1), paper_tdma(), &[]).expect("converges");
         // Every top handler in the window (η⁺ = 3) pays C_Mon = 1 µs.
         assert_eq!(violating.wcrt, baseline.wcrt + us(3));
     }

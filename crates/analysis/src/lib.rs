@@ -68,7 +68,9 @@ pub use latency::{
     baseline_irq_wcrt, interposed_irq_wcrt, tdma_interference, violating_irq_wcrt, Interferer,
     IrqTask, TdmaSlot, WcrtResult,
 };
-pub use output::{chain_latency, irq_best_case, output_event_model, propagate_chain, ResponseRange};
+pub use output::{
+    chain_latency, irq_best_case, output_event_model, propagate_chain, ResponseRange,
+};
 pub use supply::{
     guest_task_wcrt, GuestTaskSpec, MonitoredSupply, PatternLayoutError, PatternSupply,
     SupplyBound, TdmaSupply,

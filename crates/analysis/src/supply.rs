@@ -49,7 +49,7 @@ pub trait SupplyBound {
             hi = (hi * 2).min(horizon);
         }
         let mut lo = Duration::ZERO; // supply(lo) < demand (demand > 0)
-        // Binary search for the smallest window with enough supply.
+                                     // Binary search for the smallest window with enough supply.
         while hi.as_nanos() - lo.as_nanos() > 1 {
             let mid = Duration::from_nanos((lo.as_nanos() + hi.as_nanos()) / 2);
             if self.supply(mid) >= demand {
@@ -295,9 +295,8 @@ pub fn guest_task_wcrt<S: SupplyBound>(
                 let demand = |t: Duration| -> Duration {
                     let mut total = task.wcet.saturating_mul(q);
                     for higher in &tasks[..i] {
-                        total = total.saturating_add(
-                            higher.wcet.saturating_mul(t.div_ceil(higher.period)),
-                        );
+                        total = total
+                            .saturating_add(higher.wcet.saturating_mul(t.div_ceil(higher.period)));
                     }
                     total
                 };
@@ -359,7 +358,10 @@ mod tests {
     fn smallest_window_inverts_supply() {
         let s = paper_supply();
         let horizon = Duration::from_secs(1);
-        assert_eq!(s.smallest_window(Duration::ZERO, horizon), Ok(Duration::ZERO));
+        assert_eq!(
+            s.smallest_window(Duration::ZERO, horizon),
+            Ok(Duration::ZERO)
+        );
         assert_eq!(s.smallest_window(ms(1), horizon), Ok(ms(9)));
         assert_eq!(s.smallest_window(ms(6), horizon), Ok(ms(14)));
         assert_eq!(s.smallest_window(ms(7), horizon), Ok(ms(23)));
@@ -423,8 +425,14 @@ mod tests {
         // Low: W = 3 + 2·⌈t/14⌉; t1 = window(5) = 13; ⌈13/14⌉ = 1 → stays;
         // supply(13) = 5 → R_low = 13 ms.
         let tasks = [
-            GuestTaskSpec { wcet: ms(2), period: ms(14) },
-            GuestTaskSpec { wcet: ms(3), period: ms(28) },
+            GuestTaskSpec {
+                wcet: ms(2),
+                period: ms(14),
+            },
+            GuestTaskSpec {
+                wcet: ms(3),
+                period: ms(28),
+            },
         ];
         let wcrt = guest_task_wcrt(&tasks, &paper_supply(), Duration::from_secs(1));
         assert_eq!(wcrt[0], Ok(ms(10)));
@@ -445,10 +453,8 @@ mod tests {
             period: ms(28),
         }];
         let horizon = Duration::from_secs(1);
-        let plain = guest_task_wcrt(&tasks, &tdma, horizon)[0]
-            .expect("feasible");
-        let with_interference = guest_task_wcrt(&tasks, &monitored, horizon)[0]
-            .expect("feasible");
+        let plain = guest_task_wcrt(&tasks, &tdma, horizon)[0].expect("feasible");
+        let with_interference = guest_task_wcrt(&tasks, &monitored, horizon)[0].expect("feasible");
         assert!(with_interference > plain);
         // The inflation is bounded by the interference in the window.
         assert!(with_interference < plain + ms(2));
@@ -544,10 +550,14 @@ impl PatternSupply {
         mut windows: Vec<(Duration, Duration)>,
     ) -> Result<Self, PatternLayoutError> {
         if cycle.is_zero() {
-            return Err(PatternLayoutError { reason: "zero cycle".to_owned() });
+            return Err(PatternLayoutError {
+                reason: "zero cycle".to_owned(),
+            });
         }
         if windows.is_empty() {
-            return Err(PatternLayoutError { reason: "no windows".to_owned() });
+            return Err(PatternLayoutError {
+                reason: "no windows".to_owned(),
+            });
         }
         windows.sort_unstable();
         let mut previous_end = Duration::ZERO;
@@ -637,8 +647,8 @@ mod pattern_tests {
     #[test]
     fn split_layout_reduces_the_worst_gap() {
         let single = TdmaSupply::new(ms(14), ms(6));
-        let split = PatternSupply::new(ms(14), vec![(ms(3), ms(3)), (ms(9), ms(3))])
-            .expect("valid");
+        let split =
+            PatternSupply::new(ms(14), vec![(ms(3), ms(3)), (ms(9), ms(3))]).expect("valid");
         // Same long-term share…
         assert_eq!(split.per_cycle(), ms(6));
         assert_eq!(split.supply(ms(28)), single.supply(ms(28)));
@@ -685,19 +695,15 @@ mod pattern_tests {
         // The analysis-side mirror of the machine-level measurement: the
         // same guest task bound drops when the partition's slot is split.
         let single = TdmaSupply::new(ms(14), ms(6));
-        let split = PatternSupply::new(ms(14), vec![(ms(3), ms(3)), (ms(9), ms(3))])
-            .expect("valid");
+        let split =
+            PatternSupply::new(ms(14), vec![(ms(3), ms(3)), (ms(9), ms(3))]).expect("valid");
         let tasks = [GuestTaskSpec {
             wcet: ms(1),
             period: ms(28),
         }];
         let horizon = Duration::from_secs(10);
-        let single_bound = guest_task_wcrt(&tasks, &single, horizon)[0]
-            .clone()
-            .expect("feasible");
-        let split_bound = guest_task_wcrt(&tasks, &split, horizon)[0]
-            .clone()
-            .expect("feasible");
+        let single_bound = guest_task_wcrt(&tasks, &single, horizon)[0].expect("feasible");
+        let split_bound = guest_task_wcrt(&tasks, &split, horizon)[0].expect("feasible");
         assert!(split_bound < single_bound);
     }
 }

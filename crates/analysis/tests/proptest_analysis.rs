@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 
 use rthv_analysis::{
-    baseline_irq_wcrt, busy_window, interposed_irq_wcrt, tdma_interference, EventModel,
-    IrqTask, TdmaSlot,
+    baseline_irq_wcrt, busy_window, interposed_irq_wcrt, tdma_interference, EventModel, IrqTask,
+    TdmaSlot,
 };
 use rthv_time::Duration;
 
@@ -17,9 +17,8 @@ fn us(n: u64) -> Duration {
 fn model_strategy() -> impl Strategy<Value = EventModel> {
     prop_oneof![
         (100u64..20_000).prop_map(|p| EventModel::periodic(us(p))),
-        (100u64..20_000, 0u64..10_000, 1u64..100).prop_map(|(p, j, d)| {
-            EventModel::periodic_jitter(us(p), us(j), us(d.min(p)))
-        }),
+        (100u64..20_000, 0u64..10_000, 1u64..100)
+            .prop_map(|(p, j, d)| { EventModel::periodic_jitter(us(p), us(j), us(d.min(p))) }),
         (100u64..20_000).prop_map(|d| EventModel::sporadic(us(d))),
     ]
 }

@@ -6,9 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use rthv::analysis::{
-    baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask, TdmaSlot,
-};
+use rthv::analysis::{baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask, TdmaSlot};
 use rthv::monitor::DeltaFunction;
 use rthv::time::Duration;
 use rthv::CostModel;
@@ -31,19 +29,14 @@ fn analysis_throughput(c: &mut Criterion) {
         b.iter(|| black_box(baseline_irq_wcrt(black_box(&task), tdma, &[])));
     });
 
-    let effective = task.with_effective_costs(
-        costs.monitor_check,
-        costs.sched_manip,
-        costs.context_switch,
-    );
+    let effective =
+        task.with_effective_costs(costs.monitor_check, costs.sched_manip, costs.context_switch);
     group.bench_function("interposed_wcrt_eq16", |b| {
         b.iter(|| black_box(interposed_irq_wcrt(black_box(&effective), &[])));
     });
 
-    let delta = DeltaFunction::new(
-        (1..=5).map(|k| Duration::from_micros(137 * k)).collect(),
-    )
-    .expect("valid");
+    let delta = DeltaFunction::new((1..=5).map(|k| Duration::from_micros(137 * k)).collect())
+        .expect("valid");
     group.bench_function("delta_extension_q100", |b| {
         b.iter(|| black_box(delta.delta(black_box(100))));
     });

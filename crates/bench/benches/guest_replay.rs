@@ -33,9 +33,18 @@ fn guest_replay(c: &mut Criterion) {
     });
 
     let specs = [
-        GuestTaskSpec { wcet: ms(2), period: ms(28) },
-        GuestTaskSpec { wcet: ms(4), period: ms(56) },
-        GuestTaskSpec { wcet: ms(6), period: ms(112) },
+        GuestTaskSpec {
+            wcet: ms(2),
+            period: ms(28),
+        },
+        GuestTaskSpec {
+            wcet: ms(4),
+            period: ms(56),
+        },
+        GuestTaskSpec {
+            wcet: ms(6),
+            period: ms(112),
+        },
     ];
     let tdma = TdmaSupply::new(ms(14), ms(6));
     group.bench_function("supply_bound_wcrt_3_tasks", |b| {

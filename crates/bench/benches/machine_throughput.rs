@@ -8,7 +8,8 @@ use std::hint::black_box;
 use rthv::monitor::DeltaFunction;
 use rthv::time::{Duration, Instant};
 use rthv::workload::ExponentialArrivals;
-use rthv::{IrqHandlingMode, IrqSourceId, Machine, PaperSetup};
+use rthv::{IrqHandlingMode, PaperSetup};
+use rthv_experiments::run_paper_machine;
 
 const IRQS: usize = 1_000;
 
@@ -16,14 +17,10 @@ fn run_one(mode: IrqHandlingMode, monitored: bool) -> usize {
     let setup = PaperSetup::default();
     let dmin = Duration::from_millis(3);
     let monitor = monitored.then(|| DeltaFunction::from_dmin(dmin).expect("valid"));
-    let mut machine = Machine::new(setup.config(mode, monitor)).expect("valid");
     let trace = ExponentialArrivals::new(dmin, 42).generate(IRQS, Instant::ZERO);
-    machine
-        .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
-        .expect("future");
-    let last = *trace.as_slice().last().expect("non-empty");
-    assert!(machine.run_until_complete(last + setup.tdma_cycle() * 100));
-    machine.finish().recorder.len()
+    run_paper_machine(&setup, mode, monitor, trace.as_slice())
+        .recorder
+        .len()
 }
 
 fn machine_throughput(c: &mut Criterion) {

@@ -20,10 +20,8 @@ fn monitor_check(c: &mut Criterion) {
         b.iter(|| black_box(monitor.check(black_box(Instant::from_micros(1_000)))));
     });
 
-    let l5 = DeltaFunction::new(
-        (1..=5).map(|k| Duration::from_micros(100 * k)).collect(),
-    )
-    .expect("valid");
+    let l5 = DeltaFunction::new((1..=5).map(|k| Duration::from_micros(100 * k)).collect())
+        .expect("valid");
     group.bench_function("l5_check_only", |b| {
         let mut monitor = ActivationMonitor::new(l5.clone());
         for k in 0..5u64 {
@@ -38,6 +36,52 @@ fn monitor_check(c: &mut Criterion) {
             |mut monitor| {
                 for k in 0..64u64 {
                     black_box(monitor.try_admit(Instant::from_micros(k * 200)));
+                }
+                monitor
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Ring-buffer cases: the inline trace ring after wrap-around, i.e. the
+    // steady state of a long run, at both paper δ⁻ lengths.
+
+    group.bench_function("l1_ring_check_admit", |b| {
+        // Length-1 d_min fast path against a warm ring: one load, one
+        // subtraction, one compare.
+        let mut monitor = ActivationMonitor::new(dmin.clone());
+        for k in 0..32u64 {
+            monitor.record_admitted(Instant::from_micros(k * 500));
+        }
+        b.iter(|| black_box(monitor.check(black_box(Instant::from_micros(100_000)))));
+    });
+
+    group.bench_function("l1_ring_check_deny", |b| {
+        // Fast path, denial branch: the probe lands inside d_min.
+        let mut monitor = ActivationMonitor::new(dmin.clone());
+        for k in 0..32u64 {
+            monitor.record_admitted(Instant::from_micros(k * 500));
+        }
+        b.iter(|| black_box(monitor.check(black_box(Instant::from_micros(15_600)))));
+    });
+
+    group.bench_function("l5_ring_check_wrapped", |b| {
+        // Full l = 5 walk over a ring that has wrapped many times.
+        let mut monitor = ActivationMonitor::new(l5.clone());
+        for k in 0..64u64 {
+            monitor.record_admitted(Instant::from_micros(k * 500));
+        }
+        b.iter(|| black_box(monitor.check(black_box(Instant::from_micros(100_000)))));
+    });
+
+    group.bench_function("l5_try_admit_stream", |b| {
+        // Mixed admit/deny stream through the l = 5 ring (the modified
+        // top handler's per-IRQ sequence).
+        b.iter_batched(
+            || ActivationMonitor::new(l5.clone()),
+            |mut monitor| {
+                for k in 0..64u64 {
+                    black_box(monitor.try_admit(Instant::from_micros(k * 230)));
                 }
                 monitor
             },

@@ -7,8 +7,7 @@ use rthv::scenarios::{
     run_ablation, run_bounds, run_fig6, run_fig7, run_guest_tasks, run_independence,
     run_multi_source, run_overhead, run_shaper_comparison, run_splitting, AblationConfig,
     BoundsConfig, Fig6Config, Fig6Variant, Fig7Bound, Fig7Config, GuestTasksConfig,
-    IndependenceConfig, MultiSourceConfig, OverheadConfig, ShaperComparisonConfig,
-    SplittingConfig,
+    IndependenceConfig, MultiSourceConfig, OverheadConfig, ShaperComparisonConfig, SplittingConfig,
 };
 use rthv_experiments::{percent, us};
 

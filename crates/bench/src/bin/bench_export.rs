@@ -1,0 +1,147 @@
+//! Perf-trajectory exporter: runs the Figure-6c conformant scenario at
+//! three scales, sequentially and fanned over all cores, and writes
+//! `BENCH_sim.json` with events/sec, IRQs/sec and wall-clock per sweep
+//! point — the numbers to track across commits for engine-performance
+//! regressions.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin bench_export
+//! [output-path]` (default `BENCH_sim.json` in the working directory).
+//!
+//! The parallel pass fans the scenario's independent load levels over host
+//! cores with [`SweepRunner`] and cross-checks that the merged result is
+//! identical to the sequential one before reporting its timing.
+
+use std::fmt::Write as _;
+use std::time::Instant as HostInstant;
+
+use rthv::scenarios::{merge_fig6_loads, run_fig6_load, Fig6Config, Fig6Run, Fig6Variant};
+use rthv_experiments::SweepRunner;
+
+/// IRQs per load level at each scale; the paper's Figure 6 uses 5000.
+const SCALES: [usize; 3] = [1_000, 5_000, 20_000];
+
+struct Measured {
+    wall_seconds: f64,
+    events: u64,
+    irqs: u64,
+    run: Fig6Run,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_seconds
+    }
+
+    fn irqs_per_sec(&self) -> f64 {
+        self.irqs as f64 / self.wall_seconds
+    }
+}
+
+fn measure(config: &Fig6Config, runner: &SweepRunner) -> Measured {
+    let indices: Vec<usize> = (0..config.loads.len()).collect();
+    let start = HostInstant::now();
+    let outcomes = runner.run(&indices, |_, &index| {
+        run_fig6_load(config, Fig6Variant::MonitoredNoViolations, index)
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let events = outcomes.iter().map(|o| o.events_processed).sum();
+    let run = merge_fig6_loads(Fig6Variant::MonitoredNoViolations, outcomes);
+    Measured {
+        wall_seconds,
+        events,
+        irqs: run.total() as u64,
+        run,
+    }
+}
+
+fn assert_identical(sequential: &Fig6Run, parallel: &Fig6Run) {
+    assert_eq!(sequential.mean_latency, parallel.mean_latency);
+    assert_eq!(sequential.max_latency, parallel.max_latency);
+    assert_eq!(sequential.class_counts, parallel.class_counts);
+    assert_eq!(sequential.histogram.count(), parallel.histogram.count());
+    assert!(
+        sequential.histogram.iter().eq(parallel.histogram.iter()),
+        "parallel histogram diverged from sequential"
+    );
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sim.json".to_string());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let parallel_runner = SweepRunner::available();
+
+    let mut points = String::new();
+    for (i, &scale) in SCALES.iter().enumerate() {
+        let config = Fig6Config {
+            irqs_per_load: scale,
+            ..Fig6Config::default()
+        };
+        let sequential = measure(&config, &SweepRunner::sequential());
+        let parallel = measure(&config, &parallel_runner);
+        assert_identical(&sequential.run, &parallel.run);
+        let speedup = parallel.events_per_sec() / sequential.events_per_sec();
+
+        eprintln!(
+            "scale {scale}: sequential {:.0} events/s ({:.3} s), parallel {:.0} events/s \
+             ({:.3} s), speedup {speedup:.2}x on {cores} core(s)",
+            sequential.events_per_sec(),
+            sequential.wall_seconds,
+            parallel.events_per_sec(),
+            parallel.wall_seconds,
+        );
+
+        let _ = write!(
+            points,
+            r#"    {{
+      "irqs_per_load": {scale},
+      "total_irqs": {irqs},
+      "total_events": {events},
+      "sequential": {{
+        "wall_seconds": {sw:.6},
+        "events_per_sec": {se:.1},
+        "irqs_per_sec": {si:.1}
+      }},
+      "parallel": {{
+        "threads": {threads},
+        "wall_seconds": {pw:.6},
+        "events_per_sec": {pe:.1},
+        "irqs_per_sec": {pi:.1}
+      }},
+      "parallel_speedup": {speedup:.3},
+      "mean_latency_us": {mean},
+      "max_latency_us": {max}
+    }}"#,
+            irqs = sequential.irqs,
+            events = sequential.events,
+            sw = sequential.wall_seconds,
+            se = sequential.events_per_sec(),
+            si = sequential.irqs_per_sec(),
+            threads = parallel_runner.threads(),
+            pw = parallel.wall_seconds,
+            pe = parallel.events_per_sec(),
+            pi = parallel.irqs_per_sec(),
+            mean = sequential.run.mean_latency.as_micros(),
+            max = sequential.run.max_latency.as_micros(),
+        );
+        if i + 1 < SCALES.len() {
+            points.push_str(",\n");
+        } else {
+            points.push('\n');
+        }
+    }
+
+    let json = format!(
+        r#"{{
+  "benchmark": "fig6c_conformant_scenario",
+  "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales; parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass",
+  "host_cores": {cores},
+  "points": [
+{points}  ]
+}}
+"#
+    );
+    std::fs::write(&path, json).expect("write benchmark export");
+    eprintln!("wrote {path}");
+}

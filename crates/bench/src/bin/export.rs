@@ -6,14 +6,14 @@
 use std::fs;
 use std::path::PathBuf;
 
-use rthv::scenarios::{
-    run_fig6, run_fig7, Fig6Config, Fig6Variant, Fig7Bound, Fig7Config,
-};
+use rthv::scenarios::{run_fig6, run_fig7, Fig6Config, Fig6Variant, Fig7Bound, Fig7Config};
 use rthv::stats::{csv_row, histogram_to_csv, series_to_csv};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = PathBuf::from(
-        std::env::args().nth(1).unwrap_or_else(|| "artifacts".to_owned()),
+        std::env::args()
+            .nth(1)
+            .unwrap_or_else(|| "artifacts".to_owned()),
     );
     fs::create_dir_all(&out_dir)?;
 

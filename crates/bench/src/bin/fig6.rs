@@ -59,8 +59,5 @@ fn main() {
 
     let a = means[0].1.as_nanos() as f64;
     let c = means[2].1.as_nanos() as f64;
-    println!(
-        "improvement 6c vs 6a: {:.1}x (paper: ~16x)",
-        a / c.max(1.0)
-    );
+    println!("improvement 6c vs 6a: {:.1}x (paper: ~16x)", a / c.max(1.0));
 }

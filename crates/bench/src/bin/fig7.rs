@@ -18,9 +18,7 @@ fn main() {
         config.learn_fraction * 100.0,
         config.l,
     );
-    println!(
-        "paper reference: learn ~2200us; run a) ~120us b) ~300us c) ~900us d) ~1600us\n"
-    );
+    println!("paper reference: learn ~2200us; run a) ~120us b) ~300us c) ~900us d) ~1600us\n");
 
     let bounds = [
         ("a) unbounded", Fig7Bound::Unbounded),

@@ -23,9 +23,7 @@ fn main() {
         "task", "idle wcrt", "storm wcrt", "TDMA bound", "monitored bound"
     );
     for (i, task) in config.tasks.tasks().iter().enumerate() {
-        let fmt_opt = |d: Option<rthv::time::Duration>| {
-            d.map_or_else(|| "-".to_string(), us)
-        };
+        let fmt_opt = |d: Option<rthv::time::Duration>| d.map_or_else(|| "-".to_string(), us);
         println!(
             "{:<16} {:>12} {:>12} {:>14} {:>16}",
             task.name,

@@ -3,137 +3,33 @@
 //! overhead, and the guaranteed victim interference — the design-space
 //! table an integrator would consult when picking d_min.
 //!
-//! Usage: `cargo run --release -p rthv-experiments --bin sweep [--csv]`
+//! Usage: `cargo run --release -p rthv-experiments --bin sweep
+//! [--csv] [--threads N]`
+//!
+//! `--threads N` fans the sweep points over N worker threads (default: one
+//! per core). The output is bit-identical for every thread count — each
+//! point owns its seed and rows are emitted in point order.
 
-use rthv::analysis::{
-    baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask, TdmaSlot,
-};
-use rthv::monitor::{interference_bound_dmin, DeltaFunction};
-use rthv::stats::csv_row;
-use rthv::time::{Duration, Instant};
-use rthv::workload::ExponentialArrivals;
-use rthv::{IrqHandlingMode, IrqSourceId, Machine, PaperSetup};
-use rthv_experiments::{percent, us};
+use rthv_experiments::sweep::{compute_rows, render_csv, render_table, SweepConfig};
+use rthv_experiments::SweepRunner;
 
 fn main() {
-    let csv = std::env::args().any(|a| a == "--csv");
-    let setup = PaperSetup::default();
-    let costs = setup.costs;
-    let tdma = TdmaSlot {
-        cycle: setup.tdma_cycle(),
-        slot: setup.app_slot - costs.context_switch,
+    let args: Vec<String> = std::env::args().collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let runner = match args.iter().position(|a| a == "--threads") {
+        Some(i) => SweepRunner::new(
+            args.get(i + 1)
+                .and_then(|n| n.parse().ok())
+                .expect("--threads takes a positive integer"),
+        ),
+        None => SweepRunner::available(),
     };
-    let irqs = 2_000;
 
+    let config = SweepConfig::default();
+    let rows = compute_rows(&config, &runner);
     if csv {
-        print!(
-            "{}",
-            csv_row([
-                "dmin_us",
-                "baseline_bound_us",
-                "interposed_bound_us",
-                "sim_mean_us",
-                "sim_max_us",
-                "ctx_increase_pct",
-                "victim_interference_pct",
-            ])
-        );
+        print!("{}", render_csv(&rows));
     } else {
-        println!("d_min design-space sweep ({irqs} conformant IRQs per point)\n");
-        println!(
-            "{:>10} {:>15} {:>17} {:>11} {:>11} {:>9} {:>13}",
-            "d_min", "baseline bound", "interposed bound", "sim mean", "sim max",
-            "ctx +", "victim load"
-        );
-    }
-
-    for dmin_us in [500u64, 1_000, 2_000, 3_000, 5_000, 8_000, 13_000] {
-        let dmin = Duration::from_micros(dmin_us);
-        let task = IrqTask {
-            model: EventModel::sporadic(dmin),
-            top_cost: costs.top_handler,
-            bottom_cost: setup.bottom_cost,
-        };
-        let baseline_bound = baseline_irq_wcrt(&task, tdma, &[])
-            .expect("paper setup converges")
-            .wcrt;
-        let interposed_bound = interposed_irq_wcrt(
-            &task.with_effective_costs(
-                costs.monitor_check,
-                costs.sched_manip,
-                costs.context_switch,
-            ),
-            &[],
-        )
-        .expect("paper setup converges")
-        .wcrt;
-
-        // Simulation at this d_min.
-        let run = |mode: IrqHandlingMode, monitored: bool| {
-            let monitor =
-                monitored.then(|| DeltaFunction::from_dmin(dmin).expect("positive"));
-            let mut machine =
-                Machine::new(setup.config(mode, monitor)).expect("valid setup");
-            let trace = ExponentialArrivals::new(dmin, 77)
-                .with_min_distance(dmin)
-                .generate(irqs, Instant::ZERO);
-            machine
-                .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
-                .expect("future");
-            let last = *trace.as_slice().last().expect("non-empty");
-            assert!(machine.run_until_complete(last + setup.tdma_cycle() * 100));
-            machine.finish()
-        };
-        let baseline_run = run(IrqHandlingMode::Baseline, false);
-        let monitored_run = run(IrqHandlingMode::Interposed, true);
-        let sim_mean = monitored_run.recorder.mean_latency().expect("completions");
-        let sim_max = monitored_run.recorder.max_latency().expect("completions");
-        let ctx_increase = (monitored_run.counters.context_switches as f64
-            - baseline_run.counters.context_switches as f64)
-            / baseline_run.counters.context_switches as f64;
-
-        // Guaranteed long-term interference on any victim.
-        let window = Duration::from_secs(1);
-        let victim = interference_bound_dmin(
-            window,
-            dmin,
-            costs.effective_bottom_cost(setup.bottom_cost),
-        );
-        let victim_load = victim.as_nanos() as f64 / window.as_nanos() as f64;
-
-        if csv {
-            print!(
-                "{}",
-                csv_row([
-                    dmin_us.to_string(),
-                    baseline_bound.as_micros().to_string(),
-                    interposed_bound.as_micros().to_string(),
-                    sim_mean.as_micros().to_string(),
-                    sim_max.as_micros().to_string(),
-                    format!("{:.2}", ctx_increase * 100.0),
-                    format!("{:.2}", victim_load * 100.0),
-                ])
-            );
-        } else {
-            println!(
-                "{:>10} {:>15} {:>17} {:>11} {:>11} {:>9} {:>13}",
-                us(dmin),
-                us(baseline_bound),
-                us(interposed_bound),
-                us(sim_mean),
-                us(sim_max),
-                percent(ctx_increase),
-                percent(victim_load),
-            );
-        }
-    }
-
-    if !csv {
-        println!(
-            "\nShrinking d_min buys nothing in worst-case latency (the \
-             interposed bound is cost-dominated) but inflates both the \
-             context-switch overhead and the guaranteed victim interference \
-             linearly — pick the largest d_min the IRQ source tolerates."
-        );
+        print!("{}", render_table(&rows, config.irqs));
     }
 }

@@ -1,13 +1,63 @@
-//! Shared table-rendering helpers for the experiment binaries.
+//! Shared infrastructure for the experiment binaries.
 //!
 //! The binaries in `src/bin/` regenerate the paper's tables and figures as
-//! plain-text rows (gnuplot-friendly); this tiny library keeps their
-//! formatting consistent and testable.
+//! plain-text rows (gnuplot-friendly). This library keeps their formatting
+//! consistent and testable, holds the paper-setup simulation scaffolding
+//! they previously each copy-pasted, and provides the [`SweepRunner`] that
+//! fans independent sweep scenarios across host cores without changing any
+//! result.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rthv::time::Duration;
+pub mod runner;
+pub mod sweep;
+
+pub use runner::{merge_histograms, SweepRunner};
+
+use rthv::monitor::DeltaFunction;
+use rthv::time::{Duration, Instant};
+use rthv::{IrqHandlingMode, IrqSourceId, Machine, PaperSetup, RunReport};
+
+/// The paper's TDMA supply as seen by the analysis layer: one application
+/// slot per cycle, shortened by the context switch that opens it.
+#[must_use]
+pub fn paper_tdma_slot(setup: &PaperSetup) -> rthv::analysis::TdmaSlot {
+    rthv::analysis::TdmaSlot {
+        cycle: setup.tdma_cycle(),
+        slot: setup.app_slot - setup.costs.context_switch,
+    }
+}
+
+/// Builds a paper-setup [`Machine`], schedules `trace` on IRQ source 0,
+/// runs it to completion and returns the report — the experiment loop every
+/// binary used to inline.
+///
+/// The completion deadline is `last arrival + 100 TDMA cycles`; failing it
+/// means the configuration is overloaded, which no paper experiment is.
+///
+/// # Panics
+///
+/// Panics if the setup is invalid, the trace is empty or non-monotonic, or
+/// the run misses the deadline.
+#[must_use]
+pub fn run_paper_machine(
+    setup: &PaperSetup,
+    mode: IrqHandlingMode,
+    monitor: Option<DeltaFunction>,
+    trace: &[Instant],
+) -> RunReport {
+    let mut machine = Machine::new(setup.config(mode, monitor)).expect("valid paper setup");
+    machine
+        .schedule_irq_trace(IrqSourceId::new(0), trace)
+        .expect("trace lies in the future");
+    let last = *trace.last().expect("non-empty trace");
+    assert!(
+        machine.run_until_complete(last + setup.tdma_cycle() * 100),
+        "paper-setup run did not complete — configuration overloaded?"
+    );
+    machine.finish()
+}
 
 /// Formats a duration as microseconds with a fixed `us` suffix, the unit of
 /// every figure in the paper.

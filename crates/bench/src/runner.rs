@@ -1,0 +1,239 @@
+//! Parallel scenario fan-out with sequential-identical results.
+//!
+//! Every experiment in this crate is a *sweep*: a list of independent
+//! scenarios (d_min points, load levels, policy combinations), each fully
+//! determined by its own parameters and RNG seed. [`SweepRunner`] fans such
+//! a list across OS threads with [`std::thread::scope`] — no external
+//! dependencies, the CI container has no route to the crates registry — and
+//! returns the results **in scenario order**, so the output is bit-identical
+//! to the sequential path no matter how many threads ran or how the OS
+//! scheduled them.
+//!
+//! Two ingredients make that guarantee hold:
+//!
+//! 1. every scenario owns its seed — no RNG state is shared across
+//!    scenarios, so execution order cannot perturb any draw;
+//! 2. results are written into a per-scenario slot and read back in index
+//!    order — merge order is fixed even though completion order is not.
+//!
+//! Aggregations over the ordered results (histogram merges via
+//! [`LatencyHistogram::merge`], latency sums, maxima) are then plain folds
+//! of per-scenario values and reproduce a single-accumulator sequential run
+//! exactly.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+use rthv::stats::LatencyHistogram;
+
+/// A thread-pool-free parallel sweep executor.
+///
+/// # Examples
+///
+/// ```
+/// use rthv_experiments::SweepRunner;
+///
+/// let inputs = [1u64, 2, 3, 4, 5];
+/// let sequential = SweepRunner::sequential().run(&inputs, |_, &x| x * x);
+/// let parallel = SweepRunner::new(4).run(&inputs, |_, &x| x * x);
+/// assert_eq!(sequential, parallel);
+/// assert_eq!(parallel, vec![1, 4, 9, 16, 25]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl SweepRunner {
+    /// A runner that executes scenarios one after another on the calling
+    /// thread (the reference path).
+    #[must_use]
+    pub fn sequential() -> Self {
+        SweepRunner { threads: 1 }
+    }
+
+    /// A runner using up to `threads` worker threads (clamped to at least
+    /// one). `SweepRunner::new(1)` is exactly [`sequential`](Self::sequential).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        SweepRunner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A runner sized to the host: one worker per available core.
+    #[must_use]
+    pub fn available() -> Self {
+        SweepRunner::new(
+            thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        )
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `scenario(index, &scenarios[index])` for every scenario and
+    /// returns the results in scenario order.
+    ///
+    /// Scenarios are claimed from a shared atomic cursor, so threads stay
+    /// busy even when per-scenario run times differ widely (the largest
+    /// d_min points of a sweep can run an order of magnitude longer than
+    /// the smallest).
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from any scenario closure after all worker
+    /// threads have stopped.
+    pub fn run<S, R, F>(&self, scenarios: &[S], scenario: F) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(usize, &S) -> R + Sync,
+    {
+        if self.threads == 1 || scenarios.len() <= 1 {
+            return scenarios
+                .iter()
+                .enumerate()
+                .map(|(index, s)| scenario(index, s))
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let workers = self.threads.min(scenarios.len());
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(s) = scenarios.get(index) else {
+                        break;
+                    };
+                    let result = scenario(index, s);
+                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("every scenario index was claimed exactly once")
+            })
+            .collect()
+    }
+}
+
+impl Default for SweepRunner {
+    /// Defaults to [`SweepRunner::available`].
+    fn default() -> Self {
+        SweepRunner::available()
+    }
+}
+
+/// Folds per-scenario histograms — in iteration order — into one, via
+/// [`LatencyHistogram::merge`]. Returns `None` for an empty iterator.
+///
+/// Fed with a [`SweepRunner::run`] result this reproduces, bin for bin, the
+/// histogram a sequential loop filling a single accumulator would build.
+///
+/// # Panics
+///
+/// Panics if the histograms disagree on geometry.
+#[must_use]
+pub fn merge_histograms(
+    parts: impl IntoIterator<Item = LatencyHistogram>,
+) -> Option<LatencyHistogram> {
+    let mut parts = parts.into_iter();
+    let mut merged = parts.next()?;
+    for part in parts {
+        merged.merge(&part);
+    }
+    Some(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rthv::time::Duration;
+
+    #[test]
+    fn results_come_back_in_scenario_order() {
+        let inputs: Vec<usize> = (0..32).collect();
+        // Skew the per-scenario run time so completion order differs from
+        // scenario order.
+        let out = SweepRunner::new(8).run(&inputs, |index, &x| {
+            let spins = (32 - index) * 1_000;
+            let mut acc = 0u64;
+            for i in 0..spins {
+                acc = acc.wrapping_add(i as u64);
+            }
+            std::hint::black_box(acc);
+            x * 2
+        });
+        assert_eq!(out, inputs.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let inputs: Vec<u64> = (0..17).collect();
+        let f = |index: usize, x: &u64| (index as u64) * 1_000 + x * x;
+        assert_eq!(
+            SweepRunner::sequential().run(&inputs, f),
+            SweepRunner::new(5).run(&inputs, f),
+        );
+    }
+
+    #[test]
+    fn thread_count_is_clamped() {
+        assert_eq!(SweepRunner::new(0).threads(), 1);
+        assert!(SweepRunner::available().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_sweeps() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(SweepRunner::new(4).run(&empty, |_, &x| x).is_empty());
+        assert_eq!(SweepRunner::new(4).run(&[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn merge_histograms_matches_single_accumulator() {
+        let bin = Duration::from_micros(100);
+        let range = Duration::from_micros(1_000);
+        let samples: Vec<Duration> = (0..50u64)
+            .map(|i| Duration::from_micros(i * 37 % 1_200))
+            .collect();
+
+        let mut sequential = LatencyHistogram::new(bin, range).expect("valid");
+        for &s in &samples {
+            sequential.add(s);
+        }
+
+        let parts: Vec<LatencyHistogram> = samples
+            .chunks(7)
+            .map(|chunk| {
+                let mut h = LatencyHistogram::new(bin, range).expect("valid");
+                for &s in chunk {
+                    h.add(s);
+                }
+                h
+            })
+            .collect();
+        let merged = merge_histograms(parts).expect("non-empty");
+        assert_eq!(merged.count(), sequential.count());
+        assert_eq!(merged.overflow(), sequential.overflow());
+        assert!(merged.iter().eq(sequential.iter()));
+    }
+
+    #[test]
+    fn merge_histograms_empty_is_none() {
+        assert!(merge_histograms(Vec::new()).is_none());
+    }
+}

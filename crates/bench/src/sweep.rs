@@ -1,0 +1,225 @@
+//! The d_min design-space sweep, as data: computing the rows here (instead
+//! of inline in the `sweep` binary) lets the binary, the determinism tests
+//! and the perf exporter share one implementation — and lets a
+//! [`SweepRunner`] fan the independent d_min points across cores.
+
+use rthv::analysis::{baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask};
+use rthv::monitor::{interference_bound_dmin, DeltaFunction};
+use rthv::stats::csv_row;
+use rthv::time::{Duration, Instant};
+use rthv::workload::ExponentialArrivals;
+use rthv::{IrqHandlingMode, PaperSetup};
+
+use crate::{paper_tdma_slot, percent, run_paper_machine, us, SweepRunner};
+
+/// Parameters of the d_min sweep.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Platform setup (defaults to the paper's).
+    pub setup: PaperSetup,
+    /// The swept monitoring distances, in microseconds.
+    pub dmin_points_us: Vec<u64>,
+    /// Conformant IRQs simulated per point.
+    pub irqs: usize,
+    /// Arrival-trace RNG seed (each point derives its own stream from the
+    /// same seed, so points are independent of execution order).
+    pub seed: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            setup: PaperSetup::default(),
+            dmin_points_us: vec![500, 1_000, 2_000, 3_000, 5_000, 8_000, 13_000],
+            irqs: 2_000,
+            seed: 77,
+        }
+    }
+}
+
+/// One computed sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// The monitoring distance of this point.
+    pub dmin: Duration,
+    /// Analytic worst-case latency without monitoring.
+    pub baseline_bound: Duration,
+    /// Analytic worst-case latency with interposition.
+    pub interposed_bound: Duration,
+    /// Simulated mean latency (monitored run).
+    pub sim_mean: Duration,
+    /// Simulated maximum latency (monitored run).
+    pub sim_max: Duration,
+    /// Relative context-switch increase of the monitored run over baseline.
+    pub ctx_increase: f64,
+    /// Guaranteed long-term victim interference as a load fraction.
+    pub victim_load: f64,
+}
+
+/// Computes all sweep rows, fanning the points over `runner`.
+///
+/// Each point owns its arrival trace (derived from [`SweepConfig::seed`]
+/// and the point's d_min), so any thread count returns the same rows in the
+/// same order.
+///
+/// # Panics
+///
+/// Panics if the paper-setup analysis fails to converge or a simulation
+/// overruns its deadline — neither happens for the default configuration.
+#[must_use]
+pub fn compute_rows(config: &SweepConfig, runner: &SweepRunner) -> Vec<SweepRow> {
+    let setup = config.setup.clone();
+    let costs = setup.costs;
+    let tdma = paper_tdma_slot(&setup);
+    runner.run(&config.dmin_points_us, |_, &dmin_us| {
+        let dmin = Duration::from_micros(dmin_us);
+        let task = IrqTask {
+            model: EventModel::sporadic(dmin),
+            top_cost: costs.top_handler,
+            bottom_cost: setup.bottom_cost,
+        };
+        let baseline_bound = baseline_irq_wcrt(&task, tdma, &[])
+            .expect("paper setup converges")
+            .wcrt;
+        let interposed_bound = interposed_irq_wcrt(
+            &task.with_effective_costs(
+                costs.monitor_check,
+                costs.sched_manip,
+                costs.context_switch,
+            ),
+            &[],
+        )
+        .expect("paper setup converges")
+        .wcrt;
+
+        let trace = ExponentialArrivals::new(dmin, config.seed)
+            .with_min_distance(dmin)
+            .generate(config.irqs, Instant::ZERO);
+        let baseline_run =
+            run_paper_machine(&setup, IrqHandlingMode::Baseline, None, trace.as_slice());
+        let monitored_run = run_paper_machine(
+            &setup,
+            IrqHandlingMode::Interposed,
+            Some(DeltaFunction::from_dmin(dmin).expect("positive")),
+            trace.as_slice(),
+        );
+        let ctx_increase = (monitored_run.counters.context_switches as f64
+            - baseline_run.counters.context_switches as f64)
+            / baseline_run.counters.context_switches as f64;
+
+        // Guaranteed long-term interference on any victim.
+        let window = Duration::from_secs(1);
+        let victim =
+            interference_bound_dmin(window, dmin, costs.effective_bottom_cost(setup.bottom_cost));
+
+        SweepRow {
+            dmin,
+            baseline_bound,
+            interposed_bound,
+            sim_mean: monitored_run.recorder.mean_latency().expect("completions"),
+            sim_max: monitored_run.recorder.max_latency().expect("completions"),
+            ctx_increase,
+            victim_load: victim.as_nanos() as f64 / window.as_nanos() as f64,
+        }
+    })
+}
+
+/// Renders the rows as the sweep's CSV document (header + one line per
+/// point).
+#[must_use]
+pub fn render_csv(rows: &[SweepRow]) -> String {
+    let mut out = csv_row([
+        "dmin_us",
+        "baseline_bound_us",
+        "interposed_bound_us",
+        "sim_mean_us",
+        "sim_max_us",
+        "ctx_increase_pct",
+        "victim_interference_pct",
+    ]);
+    for row in rows {
+        out.push_str(&csv_row([
+            row.dmin.as_micros().to_string(),
+            row.baseline_bound.as_micros().to_string(),
+            row.interposed_bound.as_micros().to_string(),
+            row.sim_mean.as_micros().to_string(),
+            row.sim_max.as_micros().to_string(),
+            format!("{:.2}", row.ctx_increase * 100.0),
+            format!("{:.2}", row.victim_load * 100.0),
+        ]));
+    }
+    out
+}
+
+/// Renders the rows as the human-readable design-space table.
+#[must_use]
+pub fn render_table(rows: &[SweepRow], irqs: usize) -> String {
+    use std::fmt::Write as _;
+
+    let mut out = format!("d_min design-space sweep ({irqs} conformant IRQs per point)\n\n");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>15} {:>17} {:>11} {:>11} {:>9} {:>13}",
+        "d_min",
+        "baseline bound",
+        "interposed bound",
+        "sim mean",
+        "sim max",
+        "ctx +",
+        "victim load"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>15} {:>17} {:>11} {:>11} {:>9} {:>13}",
+            us(row.dmin),
+            us(row.baseline_bound),
+            us(row.interposed_bound),
+            us(row.sim_mean),
+            us(row.sim_max),
+            percent(row.ctx_increase),
+            percent(row.victim_load),
+        );
+    }
+    out.push_str(
+        "\nShrinking d_min buys nothing in worst-case latency (the \
+         interposed bound is cost-dominated) but inflates both the \
+         context-switch overhead and the guaranteed victim interference \
+         linearly — pick the largest d_min the IRQ source tolerates.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_cover_all_points_in_order() {
+        let config = SweepConfig {
+            dmin_points_us: vec![3_000, 5_000],
+            irqs: 150,
+            ..SweepConfig::default()
+        };
+        let rows = compute_rows(&config, &SweepRunner::sequential());
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].dmin, Duration::from_micros(3_000));
+        assert_eq!(rows[1].dmin, Duration::from_micros(5_000));
+        // Victim interference shrinks as d_min grows.
+        assert!(rows[0].victim_load > rows[1].victim_load);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let config = SweepConfig {
+            dmin_points_us: vec![3_000],
+            irqs: 100,
+            ..SweepConfig::default()
+        };
+        let rows = compute_rows(&config, &SweepRunner::sequential());
+        let csv = render_csv(&rows);
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("dmin_us,"));
+        assert!(csv.lines().nth(1).expect("row").starts_with("3000,"));
+    }
+}

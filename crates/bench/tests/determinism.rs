@@ -1,0 +1,77 @@
+//! Determinism guarantees of the parallel sweep engine: any thread count
+//! must produce byte-identical output to the sequential reference, and the
+//! per-load Figure-6 fan-out must merge into exactly the sequential run.
+
+use rthv::scenarios::{merge_fig6_loads, run_fig6, run_fig6_load, Fig6Config, Fig6Variant};
+use rthv_experiments::sweep::{compute_rows, render_csv, render_table, SweepConfig};
+use rthv_experiments::SweepRunner;
+
+/// A scaled-down sweep so the test stays fast; the determinism argument is
+/// independent of the point count and IRQ volume.
+fn small_sweep() -> SweepConfig {
+    SweepConfig {
+        dmin_points_us: vec![1_000, 3_000, 5_000, 8_000],
+        irqs: 200,
+        ..SweepConfig::default()
+    }
+}
+
+#[test]
+fn parallel_sweep_csv_is_byte_identical_to_sequential() {
+    let config = small_sweep();
+    let sequential = compute_rows(&config, &SweepRunner::sequential());
+    for threads in [2, 4, 8] {
+        let parallel = compute_rows(&config, &SweepRunner::new(threads));
+        assert_eq!(
+            render_csv(&sequential),
+            render_csv(&parallel),
+            "CSV diverged at {threads} threads"
+        );
+        assert_eq!(
+            render_table(&sequential, config.irqs),
+            render_table(&parallel, config.irqs),
+            "table diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_fig6_loads_merge_into_the_sequential_run() {
+    let config = Fig6Config {
+        irqs_per_load: 400,
+        ..Fig6Config::default()
+    };
+    for variant in [
+        Fig6Variant::Unmonitored,
+        Fig6Variant::Monitored,
+        Fig6Variant::MonitoredNoViolations,
+    ] {
+        let sequential = run_fig6(&config, variant);
+
+        let indices: Vec<usize> = (0..config.loads.len()).collect();
+        let outcomes =
+            SweepRunner::new(3).run(&indices, |_, &index| run_fig6_load(&config, variant, index));
+        let parallel = merge_fig6_loads(variant, outcomes);
+
+        assert_eq!(sequential.mean_latency, parallel.mean_latency);
+        assert_eq!(sequential.max_latency, parallel.max_latency);
+        assert_eq!(sequential.class_counts, parallel.class_counts);
+        assert_eq!(sequential.histogram.count(), parallel.histogram.count());
+        assert_eq!(
+            sequential.histogram.overflow(),
+            parallel.histogram.overflow()
+        );
+        assert!(
+            sequential.histogram.iter().eq(parallel.histogram.iter()),
+            "histogram bins diverged for {variant:?}"
+        );
+        assert_eq!(sequential.per_load.len(), parallel.per_load.len());
+        for (s, p) in sequential.per_load.iter().zip(&parallel.per_load) {
+            assert_eq!(s.load, p.load);
+            assert_eq!(s.mean_latency, p.mean_latency);
+            assert_eq!(s.max_latency, p.max_latency);
+            assert_eq!(s.class_counts, p.class_counts);
+            assert_eq!(s.context_switches, p.context_switches);
+        }
+    }
+}

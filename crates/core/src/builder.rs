@@ -3,8 +3,8 @@
 use std::fmt;
 
 use rthv_hypervisor::{
-    ConfigError, CostModel, HypervisorConfig, IrqHandlingMode, IrqSourceSpec, Machine,
-    PartitionId, PartitionSpec, PolicyOptions, SlotSpec,
+    ConfigError, CostModel, HypervisorConfig, IrqHandlingMode, IrqSourceSpec, Machine, PartitionId,
+    PartitionSpec, PolicyOptions, SlotSpec,
 };
 use rthv_monitor::DeltaFunction;
 use rthv_time::Duration;
@@ -109,8 +109,7 @@ impl SystemBuilder {
         delta: DeltaFunction,
     ) -> Self {
         self.sources.push(
-            IrqSourceSpec::new(name, PartitionId::new(subscriber), bottom_cost)
-                .with_monitor(delta),
+            IrqSourceSpec::new(name, PartitionId::new(subscriber), bottom_cost).with_monitor(delta),
         );
         self
     }

@@ -69,10 +69,9 @@ pub use paper::PaperSetup;
 // The platform types most users need, at the crate root.
 pub use rthv_hypervisor::{
     render_timeline, AdmissionClock, BoundaryPolicy, ConfigError, CostModel, Counters,
-    HandlingClass, HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode,
-    IrqSourceId, IrqSourceSpec, Machine, PartitionId, PartitionService, PartitionSpec,
-    PolicyOptions, RunReport, ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec,
-    Span, TdmaSchedule, TraceRecorder,
+    HandlingClass, HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode, IrqSourceId,
+    IrqSourceSpec, Machine, PartitionId, PartitionService, PartitionSpec, PolicyOptions, RunReport,
+    ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span, TdmaSchedule, TraceRecorder,
 };
 
 /// Virtual-time primitives ([`rthv_time`]).
@@ -83,9 +82,9 @@ pub mod time {
 /// δ⁻ activation monitoring ([`rthv_monitor`]).
 pub mod monitor {
     pub use rthv_monitor::{
-        interference_bound, interference_bound_dmin, token_bucket_interference,
-        ActivationMonitor, Admission, DeltaFunction, DeltaFunctionError, DeltaLearner,
-        MonitorStats, Shaper, ShaperConfig, TokenBucket,
+        interference_bound, interference_bound_dmin, token_bucket_interference, ActivationMonitor,
+        Admission, DeltaFunction, DeltaFunctionError, DeltaLearner, MonitorStats, Shaper,
+        ShaperConfig, TokenBucket,
     };
 }
 
@@ -93,10 +92,10 @@ pub mod monitor {
 pub mod analysis {
     pub use rthv_analysis::{
         baseline_irq_wcrt, busy_window, chain_latency, guest_task_wcrt, interposed_irq_wcrt,
-        irq_best_case, output_event_model, propagate_chain, tdma_interference,
-        violating_irq_wcrt, AnalysisError, EventModel, GuestTaskSpec, Interferer, IrqTask,
-        MonitoredSupply, PatternLayoutError, PatternSupply, ResponseRange, SupplyBound, TdmaSlot,
-        TdmaSupply, WcrtResult,
+        irq_best_case, output_event_model, propagate_chain, tdma_interference, violating_irq_wcrt,
+        AnalysisError, EventModel, GuestTaskSpec, Interferer, IrqTask, MonitoredSupply,
+        PatternLayoutError, PatternSupply, ResponseRange, SupplyBound, TdmaSlot, TdmaSupply,
+        WcrtResult,
     };
 }
 
@@ -112,8 +111,7 @@ pub mod guest {
 pub mod workload {
     pub use rthv_workload::{
         read_trace, write_trace, ArrivalTrace, AutomotiveTraceBuilder, BurstSpec,
-        ExponentialArrivals, PeriodicJitterArrivals, PeriodicTaskSpec, ReadTraceError,
-        TraceError,
+        ExponentialArrivals, PeriodicJitterArrivals, PeriodicTaskSpec, ReadTraceError, TraceError,
     };
 }
 

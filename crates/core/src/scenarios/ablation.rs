@@ -77,7 +77,10 @@ pub fn run_ablation(config: &AblationConfig) -> Vec<AblationRow> {
 
     let combos = [
         (BoundaryPolicy::DeferToWindow, AdmissionClock::IrqTimestamp),
-        (BoundaryPolicy::DeferToWindow, AdmissionClock::ProcessingTime),
+        (
+            BoundaryPolicy::DeferToWindow,
+            AdmissionClock::ProcessingTime,
+        ),
         (BoundaryPolicy::AbortWindow, AdmissionClock::IrqTimestamp),
         (BoundaryPolicy::AbortWindow, AdmissionClock::ProcessingTime),
     ];

@@ -93,24 +93,18 @@ pub fn run_bounds(config: &BoundsConfig) -> Vec<BoundsRow> {
         slot: setup.app_slot - costs.context_switch,
     };
 
-    let analytic_baseline =
-        baseline_irq_wcrt(&task, tdma, &[]).expect("paper setup converges");
-    let effective = task.with_effective_costs(
-        costs.monitor_check,
-        costs.sched_manip,
-        costs.context_switch,
-    );
-    let analytic_interposed =
-        interposed_irq_wcrt(&effective, &[]).expect("paper setup converges");
+    let analytic_baseline = baseline_irq_wcrt(&task, tdma, &[]).expect("paper setup converges");
+    let effective =
+        task.with_effective_costs(costs.monitor_check, costs.sched_manip, costs.context_switch);
+    let analytic_interposed = interposed_irq_wcrt(&effective, &[]).expect("paper setup converges");
     // The violating case runs in monitored mode, where slot starts can be
     // deferred behind an in-flight window (≤ C'_BH each).
     let tdma_monitored = TdmaSlot {
         cycle: tdma.cycle,
         slot: tdma.slot - setup.effective_bottom_cost(),
     };
-    let analytic_violating =
-        violating_irq_wcrt(&task, costs.monitor_check, tdma_monitored, &[])
-            .expect("paper setup converges");
+    let analytic_violating = violating_irq_wcrt(&task, costs.monitor_check, tdma_monitored, &[])
+        .expect("paper setup converges");
 
     // Guard band for the conformant workload: an arrival within the last
     // C_TH + C_BH (plus latching slack) of the subscriber's own slot would
@@ -124,10 +118,9 @@ pub fn run_bounds(config: &BoundsConfig) -> Vec<BoundsRow> {
     };
 
     let simulate = |mode: IrqHandlingMode, monitored: bool, clamp: bool, guard_band: bool| {
-        let monitor = monitored
-            .then(|| DeltaFunction::from_dmin(config.dmin).expect("positive d_min"));
-        let mut machine =
-            Machine::new(setup.config(mode, monitor)).expect("paper setup is valid");
+        let monitor =
+            monitored.then(|| DeltaFunction::from_dmin(config.dmin).expect("positive d_min"));
+        let mut machine = Machine::new(setup.config(mode, monitor)).expect("paper setup is valid");
         let mut generator = ExponentialArrivals::new(config.dmin, config.seed);
         if clamp {
             generator = generator.with_min_distance(config.dmin);
@@ -228,8 +221,7 @@ mod tests {
             ..small()
         });
         let baseline = &rows[0];
-        let ratio = baseline.simulated_max.as_nanos() as f64
-            / baseline.analytic.as_nanos() as f64;
+        let ratio = baseline.simulated_max.as_nanos() as f64 / baseline.analytic.as_nanos() as f64;
         assert!(ratio > 0.85, "baseline bound too loose: ratio {ratio}");
     }
 

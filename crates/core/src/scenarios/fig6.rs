@@ -127,88 +127,130 @@ impl Fig6Run {
     }
 }
 
-/// Runs one Figure-6 variant.
+/// Completed simulation of a single load level — the unit a parallel sweep
+/// fans out. [`merge_fig6_loads`] folds outcomes (in load order) into the
+/// exact [`Fig6Run`] the sequential loop produces: histogram bins, class
+/// counts and latency sums are all plain additions, so the merge is
+/// bit-identical regardless of which thread ran which load.
+#[derive(Debug, Clone)]
+pub struct Fig6LoadOutcome {
+    /// This load's latency histogram (the configured geometry).
+    pub histogram: LatencyHistogram,
+    /// The per-load summary row.
+    pub run: LoadRun,
+    /// Sum of all latencies at this load, for the exact cumulative mean.
+    pub total_latency_nanos: u128,
+    /// Simulation events the machine processed for this load.
+    pub events_processed: u64,
+}
+
+/// Runs a single load level of a Figure-6 variant (`index` into
+/// [`Fig6Config::loads`]). Each load owns its RNG seed, so loads can run
+/// concurrently and still reproduce the sequential experiment exactly.
 ///
 /// # Panics
 ///
-/// Panics if the configuration is structurally invalid or a run fails to
-/// complete within a generous deadline (which would indicate overload and a
-/// mis-parameterized experiment).
+/// Panics if `index` is out of range, the configuration is structurally
+/// invalid, or the run fails to complete within a generous deadline (which
+/// would indicate overload and a mis-parameterized experiment).
 #[must_use]
-pub fn run_fig6(config: &Fig6Config, variant: Fig6Variant) -> Fig6Run {
+pub fn run_fig6_load(config: &Fig6Config, variant: Fig6Variant, index: usize) -> Fig6LoadOutcome {
+    let load = config.loads[index];
+    let lambda = config.setup.mean_interarrival(load);
+    let seed = config
+        .seed
+        .wrapping_add(index as u64)
+        .wrapping_mul(0x9E37_79B9);
+    let mut generator = ExponentialArrivals::new(lambda, seed);
+    if variant == Fig6Variant::MonitoredNoViolations {
+        generator = generator.with_min_distance(lambda);
+    }
+    let trace = generator.generate(config.irqs_per_load, Instant::ZERO);
+
+    let (mode, monitor) = match variant {
+        Fig6Variant::Unmonitored => (IrqHandlingMode::Baseline, None),
+        Fig6Variant::Monitored | Fig6Variant::MonitoredNoViolations => (
+            IrqHandlingMode::Interposed,
+            Some(DeltaFunction::from_dmin(lambda).expect("positive d_min")),
+        ),
+    };
+    let mut machine = Machine::new(config.setup.config(mode, monitor))
+        .expect("paper setup is a valid configuration");
+    machine
+        .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
+        .expect("trace lies in the future");
+    let last = *trace.as_slice().last().expect("non-empty trace");
+    let deadline = last + config.setup.tdma_cycle() * 100;
+    assert!(
+        machine.run_until_complete(deadline),
+        "figure-6 run did not complete — configuration overloaded?"
+    );
+    let report = machine.finish();
+
     let mut histogram = LatencyHistogram::new(config.bin_width, config.range)
         .expect("experiment histogram geometry is valid");
-    let mut per_load = Vec::with_capacity(config.loads.len());
-    let mut total_nanos: u128 = 0;
-    let mut total_count: u128 = 0;
-    let mut max_latency = Duration::ZERO;
-    let mut class_counts = (0usize, 0usize, 0usize);
-
-    for (index, &load) in config.loads.iter().enumerate() {
-        let lambda = config.setup.mean_interarrival(load);
-        let seed = config.seed.wrapping_add(index as u64).wrapping_mul(0x9E37_79B9);
-        let mut generator = ExponentialArrivals::new(lambda, seed);
-        if variant == Fig6Variant::MonitoredNoViolations {
-            generator = generator.with_min_distance(lambda);
+    let mut load_hist_count = 0u64;
+    let mut load_total: u128 = 0;
+    let mut load_max = Duration::ZERO;
+    let mut load_classes = (0usize, 0usize, 0usize);
+    for completion in report.recorder.completions() {
+        let latency = completion.latency();
+        histogram.add(latency);
+        load_total += u128::from(latency.as_nanos());
+        load_hist_count += 1;
+        load_max = load_max.max(latency);
+        match completion.class {
+            HandlingClass::Direct => load_classes.0 += 1,
+            HandlingClass::Interposed => load_classes.1 += 1,
+            HandlingClass::Delayed => load_classes.2 += 1,
         }
-        let trace = generator.generate(config.irqs_per_load, Instant::ZERO);
-
-        let (mode, monitor) = match variant {
-            Fig6Variant::Unmonitored => (IrqHandlingMode::Baseline, None),
-            Fig6Variant::Monitored | Fig6Variant::MonitoredNoViolations => (
-                IrqHandlingMode::Interposed,
-                Some(DeltaFunction::from_dmin(lambda).expect("positive d_min")),
-            ),
-        };
-        let mut machine = Machine::new(config.setup.config(mode, monitor))
-            .expect("paper setup is a valid configuration");
-        machine
-            .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
-            .expect("trace lies in the future");
-        let last = *trace.as_slice().last().expect("non-empty trace");
-        let deadline = last + config.setup.tdma_cycle() * 100;
-        assert!(
-            machine.run_until_complete(deadline),
-            "figure-6 run did not complete — configuration overloaded?"
-        );
-        let report = machine.finish();
-
-        let mut load_hist_count = 0u64;
-        let mut load_total: u128 = 0;
-        let mut load_max = Duration::ZERO;
-        let mut load_classes = (0usize, 0usize, 0usize);
-        for completion in report.recorder.completions() {
-            let latency = completion.latency();
-            histogram.add(latency);
-            load_total += u128::from(latency.as_nanos());
-            load_hist_count += 1;
-            load_max = load_max.max(latency);
-            match completion.class {
-                HandlingClass::Direct => load_classes.0 += 1,
-                HandlingClass::Interposed => load_classes.1 += 1,
-                HandlingClass::Delayed => load_classes.2 += 1,
-            }
-        }
-        total_nanos += load_total;
-        total_count += u128::from(load_hist_count);
-        max_latency = max_latency.max(load_max);
-        class_counts.0 += load_classes.0;
-        class_counts.1 += load_classes.1;
-        class_counts.2 += load_classes.2;
-        per_load.push(LoadRun {
+    }
+    Fig6LoadOutcome {
+        histogram,
+        run: LoadRun {
             load,
             lambda,
             mean_latency: Duration::from_nanos(
-                u64::try_from(load_total / u128::from(load_hist_count.max(1)))
-                    .unwrap_or(u64::MAX),
+                u64::try_from(load_total / u128::from(load_hist_count.max(1))).unwrap_or(u64::MAX),
             ),
             max_latency: load_max,
             class_counts: load_classes,
             context_switches: report.counters.context_switches,
             slot_switches: report.counters.slot_switches,
-        });
+        },
+        total_latency_nanos: load_total,
+        events_processed: report.counters.events_processed,
     }
+}
 
+/// Folds per-load outcomes — **in load order** — into the cumulative
+/// [`Fig6Run`]. Every aggregate is a sum or max of per-load values, so the
+/// result is identical to running the loads sequentially into one
+/// accumulator.
+///
+/// # Panics
+///
+/// Panics if `outcomes` is empty or the histograms disagree on geometry
+/// (they cannot, when produced by [`run_fig6_load`] from one config).
+#[must_use]
+pub fn merge_fig6_loads(variant: Fig6Variant, outcomes: Vec<Fig6LoadOutcome>) -> Fig6Run {
+    let mut outcomes = outcomes.into_iter();
+    let first = outcomes.next().expect("at least one load outcome");
+    let mut histogram = first.histogram;
+    let mut total_nanos = first.total_latency_nanos;
+    let mut max_latency = first.run.max_latency;
+    let mut class_counts = first.run.class_counts;
+    let mut per_load = vec![first.run];
+    for outcome in outcomes {
+        histogram.merge(&outcome.histogram);
+        total_nanos += outcome.total_latency_nanos;
+        max_latency = max_latency.max(outcome.run.max_latency);
+        class_counts.0 += outcome.run.class_counts.0;
+        class_counts.1 += outcome.run.class_counts.1;
+        class_counts.2 += outcome.run.class_counts.2;
+        per_load.push(outcome.run);
+    }
+    let total_count = (class_counts.0 + class_counts.1 + class_counts.2) as u128;
     Fig6Run {
         variant,
         histogram,
@@ -219,6 +261,21 @@ pub fn run_fig6(config: &Fig6Config, variant: Fig6Variant) -> Fig6Run {
         class_counts,
         per_load,
     }
+}
+
+/// Runs one Figure-6 variant (all loads, sequentially).
+///
+/// # Panics
+///
+/// Panics if the configuration is structurally invalid or a run fails to
+/// complete within a generous deadline (which would indicate overload and a
+/// mis-parameterized experiment).
+#[must_use]
+pub fn run_fig6(config: &Fig6Config, variant: Fig6Variant) -> Fig6Run {
+    let outcomes = (0..config.loads.len())
+        .map(|index| run_fig6_load(config, variant, index))
+        .collect();
+    merge_fig6_loads(variant, outcomes)
 }
 
 #[cfg(test)]
@@ -241,7 +298,10 @@ mod tests {
         // Paper: ~40 % direct, ~60 % delayed, nothing interposed.
         assert!((0.32..0.54).contains(&direct), "direct fraction {direct}");
         assert_eq!(interposed, 0.0);
-        assert!((0.46..0.68).contains(&delayed), "delayed fraction {delayed}");
+        assert!(
+            (0.46..0.68).contains(&delayed),
+            "delayed fraction {delayed}"
+        );
         // Average ≈ 2500 µs; worst ≈ T_TDMA − T_i.
         assert!(
             (1_900..3_100).contains(&run.mean_latency.as_micros()),
@@ -258,7 +318,10 @@ mod tests {
         let (direct, interposed, delayed) = run.class_fractions();
         // Paper: ~40/40/20.
         assert!((0.30..0.55).contains(&direct), "direct {direct}");
-        assert!((0.25..0.55).contains(&interposed), "interposed {interposed}");
+        assert!(
+            (0.25..0.55).contains(&interposed),
+            "interposed {interposed}"
+        );
         assert!((0.05..0.35).contains(&delayed), "delayed {delayed}");
         // Average roughly halves; worst case still TDMA-bound.
         assert!(
@@ -277,7 +340,10 @@ mod tests {
         // only delayed events left are the FIFO shadow of bottom handlers
         // that straddled their own slot end (≈ C_BH/T_TDMA ≈ 0.2 % of all
         // IRQs) — invisible in the paper's rounded percentages.
-        assert!(delayed < 0.005, "delayed fraction {delayed} too high for 6c");
+        assert!(
+            delayed < 0.005,
+            "delayed fraction {delayed} too high for 6c"
+        );
         assert!(direct > 0.2 && interposed > 0.4, "{direct}/{interposed}");
         // Average collapses by an order of magnitude.
         assert!(
@@ -324,6 +390,8 @@ mod tests {
     #[test]
     fn variant_labels() {
         assert!(Fig6Variant::Unmonitored.label().contains("disabled"));
-        assert!(Fig6Variant::MonitoredNoViolations.label().contains("no violations"));
+        assert!(Fig6Variant::MonitoredNoViolations
+            .label()
+            .contains("no violations"));
     }
 }

@@ -83,9 +83,8 @@ pub fn run_guest_tasks(config: &GuestTasksConfig) -> GuestTasksReport {
 
     let run = |with_storm: bool| -> GuestReport {
         let monitor = DeltaFunction::from_dmin(config.dmin).expect("positive d_min");
-        let mut machine =
-            Machine::new(setup.config(IrqHandlingMode::Interposed, Some(monitor)))
-                .expect("paper setup is valid");
+        let mut machine = Machine::new(setup.config(IrqHandlingMode::Interposed, Some(monitor)))
+            .expect("paper setup is valid");
         machine.enable_service_trace();
         if with_storm {
             let count = (config.horizon.as_nanos() / config.dmin.as_nanos()) as usize;

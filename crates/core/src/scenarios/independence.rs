@@ -79,10 +79,8 @@ pub fn run_independence(config: &IndependenceConfig) -> IndependenceReport {
 
     let service = |with_storm: bool| {
         let monitor = DeltaFunction::from_dmin(config.dmin).expect("positive d_min");
-        let mut machine = Machine::new(
-            setup.config(IrqHandlingMode::Interposed, Some(monitor)),
-        )
-        .expect("paper setup is valid");
+        let mut machine = Machine::new(setup.config(IrqHandlingMode::Interposed, Some(monitor)))
+            .expect("paper setup is valid");
         if with_storm {
             // Periodic at exactly d_min: every activation conformant, the
             // densest stream the monitor ever admits.

@@ -29,7 +29,10 @@ pub mod splitting;
 
 pub use ablation::{run_ablation, AblationConfig, AblationRow};
 pub use bounds::{run_bounds, BoundsConfig, BoundsRow};
-pub use fig6::{run_fig6, Fig6Config, Fig6Run, Fig6Variant, LoadRun};
+pub use fig6::{
+    merge_fig6_loads, run_fig6, run_fig6_load, Fig6Config, Fig6LoadOutcome, Fig6Run, Fig6Variant,
+    LoadRun,
+};
 pub use fig7::{run_fig7, Fig7Bound, Fig7Config, Fig7Curve};
 pub use guest_tasks::{run_guest_tasks, GuestTasksConfig, GuestTasksReport};
 pub use independence::{run_independence, IndependenceConfig, IndependenceReport};

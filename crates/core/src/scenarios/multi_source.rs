@@ -218,13 +218,16 @@ pub fn run_multi_source(config: &MultiSourceConfig) -> MultiSourceReport {
         .collect();
 
     // Aggregate interference budget over the (shorter) run horizon.
-    let horizon = baseline.end.min(monitored.end).duration_since(Instant::ZERO);
+    let horizon = baseline
+        .end
+        .min(monitored.end)
+        .duration_since(Instant::ZERO);
     let mut aggregate_bound = Duration::ZERO;
     for s in &config.sources {
         if let Some(dmin) = s.dmin {
             let events = horizon.div_ceil(dmin);
-            let per_event = setup.costs.effective_bottom_cost(s.bottom_cost)
-                + setup.costs.monitored_top_cost();
+            let per_event =
+                setup.costs.effective_bottom_cost(s.bottom_cost) + setup.costs.monitored_top_cost();
             aggregate_bound = aggregate_bound.saturating_add(per_event * events);
         }
     }

@@ -89,8 +89,7 @@ pub fn run_overhead(config: &OverheadConfig) -> OverheadReport {
     let deadline = last + setup.tdma_cycle() * 100;
 
     let run = |mode: IrqHandlingMode, monitor: Option<DeltaFunction>| {
-        let mut machine =
-            Machine::new(setup.config(mode, monitor)).expect("paper setup is valid");
+        let mut machine = Machine::new(setup.config(mode, monitor)).expect("paper setup is valid");
         machine
             .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
             .expect("trace lies in the future");
@@ -165,8 +164,7 @@ mod tests {
         // rotation counts may differ by one; everything beyond that is the
         // two switches per interposed window.
         let report = run_overhead(&small());
-        let extra =
-            report.monitored_context_switches - report.baseline_context_switches;
+        let extra = report.monitored_context_switches - report.baseline_context_switches;
         assert!(
             extra.abs_diff(2 * report.interposed_windows) <= 1,
             "extra {extra} vs 2x{}",

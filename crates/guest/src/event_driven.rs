@@ -99,28 +99,25 @@ pub fn replay_events(
     let mut busy_time = Duration::ZERO;
     let mut idle_time = Duration::ZERO;
 
-    let release_up_to = |now: Instant,
-                         ready: &mut Vec<Vec<Job>>,
-                         next_release_idx: &mut Vec<usize>| {
-        for (task, task_releases) in releases.iter().enumerate() {
-            while next_release_idx[task] < task_releases.len()
-                && task_releases[next_release_idx[task]] <= now
-            {
-                ready[task].push(Job {
-                    release: task_releases[next_release_idx[task]],
-                    remaining: tasks[task].wcet,
-                });
-                next_release_idx[task] += 1;
+    let release_up_to =
+        |now: Instant, ready: &mut Vec<Vec<Job>>, next_release_idx: &mut Vec<usize>| {
+            for (task, task_releases) in releases.iter().enumerate() {
+                while next_release_idx[task] < task_releases.len()
+                    && task_releases[next_release_idx[task]] <= now
+                {
+                    ready[task].push(Job {
+                        release: task_releases[next_release_idx[task]],
+                        remaining: tasks[task].wcet,
+                    });
+                    next_release_idx[task] += 1;
+                }
             }
-        }
-    };
+        };
     let next_pending_release = |next_release_idx: &Vec<usize>| -> Option<Instant> {
         releases
             .iter()
             .enumerate()
-            .filter_map(|(task, task_releases)| {
-                task_releases.get(next_release_idx[task]).copied()
-            })
+            .filter_map(|(task, task_releases)| task_releases.get(next_release_idx[task]).copied())
             .min()
     };
 
@@ -130,8 +127,8 @@ pub fn replay_events(
         while now < end {
             release_up_to(now, &mut ready, &mut next_release_idx);
             let Some(task) = ready.iter().position(|jobs| !jobs.is_empty()) else {
-                let next = next_pending_release(&next_release_idx)
-                    .map_or(end, |r| r.min(end).max(now));
+                let next =
+                    next_pending_release(&next_release_idx).map_or(end, |r| r.min(end).max(now));
                 idle_time += next.max(now).duration_since(now);
                 if next <= now {
                     continue;

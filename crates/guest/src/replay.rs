@@ -78,11 +78,7 @@ struct Job {
 /// Panics if the supply intervals are unsorted or overlap — the hypervisor
 /// records them in order, so this indicates caller-side tampering.
 #[must_use]
-pub fn replay(
-    tasks: &GuestTaskSet,
-    supply: &[ServiceInterval],
-    horizon: Instant,
-) -> GuestReport {
+pub fn replay(tasks: &GuestTaskSet, supply: &[ServiceInterval], horizon: Instant) -> GuestReport {
     let user_supply: Vec<&ServiceInterval> = supply
         .iter()
         .filter(|interval| interval.kind == ServiceKind::User)
@@ -113,29 +109,26 @@ pub fn replay(
     let mut busy_time = Duration::ZERO;
     let mut idle_time = Duration::ZERO;
 
-    let release_up_to = |now: Instant,
-                         ready: &mut Vec<Vec<Job>>,
-                         next_release_idx: &mut Vec<usize>| {
-        for (task, task_releases) in releases.iter().enumerate() {
-            while next_release_idx[task] < task_releases.len()
-                && task_releases[next_release_idx[task]] <= now
-            {
-                ready[task].push(Job {
-                    release: task_releases[next_release_idx[task]],
-                    remaining: tasks.tasks()[task].wcet,
-                });
-                next_release_idx[task] += 1;
+    let release_up_to =
+        |now: Instant, ready: &mut Vec<Vec<Job>>, next_release_idx: &mut Vec<usize>| {
+            for (task, task_releases) in releases.iter().enumerate() {
+                while next_release_idx[task] < task_releases.len()
+                    && task_releases[next_release_idx[task]] <= now
+                {
+                    ready[task].push(Job {
+                        release: task_releases[next_release_idx[task]],
+                        remaining: tasks.tasks()[task].wcet,
+                    });
+                    next_release_idx[task] += 1;
+                }
             }
-        }
-    };
+        };
 
     let next_pending_release = |next_release_idx: &Vec<usize>| -> Option<Instant> {
         releases
             .iter()
             .enumerate()
-            .filter_map(|(task, task_releases)| {
-                task_releases.get(next_release_idx[task]).copied()
-            })
+            .filter_map(|(task, task_releases)| task_releases.get(next_release_idx[task]).copied())
             .min()
     };
 
@@ -151,8 +144,8 @@ pub fn replay(
             let Some(task) = ready.iter().position(|jobs| !jobs.is_empty()) else {
                 // Idle inside supplied time until the next release or the
                 // interval end.
-                let next = next_pending_release(&next_release_idx)
-                    .map_or(end, |r| r.min(end).max(now));
+                let next =
+                    next_pending_release(&next_release_idx).map_or(end, |r| r.min(end).max(now));
                 idle_time += next.max(now).duration_since(now);
                 if next <= now {
                     // A release exactly at `now` — loop to pick it up.
@@ -248,8 +241,7 @@ mod tests {
 
     #[test]
     fn single_task_full_supply() {
-        let tasks =
-            GuestTaskSet::new(vec![GuestTask::new("t", ms(10), ms(2))]).expect("valid");
+        let tasks = GuestTaskSet::new(vec![GuestTask::new("t", ms(10), ms(2))]).expect("valid");
         let report = replay(&tasks, &full_supply(100), at_ms(100));
         assert_eq!(report.tasks[0].released, 10);
         assert_eq!(report.tasks[0].completed, 10);
@@ -278,10 +270,8 @@ mod tests {
     #[test]
     fn tdma_like_supply_delays_tasks() {
         // Supply 6 ms of every 14 ms (the paper's slot share).
-        let supply: Vec<ServiceInterval> =
-            (0..10).map(|k| user(k * 14, k * 14 + 6)).collect();
-        let tasks =
-            GuestTaskSet::new(vec![GuestTask::new("t", ms(14), ms(2))]).expect("valid");
+        let supply: Vec<ServiceInterval> = (0..10).map(|k| user(k * 14, k * 14 + 6)).collect();
+        let tasks = GuestTaskSet::new(vec![GuestTask::new("t", ms(14), ms(2))]).expect("valid");
         let report = replay(&tasks, &supply, at_ms(140));
         assert_eq!(report.tasks[0].completed, 10);
         // Jobs released at k·14 run right at slot starts: response 2 ms.
@@ -309,8 +299,7 @@ mod tests {
             },
             user(10, 20),
         ];
-        let tasks =
-            GuestTaskSet::new(vec![GuestTask::new("t", ms(50), ms(2))]).expect("valid");
+        let tasks = GuestTaskSet::new(vec![GuestTask::new("t", ms(50), ms(2))]).expect("valid");
         let report = replay(&tasks, &supply, at_ms(50));
         // Release at 0, but supply only from 10 ms → response 12 ms.
         assert_eq!(report.tasks[0].observed_wcrt, Some(ms(12)));
@@ -318,8 +307,7 @@ mod tests {
 
     #[test]
     fn unfinished_jobs_are_reported() {
-        let tasks =
-            GuestTaskSet::new(vec![GuestTask::new("t", ms(10), ms(8))]).expect("valid");
+        let tasks = GuestTaskSet::new(vec![GuestTask::new("t", ms(10), ms(8))]).expect("valid");
         // Only 4 ms of supply for an 8 ms job.
         let report = replay(&tasks, &[user(0, 4)], at_ms(10));
         assert_eq!(report.tasks[0].released, 1);
@@ -342,15 +330,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "sorted and disjoint")]
     fn overlapping_supply_rejected() {
-        let tasks =
-            GuestTaskSet::new(vec![GuestTask::new("t", ms(10), ms(1))]).expect("valid");
+        let tasks = GuestTaskSet::new(vec![GuestTask::new("t", ms(10), ms(1))]).expect("valid");
         let _ = replay(&tasks, &[user(0, 10), user(5, 15)], at_ms(20));
     }
 
     #[test]
     fn time_conservation_in_replay() {
-        let supply: Vec<ServiceInterval> =
-            (0..20).map(|k| user(k * 10, k * 10 + 4)).collect();
+        let supply: Vec<ServiceInterval> = (0..20).map(|k| user(k * 10, k * 10 + 4)).collect();
         let tasks = GuestTaskSet::new(vec![
             GuestTask::new("a", ms(20), ms(1)),
             GuestTask::new("b", ms(40), ms(3)),
@@ -363,8 +349,7 @@ mod tests {
 
     #[test]
     fn display_lists_tasks() {
-        let tasks =
-            GuestTaskSet::new(vec![GuestTask::new("ctl", ms(10), ms(1))]).expect("valid");
+        let tasks = GuestTaskSet::new(vec![GuestTask::new("ctl", ms(10), ms(1))]).expect("valid");
         let report = replay(&tasks, &full_supply(20), at_ms(20));
         assert!(report.to_string().contains("ctl"));
         assert!(report.to_string().contains("2/2 jobs"));

@@ -57,9 +57,9 @@ struct Case {
 
 fn case_strategy() -> impl Strategy<Value = Case> {
     (
-        4u64..20,                                  // cycle
-        1u64..4,                                   // slot (part of cycle)
-        0u64..20,                                  // phase
+        4u64..20, // cycle
+        1u64..4,  // slot (part of cycle)
+        0u64..20, // phase
         prop::collection::vec((20u64..200, 1u64..4), 1..4),
     )
         .prop_map(|(cycle_extra, slot_ms, phase_ms, mut tasks)| {
@@ -73,11 +73,7 @@ fn case_strategy() -> impl Strategy<Value = Case> {
             }
         })
         .prop_filter("supply must cover the demand with slack", |case| {
-            let demand: f64 = case
-                .tasks
-                .iter()
-                .map(|(p, c)| *c as f64 / *p as f64)
-                .sum();
+            let demand: f64 = case.tasks.iter().map(|(p, c)| *c as f64 / *p as f64).sum();
             let supply = case.slot_ms as f64 / case.cycle_ms as f64;
             demand < supply * 0.7
         })

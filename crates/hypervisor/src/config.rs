@@ -164,11 +164,7 @@ pub struct IrqSourceSpec {
 impl IrqSourceSpec {
     /// Creates an unmonitored IRQ source (baseline behaviour).
     #[must_use]
-    pub fn new(
-        name: impl Into<String>,
-        subscriber: PartitionId,
-        bottom_cost: Duration,
-    ) -> Self {
+    pub fn new(name: impl Into<String>, subscriber: PartitionId, bottom_cost: Duration) -> Self {
         IrqSourceSpec {
             name: name.into(),
             subscriber,

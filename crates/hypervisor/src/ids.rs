@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.index(), 2);
 /// assert_eq!(p.to_string(), "P2");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct PartitionId(u32);
 
@@ -51,9 +49,7 @@ impl fmt::Display for PartitionId {
 /// let irq = IrqSourceId::new(0);
 /// assert_eq!(irq.to_string(), "IRQ0");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct IrqSourceId(u32);
 

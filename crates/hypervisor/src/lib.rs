@@ -37,8 +37,8 @@ pub use config::{
 pub use ids::{IrqSourceId, PartitionId};
 pub use machine::{Machine, RunReport, ScheduleIrqError};
 pub use record::{
-    Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval, ServiceKind,
-    Span, TraceRecorder,
+    Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval, ServiceKind, Span,
+    TraceRecorder,
 };
 pub use schedule::TdmaSchedule;
 pub use timeline::render_timeline;

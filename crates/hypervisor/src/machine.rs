@@ -33,8 +33,8 @@ use rthv_time::{Duration, Instant};
 
 use crate::{
     AdmissionClock, BoundaryPolicy, ConfigError, Counters, HandlingClass, HypervisorConfig,
-    IrqCompletion, IrqHandlingMode, IrqSourceId, PartitionId, ServiceInterval, ServiceKind,
-    Span, TdmaSchedule, TraceRecorder,
+    IrqCompletion, IrqHandlingMode, IrqSourceId, PartitionId, ServiceInterval, ServiceKind, Span,
+    TdmaSchedule, TraceRecorder,
 };
 
 /// Events driving the machine.
@@ -81,7 +81,10 @@ enum Activity {
     #[default]
     None,
     /// The active partition's user-level task runs.
-    User { partition: PartitionId, since: Instant },
+    User {
+        partition: PartitionId,
+        since: Instant,
+    },
     /// The active partition processes its IRQ-queue front.
     Bottom {
         partition: PartitionId,
@@ -267,7 +270,9 @@ impl Machine {
             pending_boundary: None,
             latched: VecDeque::new(),
             current_slot: 0,
-            partitions: (0..partition_count).map(|_| PartitionRt::default()).collect(),
+            partitions: (0..partition_count)
+                .map(|_| PartitionRt::default())
+                .collect(),
             monitors,
             recorder: TraceRecorder::new(),
             counters: Counters::new(partition_count),
@@ -382,12 +387,14 @@ impl Machine {
         let seq = self.next_seq[source.index()];
         self.queue
             .schedule_at(at, Event::Arrival { source, seq })
-            .map_err(|e| ScheduleIrqError::InPast { at: e.at, now: e.now })?;
+            .map_err(|e| ScheduleIrqError::InPast {
+                at: e.at,
+                now: e.now,
+            })?;
         self.next_seq[source.index()] += 1;
         // Shared sources yield one completion per subscriber.
-        self.expected_completions += self.config.sources[source.index()]
-            .subscribers()
-            .count() as u64;
+        self.expected_completions +=
+            self.config.sources[source.index()].subscribers().count() as u64;
         Ok(())
     }
 
@@ -442,6 +449,58 @@ impl Machine {
         true
     }
 
+    /// Rewinds the machine to its just-constructed state — virtual time
+    /// zero, partition 0's user task running, no scheduled arrivals, empty
+    /// records — while keeping every allocation: the event queue's heap and
+    /// id ring, the per-partition IRQ [`VecDeque`]s, the recorder's
+    /// completion vector and the trace buffers all retain their capacity,
+    /// so a reset-and-rerun executes without heap allocation in steady
+    /// state.
+    ///
+    /// Determinism: a reset machine fed the same arrival trace reproduces
+    /// the original run event for event (asserted by the
+    /// `reset_rerun_matches_fresh_machine` integration test). Runtime
+    /// mutations made through [`set_mode`](Machine::set_mode) or
+    /// [`set_monitor_delta`](Machine::set_monitor_delta) are configuration,
+    /// not run state, and deliberately survive the reset.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.queue
+            .schedule_at(self.schedule.boundary_time(1), Event::Boundary { index: 1 })
+            .expect("first boundary is in the future");
+        self.hv = None;
+        self.activity = Activity::User {
+            partition: PartitionId::new(0),
+            since: Instant::ZERO,
+        };
+        self.window = None;
+        self.pending_boundary = None;
+        self.latched.clear();
+        self.current_slot = 0;
+        for partition in &mut self.partitions {
+            partition.queue.clear();
+        }
+        for monitor in self.monitors.iter_mut().flatten() {
+            monitor.reset();
+        }
+        self.recorder.clear();
+        self.counters.reset();
+        self.next_seq.fill(0);
+        self.expected_completions = 0;
+        self.window_openings.clear();
+        if let Some(per_partition) = &mut self.service_trace {
+            for intervals in per_partition {
+                intervals.clear();
+            }
+        }
+        if let Some(spans) = &mut self.hv_trace {
+            spans.clear();
+        }
+        if let Some(spans) = &mut self.window_trace {
+            spans.clear();
+        }
+    }
+
     /// Finalizes the run: closes the books on the in-progress partition
     /// segment (so service accounting includes it) and returns the report.
     #[must_use]
@@ -475,6 +534,7 @@ impl Machine {
     // ------------------------------------------------------------------
 
     fn handle(&mut self, event: Event) {
+        self.counters.events_processed += 1;
         match event {
             Event::Arrival { source, seq } => self.on_arrival(source, seq),
             Event::HvEnd => self.on_hv_end(),
@@ -487,7 +547,11 @@ impl Machine {
         let arrival = self.now();
         if self.hv.is_some() {
             self.counters.latched_irqs += 1;
-            self.latched.push_back(LatchedIrq { source, seq, arrival });
+            self.latched.push_back(LatchedIrq {
+                source,
+                seq,
+                arrival,
+            });
             return;
         }
         self.preempt_activity();
@@ -495,7 +559,10 @@ impl Machine {
     }
 
     fn on_hv_end(&mut self) {
-        let block = self.hv.take().expect("HvEnd without running hypervisor block");
+        let block = self
+            .hv
+            .take()
+            .expect("HvEnd without running hypervisor block");
         self.counters.hypervisor_time += self.now().duration_since(block.started);
         let ended = self.now();
         if let Some(trace) = &mut self.hv_trace {
@@ -505,9 +572,11 @@ impl Machine {
             });
         }
         match block.cont {
-            HvCont::TopHandler { source, seq, arrival } => {
-                self.after_top_handler(source, seq, arrival)
-            }
+            HvCont::TopHandler {
+                source,
+                seq,
+                arrival,
+            } => self.after_top_handler(source, seq, arrival),
             HvCont::EnterInterposed { partition, budget } => {
                 self.window = Some(InterposedWindow {
                     partition,
@@ -526,7 +595,10 @@ impl Machine {
 
     fn on_segment_end(&mut self) {
         let now = self.now();
-        let Activity::Bottom { partition, since, .. } = mem::take(&mut self.activity) else {
+        let Activity::Bottom {
+            partition, since, ..
+        } = mem::take(&mut self.activity)
+        else {
             panic!("SegEnd without a running bottom-handler segment");
         };
         let elapsed = now.duration_since(since);
@@ -576,7 +648,10 @@ impl Machine {
     fn on_boundary(&mut self, index: u64) {
         let next = index + 1;
         self.queue
-            .schedule_at(self.schedule.boundary_time(next), Event::Boundary { index: next })
+            .schedule_at(
+                self.schedule.boundary_time(next),
+                Event::Boundary { index: next },
+            )
             .expect("future boundary");
         if self.window.is_some() {
             match self.config.policies.boundary {
@@ -662,8 +737,7 @@ impl Machine {
         match mem::take(&mut self.activity) {
             Activity::None => {}
             Activity::User { partition, since } => {
-                self.counters.service[partition.index()].user +=
-                    now.duration_since(since);
+                self.counters.service[partition.index()].user += now.duration_since(since);
                 self.record_service(partition, since, now, ServiceKind::User);
             }
             Activity::Bottom {
@@ -696,7 +770,14 @@ impl Machine {
         } else {
             self.config.costs.top_handler
         };
-        self.start_hv(cost, HvCont::TopHandler { source, seq, arrival });
+        self.start_hv(
+            cost,
+            HvCont::TopHandler {
+                source,
+                seq,
+                arrival,
+            },
+        );
     }
 
     fn after_top_handler(&mut self, source: IrqSourceId, seq: u64, arrival: Instant) {
@@ -722,19 +803,18 @@ impl Machine {
                     continue;
                 }
             }
-            self.partitions[partition.index()].queue.push_back(PendingIrq {
-                source,
-                seq,
-                arrival,
-                remaining: budget,
-            });
+            self.partitions[partition.index()]
+                .queue
+                .push_back(PendingIrq {
+                    source,
+                    seq,
+                    arrival,
+                    remaining: budget,
+                });
         }
         let foreign = subscriber != self.active_partition();
         let mut interpose = false;
-        if foreign
-            && self.config.mode == IrqHandlingMode::Interposed
-            && self.window.is_none()
-        {
+        if foreign && self.config.mode == IrqHandlingMode::Interposed && self.window.is_none() {
             if let Some(monitor) = &mut self.monitors[source.index()] {
                 // By default the monitoring condition is evaluated on the
                 // hardware IRQ timestamp (the paper's timestamp timer), not

@@ -1,6 +1,7 @@
 //! Measurement records: per-IRQ latencies, service accounting, counters.
 
 use std::fmt;
+use std::mem;
 
 use serde::{Deserialize, Serialize};
 
@@ -167,6 +168,10 @@ pub struct Counters {
     pub monitor_admitted: u64,
     /// Monitor denials (IRQ fell back to delayed handling).
     pub monitor_denied: u64,
+    /// Simulation events processed (arrivals, hypervisor block ends,
+    /// segment ends, TDMA boundaries) — the denominator of the engine's
+    /// events-per-second throughput metric.
+    pub events_processed: u64,
     /// Per-partition service accounting.
     pub service: Vec<PartitionService>,
 }
@@ -190,6 +195,15 @@ impl Counters {
     pub fn service_of(&self, partition: PartitionId) -> PartitionService {
         self.service[partition.index()]
     }
+
+    /// Zeroes every counter, keeping the per-partition service vector's
+    /// allocation (its length is fixed by the configuration).
+    pub fn reset(&mut self) {
+        let service = mem::take(&mut self.service);
+        *self = Counters::default();
+        self.service = service;
+        self.service.fill(PartitionService::default());
+    }
 }
 
 /// Collects [`IrqCompletion`] records during a simulation run and offers the
@@ -209,6 +223,11 @@ impl TraceRecorder {
     /// Appends one completion record.
     pub fn record(&mut self, completion: IrqCompletion) {
         self.completions.push(completion);
+    }
+
+    /// Drops all records, keeping the backing allocation for reuse.
+    pub fn clear(&mut self) {
+        self.completions.clear();
     }
 
     /// All completions, in completion order.
@@ -241,7 +260,9 @@ impl TraceRecorder {
             .map(|c| u128::from(c.latency().as_nanos()))
             .sum();
         let mean = total / self.completions.len() as u128;
-        Some(Duration::from_nanos(u64::try_from(mean).unwrap_or(u64::MAX)))
+        Some(Duration::from_nanos(
+            u64::try_from(mean).unwrap_or(u64::MAX),
+        ))
     }
 
     /// Maximum observed latency, or `None` when empty.

@@ -215,7 +215,10 @@ mod tests {
         let s = paper_schedule();
         assert_eq!(s.cycle(), Duration::from_millis(14));
         assert_eq!(s.slot_count(), 3);
-        assert_eq!(s.slot_length(PartitionId::new(2)), Duration::from_micros(2_000));
+        assert_eq!(
+            s.slot_length(PartitionId::new(2)),
+            Duration::from_micros(2_000)
+        );
     }
 
     #[test]
@@ -257,7 +260,12 @@ mod tests {
             assert_eq!(s.slot_index_at(t), k, "at boundary {k}");
             // One nanosecond before the next boundary is still slot k.
             let just_before = s.boundary_time(k + 1) - Duration::from_nanos(1);
-            assert_eq!(s.slot_index_at(just_before), k, "just before boundary {}", k + 1);
+            assert_eq!(
+                s.slot_index_at(just_before),
+                k,
+                "just before boundary {}",
+                k + 1
+            );
         }
     }
 

@@ -88,7 +88,12 @@ pub fn render_timeline(
 
     for (p, intervals) in service.iter().enumerate() {
         for interval in intervals {
-            fill(&mut cpu, interval.start, interval.end, letter(p, interval.kind));
+            fill(
+                &mut cpu,
+                interval.start,
+                interval.end,
+                letter(p, interval.kind),
+            );
         }
     }
     for span in hv_spans {

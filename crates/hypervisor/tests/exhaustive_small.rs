@@ -42,8 +42,8 @@ fn grid() -> Vec<u64> {
     // Deliberately includes slot boundaries (0/1000/2000/2500), the ends of
     // context-switch windows (+50) and sub-handler-scale spacings.
     vec![
-        0, 1, 29, 49, 51, 130, 300, 970, 999, 1_000, 1_001, 1_049, 1_051, 1_970, 2_000,
-        2_050, 2_499,
+        0, 1, 29, 49, 51, 130, 300, 970, 999, 1_000, 1_001, 1_049, 1_051, 1_970, 2_000, 2_050,
+        2_499,
     ]
 }
 
@@ -69,8 +69,12 @@ fn all_small_placements_preserve_invariants() {
 
                     // 1. No IRQ lost or duplicated, FIFO preserved.
                     assert_eq!(report.recorder.len(), 3, "{mode} {arrivals:?}");
-                    let seqs: Vec<u64> =
-                        report.recorder.completions().iter().map(|c| c.seq).collect();
+                    let seqs: Vec<u64> = report
+                        .recorder
+                        .completions()
+                        .iter()
+                        .map(|c| c.seq)
+                        .collect();
                     assert_eq!(seqs, vec![0, 1, 2], "{mode} {arrivals:?}");
 
                     // 2. Latency floor: top + bottom handler.
@@ -83,8 +87,7 @@ fn all_small_placements_preserve_invariants() {
                     }
 
                     // 3. Time conservation.
-                    let service: Duration =
-                        report.counters.service.iter().map(|p| p.total()).sum();
+                    let service: Duration = report.counters.service.iter().map(|p| p.total()).sum();
                     assert_eq!(
                         service + report.counters.hypervisor_time,
                         report.end.duration_since(Instant::ZERO),
@@ -94,8 +97,7 @@ fn all_small_placements_preserve_invariants() {
                     // 4. Context-switch identity.
                     assert_eq!(
                         report.counters.context_switches,
-                        report.counters.slot_switches
-                            + 2 * report.counters.interposed_windows,
+                        report.counters.slot_switches + 2 * report.counters.interposed_windows,
                         "{mode} {arrivals:?}"
                     );
 

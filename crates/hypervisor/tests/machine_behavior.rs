@@ -83,7 +83,10 @@ fn interposed_irq_latency_matches_modified_path() {
     let c = report.recorder.completions()[0];
     assert_eq!(c.class, HandlingClass::Interposed);
     // C'_TH (2640 ns) + C_sched (4385 ns) + C_ctx (50 µs) + C_BH (30 µs).
-    assert_eq!(c.latency(), Duration::from_nanos(2_640 + 4_385 + 50_000 + 30_000));
+    assert_eq!(
+        c.latency(),
+        Duration::from_nanos(2_640 + 4_385 + 50_000 + 30_000)
+    );
     // Interposition adds two context switches on top of the slot rotation.
     assert_eq!(report.counters.interposed_windows, 1);
     assert_eq!(
@@ -100,8 +103,16 @@ fn monitor_denial_falls_back_to_delayed() {
     m.schedule_irq(IRQ0, at_us(1_000)).expect("in the future"); // 900 µs < d_min
     assert!(m.run_until_complete(at_us(100_000)));
     let report = m.finish();
-    let classes: Vec<_> = report.recorder.completions().iter().map(|c| c.class).collect();
-    assert_eq!(classes, vec![HandlingClass::Interposed, HandlingClass::Delayed]);
+    let classes: Vec<_> = report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| c.class)
+        .collect();
+    assert_eq!(
+        classes,
+        vec![HandlingClass::Interposed, HandlingClass::Delayed]
+    );
     assert_eq!(report.counters.monitor_admitted, 1);
     assert_eq!(report.counters.monitor_denied, 1);
     let stats = report.monitor_stats[0].expect("monitored source");
@@ -162,7 +173,12 @@ fn fifo_order_is_preserved_across_mixed_handling() {
     m.schedule_irq(IRQ0, at_us(500)).expect("in the future");
     assert!(m.run_until_complete(at_us(100_000)));
     let report = m.finish();
-    let seqs: Vec<_> = report.recorder.completions().iter().map(|c| c.seq).collect();
+    let seqs: Vec<_> = report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| c.seq)
+        .collect();
     assert_eq!(seqs, vec![0, 1], "completions must preserve arrival order");
 }
 
@@ -171,11 +187,17 @@ fn delayed_backlog_drains_fifo_at_slot_start() {
     let cfg = paper_config(IrqHandlingMode::Baseline, None);
     let mut m = Machine::new(cfg).expect("valid config");
     for k in 0..5 {
-        m.schedule_irq(IRQ0, at_us(100 + k * 200)).expect("in the future");
+        m.schedule_irq(IRQ0, at_us(100 + k * 200))
+            .expect("in the future");
     }
     assert!(m.run_until_complete(at_us(100_000)));
     let report = m.finish();
-    let seqs: Vec<_> = report.recorder.completions().iter().map(|c| c.seq).collect();
+    let seqs: Vec<_> = report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| c.seq)
+        .collect();
     assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
     // All five complete back-to-back after the slot entry at 6050 µs.
     let completions = report.recorder.completions();
@@ -191,7 +213,8 @@ fn irq_during_top_handler_is_latched_not_lost() {
     let mut m = Machine::new(cfg).expect("valid config");
     // Second arrival lands 1 µs after the first, inside its 2 µs top handler.
     m.schedule_irq(IRQ0, at_us(7_000)).expect("in the future");
-    m.schedule_irq(IRQ0, Instant::from_nanos(7_001 * US)).expect("in the future");
+    m.schedule_irq(IRQ0, Instant::from_nanos(7_001 * US))
+        .expect("in the future");
     assert!(m.run_until_complete(at_us(100_000)));
     let report = m.finish();
     assert_eq!(report.recorder.len(), 2);
@@ -206,9 +229,10 @@ fn baseline_worst_case_is_bounded_by_foreign_slots() {
     let cycle_us = 14_000u64;
     let mut worst = Duration::ZERO;
     for offset in (0..cycle_us).step_by(97) {
-        let mut m = Machine::new(paper_config(IrqHandlingMode::Baseline, None))
-            .expect("valid config");
-        m.schedule_irq(IRQ0, at_us(3 * cycle_us + offset)).expect("in the future");
+        let mut m =
+            Machine::new(paper_config(IrqHandlingMode::Baseline, None)).expect("valid config");
+        m.schedule_irq(IRQ0, at_us(3 * cycle_us + offset))
+            .expect("in the future");
         assert!(m.run_until_complete(at_us(40 * cycle_us)));
         let report = m.finish();
         worst = worst.max(report.recorder.max_latency().expect("one completion"));
@@ -216,7 +240,10 @@ fn baseline_worst_case_is_bounded_by_foreign_slots() {
     let bound = us(cycle_us - 6_000) + cfg.costs.context_switch + us(30) + cfg.costs.top_handler;
     assert!(worst <= bound, "worst {worst} exceeds bound {bound}");
     // And the sweep does reach near the bound.
-    assert!(worst >= us(7_900), "sweep should approach T_TDMA - T_i, got {worst}");
+    assert!(
+        worst >= us(7_900),
+        "sweep should approach T_TDMA - T_i, got {worst}"
+    );
 }
 
 #[test]
@@ -225,7 +252,8 @@ fn interposed_mode_with_compliant_arrivals_never_delays() {
     let mut m = Machine::new(cfg).expect("valid config");
     // Strictly 1.5 ms apart — always admitted.
     for k in 0..40u64 {
-        m.schedule_irq(IRQ0, at_us(100 + k * 1_500)).expect("in the future");
+        m.schedule_irq(IRQ0, at_us(100 + k * 1_500))
+            .expect("in the future");
     }
     assert!(m.run_until_complete(at_us(1_000_000)));
     let report = m.finish();
@@ -242,11 +270,11 @@ fn overloaded_machine_reports_incomplete() {
     let mut m = Machine::new(cfg).expect("valid config");
     // 5 ms of bottom work per ~1 ms: hopeless overload.
     for k in 0..50u64 {
-        m.schedule_irq(IRQ0, at_us(100 + k * 1_000)).expect("in the future");
+        m.schedule_irq(IRQ0, at_us(100 + k * 1_000))
+            .expect("in the future");
     }
     assert!(!m.run_until_complete(at_us(60_000)));
-    let mut m2 = Machine::new(paper_config(IrqHandlingMode::Baseline, None))
-        .expect("valid config");
+    let mut m2 = Machine::new(paper_config(IrqHandlingMode::Baseline, None)).expect("valid config");
     m2.schedule_irq(IRQ0, at_us(100)).expect("in the future");
     assert!(m2.run_until_complete(at_us(60_000)));
 }
@@ -275,7 +303,8 @@ fn simulation_is_deterministic() {
         let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(700)));
         let mut m = Machine::new(cfg).expect("valid config");
         for k in 0..200u64 {
-            m.schedule_irq(IRQ0, at_us(37 + k * 613)).expect("in the future");
+            m.schedule_irq(IRQ0, at_us(37 + k * 613))
+                .expect("in the future");
         }
         assert!(m.run_until_complete(at_us(10_000_000)));
         m.finish()
@@ -295,7 +324,8 @@ fn admitted_interpositions_respect_dmin_spacing() {
     let mut m = Machine::new(cfg).expect("valid config");
     // Aggressive arrivals every 150 µs — most must be denied.
     for k in 0..300u64 {
-        m.schedule_irq(IRQ0, at_us(50 + k * 150)).expect("in the future");
+        m.schedule_irq(IRQ0, at_us(50 + k * 150))
+            .expect("in the future");
     }
     assert!(m.run_until_complete(at_us(10_000_000)));
     let report = m.finish();
@@ -399,7 +429,8 @@ fn interposition_reduces_flag_losses() {
         cfg.sources[0].flag_semantics = rthv_hypervisor::IrqFlagSemantics::Flag;
         let mut m = Machine::new(cfg).expect("valid config");
         for k in 0..5u64 {
-            m.schedule_irq(IRQ0, at_us(100 + k * 400)).expect("in the future");
+            m.schedule_irq(IRQ0, at_us(100 + k * 400))
+                .expect("in the future");
         }
         assert!(m.run_until_complete(at_us(100_000)));
         m.finish()
@@ -485,7 +516,8 @@ fn service_intervals_sum_to_counters() {
     let mut m = Machine::new(cfg).expect("valid config");
     m.enable_service_trace();
     for k in 0..40u64 {
-        m.schedule_irq(IRQ0, at_us(137 + k * 613)).expect("in the future");
+        m.schedule_irq(IRQ0, at_us(137 + k * 613))
+            .expect("in the future");
     }
     assert!(m.run_until_complete(at_us(1_000_000)));
     let report = m.finish();
@@ -500,7 +532,10 @@ fn service_intervals_sum_to_counters() {
             }
         }
         assert_eq!(user, report.counters.service[p].user, "partition {p} user");
-        assert_eq!(bottom, report.counters.service[p].bottom, "partition {p} bottom");
+        assert_eq!(
+            bottom, report.counters.service[p].bottom,
+            "partition {p} bottom"
+        );
         // Intervals are sorted and disjoint (replayable by rthv-guest).
         for pair in partition_intervals.windows(2) {
             assert!(pair[0].end <= pair[1].start, "partition {p} overlap");
@@ -519,7 +554,10 @@ fn service_intervals_sum_to_counters() {
     let windows = report.window_spans.as_ref().expect("tracing enabled");
     assert_eq!(windows.len() as u64, report.counters.interposed_windows);
     for w in windows {
-        assert!(w.length() <= us(30) + us(1), "window overran its budget: {w:?}");
+        assert!(
+            w.length() <= us(30) + us(1),
+            "window overran its budget: {w:?}"
+        );
     }
 }
 
@@ -536,7 +574,7 @@ fn explicit_window_layout_splits_a_partition_across_the_frame() {
         rthv_hypervisor::SlotSpec::new(p(1), us(3_000)),
         rthv_hypervisor::SlotSpec::new(p(2), us(2_000)),
     ]);
-    let mut m = Machine::new(cfg).expect("valid layout");
+    let m = Machine::new(cfg).expect("valid layout");
     assert_eq!(m.schedule().cycle(), us(14_000));
     assert_eq!(m.schedule().slot_length(p(1)), us(6_000));
     assert_eq!(m.schedule().windows_of(p(1)).len(), 2);
@@ -556,13 +594,17 @@ fn explicit_window_layout_splits_a_partition_across_the_frame() {
             ]);
             Machine::new(cfg).expect("valid layout")
         };
-        m.schedule_irq(IRQ0, at_us(14_000 * 2 + offset)).expect("in the future");
+        m.schedule_irq(IRQ0, at_us(14_000 * 2 + offset))
+            .expect("in the future");
         assert!(m.run_until_complete(at_us(200_000)));
         worst = worst.max(m.finish().recorder.max_latency().expect("one IRQ"));
     }
     // Single-slot layout reaches ~8 ms; the split layout stays near 5 ms.
     assert!(worst < us(5_300), "split layout worst {worst}");
-    assert!(worst > us(4_000), "sweep should reach the largest gap, got {worst}");
+    assert!(
+        worst > us(4_000),
+        "sweep should reach the largest gap, got {worst}"
+    );
 }
 
 #[test]
@@ -593,4 +635,105 @@ fn invalid_window_layouts_are_rejected() {
         .unwrap_err()
         .to_string()
         .contains("no windows"));
+}
+
+/// A mixed trace exercising all three handling classes: bursts inside the
+/// subscriber's slot (direct), foreign-slot arrivals (interposed/delayed)
+/// and dense pairs that trip the monitor.
+fn mixed_trace() -> Vec<Instant> {
+    let mut arrivals = Vec::new();
+    for cycle in 0..6u64 {
+        let base = cycle * 14_000;
+        arrivals.push(at_us(base + 500));
+        arrivals.push(at_us(base + 700)); // 200 µs after the last: denied for d_min = 300
+        arrivals.push(at_us(base + 7_000)); // inside the subscriber's own slot
+        arrivals.push(at_us(base + 12_500)); // housekeeping slot
+    }
+    arrivals
+}
+
+#[test]
+fn reset_rerun_matches_fresh_machine() {
+    let trace = mixed_trace();
+    let run = |m: &mut Machine| {
+        for &at in &trace {
+            m.schedule_irq(IRQ0, at).expect("in the future");
+        }
+        assert!(m.run_until_complete(at_us(1_000_000)));
+    };
+
+    // Reference: a fresh machine.
+    let mut fresh = Machine::new(paper_config(IrqHandlingMode::Interposed, Some(dmin(300))))
+        .expect("valid config");
+    fresh.enable_service_trace();
+    run(&mut fresh);
+    let fresh_report = fresh.finish();
+
+    // Candidate: run, reset, run again — the second run must reproduce the
+    // fresh machine's timeline exactly.
+    let mut reused = Machine::new(paper_config(IrqHandlingMode::Interposed, Some(dmin(300))))
+        .expect("valid config");
+    reused.enable_service_trace();
+    run(&mut reused);
+    assert!(
+        !reused.recorder().is_empty(),
+        "first run recorded completions"
+    );
+    reused.reset();
+    assert_eq!(reused.now(), Instant::ZERO);
+    assert_eq!(reused.outstanding_irqs(), 0);
+    assert!(reused.recorder().is_empty());
+    assert_eq!(reused.counters().context_switches, 0);
+    assert_eq!(reused.counters().events_processed, 0);
+    run(&mut reused);
+    let rerun_report = reused.finish();
+
+    assert_eq!(rerun_report.end, fresh_report.end);
+    assert_eq!(
+        rerun_report.recorder.completions(),
+        fresh_report.recorder.completions()
+    );
+    assert_eq!(rerun_report.counters, fresh_report.counters);
+    assert_eq!(rerun_report.window_openings, fresh_report.window_openings);
+    assert_eq!(rerun_report.monitor_stats, fresh_report.monitor_stats);
+    assert_eq!(
+        rerun_report.service_intervals,
+        fresh_report.service_intervals
+    );
+    assert_eq!(rerun_report.hv_spans, fresh_report.hv_spans);
+    assert_eq!(rerun_report.window_spans, fresh_report.window_spans);
+    // The rerun exercised every handling class, so the equality above
+    // covers all dispatch paths.
+    let classes: std::collections::HashSet<_> = fresh_report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| c.class)
+        .collect();
+    assert_eq!(classes.len(), 3, "trace should exercise all classes");
+}
+
+#[test]
+fn reset_survives_mid_run_interruption() {
+    // Resetting with events still queued (IRQs outstanding, hypervisor
+    // mid-block) must still rewind to a clean slate.
+    let mut m = Machine::new(paper_config(IrqHandlingMode::Interposed, Some(dmin(300))))
+        .expect("valid config");
+    for &at in &mixed_trace() {
+        m.schedule_irq(IRQ0, at).expect("in the future");
+    }
+    m.run_until(at_us(501)); // stop inside the first top handler
+    m.reset();
+    assert_eq!(m.now(), Instant::ZERO);
+    assert_eq!(m.outstanding_irqs(), 0);
+
+    // The machine is fully reusable afterwards.
+    m.schedule_irq(IRQ0, at_us(7_000)).expect("in the future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.recorder.len(), 1);
+    assert_eq!(
+        report.recorder.completions()[0].class,
+        HandlingClass::Direct
+    );
 }

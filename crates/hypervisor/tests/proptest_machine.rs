@@ -35,21 +35,23 @@ fn scenario_strategy() -> impl Strategy<Value = Scenario> {
         prop::collection::vec(200u64..6_000, 5..80),
         prop::bool::ANY,
     )
-        .prop_map(|(slots, sub_raw, bottom_us, dmin_us, gaps_us, interposed)| {
-            let subscriber = sub_raw % slots.len() as u32;
-            Scenario {
-                slots,
-                subscriber,
-                bottom_us,
-                dmin_us,
-                gaps_us,
-                mode: if interposed {
-                    IrqHandlingMode::Interposed
-                } else {
-                    IrqHandlingMode::Baseline
-                },
-            }
-        })
+        .prop_map(
+            |(slots, sub_raw, bottom_us, dmin_us, gaps_us, interposed)| {
+                let subscriber = sub_raw % slots.len() as u32;
+                Scenario {
+                    slots,
+                    subscriber,
+                    bottom_us,
+                    dmin_us,
+                    gaps_us,
+                    mode: if interposed {
+                        IrqHandlingMode::Interposed
+                    } else {
+                        IrqHandlingMode::Baseline
+                    },
+                }
+            },
+        )
 }
 
 fn run_scenario(s: &Scenario) -> RunReport {
@@ -60,12 +62,10 @@ fn run_scenario(s: &Scenario) -> RunReport {
             .enumerate()
             .map(|(i, &slot)| PartitionSpec::new(format!("p{i}"), us(slot)))
             .collect(),
-        sources: vec![IrqSourceSpec::new(
-            "irq",
-            PartitionId::new(s.subscriber),
-            us(s.bottom_us),
-        )
-        .with_monitor(DeltaFunction::from_dmin(us(s.dmin_us)).expect("positive"))],
+        sources: vec![
+            IrqSourceSpec::new("irq", PartitionId::new(s.subscriber), us(s.bottom_us))
+                .with_monitor(DeltaFunction::from_dmin(us(s.dmin_us)).expect("positive")),
+        ],
         costs: CostModel::paper_arm926ejs(),
         mode: s.mode,
         policies: Default::default(),

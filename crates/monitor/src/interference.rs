@@ -123,29 +123,19 @@ mod tests {
 
     #[test]
     fn general_bound_uses_eta_plus() {
-        let delta = DeltaFunction::new(vec![
-            Duration::from_micros(100),
-            Duration::from_micros(500),
-        ])
-        .expect("valid");
+        let delta =
+            DeltaFunction::new(vec![Duration::from_micros(100), Duration::from_micros(500)])
+                .expect("valid");
         // η⁺(1 ms) = 5: events at 0, 100, 500, 600, 1000 µs conform
         // (pairs ≥ 100 µs, triples ≥ 500 µs), and δ̂(6) = 1100 µs > 1 ms.
-        let bound = interference_bound(
-            Duration::from_millis(1),
-            &delta,
-            Duration::from_micros(10),
-        );
+        let bound = interference_bound(Duration::from_millis(1), &delta, Duration::from_micros(10));
         assert_eq!(bound, Duration::from_micros(50));
     }
 
     #[test]
     fn general_bound_saturates_for_unbounded_delta() {
         let delta = DeltaFunction::from_dmin(Duration::ZERO).expect("valid");
-        let bound = interference_bound(
-            Duration::from_millis(1),
-            &delta,
-            Duration::from_micros(10),
-        );
+        let bound = interference_bound(Duration::from_millis(1), &delta, Duration::from_micros(10));
         assert_eq!(bound, Duration::MAX);
     }
 

@@ -58,7 +58,10 @@ impl DeltaLearner {
     /// Panics if `l` is zero.
     #[must_use]
     pub fn new(l: usize) -> Self {
-        assert!(l > 0, "a minimum-distance function needs at least one entry");
+        assert!(
+            l > 0,
+            "a minimum-distance function needs at least one entry"
+        );
         DeltaLearner {
             learned: vec![Duration::MAX; l],
             trace_buffer: VecDeque::with_capacity(l),
@@ -86,7 +89,9 @@ impl DeltaLearner {
     /// activation.
     pub fn observe(&mut self, timestamp: Instant) {
         debug_assert!(
-            self.trace_buffer.front().is_none_or(|&last| timestamp >= last),
+            self.trace_buffer
+                .front()
+                .is_none_or(|&last| timestamp >= last),
             "learner observed time running backwards"
         );
         for (i, &previous) in self.trace_buffer.iter().enumerate() {
@@ -197,11 +202,9 @@ mod tests {
         let mut learner = DeltaLearner::new(2);
         observe_all(&mut learner, &[0, 50, 400, 450]);
         // learned: δ[0] = 50 (0→50 and 400→450), δ[1] = 400 (both triples).
-        let bound = DeltaFunction::new(vec![
-            Duration::from_micros(100),
-            Duration::from_micros(200),
-        ])
-        .expect("valid");
+        let bound =
+            DeltaFunction::new(vec![Duration::from_micros(100), Duration::from_micros(200)])
+                .expect("valid");
         let finished = learner.finish(&bound).expect("monotonic");
         assert_eq!(finished.entries()[0], Duration::from_micros(100));
         assert_eq!(finished.entries()[1], Duration::from_micros(400));

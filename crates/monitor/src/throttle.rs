@@ -234,6 +234,16 @@ impl Shaper {
             Shaper::Bucket(_) => None,
         }
     }
+
+    /// Forgets all admission history and clears the counters, keeping the
+    /// configured condition (δ⁻ function or bucket shape). Used by the
+    /// hypervisor's `Machine::reset` to reuse a machine across runs.
+    pub fn reset(&mut self) {
+        match self {
+            Shaper::Delta(monitor) => monitor.reset(),
+            Shaper::Bucket(bucket) => bucket.reset(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -251,7 +261,13 @@ mod tests {
         assert!(bucket.try_admit(at_us(1)));
         assert!(bucket.try_admit(at_us(2)));
         assert!(!bucket.try_admit(at_us(3)));
-        assert_eq!(bucket.stats(), MonitorStats { admitted: 3, denied: 1 });
+        assert_eq!(
+            bucket.stats(),
+            MonitorStats {
+                admitted: 3,
+                denied: 1
+            }
+        );
     }
 
     #[test]
@@ -273,8 +289,7 @@ mod tests {
     fn capacity_one_bucket_equals_dmin_monitor() {
         let dmin = Duration::from_millis(3);
         let mut bucket = TokenBucket::new(1, dmin);
-        let mut monitor =
-            ActivationMonitor::new(DeltaFunction::from_dmin(dmin).expect("valid"));
+        let mut monitor = ActivationMonitor::new(DeltaFunction::from_dmin(dmin).expect("valid"));
         // Compare over a pseudo-random conforming/violating pattern.
         let mut t = 0u64;
         for (i, gap) in [3_000u64, 500, 2_500, 3_000, 100, 100, 5_900]

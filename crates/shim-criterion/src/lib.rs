@@ -1,0 +1,288 @@
+//! Offline stand-in for the `criterion` API surface this workspace uses.
+//!
+//! The CI container cannot reach the crates registry, so the benches in
+//! `crates/bench/benches/` run against this minimal harness instead of
+//! upstream criterion. It keeps the same source syntax — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_batched`, `BenchmarkId`, `Throughput`, `criterion_group!` and
+//! `criterion_main!` — and reports a median ns/iter (plus elements/sec
+//! when a throughput is declared) per benchmark on stdout.
+//!
+//! There is no statistical analysis, no warm-up-phase tuning and no
+//! HTML report; numbers are wall-clock medians over a fixed sample grid,
+//! good enough to compare two builds on the same host.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed samples per benchmark.
+const SAMPLES_DEFAULT: usize = 30;
+/// Minimum time to spend measuring one benchmark.
+const TARGET_TIME: Duration = Duration::from_millis(300);
+
+/// The top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: SAMPLES_DEFAULT,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        run_bench(&id.to_string(), None, SAMPLES_DEFAULT, &mut f);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration element/byte count for throughput rows.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.throughput, self.sample_size, &mut f);
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.throughput, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (reports were already printed per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier helpers (mirrors `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    #[must_use]
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration work declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// `n` logical elements per iteration.
+    Elements(u64),
+    /// `n` bytes per iteration.
+    Bytes(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (accepted, not tuned).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per sample.
+    PerIteration,
+}
+
+/// The measurement callback handle (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    /// Measured (total elapsed, iterations) pairs, one per sample.
+    samples: Vec<(Duration, u64)>,
+    /// Iterations per sample, calibrated on the first sample.
+    iters_per_sample: u64,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, called in a loop.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // Calibrate so one sample lasts roughly TARGET_TIME / samples.
+        if self.iters_per_sample == 0 {
+            let start = Instant::now();
+            black_box(routine());
+            let once = start.elapsed().max(Duration::from_nanos(1));
+            let per_sample = TARGET_TIME / self.sample_budget as u32;
+            self.iters_per_sample =
+                (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        }
+        for _ in 0..self.sample_budget {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push((start.elapsed(), self.iters_per_sample));
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup`, excluding setup time
+    /// per batch (setup runs once per sample here, outside the timed
+    /// region).
+    pub fn iter_batched<I, R, S: FnMut() -> I, F: FnMut(I) -> R>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push((start.elapsed(), 1));
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    label: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    f: &mut F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::with_capacity(samples),
+        iters_per_sample: 0,
+        sample_budget: samples,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<48} (no samples)");
+        return;
+    }
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|(elapsed, iters)| elapsed.as_nanos() as f64 / *iters as f64)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let median = per_iter[per_iter.len() / 2];
+    let best = per_iter[0];
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (median / 1e9);
+            println!("{label:<48} {median:>12.1} ns/iter (best {best:>10.1})  {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (median / 1e9);
+            println!("{label:<48} {median:>12.1} ns/iter (best {best:>10.1})  {rate:>14.0} B/s");
+        }
+        None => {
+            println!("{label:<48} {median:>12.1} ns/iter (best {best:>10.1})");
+        }
+    }
+}
+
+/// Bundles benchmark functions into one group runner (mirrors
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` for a bench binary (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut setups = 0u64;
+        let mut group = c.benchmark_group("batched");
+        group.sample_size(4);
+        group.bench_function("setup_count", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |()| (),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for the small `rand` API surface this workspace uses.
+//!
+//! The CI container cannot reach the crates registry, so the workload
+//! generators' `StdRng` is backed by a local SplitMix64 generator instead
+//! of rand's ChaCha12. Sampled values differ from upstream `rand`, but the
+//! contract the workspace relies on is preserved exactly: a generator
+//! seeded with `seed_from_u64(s)` produces one fixed, platform-independent
+//! stream per seed, and `gen::<f64>()` is uniform on `[0, 1)`.
+//!
+//! SplitMix64 (Steele, Lea, Flood — "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014) passes BigCrush and is the generator used to
+//! seed xoshiro; it is more than adequate for arrival-trace synthesis.
+
+#![forbid(unsafe_code)]
+
+/// Seeding interface (mirrors `rand::SeedableRng` for the one constructor
+/// the workspace calls).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling of a value of type `Self` (mirrors
+/// `rand::distributions::Standard` coverage for the types used in-tree).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample(rng: &mut rngs::StdRng) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut rngs::StdRng) -> f64 {
+        // 53 random mantissa bits → uniform on [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut rngs::StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut rngs::StdRng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut rngs::StdRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range a generator can sample uniformly (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_from(self, rng: &mut rngs::StdRng) -> Self::Output;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.below(span) as $t)
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut rngs::StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end - start) as u64;
+                if span == u64::MAX {
+                    return start + (rng.next_u64() as $t);
+                }
+                start + (rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u64, u32, usize);
+
+/// The sampling methods the workspace calls on its generators (mirrors
+/// `rand::Rng`).
+pub trait Rng {
+    /// Draws one uniformly distributed value of an inferred type.
+    fn gen<T: Standard>(&mut self) -> T;
+    /// Draws one value uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{SampleRange, SeedableRng, Standard};
+
+    /// The workspace's standard seeded generator: SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl StdRng {
+        /// Advances the state and returns the next 64-bit output.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)` via Lemire-style rejection (debiased
+        /// with the simple modulo-threshold method).
+        ///
+        /// # Panics
+        ///
+        /// Panics if `bound` is zero.
+        pub(crate) fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "bound must be positive");
+            // Rejection zone keeps the distribution exactly uniform.
+            let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn gen<T: Standard>(&mut self) -> T {
+            T::sample(self)
+        }
+
+        fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+            range.sample_from(self)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((0.49..0.51).contains(&mean), "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0u64..=3);
+            assert!(y <= 3);
+        }
+        // Inclusive range hits its endpoints.
+        let mut hits = [false; 4];
+        for _ in 0..1_000 {
+            hits[rng.gen_range(0usize..=3)] = true;
+        }
+        assert!(hits.iter().all(|&h| h));
+    }
+}

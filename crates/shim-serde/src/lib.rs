@@ -1,0 +1,26 @@
+//! No-op `serde` stand-in for offline builds.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its value types so
+//! they stay serialization-ready, but nothing in-tree links a serializer
+//! (there is no `serde_json` dependency). The CI container has no access
+//! to the crates registry, so this proc-macro crate provides the two
+//! derive names as empty expansions — every `#[derive(Serialize,
+//! Deserialize)]` and `#[serde(...)]` attribute in the tree compiles
+//! unchanged, at zero code-size cost.
+//!
+//! If real serialization is ever needed, replace this path dependency
+//! with the registry crate; no call sites have to change.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` request.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` request.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

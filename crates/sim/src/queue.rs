@@ -1,14 +1,28 @@
 //! Time-ordered event queue with stable FIFO tie-breaking and lazy
 //! cancellation.
+//!
+//! # Allocation behaviour
+//!
+//! The queue is built for batch simulation: its schedule/pop steady state
+//! performs **no heap allocation** once warmed up. Event ids are dense
+//! sequence numbers, so cancellation and consumption bookkeeping lives in
+//! a watermarked ring ([`IdTable`]) indexed by `id − base` instead of
+//! hashed tombstone sets; both the ring and the binary heap retain their
+//! capacity across [`clear`](EventQueue::clear), so a reused queue runs
+//! allocation-free after the first warm-up run.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap, HashSet};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use rthv_time::{Duration, Instant};
 
 /// Identifier of a scheduled event, usable to [cancel](EventQueue::cancel) it
 /// before it fires.
+///
+/// Ids are only meaningful for the queue lifetime that issued them: after
+/// [`EventQueue::clear`] the sequence restarts and stale ids must not be
+/// reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
@@ -65,29 +79,90 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-/// Dense-id set with a watermark, used to answer "has this event already been
-/// consumed (fired or drained after cancellation)?" with O(pending) memory.
-///
-/// Sequence numbers are dense, so once every id below `watermark` has been
-/// consumed the individual entries can be forgotten.
-#[derive(Debug, Default)]
-struct ConsumedSet {
-    /// Every id strictly below this watermark has been consumed.
-    watermark: u64,
-    /// Consumed ids at or above the watermark.
-    above: BTreeSet<u64>,
+/// Lifecycle state of one issued event id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdState {
+    /// Scheduled and not yet cancelled or popped.
+    Pending,
+    /// Cancelled but still in the heap (drained lazily).
+    Cancelled,
+    /// Left the heap (fired or drained after cancellation).
+    Consumed,
 }
 
-impl ConsumedSet {
-    fn insert(&mut self, id: EventId) {
-        self.above.insert(id.0);
-        while self.above.remove(&self.watermark) {
-            self.watermark += 1;
+/// Dense-id state table with a consumed watermark.
+///
+/// Sequence numbers are dense, so the state of id `base + i` lives at ring
+/// slot `i`; once the oldest ids are consumed the watermark `base` advances
+/// and their slots are recycled. Memory is O(live ids), with no hashing and
+/// no per-operation allocation once the ring capacity covers the peak
+/// number of simultaneously live ids.
+#[derive(Debug, Default)]
+struct IdTable {
+    /// Every id strictly below this watermark has been consumed.
+    base: u64,
+    /// `states[i]` is the state of id `base + i`.
+    states: VecDeque<IdState>,
+    /// Number of ids currently in [`IdState::Cancelled`].
+    cancelled: usize,
+}
+
+impl IdTable {
+    /// Registers the next dense id (the caller allocates them in order).
+    fn push_pending(&mut self) {
+        self.states.push_back(IdState::Pending);
+    }
+
+    fn state(&self, id: EventId) -> IdState {
+        if id.0 < self.base {
+            return IdState::Consumed;
+        }
+        let offset = (id.0 - self.base) as usize;
+        self.states
+            .get(offset)
+            .copied()
+            // Never-issued ids are treated as consumed: not cancellable.
+            .unwrap_or(IdState::Consumed)
+    }
+
+    /// Marks a pending id cancelled. Returns `false` if it was not pending.
+    fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 < self.base {
+            return false;
+        }
+        let offset = (id.0 - self.base) as usize;
+        match self.states.get_mut(offset) {
+            Some(state @ IdState::Pending) => {
+                *state = IdState::Cancelled;
+                self.cancelled += 1;
+                true
+            }
+            _ => false,
         }
     }
 
-    fn contains(&self, id: EventId) -> bool {
-        id.0 < self.watermark || self.above.contains(&id.0)
+    /// Marks an id consumed (popped or drained) and advances the watermark
+    /// over the consumed prefix, recycling ring slots.
+    fn consume(&mut self, id: EventId) {
+        debug_assert!(id.0 >= self.base, "id consumed twice");
+        let offset = (id.0 - self.base) as usize;
+        if let Some(state) = self.states.get_mut(offset) {
+            if *state == IdState::Cancelled {
+                self.cancelled -= 1;
+            }
+            *state = IdState::Consumed;
+        }
+        while self.states.front() == Some(&IdState::Consumed) {
+            self.states.pop_front();
+            self.base += 1;
+        }
+    }
+
+    /// Forgets every id but keeps the ring's capacity for reuse.
+    fn clear(&mut self) {
+        self.base = 0;
+        self.states.clear();
+        self.cancelled = 0;
     }
 }
 
@@ -96,10 +171,8 @@ impl ConsumedSet {
 /// See the [crate-level docs](crate) for the guarantees and a usage example.
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    /// Pending cancellations (tombstones), removed lazily.
-    cancelled: HashSet<EventId>,
-    /// Ids that have left the heap (fired or drained after cancellation).
-    consumed: ConsumedSet,
+    /// Per-id lifecycle states (dense, watermarked).
+    ids: IdTable,
     next_seq: u64,
     now: Instant,
 }
@@ -110,8 +183,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            consumed: ConsumedSet::default(),
+            ids: IdTable::default(),
             next_seq: 0,
             now: Instant::ZERO,
         }
@@ -127,13 +199,28 @@ impl<E> EventQueue<E> {
     /// Number of live (non-cancelled) events still queued.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len() - self.cancelled.len()
+        self.heap.len() - self.ids.cancelled
     }
 
     /// Returns `true` if no live events are queued.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Resets the queue to its initial state — time zero, no events, a
+    /// fresh id sequence — while keeping the heap's and the id table's
+    /// allocated capacity, so the next run schedules and pops without heap
+    /// allocation.
+    ///
+    /// [`EventId`]s issued before the reset must not be passed to
+    /// [`cancel`](Self::cancel) afterwards: the dense sequence restarts at
+    /// zero, so a stale id would alias a fresh event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+        self.ids.clear();
+        self.next_seq = 0;
+        self.now = Instant::ZERO;
     }
 
     /// Schedules `event` to fire at the absolute time `at`.
@@ -154,6 +241,7 @@ impl<E> EventQueue<E> {
             id,
             event,
         });
+        self.ids.push_pending();
         self.next_seq += 1;
         Ok(id)
     }
@@ -172,11 +260,10 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending, `false` if it already
     /// fired, was already cancelled, or was never issued by this queue.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq || self.consumed.contains(id) || self.cancelled.contains(&id) {
+        if id.0 >= self.next_seq {
             return false;
         }
-        self.cancelled.insert(id);
-        true
+        self.ids.cancel(id)
     }
 
     /// Pops the earliest live event, advancing [`now`](Self::now) to its
@@ -185,13 +272,13 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.id) {
-                self.consumed.insert(entry.id);
+            if self.ids.state(entry.id) == IdState::Cancelled {
+                self.ids.consume(entry.id);
                 continue;
             }
             debug_assert!(entry.at >= self.now, "heap yielded an event in the past");
             self.now = entry.at;
-            self.consumed.insert(entry.id);
+            self.ids.consume(entry.id);
             return Some((entry.at, entry.event));
         }
         None
@@ -201,10 +288,9 @@ impl<E> EventQueue<E> {
     #[must_use]
     pub fn peek_time(&mut self) -> Option<Instant> {
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.id) {
+            if self.ids.state(entry.id) == IdState::Cancelled {
                 let entry = self.heap.pop().expect("peeked entry exists");
-                self.cancelled.remove(&entry.id);
-                self.consumed.insert(entry.id);
+                self.ids.consume(entry.id);
             } else {
                 return Some(entry.at);
             }
@@ -242,9 +328,12 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::new();
-        q.schedule_at(Instant::from_nanos(30), Ev::C).expect("future");
-        q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
-        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        q.schedule_at(Instant::from_nanos(30), Ev::C)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B)
+            .expect("future");
         assert_eq!(q.pop(), Some((Instant::from_nanos(10), Ev::A)));
         assert_eq!(q.pop(), Some((Instant::from_nanos(20), Ev::B)));
         assert_eq!(q.pop(), Some((Instant::from_nanos(30), Ev::C)));
@@ -266,7 +355,8 @@ mod tests {
     #[test]
     fn rejects_scheduling_in_the_past() {
         let mut q = EventQueue::new();
-        q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        q.schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
         let _ = q.pop();
         let err = q.schedule_at(Instant::from_nanos(5), Ev::B).unwrap_err();
         assert_eq!(err.now, Instant::from_nanos(10));
@@ -279,8 +369,11 @@ mod tests {
     #[test]
     fn cancel_removes_pending_event() {
         let mut q = EventQueue::new();
-        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
-        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        let a = q
+            .schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B)
+            .expect("future");
         assert!(q.cancel(a));
         assert_eq!(q.len(), 1);
         assert_eq!(q.pop(), Some((Instant::from_nanos(20), Ev::B)));
@@ -289,11 +382,15 @@ mod tests {
     #[test]
     fn cancel_after_fire_reports_false() {
         let mut q = EventQueue::new();
-        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
+        let a = q
+            .schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
         let _ = q.pop();
         assert!(!q.cancel(a));
         // Double cancel also reports false.
-        let b = q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        let b = q
+            .schedule_at(Instant::from_nanos(20), Ev::B)
+            .expect("future");
         assert!(q.cancel(b));
         assert!(!q.cancel(b));
     }
@@ -307,19 +404,28 @@ mod tests {
     #[test]
     fn cancelled_then_drained_id_stays_cancelled() {
         let mut q = EventQueue::new();
-        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
-        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        let a = q
+            .schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B)
+            .expect("future");
         q.cancel(a);
         // Draining pops past the tombstone.
         assert_eq!(q.pop(), Some((Instant::from_nanos(20), Ev::B)));
-        assert!(!q.cancel(a), "drained tombstone must not be cancellable again");
+        assert!(
+            !q.cancel(a),
+            "drained tombstone must not be cancellable again"
+        );
     }
 
     #[test]
     fn peek_skips_cancelled() {
         let mut q = EventQueue::new();
-        let a = q.schedule_at(Instant::from_nanos(10), Ev::A).expect("future");
-        q.schedule_at(Instant::from_nanos(20), Ev::B).expect("future");
+        let a = q
+            .schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(20), Ev::B)
+            .expect("future");
         q.cancel(a);
         assert_eq!(q.peek_time(), Some(Instant::from_nanos(20)));
     }
@@ -327,7 +433,8 @@ mod tests {
     #[test]
     fn schedule_in_is_relative_to_now() {
         let mut q = EventQueue::new();
-        q.schedule_at(Instant::from_nanos(100), Ev::A).expect("future");
+        q.schedule_at(Instant::from_nanos(100), Ev::A)
+            .expect("future");
         let _ = q.pop();
         q.schedule_in(Duration::from_nanos(5), Ev::B);
         assert_eq!(q.pop(), Some((Instant::from_nanos(105), Ev::B)));
@@ -336,8 +443,11 @@ mod tests {
     #[test]
     fn len_accounts_for_tombstones() {
         let mut q = EventQueue::new();
-        let a = q.schedule_at(Instant::from_nanos(1), Ev::A).expect("future");
-        q.schedule_at(Instant::from_nanos(2), Ev::B).expect("future");
+        let a = q
+            .schedule_at(Instant::from_nanos(1), Ev::A)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(2), Ev::B)
+            .expect("future");
         assert_eq!(q.len(), 2);
         q.cancel(a);
         assert_eq!(q.len(), 1);
@@ -347,28 +457,130 @@ mod tests {
     }
 
     #[test]
-    fn consumed_set_watermark_advances_densely() {
-        let mut s = ConsumedSet::default();
-        s.insert(EventId(0));
-        s.insert(EventId(2));
-        assert!(s.contains(EventId(0)));
-        assert!(!s.contains(EventId(1)));
-        assert!(s.contains(EventId(2)));
-        s.insert(EventId(1));
-        assert_eq!(s.watermark, 3);
-        assert!(s.above.is_empty());
+    fn id_table_watermark_advances_densely() {
+        let mut t = IdTable::default();
+        t.push_pending();
+        t.push_pending();
+        t.push_pending();
+        t.consume(EventId(0));
+        t.consume(EventId(2));
+        assert_eq!(t.state(EventId(0)), IdState::Consumed);
+        assert_eq!(t.state(EventId(1)), IdState::Pending);
+        assert_eq!(t.state(EventId(2)), IdState::Consumed);
+        assert_eq!(t.base, 1, "watermark stops at the pending id");
+        t.consume(EventId(1));
+        assert_eq!(t.base, 3);
+        assert!(t.states.is_empty());
     }
 
     #[test]
     fn memory_stays_bounded_over_long_runs() {
-        // After consuming everything, the consumed set collapses to a
-        // watermark and the tombstone set is empty.
+        // After consuming everything, the id table collapses to a watermark.
         let mut q = EventQueue::new();
         for i in 0..10_000u64 {
-            q.schedule_at(Instant::from_nanos(i), Ev::A).expect("future");
+            q.schedule_at(Instant::from_nanos(i), Ev::A)
+                .expect("future");
         }
         while q.pop().is_some() {}
-        assert!(q.consumed.above.is_empty());
-        assert!(q.cancelled.is_empty());
+        assert!(q.ids.states.is_empty());
+        assert_eq!(q.ids.cancelled, 0);
+        assert_eq!(q.ids.base, 10_000);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut q = EventQueue::new();
+        for i in 0..1_000u64 {
+            let id = q
+                .schedule_at(Instant::from_nanos(i), Ev::A)
+                .expect("future");
+            if i % 3 == 0 {
+                q.cancel(id);
+            }
+        }
+        while q.pop().is_some() {}
+        let heap_cap = q.heap.capacity();
+        let ring_cap = q.ids.states.capacity();
+        q.clear();
+        assert_eq!(q.now(), Instant::ZERO);
+        assert!(q.is_empty());
+        assert_eq!(q.heap.capacity(), heap_cap, "heap capacity survives clear");
+        assert_eq!(
+            q.ids.states.capacity(),
+            ring_cap,
+            "ring capacity survives clear"
+        );
+        // The id sequence restarts.
+        let id = q
+            .schedule_at(Instant::from_nanos(1), Ev::B)
+            .expect("future");
+        assert_eq!(id, EventId(0));
+        assert_eq!(q.pop(), Some((Instant::from_nanos(1), Ev::B)));
+    }
+
+    #[test]
+    fn steady_state_schedule_pop_does_not_grow_capacity() {
+        // Warm up, then run many schedule/pop cycles of the same working-set
+        // size: capacities must not move (i.e. no reallocation on the hot
+        // path).
+        let mut q = EventQueue::new();
+        let mut t = 0u64;
+        for _ in 0..64 {
+            for i in 0..32 {
+                q.schedule_at(Instant::from_nanos(t + i), Ev::A)
+                    .expect("future");
+            }
+            t += 32;
+            while q.pop().is_some() {}
+        }
+        let heap_cap = q.heap.capacity();
+        let ring_cap = q.ids.states.capacity();
+        for _ in 0..1_000 {
+            for i in 0..32 {
+                q.schedule_at(Instant::from_nanos(t + i), Ev::A)
+                    .expect("future");
+            }
+            t += 32;
+            while q.pop().is_some() {}
+        }
+        assert_eq!(
+            q.heap.capacity(),
+            heap_cap,
+            "steady state reallocated the heap"
+        );
+        assert_eq!(
+            q.ids.states.capacity(),
+            ring_cap,
+            "steady state reallocated the ring"
+        );
+    }
+
+    #[test]
+    fn interleaved_cancel_consume_keeps_len_exact() {
+        // Regression guard for the watermark bookkeeping: cancellations at
+        // and around the watermark must keep `len` equal to the number of
+        // events that will still pop.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..100u64)
+            .map(|i| {
+                q.schedule_at(Instant::from_nanos(i / 7), i)
+                    .expect("future")
+            })
+            .collect();
+        for (k, id) in ids.iter().enumerate() {
+            if k % 2 == 0 {
+                assert!(q.cancel(*id));
+            }
+        }
+        let mut popped = 0;
+        for _ in 0..25 {
+            q.pop().expect("live events remain");
+            popped += 1;
+        }
+        assert_eq!(q.len(), 50 - popped);
+        while q.pop().is_some() {
+            popped += 1;
+        }
+        assert_eq!(popped, 50);
     }
 }

@@ -120,11 +120,9 @@ mod tests {
 
     #[test]
     fn histogram_csv_includes_overflow() {
-        let mut hist = LatencyHistogram::new(
-            Duration::from_micros(100),
-            Duration::from_micros(200),
-        )
-        .expect("valid");
+        let mut hist =
+            LatencyHistogram::new(Duration::from_micros(100), Duration::from_micros(200))
+                .expect("valid");
         hist.add(Duration::from_micros(10));
         hist.add(Duration::from_micros(150));
         hist.add(Duration::from_micros(999));

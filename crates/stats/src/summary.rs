@@ -50,9 +50,8 @@ impl Summary {
         sorted.sort_unstable();
         let count = sorted.len() as u64;
         let total: u128 = sorted.iter().map(|d| u128::from(d.as_nanos())).sum();
-        let mean = Duration::from_nanos(
-            u64::try_from(total / u128::from(count)).unwrap_or(u64::MAX),
-        );
+        let mean =
+            Duration::from_nanos(u64::try_from(total / u128::from(count)).unwrap_or(u64::MAX));
         let rank = |p: f64| -> Duration {
             // Nearest-rank percentile: ⌈p·n⌉-th smallest (1-indexed).
             let k = ((p * count as f64).ceil() as usize).clamp(1, sorted.len());
@@ -102,7 +101,9 @@ pub fn running_average<I: IntoIterator<Item = Duration>>(samples: I) -> Vec<Dura
     for (i, sample) in samples.into_iter().enumerate() {
         total += u128::from(sample.as_nanos());
         let mean = total / (i as u128 + 1);
-        out.push(Duration::from_nanos(u64::try_from(mean).unwrap_or(u64::MAX)));
+        out.push(Duration::from_nanos(
+            u64::try_from(mean).unwrap_or(u64::MAX),
+        ));
     }
     out
 }

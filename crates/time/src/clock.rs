@@ -90,8 +90,8 @@ impl ClockModel {
     /// Converts a virtual-time span into whole cycles (truncating).
     #[must_use]
     pub fn duration_to_cycles(self, duration: Duration) -> u64 {
-        let cycles = u128::from(duration.as_nanos()) * u128::from(self.frequency_hz)
-            / 1_000_000_000;
+        let cycles =
+            u128::from(duration.as_nanos()) * u128::from(self.frequency_hz) / 1_000_000_000;
         u64::try_from(cycles).unwrap_or(u64::MAX)
     }
 }
@@ -154,7 +154,10 @@ mod tests {
     #[test]
     fn display_formats_mhz() {
         assert_eq!(ClockModel::ARM926EJS_200MHZ.to_string(), "200 MHz");
-        assert_eq!(ClockModel::new(1_500).expect("valid").to_string(), "1500 Hz");
+        assert_eq!(
+            ClockModel::new(1_500).expect("valid").to_string(),
+            "1500 Hz"
+        );
     }
 
     #[test]

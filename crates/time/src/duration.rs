@@ -335,15 +335,23 @@ mod tests {
 
     #[test]
     fn saturating_ops_clamp() {
-        assert_eq!(Duration::MAX.saturating_add(Duration::from_nanos(1)), Duration::MAX);
-        assert_eq!(Duration::ZERO.saturating_sub(Duration::from_nanos(1)), Duration::ZERO);
+        assert_eq!(
+            Duration::MAX.saturating_add(Duration::from_nanos(1)),
+            Duration::MAX
+        );
+        assert_eq!(
+            Duration::ZERO.saturating_sub(Duration::from_nanos(1)),
+            Duration::ZERO
+        );
         assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
     }
 
     #[test]
     fn checked_ops_detect_overflow() {
         assert!(Duration::MAX.checked_add(Duration::from_nanos(1)).is_none());
-        assert!(Duration::ZERO.checked_sub(Duration::from_nanos(1)).is_none());
+        assert!(Duration::ZERO
+            .checked_sub(Duration::from_nanos(1))
+            .is_none());
         assert!(Duration::MAX.checked_mul(2).is_none());
         assert_eq!(
             Duration::from_micros(2).checked_mul(3),

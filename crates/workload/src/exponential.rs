@@ -103,13 +103,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = ExponentialArrivals::new(Duration::from_millis(1), 99)
-            .generate(200, Instant::ZERO);
-        let b = ExponentialArrivals::new(Duration::from_millis(1), 99)
-            .generate(200, Instant::ZERO);
+        let a = ExponentialArrivals::new(Duration::from_millis(1), 99).generate(200, Instant::ZERO);
+        let b = ExponentialArrivals::new(Duration::from_millis(1), 99).generate(200, Instant::ZERO);
         assert_eq!(a, b);
-        let c = ExponentialArrivals::new(Duration::from_millis(1), 100)
-            .generate(200, Instant::ZERO);
+        let c =
+            ExponentialArrivals::new(Duration::from_millis(1), 100).generate(200, Instant::ZERO);
         assert_ne!(a, c);
     }
 

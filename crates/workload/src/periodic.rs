@@ -141,7 +141,10 @@ mod tests {
         for (k, t) in trace.iter().enumerate() {
             let nominal = Instant::ZERO + ms(5) * k as u64;
             assert!(*t >= nominal, "release {k} before nominal");
-            assert!(t.duration_since(nominal) <= jitter, "release {k} over-jittered");
+            assert!(
+                t.duration_since(nominal) <= jitter,
+                "release {k} over-jittered"
+            );
         }
     }
 

@@ -158,10 +158,7 @@ impl ArrivalTrace {
         if span.is_zero() {
             return None;
         }
-        Some(
-            self.arrivals.len() as f64 * bottom_cost.as_nanos() as f64
-                / span.as_nanos() as f64,
-        )
+        Some(self.arrivals.len() as f64 * bottom_cost.as_nanos() as f64 / span.as_nanos() as f64)
     }
 
     /// The empirical length-`l` minimum-distance function of this trace —
@@ -243,11 +240,8 @@ mod tests {
 
     #[test]
     fn rejects_out_of_order() {
-        let err = ArrivalTrace::new(vec![
-            Instant::from_micros(10),
-            Instant::from_micros(5),
-        ])
-        .unwrap_err();
+        let err =
+            ArrivalTrace::new(vec![Instant::from_micros(10), Instant::from_micros(5)]).unwrap_err();
         assert_eq!(err.index, 1);
         assert!(err.to_string().contains("index 1"));
     }

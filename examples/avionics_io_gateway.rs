@@ -73,14 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let effective = costs.effective_bottom_cost(frame_handler);
     let horizon = ms(10); // one flight-control slot
     let bound = interference_bound_dmin(horizon, dmin, effective);
-    let fc_idle = baseline
-        .counters
-        .service_of(PartitionId::new(0))
-        .total();
-    let fc_monitored = monitored
-        .counters
-        .service_of(PartitionId::new(0))
-        .total();
+    let fc_idle = baseline.counters.service_of(PartitionId::new(0)).total();
+    let fc_monitored = monitored.counters.service_of(PartitionId::new(0)).total();
     println!(
         "\nflight-control service: baseline {fc_idle}, monitored {fc_monitored} \
          (loss {})",

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --example latency_analysis`
 
-use rthv::analysis::{
-    baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask, TdmaSlot,
-};
+use rthv::analysis::{baseline_irq_wcrt, interposed_irq_wcrt, EventModel, IrqTask, TdmaSlot};
 use rthv::monitor::interference_bound_dmin;
 use rthv::time::Duration;
 use rthv::CostModel;
@@ -35,22 +33,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             bottom_cost: bottom,
         };
         let baseline = baseline_irq_wcrt(&task, tdma, &[])?;
-        let effective = task.with_effective_costs(
-            costs.monitor_check,
-            costs.sched_manip,
-            costs.context_switch,
-        );
+        let effective =
+            task.with_effective_costs(costs.monitor_check, costs.sched_manip, costs.context_switch);
         let interposed = interposed_irq_wcrt(&effective, &[])?;
         let gain = baseline.wcrt.as_nanos() as f64 / interposed.wcrt.as_nanos() as f64;
         // Long-term fraction of any victim window lost to interpositions.
         let window = us(1_000_000);
-        let interference = interference_bound_dmin(
-            window,
-            dmin,
-            costs.effective_bottom_cost(bottom),
-        );
-        let victim_load =
-            100.0 * interference.as_nanos() as f64 / window.as_nanos() as f64;
+        let interference =
+            interference_bound_dmin(window, dmin, costs.effective_bottom_cost(bottom));
+        let victim_load = 100.0 * interference.as_nanos() as f64 / window.as_nanos() as f64;
         println!(
             "{:>10} {:>16} {:>16} {:>7.0}x {:>21.2}%",
             dmin.to_string(),

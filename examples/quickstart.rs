@@ -28,9 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .partition("housekeeping", Duration::from_micros(2_000))
             .mode(mode);
         builder = match mode {
-            IrqHandlingMode::Baseline => {
-                builder.irq_source("timer", 1, Duration::from_micros(30))
-            }
+            IrqHandlingMode::Baseline => builder.irq_source("timer", 1, Duration::from_micros(30)),
             IrqHandlingMode::Interposed => builder.monitored_irq_source(
                 "timer",
                 1,

@@ -43,10 +43,8 @@ fn builder_to_report_round_trip() {
 
     assert_eq!(report.recorder.len(), 500);
     // Feed the latencies through the stats crate.
-    let summary = Summary::from_samples(
-        report.recorder.completions().iter().map(|c| c.latency()),
-    )
-    .expect("non-empty");
+    let summary = Summary::from_samples(report.recorder.completions().iter().map(|c| c.latency()))
+        .expect("non-empty");
     assert_eq!(summary.count, 500);
     assert!(summary.median < us(200), "median {}", summary.median);
 
@@ -82,7 +80,11 @@ fn simulation_respects_analysis_bounds_on_paper_setup() {
         .expect("future");
     let last = *trace.as_slice().last().expect("non-empty");
     assert!(machine.run_until_complete(last + us(1_400_000)));
-    let max = machine.finish().recorder.max_latency().expect("completions");
+    let max = machine
+        .finish()
+        .recorder
+        .max_latency()
+        .expect("completions");
     assert!(max <= bound, "simulated {max} exceeds analytic {bound}");
 }
 
@@ -100,13 +102,13 @@ fn interposed_analysis_matches_interposed_simulation_paths() {
         setup.costs.sched_manip,
         setup.costs.context_switch,
     );
-    let bound = interposed_irq_wcrt(&effective, &[]).expect("converges").wcrt;
+    let bound = interposed_irq_wcrt(&effective, &[])
+        .expect("converges")
+        .wcrt;
 
     let monitor = DeltaFunction::from_dmin(dmin).expect("valid");
-    let mut machine = rthv::Machine::new(
-        setup.config(IrqHandlingMode::Interposed, Some(monitor)),
-    )
-    .expect("valid");
+    let mut machine = rthv::Machine::new(setup.config(IrqHandlingMode::Interposed, Some(monitor)))
+        .expect("valid");
     // Guard-band arrivals away from the subscriber's slot end: a bottom
     // handler straddling its own slot end is outside the Eq. 16 model (its
     // FIFO shadow also inflates the next window) — see EXPERIMENTS.md.

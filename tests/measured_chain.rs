@@ -9,7 +9,9 @@
 
 use rt_hypervisor_repro::rthv;
 
-use rthv::analysis::{guest_task_wcrt, interposed_irq_wcrt, EventModel, GuestTaskSpec, IrqTask, TdmaSupply};
+use rthv::analysis::{
+    guest_task_wcrt, interposed_irq_wcrt, EventModel, GuestTaskSpec, IrqTask, TdmaSupply,
+};
 use rthv::guest::{replay_events, EventTask};
 use rthv::monitor::DeltaFunction;
 use rthv::time::{Duration, Instant};
@@ -68,10 +70,8 @@ fn consumer_chain_respects_composed_bounds() {
 
     // --- Measured run --------------------------------------------------
     let monitor = DeltaFunction::from_dmin(dmin).expect("valid");
-    let mut machine = Machine::new(
-        setup.config(IrqHandlingMode::Interposed, Some(monitor)),
-    )
-    .expect("valid setup");
+    let mut machine = Machine::new(setup.config(IrqHandlingMode::Interposed, Some(monitor)))
+        .expect("valid setup");
     machine.enable_service_trace();
     // Guard-band arrivals away from the subscriber's slot end (the
     // straddle corner is outside the Eq. 16 model — see EXPERIMENTS.md).
@@ -101,8 +101,12 @@ fn consumer_chain_respects_composed_bounds() {
     assert!(max_irq <= irq_bound, "IRQ stage: {max_irq} > {irq_bound}");
 
     // Stage 2: the consumer task, released at each completion instant.
-    let mut releases: Vec<Instant> =
-        report.recorder.completions().iter().map(|c| c.completed).collect();
+    let mut releases: Vec<Instant> = report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| c.completed)
+        .collect();
     releases.sort_unstable();
     let consumer = EventTask::new("consumer", consumer_wcet, consumer_bound, releases);
     let intervals = report.service_intervals.expect("tracing enabled");

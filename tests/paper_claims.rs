@@ -28,8 +28,8 @@ fn claim_average_latency_reduction() {
         unmonitored.mean_latency
     );
     // Paper: ~16× for the fully conformant case.
-    let gain = unmonitored.mean_latency.as_nanos() as f64
-        / conformant.mean_latency.as_nanos() as f64;
+    let gain =
+        unmonitored.mean_latency.as_nanos() as f64 / conformant.mean_latency.as_nanos() as f64;
     assert!(gain > 10.0, "conformant gain only {gain:.1}x");
 }
 
