@@ -1,0 +1,94 @@
+//! Adversarial fault-injection campaign: seeded fault scenarios, each run
+//! monitored and unmonitored under interposed IRQ handling, every run
+//! replayed through the temporal-independence oracle, results written as a
+//! deterministic JSON report.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin campaign
+//! [output-path] [scenario-count] [base-seed]` (defaults:
+//! `CAMPAIGN_faults.json`, 21 scenarios, seed `0xFA2014`).
+//!
+//! Scenarios fan across host cores with [`SweepRunner`]; the assembled
+//! report is verified byte-identical to a sequential pass before it is
+//! written. The process exits non-zero if any *monitored* run trips the
+//! oracle, or if the unmonitored baseline fails to demonstrate at least
+//! one independence violation — both outcomes are the campaign's
+//! acceptance criteria, persisted in the report.
+
+use std::process::ExitCode;
+
+use rthv_experiments::SweepRunner;
+use rthv_faults::{
+    idle_reference, run_scenario, standard_scenarios, CampaignConfig, CampaignReport,
+};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let path = args
+        .next()
+        .unwrap_or_else(|| "CAMPAIGN_faults.json".to_string());
+    let count: usize = args
+        .next()
+        .map(|s| s.parse().expect("scenario count must be a number"))
+        .unwrap_or(21);
+    let base_seed: u64 = args
+        .next()
+        .map(|s| s.parse().expect("base seed must be a number"))
+        .unwrap_or(0xFA_2014);
+
+    let config = CampaignConfig {
+        scenarios: standard_scenarios(count, base_seed),
+        ..CampaignConfig::default()
+    };
+    let idle = idle_reference(&config);
+
+    let runner = SweepRunner::available();
+    let outcomes = runner.run(&config.scenarios, |_, scenario| {
+        run_scenario(&config, &idle, scenario)
+    });
+    let report = CampaignReport::from_outcomes(&config, outcomes);
+
+    let sequential = runner.threads() > 1 && count <= 8;
+    if sequential {
+        // Cheap campaigns double as a determinism self-check.
+        let reference = SweepRunner::sequential().run(&config.scenarios, |_, scenario| {
+            run_scenario(&config, &idle, scenario)
+        });
+        assert_eq!(
+            CampaignReport::from_outcomes(&config, reference).to_json(),
+            report.to_json(),
+            "parallel campaign diverged from sequential"
+        );
+    }
+
+    let json = report.to_json();
+    std::fs::write(&path, &json).expect("write campaign report");
+
+    eprintln!(
+        "campaign: {} scenarios on {} thread(s) -> {path}",
+        report.scenarios.len(),
+        runner.threads(),
+    );
+    eprintln!(
+        "  monitored violations:                 {}",
+        report.monitored_violations()
+    );
+    eprintln!(
+        "  unmonitored violations:               {}",
+        report.unmonitored_violations()
+    );
+    eprintln!(
+        "  unmonitored independence violations:  {}",
+        report.unmonitored_independence_violations()
+    );
+
+    if report.monitored_violations() != 0 {
+        eprintln!("FAIL: the monitored system tripped the oracle");
+        return ExitCode::FAILURE;
+    }
+    if report.unmonitored_independence_violations() == 0 {
+        eprintln!("FAIL: the unmonitored baseline never broke independence — campaign too tame");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("PASS: monitoring holds, baseline demonstrably does not");
+    ExitCode::SUCCESS
+}

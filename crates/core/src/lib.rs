@@ -68,10 +68,11 @@ pub use paper::PaperSetup;
 
 // The platform types most users need, at the crate root.
 pub use rthv_hypervisor::{
-    render_timeline, AdmissionClock, BoundaryPolicy, ConfigError, CostModel, Counters,
-    HandlingClass, HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode, IrqSourceId,
-    IrqSourceSpec, Machine, PartitionId, PartitionService, PartitionSpec, PolicyOptions, RunReport,
-    ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span, TdmaSchedule, TraceRecorder,
+    render_timeline, AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, CostModel,
+    Counters, HandlingClass, HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode,
+    IrqSourceId, IrqSourceSpec, Machine, MachineError, OverflowPolicy, PartitionId,
+    PartitionService, PartitionSpec, PolicyOptions, RunReport, ScheduleIrqError, ServiceInterval,
+    ServiceKind, SlotSpec, Span, TdmaSchedule, TraceRecorder,
 };
 
 /// Virtual-time primitives ([`rthv_time`]).

@@ -91,6 +91,7 @@ pub fn run_ablation(config: &AblationConfig) -> Vec<AblationRow> {
             let policies = PolicyOptions {
                 boundary,
                 admission_clock,
+                ..PolicyOptions::default()
             };
             let mut cfg = setup.config(
                 IrqHandlingMode::Interposed,

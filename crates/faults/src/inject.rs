@@ -1,0 +1,479 @@
+//! Seeded, reproducible fault-injection plans.
+//!
+//! A [`FaultScenario`] is `(kind, seed)`; [`FaultScenario::plan`] expands it
+//! into a concrete arrival schedule — a pure function of its inputs, so the
+//! same scenario replays byte-identically on any host or thread count. All
+//! randomness is drawn from one [`StdRng`] seeded per scenario; nothing
+//! reads the wall clock.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use rthv::time::{Duration, Instant};
+use rthv::AdmissionClock;
+
+/// One adversity class to subject the platform to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Periodic storm far above the admissible rate (`period ≪ d_min`),
+    /// with seeded phase jitter below `period / 8`.
+    IrqStorm {
+        /// Storm period (jittered per arrival).
+        period: Duration,
+    },
+    /// `burst` back-to-back arrivals spaced `spacing`, repeating `every`.
+    BurstyFlood {
+        /// Arrivals per burst.
+        burst: usize,
+        /// Intra-burst spacing.
+        spacing: Duration,
+        /// Burst repetition period (must exceed `burst · spacing`).
+        every: Duration,
+    },
+    /// A well-behaved periodic stream interleaved with seeded zero-work
+    /// arrivals — the line glitches, the top handler runs, no bottom work
+    /// follows.
+    SpuriousIrqs {
+        /// Period of the real (working) arrivals.
+        period: Duration,
+        /// Spurious zero-work arrivals injected per real one.
+        spurious_per_real: u32,
+    },
+    /// A periodic stream whose arrivals are silently lost at the interrupt
+    /// line with seeded probability — the machine must account for every
+    /// arrival that *did* fire.
+    DroppedIrqs {
+        /// Period of the underlying stream.
+        period: Duration,
+        /// Per-arrival loss probability in per mille (0..=1000).
+        drop_permille: u32,
+    },
+    /// A `d_min`-conformant stream admission-checked on the jittery
+    /// processing-time clock instead of the hardware timestamp (the
+    /// deny-only-safe ablation clock).
+    AdmissionClockJitter {
+        /// Arrival period (pick `≥ d_min` so denials are purely spurious).
+        period: Duration,
+    },
+    /// Bottom handlers that try to run `factor ×` their declared budget;
+    /// the enforced interposition window must clip them.
+    BudgetOverrun {
+        /// Arrival period.
+        period: Duration,
+        /// Work multiplier over the declared `C_BH`.
+        factor: u32,
+    },
+    /// Sparse handlers sized like an entire application slot — a guest
+    /// handler that refuses to yield.
+    NonYieldingGuest {
+        /// Work demanded per arrival (e.g. one full slot length).
+        work: Duration,
+        /// Arrival period.
+        every: Duration,
+    },
+}
+
+impl FaultKind {
+    /// Short kebab-case identifier used in scenario labels and reports.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            FaultKind::IrqStorm { .. } => "irq-storm",
+            FaultKind::BurstyFlood { .. } => "bursty-flood",
+            FaultKind::SpuriousIrqs { .. } => "spurious-irqs",
+            FaultKind::DroppedIrqs { .. } => "dropped-irqs",
+            FaultKind::AdmissionClockJitter { .. } => "admission-clock-jitter",
+            FaultKind::BudgetOverrun { .. } => "budget-overrun",
+            FaultKind::NonYieldingGuest { .. } => "non-yielding-guest",
+        }
+    }
+}
+
+/// One IRQ arrival of a fault plan: when it fires and how much bottom-
+/// handler work it actually demands (which may differ from the declared
+/// `C_BH` — that is the point).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectedArrival {
+    /// Hardware interrupt time.
+    pub at: Instant,
+    /// Actual bottom-handler demand (zero for spurious arrivals).
+    pub work: Duration,
+}
+
+/// A fully expanded, schedulable fault plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Arrivals in strictly increasing time order, all inside the horizon.
+    pub arrivals: Vec<InjectedArrival>,
+    /// The admission clock the scenario runs under.
+    pub admission_clock: AdmissionClock,
+}
+
+/// One campaign entry: an adversity plus the seed that pins every draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Position in the campaign (stable across runs; part of the label).
+    pub id: u32,
+    /// The adversity.
+    pub kind: FaultKind,
+    /// RNG seed; the plan is a pure function of `(kind, seed, horizon)`.
+    pub seed: u64,
+}
+
+impl FaultScenario {
+    /// Stable scenario label, e.g. `03-dropped-irqs`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!("{:02}-{}", self.id, self.kind.slug())
+    }
+
+    /// Expands the scenario into a concrete arrival schedule over
+    /// `[0, horizon)`. `bottom_cost` is the declared `C_BH` of the
+    /// monitored source (the work a well-behaved arrival demands).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate parameters (zero periods, bursts longer than
+    /// their repetition period).
+    #[must_use]
+    pub fn plan(&self, horizon: Duration, bottom_cost: Duration) -> FaultPlan {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut arrivals = Vec::new();
+        let mut admission_clock = AdmissionClock::IrqTimestamp;
+        let horizon_ns = horizon.as_nanos();
+
+        match self.kind {
+            FaultKind::IrqStorm { period } => {
+                let period_ns = period.as_nanos();
+                assert!(period_ns > 0, "storm period must be positive");
+                let jitter_ns = (period_ns / 8).max(1);
+                let mut t = period_ns;
+                while t < horizon_ns {
+                    let at = t + rng.gen_range(0..jitter_ns);
+                    if at < horizon_ns {
+                        arrivals.push(InjectedArrival {
+                            at: Instant::from_nanos(at),
+                            work: bottom_cost,
+                        });
+                    }
+                    t += period_ns;
+                }
+            }
+            FaultKind::BurstyFlood {
+                burst,
+                spacing,
+                every,
+            } => {
+                let every_ns = every.as_nanos();
+                let spacing_ns = spacing.as_nanos();
+                assert!(every_ns > 0 && spacing_ns > 0, "degenerate burst geometry");
+                assert!(
+                    (burst as u64) * spacing_ns < every_ns,
+                    "burst must fit inside its repetition period"
+                );
+                let mut base = every_ns / 2;
+                while base < horizon_ns {
+                    for b in 0..burst as u64 {
+                        let at = base + b * spacing_ns;
+                        if at < horizon_ns {
+                            arrivals.push(InjectedArrival {
+                                at: Instant::from_nanos(at),
+                                work: bottom_cost,
+                            });
+                        }
+                    }
+                    base += every_ns;
+                }
+            }
+            FaultKind::SpuriousIrqs {
+                period,
+                spurious_per_real,
+            } => {
+                let period_ns = period.as_nanos();
+                assert!(period_ns > 1, "spurious-irq period too small");
+                let mut t = period_ns;
+                while t < horizon_ns {
+                    arrivals.push(InjectedArrival {
+                        at: Instant::from_nanos(t),
+                        work: bottom_cost,
+                    });
+                    for _ in 0..spurious_per_real {
+                        let at = t + rng.gen_range(1..period_ns);
+                        if at < horizon_ns {
+                            arrivals.push(InjectedArrival {
+                                at: Instant::from_nanos(at),
+                                work: Duration::ZERO,
+                            });
+                        }
+                    }
+                    t += period_ns;
+                }
+            }
+            FaultKind::DroppedIrqs {
+                period,
+                drop_permille,
+            } => {
+                let period_ns = period.as_nanos();
+                assert!(period_ns > 0, "dropped-irq period must be positive");
+                assert!(drop_permille <= 1000, "loss probability above 1000‰");
+                let mut t = period_ns;
+                while t < horizon_ns {
+                    // The draw happens for every arrival, dropped or not, so
+                    // the surviving schedule is still a pure seed function.
+                    let dropped = rng.gen_range(0..1000u32) < drop_permille;
+                    if !dropped {
+                        arrivals.push(InjectedArrival {
+                            at: Instant::from_nanos(t),
+                            work: bottom_cost,
+                        });
+                    }
+                    t += period_ns;
+                }
+            }
+            FaultKind::AdmissionClockJitter { period } => {
+                admission_clock = AdmissionClock::ProcessingTime;
+                let period_ns = period.as_nanos();
+                assert!(period_ns > 0, "jitter-clock period must be positive");
+                let mut t = period_ns;
+                while t < horizon_ns {
+                    arrivals.push(InjectedArrival {
+                        at: Instant::from_nanos(t),
+                        work: bottom_cost,
+                    });
+                    t += period_ns;
+                }
+            }
+            FaultKind::BudgetOverrun { period, factor } => {
+                let period_ns = period.as_nanos();
+                assert!(period_ns > 0, "overrun period must be positive");
+                let work = bottom_cost.saturating_mul(u64::from(factor.max(1)));
+                let mut t = period_ns;
+                while t < horizon_ns {
+                    arrivals.push(InjectedArrival {
+                        at: Instant::from_nanos(t),
+                        work,
+                    });
+                    t += period_ns;
+                }
+            }
+            FaultKind::NonYieldingGuest { work, every } => {
+                let every_ns = every.as_nanos();
+                assert!(every_ns > 0, "non-yielding period must be positive");
+                let mut t = every_ns / 3;
+                while t < horizon_ns {
+                    arrivals.push(InjectedArrival {
+                        at: Instant::from_nanos(t),
+                        work,
+                    });
+                    t += every_ns;
+                }
+            }
+        }
+
+        finalize(&mut arrivals);
+        FaultPlan {
+            arrivals,
+            admission_clock,
+        }
+    }
+}
+
+/// Sorts the arrivals and nudges duplicates apart by one nanosecond, so
+/// every timestamp is strictly increasing (distinct check timestamps keep
+/// the oracle's replay unambiguous).
+fn finalize(arrivals: &mut [InjectedArrival]) {
+    arrivals.sort_by_key(|a| a.at);
+    for i in 1..arrivals.len() {
+        if arrivals[i].at <= arrivals[i - 1].at {
+            arrivals[i].at = arrivals[i - 1].at + Duration::from_nanos(1);
+        }
+    }
+}
+
+/// The standard campaign: `n` scenarios cycling through all seven fault
+/// families, parameters hardened one notch per completed cycle, each seeded
+/// from `base_seed` by position. Geometry assumes the paper setup
+/// (`d_min = 3 ms`, 6 ms application slots).
+#[must_use]
+pub fn standard_scenarios(n: usize, base_seed: u64) -> Vec<FaultScenario> {
+    (0..n)
+        .map(|i| {
+            let tier = (i / 7) as u64 + 1;
+            let kind = match i % 7 {
+                0 => FaultKind::IrqStorm {
+                    period: Duration::from_micros(300 / tier.min(3)),
+                },
+                1 => FaultKind::BurstyFlood {
+                    burst: 6 + 2 * tier as usize,
+                    spacing: Duration::from_micros(20),
+                    every: Duration::from_millis(2),
+                },
+                2 => FaultKind::SpuriousIrqs {
+                    period: Duration::from_millis(1),
+                    spurious_per_real: 2 + tier as u32,
+                },
+                3 => FaultKind::DroppedIrqs {
+                    period: Duration::from_micros(500),
+                    drop_permille: (150 * tier as u32).min(900),
+                },
+                4 => FaultKind::AdmissionClockJitter {
+                    period: Duration::from_millis(3),
+                },
+                5 => FaultKind::BudgetOverrun {
+                    period: Duration::from_millis(1),
+                    factor: 2 + 2 * tier as u32,
+                },
+                _ => FaultKind::NonYieldingGuest {
+                    work: Duration::from_millis(6),
+                    every: Duration::from_millis(42),
+                },
+            };
+            FaultScenario {
+                id: i as u32,
+                kind,
+                seed: base_seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HORIZON: Duration = Duration::from_millis(200);
+    const C_BH: Duration = Duration::from_micros(30);
+
+    fn scenario(kind: FaultKind, seed: u64) -> FaultScenario {
+        FaultScenario { id: 0, kind, seed }
+    }
+
+    #[test]
+    fn plans_are_pure_seed_functions() {
+        for kind in [
+            FaultKind::IrqStorm {
+                period: Duration::from_micros(300),
+            },
+            FaultKind::SpuriousIrqs {
+                period: Duration::from_millis(1),
+                spurious_per_real: 3,
+            },
+            FaultKind::DroppedIrqs {
+                period: Duration::from_micros(500),
+                drop_permille: 250,
+            },
+        ] {
+            let a = scenario(kind, 7).plan(HORIZON, C_BH);
+            let b = scenario(kind, 7).plan(HORIZON, C_BH);
+            let c = scenario(kind, 8).plan(HORIZON, C_BH);
+            assert_eq!(a, b, "{kind:?} not deterministic");
+            assert_ne!(a, c, "{kind:?} ignores its seed");
+        }
+    }
+
+    #[test]
+    fn arrivals_are_strictly_increasing_and_inside_horizon() {
+        for s in standard_scenarios(14, 0xFA) {
+            let plan = s.plan(HORIZON, C_BH);
+            assert!(!plan.arrivals.is_empty(), "{} produced nothing", s.label());
+            for pair in plan.arrivals.windows(2) {
+                assert!(pair[0].at < pair[1].at, "{} not increasing", s.label());
+            }
+            let last = plan.arrivals.last().unwrap().at;
+            // Duplicate nudging moves timestamps by single nanoseconds, far
+            // below any generator period, so the horizon still holds.
+            assert!(last < Instant::ZERO + HORIZON, "{} overflows", s.label());
+            assert!(plan.arrivals[0].at > Instant::ZERO);
+        }
+    }
+
+    #[test]
+    fn storm_rate_matches_its_period() {
+        let plan = scenario(
+            FaultKind::IrqStorm {
+                period: Duration::from_micros(400),
+            },
+            3,
+        )
+        .plan(HORIZON, C_BH);
+        // 200 ms / 400 µs = 500 slots, first at t = period.
+        assert_eq!(plan.arrivals.len(), 499);
+        assert!(plan.arrivals.iter().all(|a| a.work == C_BH));
+    }
+
+    #[test]
+    fn dropping_removes_roughly_the_requested_fraction() {
+        let full = scenario(
+            FaultKind::DroppedIrqs {
+                period: Duration::from_micros(500),
+                drop_permille: 0,
+            },
+            11,
+        )
+        .plan(HORIZON, C_BH);
+        let lossy = scenario(
+            FaultKind::DroppedIrqs {
+                period: Duration::from_micros(500),
+                drop_permille: 400,
+            },
+            11,
+        )
+        .plan(HORIZON, C_BH);
+        let kept = lossy.arrivals.len() as f64 / full.arrivals.len() as f64;
+        assert!((0.45..0.75).contains(&kept), "kept fraction {kept}");
+    }
+
+    #[test]
+    fn spurious_arrivals_demand_no_work() {
+        let plan = scenario(
+            FaultKind::SpuriousIrqs {
+                period: Duration::from_millis(1),
+                spurious_per_real: 3,
+            },
+            5,
+        )
+        .plan(HORIZON, C_BH);
+        let spurious = plan.arrivals.iter().filter(|a| a.work.is_zero()).count();
+        let real = plan.arrivals.len() - spurious;
+        assert!(spurious > 2 * real, "spurious {spurious} vs real {real}");
+    }
+
+    #[test]
+    fn only_the_jitter_scenario_switches_the_admission_clock() {
+        for s in standard_scenarios(7, 1) {
+            let plan = s.plan(HORIZON, C_BH);
+            let expect = matches!(s.kind, FaultKind::AdmissionClockJitter { .. });
+            assert_eq!(
+                plan.admission_clock == AdmissionClock::ProcessingTime,
+                expect,
+                "{}",
+                s.label()
+            );
+        }
+    }
+
+    #[test]
+    fn standard_scenarios_cover_every_family() {
+        let scenarios = standard_scenarios(20, 0xFA01);
+        assert_eq!(scenarios.len(), 20);
+        for slug in [
+            "irq-storm",
+            "bursty-flood",
+            "spurious-irqs",
+            "dropped-irqs",
+            "admission-clock-jitter",
+            "budget-overrun",
+            "non-yielding-guest",
+        ] {
+            assert!(
+                scenarios.iter().any(|s| s.kind.slug() == slug),
+                "family {slug} missing"
+            );
+        }
+        // Labels are unique and stable.
+        let labels: Vec<String> = scenarios.iter().map(FaultScenario::label).collect();
+        assert_eq!(labels[0], "00-irq-storm");
+        assert_eq!(labels[8], "08-bursty-flood");
+    }
+}

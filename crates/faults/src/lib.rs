@@ -1,0 +1,49 @@
+//! Adversarial fault injection and a post-hoc temporal-independence oracle.
+//!
+//! The paper's safety argument (sufficient temporal independence, Eq. 14)
+//! is a *claim about every possible run*: no matter how an IRQ-subscribing
+//! partition misbehaves, a victim partition loses at most
+//! `⌈Δt/d_min⌉ · C'_BH` of service in any window `Δt`. The rest of this
+//! workspace demonstrates the claim on well-behaved workloads; this crate
+//! attacks it.
+//!
+//! Three layers:
+//!
+//! * [`inject`] — seeded, reproducible adversities ([`FaultKind`]): IRQ
+//!   storms far above the admissible rate, bursty floods, spurious
+//!   zero-work interrupts, silently dropped interrupt lines, admission
+//!   checks on the jittery processing-time clock, bottom handlers that try
+//!   to overrun their declared budget, and guest handlers that refuse to
+//!   yield. Every scenario is a pure function of its seed.
+//! * [`oracle`] — a replay oracle over the [`RunReport`] a run leaves
+//!   behind. It independently re-verifies, record by record, that the
+//!   admitted activation stream conforms to δ⁻ (Eq. 6), that sliding-window
+//!   activation counts stay under η⁺, that no interposed window exceeded
+//!   its enforced budget, that every scheduled IRQ is accounted for
+//!   (completed, coalesced, rejected, dropped or still queued — never
+//!   silently lost), and that the machine detected no internal defect.
+//! * [`campaign`] — runs every scenario twice under
+//!   [`IrqHandlingMode::Interposed`]: once with the real δ⁻ monitor and
+//!   once with an admit-everything shaper (the unmonitored baseline), then
+//!   compares each victim partition's measured service loss against the
+//!   Eq. 13–16 bound. The monitored runs must be violation-free; the
+//!   unmonitored baseline must demonstrably break independence under an
+//!   IRQ storm — both outcomes are persisted in a deterministic JSON
+//!   report ([`CampaignReport::to_json`]).
+//!
+//! [`RunReport`]: rthv::RunReport
+//! [`IrqHandlingMode::Interposed`]: rthv::IrqHandlingMode::Interposed
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod inject;
+pub mod oracle;
+
+pub use campaign::{
+    idle_reference, run_campaign, run_scenario, CampaignConfig, CampaignReport, IdleReference,
+    ModeOutcome, ScenarioOutcome,
+};
+pub use inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
+pub use oracle::{check_report, OracleConfig, Violation};

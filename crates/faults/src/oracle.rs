@@ -1,0 +1,557 @@
+//! Post-hoc temporal-independence oracle over a [`RunReport`].
+//!
+//! The machine already *enforces* the paper's mechanisms online; this
+//! module re-verifies them offline, from the records a run leaves behind,
+//! with independent implementations — a distance-based δ⁻ replay
+//! ([`ActivationMonitor`]) *and* a count-based η⁺ sliding-window check, an
+//! interposed-window budget audit against the traced spans, and an IRQ
+//! conservation ledger. A mechanism bug that slipped past the online
+//! enforcement shows up here as a [`Violation`].
+//!
+//! [`RunReport`]: rthv::RunReport
+
+use std::fmt;
+
+use rthv::monitor::{ActivationMonitor, Admission, DeltaFunction};
+use rthv::time::{Duration, Instant};
+use rthv::{RunReport, Span};
+
+/// What the oracle holds a run against.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// The δ⁻ condition the run claimed to enforce; `None` for the
+    /// unmonitored baseline (conformance checks are skipped, conservation
+    /// and budget checks still apply).
+    pub delta: Option<DeltaFunction>,
+    /// The enforced interposition budget (`C_BH` of the monitored source).
+    pub budget: Duration,
+    /// IRQ arrivals actually scheduled into the machine.
+    pub scheduled: u64,
+}
+
+/// One oracle finding. Also covers the campaign-level independence check
+/// (emitted by [`crate::campaign`], counted uniformly in the report).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// An *admitted* activation violates δ⁻ against an earlier admitted one.
+    DeltaDistance {
+        /// Index of the offending record in the admitted sub-stream.
+        index: usize,
+        /// Its admission-check timestamp.
+        at: Instant,
+        /// δ⁻ entry index of the first violated constraint.
+        violated_distance: usize,
+    },
+    /// A sliding window holds more admitted activations than η⁺ allows.
+    WindowCount {
+        /// Window width `Δt`.
+        width: Duration,
+        /// Start of the offending window (an admitted activation).
+        start: Instant,
+        /// Activations observed in `[start, start + width)`.
+        observed: u64,
+        /// `η⁺(Δt)` for the configured δ⁻.
+        allowed: u64,
+    },
+    /// An interposed window span exceeds the enforced budget plus the
+    /// hypervisor blocks that preempted it.
+    WindowOverrun {
+        /// Window opening time.
+        start: Instant,
+        /// Measured span length.
+        length: Duration,
+        /// Budget plus overlapping hypervisor time.
+        allowed: Duration,
+    },
+    /// The run's ledger does not cover every scheduled IRQ: completions,
+    /// coalesced, overflow-rejected, overflow-dropped and still-queued
+    /// events must sum to the number scheduled.
+    IrqLost {
+        /// Arrivals scheduled into the machine.
+        scheduled: u64,
+        /// Arrivals the ledger accounts for.
+        accounted: u64,
+    },
+    /// The machine halted on an internal invariant violation.
+    Defect {
+        /// The machine's description of the defect.
+        context: String,
+    },
+    /// A victim partition lost more service than the Eq. 13–16 bound.
+    Independence {
+        /// Victim partition index.
+        victim: usize,
+        /// Measured service loss vs the idle reference.
+        lost: Duration,
+        /// Interference bound (Eq. 14 plus the top-handler term).
+        bound: Duration,
+    },
+}
+
+impl Violation {
+    /// Short kebab-case identifier for reports.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            Violation::DeltaDistance { .. } => "delta-distance",
+            Violation::WindowCount { .. } => "window-count",
+            Violation::WindowOverrun { .. } => "window-overrun",
+            Violation::IrqLost { .. } => "irq-lost",
+            Violation::Defect { .. } => "defect",
+            Violation::Independence { .. } => "independence",
+        }
+    }
+
+    /// One-line JSON object with integer-only numeric fields (deterministic
+    /// across hosts — no floats, no wall-clock).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        match self {
+            Violation::DeltaDistance {
+                index,
+                at,
+                violated_distance,
+            } => format!(
+                r#"{{"kind":"delta-distance","index":{index},"at_ns":{},"violated_distance":{violated_distance}}}"#,
+                at.as_nanos()
+            ),
+            Violation::WindowCount {
+                width,
+                start,
+                observed,
+                allowed,
+            } => format!(
+                r#"{{"kind":"window-count","width_ns":{},"start_ns":{},"observed":{observed},"allowed":{allowed}}}"#,
+                width.as_nanos(),
+                start.as_nanos()
+            ),
+            Violation::WindowOverrun {
+                start,
+                length,
+                allowed,
+            } => format!(
+                r#"{{"kind":"window-overrun","start_ns":{},"length_ns":{},"allowed_ns":{}}}"#,
+                start.as_nanos(),
+                length.as_nanos(),
+                allowed.as_nanos()
+            ),
+            Violation::IrqLost {
+                scheduled,
+                accounted,
+            } => {
+                format!(r#"{{"kind":"irq-lost","scheduled":{scheduled},"accounted":{accounted}}}"#)
+            }
+            Violation::Defect { context } => {
+                format!(r#"{{"kind":"defect","context":"{}"}}"#, escape(context))
+            }
+            Violation::Independence {
+                victim,
+                lost,
+                bound,
+            } => format!(
+                r#"{{"kind":"independence","victim":{victim},"lost_ns":{},"bound_ns":{}}}"#,
+                lost.as_nanos(),
+                bound.as_nanos()
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DeltaDistance {
+                index,
+                at,
+                violated_distance,
+            } => write!(
+                f,
+                "admitted activation #{index} at {at} violates δ⁻ entry {violated_distance}"
+            ),
+            Violation::WindowCount {
+                width,
+                start,
+                observed,
+                allowed,
+            } => write!(
+                f,
+                "{observed} admitted activations in [{start}, +{width}) exceed η⁺ = {allowed}"
+            ),
+            Violation::WindowOverrun {
+                start,
+                length,
+                allowed,
+            } => write!(
+                f,
+                "interposed window at {start} ran {length}, allowed {allowed}"
+            ),
+            Violation::IrqLost {
+                scheduled,
+                accounted,
+            } => write!(
+                f,
+                "IRQ ledger covers {accounted} of {scheduled} scheduled arrivals"
+            ),
+            Violation::Defect { context } => write!(f, "machine defect: {context}"),
+            Violation::Independence {
+                victim,
+                lost,
+                bound,
+            } => write!(
+                f,
+                "partition {victim} lost {lost}, independence bound {bound}"
+            ),
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Replays a [`RunReport`] against the oracle's invariants and returns
+/// every violation found (empty = the run upheld the paper's claims).
+///
+/// Assumes a single-subscriber source set (each arrival yields at most one
+/// completion), which is what the fault campaign runs.
+#[must_use]
+pub fn check_report(report: &RunReport, oracle: &OracleConfig) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    if let Some(delta) = &oracle.delta {
+        let admitted: Vec<Instant> = report
+            .admissions
+            .iter()
+            .filter(|r| r.admitted)
+            .map(|r| r.check_at)
+            .collect();
+        check_delta_replay(&admitted, delta, &mut violations);
+        check_window_counts(&admitted, delta, &mut violations);
+    }
+
+    if let (Some(windows), Some(hv)) = (&report.window_spans, &report.hv_spans) {
+        check_window_budgets(windows, hv, oracle.budget, &mut violations);
+    }
+
+    check_conservation(report, oracle.scheduled, &mut violations);
+
+    if let Some(defect) = &report.defect {
+        violations.push(Violation::Defect {
+            context: defect.to_string(),
+        });
+    }
+
+    violations
+}
+
+/// Invariant A — distance check: feed the admitted activation stream back
+/// through a fresh [`ActivationMonitor`]; every record must be admitted
+/// again. Offenders are still recorded so later distances reflect the
+/// stream that actually ran.
+fn check_delta_replay(admitted: &[Instant], delta: &DeltaFunction, out: &mut Vec<Violation>) {
+    let mut monitor = ActivationMonitor::new(delta.clone());
+    for (index, &at) in admitted.iter().enumerate() {
+        if let Admission::Denied { violated_distance } = monitor.check(at) {
+            out.push(Violation::DeltaDistance {
+                index,
+                at,
+                violated_distance,
+            });
+        }
+        monitor.record_admitted(at);
+    }
+}
+
+/// Invariant B — count check, independent of A's implementation: in any
+/// half-open window `[t, t + Δt)` anchored at an admitted activation, the
+/// number of admitted activations must not exceed `η⁺(Δt)`. Probes the
+/// paper-relevant widths (1×, 2× and 5× `d_min`). Reports at most one
+/// offending window per width (the first).
+fn check_window_counts(admitted: &[Instant], delta: &DeltaFunction, out: &mut Vec<Violation>) {
+    if delta.dmin().is_zero() {
+        return;
+    }
+    for factor in [1u64, 2, 5] {
+        let width = delta.dmin().saturating_mul(factor);
+        let allowed = delta.eta_plus(width);
+        let mut hi = 0usize;
+        for lo in 0..admitted.len() {
+            let end = admitted[lo] + width;
+            hi = hi.max(lo);
+            while hi < admitted.len() && admitted[hi] < end {
+                hi += 1;
+            }
+            let observed = (hi - lo) as u64;
+            if observed > allowed {
+                out.push(Violation::WindowCount {
+                    width,
+                    start: admitted[lo],
+                    observed,
+                    allowed,
+                });
+                break;
+            }
+        }
+    }
+}
+
+/// Invariant C — budget check: each traced interposed window may span its
+/// enforced budget plus whatever hypervisor blocks (new arrivals latching)
+/// preempted it while open. Both span lists are in increasing start order.
+fn check_window_budgets(windows: &[Span], hv: &[Span], budget: Duration, out: &mut Vec<Violation>) {
+    let mut first_hv = 0usize;
+    for w in windows {
+        while first_hv < hv.len() && hv[first_hv].end <= w.start {
+            first_hv += 1;
+        }
+        let mut nested = Duration::ZERO;
+        for block in &hv[first_hv..] {
+            if block.start >= w.end {
+                break;
+            }
+            let overlap_start = block.start.max(w.start);
+            let overlap_end = block.end.min(w.end);
+            nested += overlap_end.saturating_duration_since(overlap_start);
+        }
+        let allowed = budget + nested;
+        let length = w.length();
+        if length > allowed {
+            out.push(Violation::WindowOverrun {
+                start: w.start,
+                length,
+                allowed,
+            });
+        }
+    }
+}
+
+/// Invariant D — conservation: every scheduled arrival is either completed,
+/// coalesced into a pending flag, refused or dropped by a bounded queue, or
+/// still outstanding at the end of the run. Anything else means the machine
+/// silently lost an IRQ.
+fn check_conservation(report: &RunReport, scheduled: u64, out: &mut Vec<Violation>) {
+    let accounted = report.recorder.len() as u64
+        + report.counters.coalesced_irqs
+        + report.counters.overflow_rejected
+        + report.counters.overflow_dropped
+        + report.outstanding;
+    if accounted != scheduled {
+        out.push(Violation::IrqLost {
+            scheduled,
+            accounted,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rthv::{
+        AdmissionRecord, Counters, HandlingClass, IrqCompletion, IrqSourceId, PartitionId,
+        TraceRecorder,
+    };
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    fn at_us(n: u64) -> Instant {
+        Instant::from_micros(n)
+    }
+
+    fn admission(seq: u64, check_us: u64, admitted: bool) -> AdmissionRecord {
+        AdmissionRecord {
+            source: IrqSourceId::new(0),
+            seq,
+            check_at: at_us(check_us),
+            admitted,
+        }
+    }
+
+    fn completion(seq: u64) -> IrqCompletion {
+        IrqCompletion {
+            source: IrqSourceId::new(0),
+            seq,
+            partition: PartitionId::new(1),
+            arrival: at_us(10 * seq),
+            completed: at_us(10 * seq + 5),
+            class: HandlingClass::Direct,
+        }
+    }
+
+    fn empty_report() -> RunReport {
+        RunReport {
+            recorder: TraceRecorder::new(),
+            counters: Counters::new(3),
+            end: at_us(1_000),
+            monitor_stats: vec![None],
+            window_openings: Vec::new(),
+            admissions: Vec::new(),
+            outstanding: 0,
+            defect: None,
+            service_intervals: None,
+            hv_spans: None,
+            window_spans: None,
+        }
+    }
+
+    fn oracle(delta_us: Option<u64>, scheduled: u64) -> OracleConfig {
+        OracleConfig {
+            delta: delta_us.map(|d| DeltaFunction::from_dmin(us(d)).expect("positive d_min")),
+            budget: us(30),
+            scheduled,
+        }
+    }
+
+    #[test]
+    fn clean_report_passes() {
+        let mut report = empty_report();
+        report.admissions = vec![
+            admission(0, 100, true),
+            admission(1, 150, false),
+            admission(2, 400, true),
+        ];
+        report
+            .recorder
+            .extend([completion(0), completion(1), completion(2)]);
+        assert!(check_report(&report, &oracle(Some(300), 3)).is_empty());
+    }
+
+    #[test]
+    fn non_conformant_admitted_stream_is_caught_twice() {
+        // Three admitted activations 50 µs apart under d_min = 300 µs: the
+        // distance replay and the independent window count both fire.
+        let mut report = empty_report();
+        report.admissions = vec![
+            admission(0, 100, true),
+            admission(1, 150, true),
+            admission(2, 200, true),
+        ];
+        report.recorder.extend((0..3).map(completion));
+        let violations = check_report(&report, &oracle(Some(300), 3));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::DeltaDistance {
+                index: 1,
+                violated_distance: 0,
+                ..
+            }
+        )));
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::WindowCount {
+                observed: 3,
+                allowed: 2,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn denied_records_do_not_trip_the_replay() {
+        let mut report = empty_report();
+        report.admissions = vec![
+            admission(0, 100, true),
+            admission(1, 120, false),
+            admission(2, 140, false),
+            admission(3, 500, true),
+        ];
+        report.recorder.extend((0..4).map(completion));
+        assert!(check_report(&report, &oracle(Some(300), 4)).is_empty());
+    }
+
+    #[test]
+    fn unmonitored_oracle_skips_conformance() {
+        let mut report = empty_report();
+        report.admissions = vec![admission(0, 100, true), admission(1, 101, true)];
+        report.recorder.extend([completion(0), completion(1)]);
+        assert!(check_report(&report, &oracle(None, 2)).is_empty());
+    }
+
+    #[test]
+    fn lost_irq_is_caught() {
+        let mut report = empty_report();
+        report.recorder.extend([completion(0)]);
+        let violations = check_report(&report, &oracle(None, 3));
+        assert_eq!(
+            violations,
+            vec![Violation::IrqLost {
+                scheduled: 3,
+                accounted: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn ledger_counts_every_degradation_path() {
+        let mut report = empty_report();
+        report.recorder.extend([completion(0)]);
+        report.counters.coalesced_irqs = 1;
+        report.counters.overflow_rejected = 2;
+        report.counters.overflow_dropped = 1;
+        report.outstanding = 1;
+        assert!(check_report(&report, &oracle(None, 6)).is_empty());
+    }
+
+    #[test]
+    fn overrunning_window_is_caught_but_nested_hv_time_is_excused() {
+        let mut report = empty_report();
+        report.window_spans = Some(vec![
+            // 30 µs budget, no preemption: fine.
+            Span {
+                start: at_us(100),
+                end: at_us(130),
+            },
+            // 40 µs span, 10 µs hv block inside: exactly allowed.
+            Span {
+                start: at_us(200),
+                end: at_us(240),
+            },
+            // 50 µs span, nothing to excuse it.
+            Span {
+                start: at_us(300),
+                end: at_us(350),
+            },
+        ]);
+        report.hv_spans = Some(vec![Span {
+            start: at_us(210),
+            end: at_us(220),
+        }]);
+        let violations = check_report(&report, &oracle(None, 0));
+        assert_eq!(
+            violations,
+            vec![Violation::WindowOverrun {
+                start: at_us(300),
+                length: us(50),
+                allowed: us(30),
+            }]
+        );
+    }
+
+    #[test]
+    fn defect_surfaces_as_violation() {
+        let mut report = empty_report();
+        report.defect = Some(rthv::MachineError::InvariantViolated {
+            context: "test defect",
+            at: at_us(42),
+        });
+        let violations = check_report(&report, &oracle(None, 0));
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].slug(), "defect");
+        assert!(violations[0].to_json().contains("test defect"));
+    }
+
+    #[test]
+    fn violation_json_is_integer_only() {
+        let v = Violation::Independence {
+            victim: 0,
+            lost: Duration::from_nanos(223_000_001),
+            bound: Duration::from_nanos(26_800_000),
+        };
+        assert_eq!(
+            v.to_json(),
+            r#"{"kind":"independence","victim":0,"lost_ns":223000001,"bound_ns":26800000}"#
+        );
+        assert_eq!(v.slug(), "independence");
+    }
+}

@@ -101,16 +101,31 @@ pub struct PartitionSpec {
     pub name: String,
     /// TDMA slot length `T_i`.
     pub slot: Duration,
+    /// Bound on the partition's IRQ event queue. `None` models the paper's
+    /// unbounded emulated queue; `Some(n)` bounds it to `n` pending bottom
+    /// handlers, with overflow resolved per
+    /// [`PolicyOptions::overflow`](PolicyOptions) and counted in
+    /// [`Counters`](crate::Counters) — a storm then degrades into counted
+    /// losses instead of unbounded memory growth.
+    pub queue_capacity: Option<usize>,
 }
 
 impl PartitionSpec {
-    /// Creates a partition spec.
+    /// Creates a partition spec with an unbounded IRQ queue.
     #[must_use]
     pub fn new(name: impl Into<String>, slot: Duration) -> Self {
         PartitionSpec {
             name: name.into(),
             slot,
+            queue_capacity: None,
         }
+    }
+
+    /// Bounds the partition's IRQ event queue (builder style).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
     }
 }
 
@@ -246,6 +261,26 @@ pub enum AdmissionClock {
     ProcessingTime,
 }
 
+/// What the top handler does when a bounded partition IRQ queue
+/// ([`PartitionSpec::queue_capacity`]) is full.
+///
+/// Either way the event is *counted* ([`Counters::overflow_rejected`] /
+/// [`Counters::overflow_dropped`]), never silently lost — the conservation
+/// invariant checked by the fault-injection oracle accounts for both.
+///
+/// [`Counters::overflow_rejected`]: crate::Counters::overflow_rejected
+/// [`Counters::overflow_dropped`]: crate::Counters::overflow_dropped
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OverflowPolicy {
+    /// The arriving event is not queued (tail drop). Preserves the oldest
+    /// pending work; the default.
+    #[default]
+    RejectNewest,
+    /// The oldest queued event is discarded to make room (head drop).
+    /// Favours fresh events under sustained overload.
+    DropOldest,
+}
+
 /// Tunable semantic choices of the modified top handler, separate from the
 /// quantitative [`CostModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -254,6 +289,8 @@ pub struct PolicyOptions {
     pub boundary: BoundaryPolicy,
     /// Timestamp the δ⁻ monitor checks against.
     pub admission_clock: AdmissionClock,
+    /// Behaviour of full bounded partition IRQ queues.
+    pub overflow: OverflowPolicy,
 }
 
 /// Which top handler variant the hypervisor runs.
@@ -330,6 +367,12 @@ pub enum ConfigError {
         /// The offending partition.
         partition: PartitionId,
     },
+    /// A partition's bounded IRQ queue has capacity zero (it could never
+    /// accept an event, so every IRQ would be lost by construction).
+    ZeroQueueCapacity {
+        /// The offending partition.
+        partition: PartitionId,
+    },
     /// An IRQ source subscribes to a partition index that does not exist.
     UnknownSubscriber {
         /// The offending source.
@@ -371,6 +414,9 @@ impl fmt::Display for ConfigError {
             ConfigError::ZeroSlot { partition } => {
                 write!(f, "partition {partition} has a zero-length TDMA slot")
             }
+            ConfigError::ZeroQueueCapacity { partition } => {
+                write!(f, "partition {partition} has a zero-capacity IRQ queue")
+            }
             ConfigError::UnknownSubscriber { source, subscriber } => write!(
                 f,
                 "IRQ source {source} subscribes to unknown partition {subscriber}"
@@ -410,6 +456,11 @@ impl HypervisorConfig {
         for (i, partition) in self.partitions.iter().enumerate() {
             if partition.slot.is_zero() {
                 return Err(ConfigError::ZeroSlot {
+                    partition: PartitionId::new(i as u32),
+                });
+            }
+            if partition.queue_capacity == Some(0) {
+                return Err(ConfigError::ZeroQueueCapacity {
                     partition: PartitionId::new(i as u32),
                 });
             }
@@ -580,6 +631,26 @@ mod tests {
         let err = cfg.validate().unwrap_err();
         assert!(matches!(err, ConfigError::UnknownSubscriber { .. }));
         assert!(err.to_string().contains("unknown partition P9"));
+    }
+
+    #[test]
+    fn zero_queue_capacity_rejected() {
+        let mut cfg = valid_config();
+        cfg.partitions[2].queue_capacity = Some(0);
+        assert_eq!(
+            cfg.validate(),
+            Err(ConfigError::ZeroQueueCapacity {
+                partition: PartitionId::new(2)
+            })
+        );
+        cfg.partitions[2].queue_capacity = Some(1);
+        assert_eq!(cfg.validate(), Ok(()));
+    }
+
+    #[test]
+    fn queue_capacity_builder_sets_bound() {
+        let spec = PartitionSpec::new("app", Duration::from_millis(6)).with_queue_capacity(4);
+        assert_eq!(spec.queue_capacity, Some(4));
     }
 
     #[test]

@@ -32,13 +32,13 @@ mod timeline;
 
 pub use config::{
     AdmissionClock, BoundaryPolicy, ConfigError, CostModel, HypervisorConfig, IrqFlagSemantics,
-    IrqHandlingMode, IrqSourceSpec, PartitionSpec, PolicyOptions, SlotSpec,
+    IrqHandlingMode, IrqSourceSpec, OverflowPolicy, PartitionSpec, PolicyOptions, SlotSpec,
 };
 pub use ids::{IrqSourceId, PartitionId};
-pub use machine::{Machine, RunReport, ScheduleIrqError};
+pub use machine::{Machine, MachineError, RunReport, ScheduleIrqError};
 pub use record::{
-    Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval, ServiceKind, Span,
-    TraceRecorder,
+    AdmissionRecord, Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval,
+    ServiceKind, Span, TraceRecorder,
 };
 pub use schedule::TdmaSchedule;
 pub use timeline::render_timeline;

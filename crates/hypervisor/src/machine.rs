@@ -32,16 +32,25 @@ use rthv_sim::{EventId, EventQueue};
 use rthv_time::{Duration, Instant};
 
 use crate::{
-    AdmissionClock, BoundaryPolicy, ConfigError, Counters, HandlingClass, HypervisorConfig,
-    IrqCompletion, IrqHandlingMode, IrqSourceId, PartitionId, ServiceInterval, ServiceKind, Span,
-    TdmaSchedule, TraceRecorder,
+    AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, Counters, HandlingClass,
+    HypervisorConfig, IrqCompletion, IrqHandlingMode, IrqSourceId, OverflowPolicy, PartitionId,
+    ServiceInterval, ServiceKind, Span, TdmaSchedule, TraceRecorder,
 };
 
 /// Events driving the machine.
 #[derive(Debug)]
 enum Event {
     /// A hardware IRQ fires.
-    Arrival { source: IrqSourceId, seq: u64 },
+    Arrival {
+        source: IrqSourceId,
+        seq: u64,
+        /// Bottom-handler work this arrival demands. Normally the source's
+        /// declared `C_BH`; fault injection schedules overrunning (or
+        /// non-yielding) work through
+        /// [`Machine::schedule_irq_with_work`]. The *enforced* interposition
+        /// budget stays the declared `C_BH` regardless.
+        work: Duration,
+    },
     /// The current hypervisor block completes.
     HvEnd,
     /// The current partition-level bottom-handler segment ends (completion
@@ -60,6 +69,7 @@ enum HvCont {
         source: IrqSourceId,
         seq: u64,
         arrival: Instant,
+        work: Duration,
     },
     /// Scheduler manipulation + context switch into the subscriber finished;
     /// open the interposed window.
@@ -115,6 +125,7 @@ struct LatchedIrq {
     source: IrqSourceId,
     seq: u64,
     arrival: Instant,
+    work: Duration,
 }
 
 /// A queued bottom-handler request (the paper's per-partition IRQ event
@@ -124,6 +135,8 @@ struct PendingIrq {
     source: IrqSourceId,
     seq: u64,
     arrival: Instant,
+    /// Total bottom-handler work this request demands.
+    work: Duration,
     /// Bottom-handler work left to execute.
     remaining: Duration,
 }
@@ -150,6 +163,17 @@ pub struct RunReport {
     /// conformance of this stream is what sufficient temporal independence
     /// rests on (Eq. 14).
     pub window_openings: Vec<Instant>,
+    /// Every admission-monitor decision, in decision order. The admitted
+    /// sub-stream's `check_at` timestamps are the exact stream the δ⁻
+    /// condition constrains — the fault-injection oracle replays this.
+    pub admissions: Vec<AdmissionRecord>,
+    /// Bottom-handler completions still outstanding at the end of the run
+    /// (scheduled work that never got processor time before `end`).
+    pub outstanding: u64,
+    /// First internal-invariant violation the machine detected, if any. A
+    /// healthy run reports `None`; a `Some` means the run halted early and
+    /// its records cover only the prefix up to the defect.
+    pub defect: Option<MachineError>,
     /// Per-partition service intervals, if
     /// [`Machine::enable_service_trace`] was called (indexed by partition).
     pub service_intervals: Option<Vec<Vec<ServiceInterval>>>,
@@ -226,6 +250,9 @@ pub struct Machine {
     /// scheduled arrival).
     expected_completions: u64,
     window_openings: Vec<Instant>,
+    admissions: Vec<AdmissionRecord>,
+    /// First detected internal-invariant violation; halts the run loops.
+    defect: Option<MachineError>,
     /// Per-partition service intervals, populated when tracing is enabled.
     service_trace: Option<Vec<Vec<ServiceInterval>>>,
     /// Hypervisor block spans, populated when tracing is enabled.
@@ -253,9 +280,11 @@ impl Machine {
             .map(|s| s.monitor.as_ref().map(Shaper::from_config))
             .collect();
         let mut queue = EventQueue::new();
-        queue
-            .schedule_at(schedule.boundary_time(1), Event::Boundary { index: 1 })
-            .expect("first boundary is in the future");
+        // A fresh queue is at time zero, so the relative form cannot fail.
+        queue.schedule_in(
+            schedule.boundary_time(1).duration_since(Instant::ZERO),
+            Event::Boundary { index: 1 },
+        );
         let partition_count = config.partitions.len();
         let source_count = config.sources.len();
         Ok(Machine {
@@ -279,6 +308,8 @@ impl Machine {
             next_seq: vec![0; source_count],
             expected_completions: 0,
             window_openings: Vec::new(),
+            admissions: Vec::new(),
+            defect: None,
             service_trace: None,
             hv_trace: None,
             window_trace: None,
@@ -370,7 +401,8 @@ impl Machine {
         }
     }
 
-    /// Schedules a single IRQ arrival.
+    /// Schedules a single IRQ arrival demanding the source's declared
+    /// bottom-handler WCET.
     ///
     /// # Errors
     ///
@@ -384,9 +416,37 @@ impl Machine {
         if source.index() >= self.config.sources.len() {
             return Err(ScheduleIrqError::UnknownSource { source });
         }
+        let work = self.config.sources[source.index()].bottom_cost;
+        self.schedule_irq_with_work(source, at, work)
+    }
+
+    /// Schedules an IRQ arrival whose bottom handler demands `work` instead
+    /// of the source's declared `C_BH` — the fault-injection hook for
+    /// budget-overrun attempts (`work > C_BH`) and non-yielding guest work
+    /// (`work` on the order of a whole slot).
+    ///
+    /// The *enforced* interposition budget stays the declared `C_BH`: an
+    /// admitted overrunning handler is clipped at the window budget (counted
+    /// in [`Counters::expired_windows`]) and its remainder re-queued for the
+    /// subscriber's own slot, exactly as the paper's enforcement demands.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`schedule_irq`](Machine::schedule_irq). `work`
+    /// may be zero (a spurious, content-free IRQ): the completion is then
+    /// recorded as soon as the queue front reaches partition level.
+    pub fn schedule_irq_with_work(
+        &mut self,
+        source: IrqSourceId,
+        at: Instant,
+        work: Duration,
+    ) -> Result<(), ScheduleIrqError> {
+        if source.index() >= self.config.sources.len() {
+            return Err(ScheduleIrqError::UnknownSource { source });
+        }
         let seq = self.next_seq[source.index()];
         self.queue
-            .schedule_at(at, Event::Arrival { source, seq })
+            .schedule_at(at, Event::Arrival { source, seq, work })
             .map_err(|e| ScheduleIrqError::InPast {
                 at: e.at,
                 now: e.now,
@@ -417,30 +477,66 @@ impl Machine {
 
     /// Number of bottom-handler completions still outstanding (one per
     /// subscriber per scheduled arrival; queue entries lost to flag
-    /// coalescing will never complete and do not count).
+    /// coalescing or to bounded-queue overflow will never complete and do
+    /// not count).
     #[must_use]
     pub fn outstanding_irqs(&self) -> u64 {
-        self.expected_completions - self.recorder.len() as u64 - self.counters.coalesced_irqs
+        self.expected_completions
+            - self.recorder.len() as u64
+            - self.counters.coalesced_irqs
+            - self.counters.overflow_rejected
+            - self.counters.overflow_dropped
     }
 
-    /// Processes all events up to and including virtual time `until`.
+    /// First internal-invariant violation detected, if any.
+    ///
+    /// A defect halts [`run_until`](Machine::run_until) and
+    /// [`run_until_complete`](Machine::run_until_complete) — the fault shows
+    /// up as *data* (here and in [`RunReport::defect`]) instead of a panic.
+    #[must_use]
+    pub fn defect(&self) -> Option<&MachineError> {
+        self.defect.as_ref()
+    }
+
+    /// Records the first internal-invariant violation and freezes the run.
+    fn fail(&mut self, context: &'static str) {
+        if self.defect.is_none() {
+            self.defect = Some(MachineError::InvariantViolated {
+                context,
+                at: self.now(),
+            });
+        }
+    }
+
+    /// Processes all events up to and including virtual time `until` (or up
+    /// to the first detected defect).
     pub fn run_until(&mut self, until: Instant) {
-        while let Some(t) = self.queue.peek_time() {
-            if t > until {
-                break;
+        while self.defect.is_none() {
+            match self.queue.peek_time() {
+                Some(t) if t <= until => {
+                    let Some((_, event)) = self.queue.pop() else {
+                        break;
+                    };
+                    self.handle(event);
+                }
+                _ => break,
             }
-            let (_, event) = self.queue.pop().expect("peeked event exists");
-            self.handle(event);
         }
     }
 
     /// Runs until every scheduled IRQ has completed, or `deadline` is
-    /// reached. Returns `true` when all IRQs completed.
+    /// reached, or a defect is detected. Returns `true` when all IRQs
+    /// completed.
     pub fn run_until_complete(&mut self, deadline: Instant) -> bool {
         while self.outstanding_irqs() > 0 {
+            if self.defect.is_some() {
+                return false;
+            }
             match self.queue.peek_time() {
                 Some(t) if t <= deadline => {
-                    let (_, event) = self.queue.pop().expect("peeked event exists");
+                    let Some((_, event)) = self.queue.pop() else {
+                        return false;
+                    };
                     self.handle(event);
                 }
                 _ => return false,
@@ -465,9 +561,12 @@ impl Machine {
     /// not run state, and deliberately survive the reset.
     pub fn reset(&mut self) {
         self.queue.clear();
-        self.queue
-            .schedule_at(self.schedule.boundary_time(1), Event::Boundary { index: 1 })
-            .expect("first boundary is in the future");
+        // The cleared queue is back at time zero (relative scheduling
+        // cannot fail there).
+        self.queue.schedule_in(
+            self.schedule.boundary_time(1).duration_since(Instant::ZERO),
+            Event::Boundary { index: 1 },
+        );
         self.hv = None;
         self.activity = Activity::User {
             partition: PartitionId::new(0),
@@ -488,6 +587,8 @@ impl Machine {
         self.next_seq.fill(0);
         self.expected_completions = 0;
         self.window_openings.clear();
+        self.admissions.clear();
+        self.defect = None;
         if let Some(per_partition) = &mut self.service_trace {
             for intervals in per_partition {
                 intervals.clear();
@@ -513,6 +614,11 @@ impl Machine {
         if let Some(block) = self.hv.take() {
             self.counters.hypervisor_time += end.duration_since(block.started);
         }
+        let outstanding = self.expected_completions
+            - self.recorder.len() as u64
+            - self.counters.coalesced_irqs
+            - self.counters.overflow_rejected
+            - self.counters.overflow_dropped;
         RunReport {
             recorder: self.recorder,
             counters: self.counters,
@@ -523,6 +629,9 @@ impl Machine {
                 .map(|m| m.as_ref().map(Shaper::stats))
                 .collect(),
             window_openings: self.window_openings,
+            admissions: self.admissions,
+            outstanding,
+            defect: self.defect,
             service_intervals: self.service_trace,
             hv_spans: self.hv_trace,
             window_spans: self.window_trace,
@@ -536,14 +645,14 @@ impl Machine {
     fn handle(&mut self, event: Event) {
         self.counters.events_processed += 1;
         match event {
-            Event::Arrival { source, seq } => self.on_arrival(source, seq),
+            Event::Arrival { source, seq, work } => self.on_arrival(source, seq, work),
             Event::HvEnd => self.on_hv_end(),
             Event::SegEnd => self.on_segment_end(),
             Event::Boundary { index } => self.on_boundary(index),
         }
     }
 
-    fn on_arrival(&mut self, source: IrqSourceId, seq: u64) {
+    fn on_arrival(&mut self, source: IrqSourceId, seq: u64, work: Duration) {
         let arrival = self.now();
         if self.hv.is_some() {
             self.counters.latched_irqs += 1;
@@ -551,18 +660,18 @@ impl Machine {
                 source,
                 seq,
                 arrival,
+                work,
             });
             return;
         }
         self.preempt_activity();
-        self.begin_top_handler(source, seq, arrival);
+        self.begin_top_handler(source, seq, arrival, work);
     }
 
     fn on_hv_end(&mut self) {
-        let block = self
-            .hv
-            .take()
-            .expect("HvEnd without running hypervisor block");
+        let Some(block) = self.hv.take() else {
+            return self.fail("HvEnd without running hypervisor block");
+        };
         self.counters.hypervisor_time += self.now().duration_since(block.started);
         let ended = self.now();
         if let Some(trace) = &mut self.hv_trace {
@@ -576,7 +685,8 @@ impl Machine {
                 source,
                 seq,
                 arrival,
-            } => self.after_top_handler(source, seq, arrival),
+                work,
+            } => self.after_top_handler(source, seq, arrival, work),
             HvCont::EnterInterposed { partition, budget } => {
                 self.window = Some(InterposedWindow {
                     partition,
@@ -599,19 +709,20 @@ impl Machine {
             partition, since, ..
         } = mem::take(&mut self.activity)
         else {
-            panic!("SegEnd without a running bottom-handler segment");
+            return self.fail("SegEnd without a running bottom-handler segment");
         };
         let elapsed = now.duration_since(since);
         self.counters.service[partition.index()].bottom += elapsed;
         self.record_service(partition, since, now, ServiceKind::Bottom);
         let rt = &mut self.partitions[partition.index()];
-        let front = rt
-            .queue
-            .front_mut()
-            .expect("bottom segment implies a pending IRQ");
+        let Some(front) = rt.queue.front_mut() else {
+            return self.fail("bottom segment without a pending IRQ");
+        };
         front.remaining = front.remaining.saturating_sub(elapsed);
         if front.remaining.is_zero() {
-            let pending = rt.queue.pop_front().expect("front exists");
+            let Some(pending) = rt.queue.pop_front() else {
+                return self.fail("completed queue front vanished");
+            };
             let class = if self.window.is_some() {
                 HandlingClass::Interposed
             } else if self.schedule.owner_at(pending.arrival) == partition {
@@ -647,12 +758,16 @@ impl Machine {
 
     fn on_boundary(&mut self, index: u64) {
         let next = index + 1;
-        self.queue
+        if self
+            .queue
             .schedule_at(
                 self.schedule.boundary_time(next),
                 Event::Boundary { index: next },
             )
-            .expect("future boundary");
+            .is_err()
+        {
+            return self.fail("next TDMA boundary not in the future");
+        }
         if self.window.is_some() {
             match self.config.policies.boundary {
                 BoundaryPolicy::DeferToWindow => {
@@ -671,7 +786,9 @@ impl Machine {
                         self.pending_boundary = Some(index);
                     } else {
                         self.preempt_activity();
-                        let window = self.window.take().expect("abort requires a window");
+                        let Some(window) = self.window.take() else {
+                            return self.fail("abort without an open window");
+                        };
                         self.record_window_span(window);
                         self.counters.aborted_windows += 1;
                         self.start_slot_switch(index);
@@ -749,16 +866,21 @@ impl Machine {
                 let elapsed = now.duration_since(since);
                 self.counters.service[partition.index()].bottom += elapsed;
                 self.record_service(partition, since, now, ServiceKind::Bottom);
-                let front = self.partitions[partition.index()]
-                    .queue
-                    .front_mut()
-                    .expect("bottom segment implies a pending IRQ");
-                front.remaining = front.remaining.saturating_sub(elapsed);
+                match self.partitions[partition.index()].queue.front_mut() {
+                    Some(front) => front.remaining = front.remaining.saturating_sub(elapsed),
+                    None => self.fail("bottom segment without a pending IRQ"),
+                }
             }
         }
     }
 
-    fn begin_top_handler(&mut self, source: IrqSourceId, seq: u64, arrival: Instant) {
+    fn begin_top_handler(
+        &mut self,
+        source: IrqSourceId,
+        seq: u64,
+        arrival: Instant,
+        work: Duration,
+    ) {
         let spec = &self.config.sources[source.index()];
         let foreign = spec.subscriber != self.active_partition();
         let monitored = self.config.mode == IrqHandlingMode::Interposed
@@ -776,11 +898,18 @@ impl Machine {
                 source,
                 seq,
                 arrival,
+                work,
             },
         );
     }
 
-    fn after_top_handler(&mut self, source: IrqSourceId, seq: u64, arrival: Instant) {
+    fn after_top_handler(
+        &mut self,
+        source: IrqSourceId,
+        seq: u64,
+        arrival: Instant,
+        work: Duration,
+    ) {
         let now = self.now();
         let spec = &self.config.sources[source.index()];
         let subscriber = spec.subscriber;
@@ -797,10 +926,29 @@ impl Machine {
                 let already_pending = self.partitions[partition.index()]
                     .queue
                     .iter()
-                    .any(|p| p.source == source && p.remaining == budget);
+                    .any(|p| p.source == source && p.remaining == p.work);
                 if already_pending {
                     self.counters.coalesced_irqs += 1;
                     continue;
+                }
+            }
+            // A bounded queue degrades gracefully: overflow is resolved by
+            // policy and counted, never a silent loss or unbounded growth.
+            if let Some(capacity) = self.config.partitions[partition.index()].queue_capacity {
+                let queue = &mut self.partitions[partition.index()].queue;
+                if queue.len() >= capacity {
+                    match self.config.policies.overflow {
+                        OverflowPolicy::RejectNewest => {
+                            self.counters.overflow_rejected += 1;
+                            continue;
+                        }
+                        OverflowPolicy::DropOldest => {
+                            // Partition activity is always preempted before
+                            // hypervisor work, so the front is not mid-run.
+                            queue.pop_front();
+                            self.counters.overflow_dropped += 1;
+                        }
+                    }
                 }
             }
             self.partitions[partition.index()]
@@ -809,7 +957,8 @@ impl Machine {
                     source,
                     seq,
                     arrival,
-                    remaining: budget,
+                    work,
+                    remaining: work,
                 });
         }
         let foreign = subscriber != self.active_partition();
@@ -826,7 +975,14 @@ impl Machine {
                     AdmissionClock::IrqTimestamp => arrival,
                     AdmissionClock::ProcessingTime => now,
                 };
-                if monitor.try_admit(check_at) {
+                let admitted = monitor.try_admit(check_at);
+                self.admissions.push(AdmissionRecord {
+                    source,
+                    seq,
+                    check_at,
+                    admitted,
+                });
+                if admitted {
                     interpose = true;
                     self.counters.monitor_admitted += 1;
                 } else {
@@ -875,7 +1031,9 @@ impl Machine {
     /// Closes the open interposed window: one context switch back to the
     /// interrupted slot owner.
     fn close_window(&mut self) {
-        let window = self.window.take().expect("no window to close");
+        let Some(window) = self.window.take() else {
+            return self.fail("close without an open window");
+        };
         self.record_window_span(window);
         self.counters.context_switches += 1;
         self.start_hv(self.config.costs.context_switch, HvCont::ExitInterposed);
@@ -886,7 +1044,7 @@ impl Machine {
     fn dispatch(&mut self) {
         debug_assert!(self.hv.is_none());
         if let Some(latched) = self.latched.pop_front() {
-            self.begin_top_handler(latched.source, latched.seq, latched.arrival);
+            self.begin_top_handler(latched.source, latched.seq, latched.arrival, latched.work);
             return;
         }
         // A deferred rotation waits further while a window is still open
@@ -935,10 +1093,12 @@ impl Machine {
                 if let Some(window) = self.window {
                     end = end.min(window.budget_end);
                 }
-                let end_event = self
-                    .queue
-                    .schedule_at(end, Event::SegEnd)
-                    .expect("segment end is not in the past");
+                // `end >= now`: `remaining` is non-negative and an open
+                // window's budget end was checked above to lie ahead of
+                // `now`, so the clamp cannot move the end into the past.
+                let Ok(end_event) = self.queue.schedule_at(end, Event::SegEnd) else {
+                    return self.fail("segment end in the past");
+                };
                 self.activity = Activity::Bottom {
                     partition,
                     since: now,
@@ -957,6 +1117,63 @@ impl Machine {
                 };
             }
         }
+    }
+}
+
+/// Typed error hierarchy of the hypervisor machine.
+///
+/// Construction failures wrap [`ConfigError`], run-time scheduling failures
+/// wrap [`ScheduleIrqError`], and internal-invariant violations — which
+/// previously panicked — surface as [`MachineError::InvariantViolated`]
+/// through [`Machine::defect`] / [`RunReport::defect`], so a corrupted run
+/// degrades into inspectable data instead of a crash.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MachineError {
+    /// The configuration failed validation.
+    Config(ConfigError),
+    /// An IRQ arrival could not be scheduled.
+    Schedule(ScheduleIrqError),
+    /// The machine detected an internal execution-model invariant breach
+    /// and froze the run at `at`.
+    InvariantViolated {
+        /// Which invariant was violated.
+        context: &'static str,
+        /// Virtual time of detection.
+        at: Instant,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::Config(e) => e.fmt(f),
+            MachineError::Schedule(e) => e.fmt(f),
+            MachineError::InvariantViolated { context, at } => {
+                write!(f, "machine invariant violated at {at}: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MachineError::Config(e) => Some(e),
+            MachineError::Schedule(e) => Some(e),
+            MachineError::InvariantViolated { .. } => None,
+        }
+    }
+}
+
+impl From<ConfigError> for MachineError {
+    fn from(e: ConfigError) -> Self {
+        MachineError::Config(e)
+    }
+}
+
+impl From<ScheduleIrqError> for MachineError {
+    fn from(e: ScheduleIrqError) -> Self {
+        MachineError::Schedule(e)
     }
 }
 

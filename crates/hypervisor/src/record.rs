@@ -164,6 +164,12 @@ pub struct Counters {
     /// IRQs lost to non-counting flag semantics (absorbed by an already
     /// pending request of the same source).
     pub coalesced_irqs: u64,
+    /// IRQ events refused by a full bounded partition queue under
+    /// [`OverflowPolicy::RejectNewest`](crate::OverflowPolicy::RejectNewest).
+    pub overflow_rejected: u64,
+    /// Queued IRQ events discarded to admit a newer one under
+    /// [`OverflowPolicy::DropOldest`](crate::OverflowPolicy::DropOldest).
+    pub overflow_dropped: u64,
     /// Monitor admissions (interpositions granted).
     pub monitor_admitted: u64,
     /// Monitor denials (IRQ fell back to delayed handling).
@@ -204,6 +210,26 @@ impl Counters {
         self.service = service;
         self.service.fill(PartitionService::default());
     }
+}
+
+/// One admission-monitor decision, in decision order.
+///
+/// The stream of *admitted* `check_at` timestamps is exactly what the δ⁻
+/// condition constrains (Eq. 6) — the fault-injection oracle replays it to
+/// verify conformance post-hoc. Note this is deliberately distinct from
+/// [`RunReport::window_openings`](crate::RunReport::window_openings): window
+/// openings carry hypervisor-induced latching jitter, while the monitor is
+/// checked on the [`AdmissionClock`](crate::AdmissionClock) timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdmissionRecord {
+    /// The monitored source.
+    pub source: IrqSourceId,
+    /// Per-source sequence number of the arrival.
+    pub seq: u64,
+    /// The timestamp the monitoring condition was evaluated on.
+    pub check_at: Instant,
+    /// Whether the monitor admitted the interposition.
+    pub admitted: bool,
 }
 
 /// Collects [`IrqCompletion`] records during a simulation run and offers the

@@ -737,3 +737,130 @@ fn reset_survives_mid_run_interruption() {
         HandlingClass::Direct
     );
 }
+
+// ----------------------------------------------------------------------
+// Graceful degradation: bounded queues, overrunning work, defect surfacing
+// ----------------------------------------------------------------------
+
+#[test]
+fn bounded_queue_rejects_newest_and_counts_it() {
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.partitions[1] = PartitionSpec::new("app2", us(6_000)).with_queue_capacity(2);
+    let mut m = Machine::new(cfg).expect("valid config");
+    // A burst in a foreign slot queues up behind partition 1's closed slot;
+    // the third and later events overflow the capacity-2 queue.
+    for k in 0..5u64 {
+        m.schedule_irq(IRQ0, at_us(100 + 10 * k)).expect("future");
+    }
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.counters.overflow_rejected, 3);
+    assert_eq!(report.counters.overflow_dropped, 0);
+    assert_eq!(report.recorder.len(), 2);
+    // The two *oldest* events survive tail drop.
+    let seqs: Vec<u64> = report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| c.seq)
+        .collect();
+    assert_eq!(seqs, vec![0, 1]);
+    assert_eq!(report.outstanding, 0);
+    assert!(report.defect.is_none());
+}
+
+#[test]
+fn bounded_queue_drop_oldest_keeps_fresh_events() {
+    let mut cfg = paper_config(IrqHandlingMode::Baseline, None);
+    cfg.partitions[1] = PartitionSpec::new("app2", us(6_000)).with_queue_capacity(2);
+    cfg.policies.overflow = rthv_hypervisor::OverflowPolicy::DropOldest;
+    let mut m = Machine::new(cfg).expect("valid config");
+    for k in 0..5u64 {
+        m.schedule_irq(IRQ0, at_us(100 + 10 * k)).expect("future");
+    }
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.counters.overflow_dropped, 3);
+    assert_eq!(report.counters.overflow_rejected, 0);
+    // Head drop keeps the two *newest* events.
+    let seqs: Vec<u64> = report
+        .recorder
+        .completions()
+        .iter()
+        .map(|c| c.seq)
+        .collect();
+    assert_eq!(seqs, vec![3, 4]);
+    assert_eq!(report.outstanding, 0);
+}
+
+#[test]
+fn overrunning_work_is_clipped_at_the_window_budget() {
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(300)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    // The bottom handler claims C_BH = 30 µs but actually demands 90 µs —
+    // a budget-overrun attempt. The enforced window budget stays 30 µs.
+    m.schedule_irq_with_work(IRQ0, at_us(100), us(90))
+        .expect("future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    assert_eq!(report.counters.expired_windows, 1);
+    assert_eq!(report.counters.interposed_windows, 1);
+    let c = report.recorder.completions()[0];
+    // The remainder ran delayed in the subscriber's own slot, so the
+    // completion is *not* interposed — enforcement downgraded it.
+    assert_eq!(c.class, HandlingClass::Delayed);
+    // The interrupted partition lost at most the enforced budget to the
+    // window (plus bracketing hypervisor work), not the 90 µs demand:
+    // every recorded window span is ≤ budget.
+    assert!(report.recorder.len() == 1);
+}
+
+#[test]
+fn zero_work_spurious_irq_completes_immediately() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq_with_work(IRQ0, at_us(7_000), Duration::ZERO)
+        .expect("future");
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let c = report.recorder.completions()[0];
+    // Only the top handler's cost shows up.
+    assert_eq!(c.latency(), us(2));
+    assert!(report.defect.is_none());
+}
+
+#[test]
+fn admission_records_cover_every_monitor_decision() {
+    let cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(5_000)));
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(100)).expect("future");
+    m.schedule_irq(IRQ0, at_us(1_000)).expect("future"); // denied: 900 µs < d_min
+    m.schedule_irq(IRQ0, at_us(5_200)).expect("future"); // admitted again
+    assert!(m.run_until_complete(at_us(100_000)));
+    let report = m.finish();
+    let decisions: Vec<(u64, bool)> = report
+        .admissions
+        .iter()
+        .map(|a| (a.seq, a.admitted))
+        .collect();
+    assert_eq!(decisions, vec![(0, true), (1, false), (2, true)]);
+    // check_at is the hardware arrival timestamp under the default clock.
+    assert_eq!(report.admissions[0].check_at, at_us(100));
+    assert_eq!(
+        report.admissions.iter().filter(|a| a.admitted).count() as u64,
+        report.counters.monitor_admitted
+    );
+}
+
+#[test]
+fn outstanding_work_is_reported_not_lost() {
+    let cfg = paper_config(IrqHandlingMode::Baseline, None);
+    let mut m = Machine::new(cfg).expect("valid config");
+    m.schedule_irq(IRQ0, at_us(100)).expect("future");
+    // Stop before partition 1's slot ever opens: the IRQ cannot complete.
+    m.run_until(at_us(2_000));
+    let report = m.finish();
+    assert_eq!(report.recorder.len(), 0);
+    assert_eq!(report.outstanding, 1);
+    assert!(report.defect.is_none());
+}

@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use rthv_monitor::{ActivationMonitor, DeltaFunction, DeltaLearner};
+use rthv_monitor::{ActivationMonitor, DeltaFunction, DeltaLearner, TokenBucket};
 use rthv_time::{Duration, Instant};
 
 /// Strategy: a normalized (non-decreasing) δ⁻ with 1..=5 entries in
@@ -178,5 +178,137 @@ proptest! {
         for (orig, stretched) in delta.entries().iter().zip(scaled.entries()) {
             prop_assert_eq!(*stretched, *orig * denom);
         }
+    }
+}
+
+/// Strategy: an *adversarial* arrival stream — duplicate timestamps
+/// (zero gaps), dense bursts, and long silences that let shapers refill.
+/// This is the fault-injection shape the δ⁻ argument must survive.
+fn adversarial_strategy() -> impl Strategy<Value = Vec<Instant>> {
+    prop::collection::vec(
+        prop_oneof![
+            Just(0u64),       // same-instant duplicate
+            1u64..50,         // dense burst
+            5_000u64..20_000, // silence
+        ],
+        1..250,
+    )
+    .prop_map(|gaps| {
+        let mut t = 0u64;
+        gaps.into_iter()
+            .map(|g| {
+                t += g;
+                Instant::from_micros(t)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// δ⁻ conformance of the admitted stream survives adversarial input:
+    /// duplicates and zero-gap bursts are denied, never corrupting the
+    /// distance invariant that Eq. 14 rests on.
+    #[test]
+    fn monitor_survives_adversarial_streams(
+        delta in delta_strategy(),
+        arrivals in adversarial_strategy(),
+    ) {
+        let l = delta.len();
+        let mut monitor = ActivationMonitor::new(delta.clone());
+        let mut admitted: Vec<Instant> = Vec::new();
+        for t in arrivals {
+            if monitor.try_admit(t) {
+                admitted.push(t);
+            }
+        }
+        for (i, &t) in admitted.iter().enumerate() {
+            for k in 1..=l.min(i) {
+                prop_assert!(
+                    t.duration_since(admitted[i - k]) >= delta.entries()[k - 1],
+                    "admitted event {i} violates δ⁻[{}.] under adversarial input", k - 1
+                );
+            }
+        }
+    }
+
+    /// A same-instant storm is collapsed to exactly one admission: the
+    /// duplicates all violate d_min against the first.
+    #[test]
+    fn same_instant_storm_admits_exactly_one(
+        dmin_us in 1u64..5_000,
+        burst in 2usize..100,
+        at_us in 0u64..1_000_000,
+    ) {
+        let delta = DeltaFunction::from_dmin(Duration::from_micros(dmin_us)).expect("positive");
+        let mut monitor = ActivationMonitor::new(delta);
+        let t = Instant::from_micros(at_us);
+        let admitted = (0..burst).filter(|_| monitor.try_admit(t)).count();
+        prop_assert_eq!(admitted, 1);
+    }
+
+    /// Token-bucket admissions in any half-open window `[s, s + Δt)`
+    /// anchored at an admission never exceed `capacity + ⌈Δt/refill⌉` —
+    /// the premise of [`token_bucket_interference`]'s bound.
+    ///
+    /// [`token_bucket_interference`]: rthv_monitor::token_bucket_interference
+    #[test]
+    fn bucket_admissions_bounded_in_every_window(
+        capacity in 1u32..8,
+        refill_us in 100u64..5_000,
+        arrivals in adversarial_strategy(),
+        window_factor in 1u64..20,
+    ) {
+        let refill = Duration::from_micros(refill_us);
+        let window = refill * window_factor;
+        let mut bucket = TokenBucket::new(capacity, refill);
+        let admitted: Vec<Instant> = arrivals
+            .into_iter()
+            .filter(|&t| bucket.try_admit(t))
+            .collect();
+        let allowed = u64::from(capacity) + window.div_ceil(refill);
+        for (i, &start) in admitted.iter().enumerate() {
+            let in_window = admitted[i..]
+                .iter()
+                .take_while(|&&t| t.duration_since(start) < window)
+                .count() as u64;
+            prop_assert!(
+                in_window <= allowed,
+                "{in_window} bucket admissions in a {window} window exceed {allowed}"
+            );
+        }
+    }
+
+    /// The bucket's long-run admission count is capped by its initial
+    /// tokens plus everything it could possibly refill over the horizon.
+    #[test]
+    fn bucket_long_run_rate_is_capped(
+        capacity in 1u32..8,
+        refill_us in 100u64..5_000,
+        arrivals in adversarial_strategy(),
+    ) {
+        let refill = Duration::from_micros(refill_us);
+        let mut bucket = TokenBucket::new(capacity, refill);
+        let horizon = *arrivals.last().expect("non-empty");
+        let admitted = arrivals
+            .iter()
+            .filter(|&&t| bucket.try_admit(t))
+            .count() as u64;
+        let cap = u64::from(capacity) + horizon.duration_since(Instant::ZERO).div_floor(refill);
+        prop_assert!(admitted <= cap, "{admitted} admissions exceed long-run cap {cap}");
+    }
+
+    /// Under a sustained same-instant burst the bucket admits exactly its
+    /// stored tokens and nothing more — burst tolerance is `capacity`,
+    /// never beyond.
+    #[test]
+    fn bucket_burst_tolerance_is_its_capacity(
+        capacity in 1u32..16,
+        refill_us in 100u64..5_000,
+        burst in 1usize..64,
+    ) {
+        let mut bucket = TokenBucket::new(capacity, Duration::from_micros(refill_us));
+        let t = Instant::from_micros(7);
+        let admitted = (0..burst).filter(|_| bucket.try_admit(t)).count();
+        prop_assert_eq!(admitted, burst.min(capacity as usize));
     }
 }

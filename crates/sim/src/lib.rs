@@ -34,4 +34,4 @@
 
 mod queue;
 
-pub use queue::{EventId, EventQueue, SchedulePastError};
+pub use queue::{EventId, EventQueue, SchedulePastError, SimError};

@@ -20,11 +20,19 @@ use rthv_time::{Duration, Instant};
 /// Identifier of a scheduled event, usable to [cancel](EventQueue::cancel) it
 /// before it fires.
 ///
-/// Ids are only meaningful for the queue lifetime that issued them: after
-/// [`EventQueue::clear`] the sequence restarts and stale ids must not be
-/// reused.
+/// Ids carry the queue **generation** that issued them: every
+/// [`EventQueue::clear`] starts a new generation, so an id kept across a
+/// clear is *detected* as stale — [`cancel`](EventQueue::cancel) treats it
+/// as a no-op and [`try_cancel`](EventQueue::try_cancel) reports a typed
+/// [`SimError::StaleEventId`] — instead of silently cancelling an unrelated
+/// event of the restarted sequence.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    /// Queue lifetime that issued this id (incremented by `clear`).
+    generation: u32,
+    /// Dense per-generation sequence number.
+    seq: u64,
+}
 
 /// Error returned when scheduling an event strictly before the queue's
 /// current time.
@@ -47,6 +55,48 @@ impl fmt::Display for SchedulePastError {
 }
 
 impl std::error::Error for SchedulePastError {}
+
+/// Typed error hierarchy of the simulation queue.
+///
+/// Library paths of this crate never panic on bad inputs; they either
+/// return one of these variants or document the operation as a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// An event was scheduled strictly before the queue's current time.
+    SchedulePast(SchedulePastError),
+    /// An [`EventId`] from a previous queue lifetime (before a
+    /// [`EventQueue::clear`]) was passed to [`EventQueue::try_cancel`].
+    StaleEventId {
+        /// The generation that issued the id.
+        id_generation: u32,
+        /// The queue's current generation.
+        queue_generation: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SchedulePast(e) => e.fmt(f),
+            SimError::StaleEventId {
+                id_generation,
+                queue_generation,
+            } => write!(
+                f,
+                "stale event id from queue generation {id_generation} \
+                 (queue is at generation {queue_generation})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<SchedulePastError> for SimError {
+    fn from(e: SchedulePastError) -> Self {
+        SimError::SchedulePast(e)
+    }
+}
 
 /// One heap entry. Ordered by `(time, seq)` so the [`BinaryHeap`] (a max-heap
 /// with a reversed `Ord`) pops the earliest event first and breaks ties in
@@ -113,11 +163,11 @@ impl IdTable {
         self.states.push_back(IdState::Pending);
     }
 
-    fn state(&self, id: EventId) -> IdState {
-        if id.0 < self.base {
+    fn state(&self, seq: u64) -> IdState {
+        if seq < self.base {
             return IdState::Consumed;
         }
-        let offset = (id.0 - self.base) as usize;
+        let offset = (seq - self.base) as usize;
         self.states
             .get(offset)
             .copied()
@@ -126,11 +176,11 @@ impl IdTable {
     }
 
     /// Marks a pending id cancelled. Returns `false` if it was not pending.
-    fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 < self.base {
+    fn cancel(&mut self, seq: u64) -> bool {
+        if seq < self.base {
             return false;
         }
-        let offset = (id.0 - self.base) as usize;
+        let offset = (seq - self.base) as usize;
         match self.states.get_mut(offset) {
             Some(state @ IdState::Pending) => {
                 *state = IdState::Cancelled;
@@ -143,9 +193,9 @@ impl IdTable {
 
     /// Marks an id consumed (popped or drained) and advances the watermark
     /// over the consumed prefix, recycling ring slots.
-    fn consume(&mut self, id: EventId) {
-        debug_assert!(id.0 >= self.base, "id consumed twice");
-        let offset = (id.0 - self.base) as usize;
+    fn consume(&mut self, seq: u64) {
+        debug_assert!(seq >= self.base, "id consumed twice");
+        let offset = (seq - self.base) as usize;
         if let Some(state) = self.states.get_mut(offset) {
             if *state == IdState::Cancelled {
                 self.cancelled -= 1;
@@ -174,6 +224,8 @@ pub struct EventQueue<E> {
     /// Per-id lifecycle states (dense, watermarked).
     ids: IdTable,
     next_seq: u64,
+    /// Bumped by [`clear`](Self::clear) so stale ids are detectable.
+    generation: u32,
     now: Instant,
 }
 
@@ -185,6 +237,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             ids: IdTable::default(),
             next_seq: 0,
+            generation: 0,
             now: Instant::ZERO,
         }
     }
@@ -213,14 +266,35 @@ impl<E> EventQueue<E> {
     /// allocated capacity, so the next run schedules and pops without heap
     /// allocation.
     ///
-    /// [`EventId`]s issued before the reset must not be passed to
-    /// [`cancel`](Self::cancel) afterwards: the dense sequence restarts at
-    /// zero, so a stale id would alias a fresh event.
+    /// Starts a new id **generation**: [`EventId`]s issued before the reset
+    /// are recognised as stale afterwards — [`cancel`](Self::cancel) on one
+    /// is a no-op returning `false`, and [`try_cancel`](Self::try_cancel)
+    /// returns [`SimError::StaleEventId`] — they can never alias an event of
+    /// the restarted sequence.
     pub fn clear(&mut self) {
         self.heap.clear();
         self.ids.clear();
         self.next_seq = 0;
+        self.generation = self.generation.wrapping_add(1);
         self.now = Instant::ZERO;
+    }
+
+    /// Allocates the next id and pushes the entry; `at` must already be
+    /// validated as not-in-the-past.
+    fn push_entry(&mut self, at: Instant, event: E) -> EventId {
+        let id = EventId {
+            generation: self.generation,
+            seq: self.next_seq,
+        };
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            event,
+        });
+        self.ids.push_pending();
+        self.next_seq += 1;
+        id
     }
 
     /// Schedules `event` to fire at the absolute time `at`.
@@ -234,36 +308,50 @@ impl<E> EventQueue<E> {
         if at < self.now {
             return Err(SchedulePastError { now: self.now, at });
         }
-        let id = EventId(self.next_seq);
-        self.heap.push(Entry {
-            at,
-            seq: self.next_seq,
-            id,
-            event,
-        });
-        self.ids.push_pending();
-        self.next_seq += 1;
-        Ok(id)
+        Ok(self.push_entry(at, event))
     }
 
     /// Schedules `event` to fire `delay` after the current time.
     ///
-    /// Never fails: the firing time cannot be in the past.
+    /// Never fails: `now + delay` saturates at the far future and is never
+    /// in the past, so no validation (and no panic path) is needed.
     pub fn schedule_in(&mut self, delay: Duration, event: E) -> EventId {
         let at = self.now + delay;
-        self.schedule_at(at, event)
-            .expect("now + delay is never in the past")
+        self.push_entry(at, event)
     }
 
     /// Cancels a previously scheduled event.
     ///
     /// Returns `true` if the event was still pending, `false` if it already
-    /// fired, was already cancelled, or was never issued by this queue.
+    /// fired, was already cancelled, was never issued by this queue, or is
+    /// stale (issued before the last [`clear`](Self::clear)). Use
+    /// [`try_cancel`](Self::try_cancel) to distinguish staleness.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if id.0 >= self.next_seq {
-            return false;
+        self.try_cancel(id).unwrap_or(false)
+    }
+
+    /// Cancels a previously scheduled event, reporting stale ids as a typed
+    /// error.
+    ///
+    /// Returns `Ok(true)` if the event was still pending and `Ok(false)` if
+    /// it already fired or was already cancelled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::StaleEventId`] when `id` was issued before the
+    /// last [`clear`](Self::clear) — such ids are from a finished lifetime
+    /// and must not act on the current one.
+    pub fn try_cancel(&mut self, id: EventId) -> Result<bool, SimError> {
+        if id.generation != self.generation {
+            return Err(SimError::StaleEventId {
+                id_generation: id.generation,
+                queue_generation: self.generation,
+            });
         }
-        self.ids.cancel(id)
+        if id.seq >= self.next_seq {
+            return Ok(false);
+        }
+        Ok(self.ids.cancel(id.seq))
     }
 
     /// Pops the earliest live event, advancing [`now`](Self::now) to its
@@ -272,13 +360,13 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.ids.state(entry.id) == IdState::Cancelled {
-                self.ids.consume(entry.id);
+            if self.ids.state(entry.id.seq) == IdState::Cancelled {
+                self.ids.consume(entry.id.seq);
                 continue;
             }
             debug_assert!(entry.at >= self.now, "heap yielded an event in the past");
             self.now = entry.at;
-            self.ids.consume(entry.id);
+            self.ids.consume(entry.id.seq);
             return Some((entry.at, entry.event));
         }
         None
@@ -287,15 +375,20 @@ impl<E> EventQueue<E> {
     /// Timestamp of the earliest live event without popping it.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<Instant> {
-        while let Some(entry) = self.heap.peek() {
-            if self.ids.state(entry.id) == IdState::Cancelled {
-                let entry = self.heap.pop().expect("peeked entry exists");
-                self.ids.consume(entry.id);
-            } else {
-                return Some(entry.at);
+        loop {
+            match self.heap.peek() {
+                None => return None,
+                Some(entry) if self.ids.state(entry.id.seq) != IdState::Cancelled => {
+                    return Some(entry.at);
+                }
+                Some(_) => {
+                    // Drain the cancelled head lazily.
+                    if let Some(entry) = self.heap.pop() {
+                        self.ids.consume(entry.id.seq);
+                    }
+                }
             }
         }
-        None
     }
 }
 
@@ -323,6 +416,10 @@ mod tests {
         A,
         B,
         C,
+    }
+
+    fn eid(generation: u32, seq: u64) -> EventId {
+        EventId { generation, seq }
     }
 
     #[test]
@@ -398,7 +495,51 @@ mod tests {
     #[test]
     fn cancel_unknown_id_is_false() {
         let mut q: EventQueue<Ev> = EventQueue::new();
-        assert!(!q.cancel(EventId(99)));
+        assert!(!q.cancel(eid(0, 99)));
+    }
+
+    #[test]
+    fn stale_id_after_clear_is_detected() {
+        let mut q = EventQueue::new();
+        let stale = q
+            .schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
+        q.clear();
+        // The restarted sequence reuses seq 0, but under a new generation.
+        let fresh = q
+            .schedule_at(Instant::from_nanos(20), Ev::B)
+            .expect("future");
+        assert_ne!(stale, fresh, "stale id must not alias the fresh event");
+        // cancel() is a documented no-op on stale ids…
+        assert!(!q.cancel(stale));
+        // …and try_cancel() names the staleness.
+        assert_eq!(
+            q.try_cancel(stale),
+            Err(SimError::StaleEventId {
+                id_generation: 0,
+                queue_generation: 1,
+            })
+        );
+        // The fresh event is untouched and still cancellable.
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.try_cancel(fresh), Ok(true));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn sim_error_display_names_generations() {
+        let err = SimError::StaleEventId {
+            id_generation: 2,
+            queue_generation: 5,
+        };
+        let text = err.to_string();
+        assert!(text.contains("generation 2"));
+        assert!(text.contains("generation 5"));
+        let past = SimError::from(SchedulePastError {
+            now: Instant::from_nanos(10),
+            at: Instant::from_nanos(5),
+        });
+        assert!(past.to_string().contains("cannot schedule"));
     }
 
     #[test]
@@ -462,13 +603,13 @@ mod tests {
         t.push_pending();
         t.push_pending();
         t.push_pending();
-        t.consume(EventId(0));
-        t.consume(EventId(2));
-        assert_eq!(t.state(EventId(0)), IdState::Consumed);
-        assert_eq!(t.state(EventId(1)), IdState::Pending);
-        assert_eq!(t.state(EventId(2)), IdState::Consumed);
+        t.consume(0);
+        t.consume(2);
+        assert_eq!(t.state(0), IdState::Consumed);
+        assert_eq!(t.state(1), IdState::Pending);
+        assert_eq!(t.state(2), IdState::Consumed);
         assert_eq!(t.base, 1, "watermark stops at the pending id");
-        t.consume(EventId(1));
+        t.consume(1);
         assert_eq!(t.base, 3);
         assert!(t.states.is_empty());
     }
@@ -510,11 +651,11 @@ mod tests {
             ring_cap,
             "ring capacity survives clear"
         );
-        // The id sequence restarts.
+        // The id sequence restarts — under a fresh generation.
         let id = q
             .schedule_at(Instant::from_nanos(1), Ev::B)
             .expect("future");
-        assert_eq!(id, EventId(0));
+        assert_eq!(id, eid(1, 0));
         assert_eq!(q.pop(), Some((Instant::from_nanos(1), Ev::B)));
     }
 

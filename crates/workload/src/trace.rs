@@ -212,6 +212,52 @@ impl ArrivalTrace {
             arrivals: self.arrivals.iter().map(|&t| t + offset).collect(),
         }
     }
+
+    /// Merges two traces into one time-ordered trace — the fault-injection
+    /// hook for overlaying an adversarial stream (storm, burst flood) on a
+    /// nominal workload. Equal timestamps are kept, `self`'s first.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rthv_workload::ArrivalTrace;
+    /// use rthv_time::{Duration, Instant};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let nominal = ArrivalTrace::new(vec![Instant::from_micros(100), Instant::from_micros(500)])?;
+    /// let storm = ArrivalTrace::new(vec![Instant::from_micros(200), Instant::from_micros(300)])?;
+    /// let merged = nominal.merge(&storm);
+    /// assert_eq!(merged.len(), 4);
+    /// assert_eq!(merged.min_distance(), Some(Duration::from_micros(100)));
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn merge(&self, other: &ArrivalTrace) -> ArrivalTrace {
+        let mut arrivals = Vec::with_capacity(self.arrivals.len() + other.arrivals.len());
+        let (mut a, mut b) = (
+            self.arrivals.iter().peekable(),
+            other.arrivals.iter().peekable(),
+        );
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&x), Some(&&y)) if y < x => {
+                    arrivals.push(y);
+                    b.next();
+                }
+                (Some(&&x), _) => {
+                    arrivals.push(x);
+                    a.next();
+                }
+                (None, Some(&&y)) => {
+                    arrivals.push(y);
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        ArrivalTrace { arrivals }
+    }
 }
 
 impl<'a> IntoIterator for &'a ArrivalTrace {
@@ -332,5 +378,40 @@ mod tests {
     #[test]
     fn display_summarizes() {
         assert_eq!(trace(&[0, 900]).to_string(), "trace(2 arrivals over 900us)");
+    }
+
+    #[test]
+    fn merge_interleaves_in_time_order() {
+        let nominal = trace(&[100, 500, 900]);
+        let storm = trace(&[50, 500, 700]);
+        let merged = nominal.merge(&storm);
+        assert_eq!(
+            merged.as_slice(),
+            &[
+                Instant::from_micros(50),
+                Instant::from_micros(100),
+                Instant::from_micros(500),
+                Instant::from_micros(500),
+                Instant::from_micros(700),
+                Instant::from_micros(900),
+            ]
+        );
+        // The merged trace is itself valid input for the constructor.
+        assert!(ArrivalTrace::new(merged.as_slice().to_vec()).is_ok());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let t = trace(&[0, 300]);
+        let empty = ArrivalTrace::new(vec![]).expect("ordered");
+        assert_eq!(t.merge(&empty), t);
+        assert_eq!(empty.merge(&t), t);
+    }
+
+    #[test]
+    fn merge_tightens_min_distance() {
+        let a = trace(&[0, 1_000, 2_000]);
+        let b = trace(&[900, 1_950]);
+        assert_eq!(a.merge(&b).min_distance(), Some(Duration::from_micros(50)));
     }
 }

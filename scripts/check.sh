@@ -17,4 +17,10 @@ cargo clippy --workspace -- -D warnings
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> smoke fault-injection campaign (7 scenarios, fixed seed)"
+# Fails on any monitored-mode oracle violation, or if the unmonitored
+# baseline fails to demonstrate an independence violation.
+cargo run --release -q -p rthv-experiments --bin campaign \
+    target/CAMPAIGN_smoke.json 7 16392212
+
 echo "All checks passed."
