@@ -14,7 +14,10 @@
 use std::fmt::Write as _;
 use std::time::Instant as HostInstant;
 
+use rthv::monitor::DeltaFunction;
 use rthv::scenarios::{merge_fig6_loads, run_fig6_load, Fig6Config, Fig6Run, Fig6Variant};
+use rthv::time::{Duration as SimDuration, Instant as SimInstant};
+use rthv::{IrqHandlingMode, IrqSourceId, Machine, PaperSetup, SupervisionPolicy};
 use rthv_experiments::SweepRunner;
 
 /// IRQs per load level at each scale; the paper's Figure 6 uses 5000.
@@ -63,6 +66,59 @@ fn assert_identical(sequential: &Fig6Run, parallel: &Fig6Run) {
         sequential.histogram.iter().eq(parallel.histogram.iter()),
         "parallel histogram diverged from sequential"
     );
+}
+
+/// Arrivals in the supervision-overhead probe. All are δ⁻-conformant, so
+/// both runs make the identical admission decisions and the timing delta is
+/// purely the supervision bookkeeping on the admission hot path.
+const SUPERVISION_ARRIVALS: u64 = 50_000;
+
+struct SupervisionMeasured {
+    wall_seconds: f64,
+    decisions: u64,
+}
+
+impl SupervisionMeasured {
+    fn decisions_per_sec(&self) -> f64 {
+        self.decisions as f64 / self.wall_seconds
+    }
+}
+
+/// Runs a fully conformant monitored workload (arrivals at exactly `d_min`)
+/// with supervision on or off and times the whole run. Conformant streams
+/// never quarantine, so the two runs traverse the same admission decisions.
+fn measure_supervision(supervised: bool) -> SupervisionMeasured {
+    let setup = PaperSetup::default();
+    let dmin = SimDuration::from_millis(3);
+    let delta = DeltaFunction::from_dmin(dmin).expect("positive d_min");
+    let mut hv = setup.config(IrqHandlingMode::Interposed, Some(delta));
+    if supervised {
+        hv.policies.supervision = Some(SupervisionPolicy::default());
+    }
+    let mut machine = Machine::new(hv).expect("paper setup is valid");
+    for i in 1..=SUPERVISION_ARRIVALS {
+        machine
+            .schedule_irq(
+                IrqSourceId::new(0),
+                SimInstant::ZERO + dmin.saturating_mul(i),
+            )
+            .expect("conformant arrival schedules");
+    }
+    let horizon = SimInstant::ZERO + dmin.saturating_mul(SUPERVISION_ARRIVALS + 2);
+
+    let start = HostInstant::now();
+    machine.run_until(horizon);
+    let report = machine.finish();
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        report.counters.quarantine_entries, 0,
+        "a conformant stream must never quarantine"
+    );
+    SupervisionMeasured {
+        wall_seconds,
+        decisions: report.counters.monitor_admitted + report.counters.monitor_denied,
+    }
 }
 
 fn main() {
@@ -132,15 +188,52 @@ fn main() {
         }
     }
 
+    let off = measure_supervision(false);
+    let on = measure_supervision(true);
+    assert_eq!(
+        off.decisions, on.decisions,
+        "supervision must not change a conformant stream's admission decisions"
+    );
+    let overhead_ratio = on.wall_seconds / off.wall_seconds;
+    eprintln!(
+        "supervision overhead: {} decisions — off {:.0} decisions/s ({:.3} s), on {:.0} \
+         decisions/s ({:.3} s), ratio {overhead_ratio:.3}x",
+        off.decisions,
+        off.decisions_per_sec(),
+        off.wall_seconds,
+        on.decisions_per_sec(),
+        on.wall_seconds,
+    );
+
     let json = format!(
         r#"{{
   "benchmark": "fig6c_conformant_scenario",
   "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales; parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass",
   "host_cores": {cores},
+  "supervision_overhead": {{
+    "description": "conformant monitored workload timed with health supervision off vs on; both runs make identical admission decisions, so the delta is pure supervision bookkeeping",
+    "arrivals": {arrivals},
+    "admission_decisions": {decisions},
+    "off": {{
+      "wall_seconds": {ow:.6},
+      "decisions_per_sec": {od:.1}
+    }},
+    "on": {{
+      "wall_seconds": {nw:.6},
+      "decisions_per_sec": {nd:.1}
+    }},
+    "overhead_ratio": {overhead_ratio:.4}
+  }},
   "points": [
 {points}  ]
 }}
-"#
+"#,
+        arrivals = SUPERVISION_ARRIVALS,
+        decisions = off.decisions,
+        ow = off.wall_seconds,
+        od = off.decisions_per_sec(),
+        nw = on.wall_seconds,
+        nd = on.decisions_per_sec(),
     );
     std::fs::write(&path, json).expect("write benchmark export");
     eprintln!("wrote {path}");

@@ -1,0 +1,85 @@
+//! Acceptance tests of the supervised campaign: the full standard
+//! supervised campaign (nominal ablation + seven tier-1 fault families on
+//! composite fault-then-calm plans) must satisfy every acceptance
+//! criterion of the supervision subsystem and serialize byte-identically
+//! regardless of thread count or run repetition.
+
+use rthv_experiments::SweepRunner;
+use rthv_faults::{
+    idle_reference, run_supervised_campaign, run_supervised_scenario, SupervisedCampaignConfig,
+    SupervisedCampaignReport,
+};
+
+/// The real supervised campaign at a test-friendly horizon. Scenario
+/// structure, families and seeds are the standard ones; only the horizon
+/// shrinks.
+fn campaign() -> SupervisedCampaignConfig {
+    let mut config = SupervisedCampaignConfig::default();
+    config.base.horizon = rthv::time::Duration::from_millis(300);
+    config
+}
+
+fn fan_out(config: &SupervisedCampaignConfig, threads: usize) -> SupervisedCampaignReport {
+    let idle = idle_reference(&config.base);
+    let outcomes = SweepRunner::new(threads).run(&config.base.scenarios, |_, scenario| {
+        run_supervised_scenario(config, &idle, scenario)
+    });
+    SupervisedCampaignReport::from_outcomes(config, outcomes)
+}
+
+#[test]
+fn standard_supervised_campaign_meets_every_acceptance_criterion() {
+    let config = campaign();
+    let report = run_supervised_campaign(&config);
+
+    // One check to rule them all: zero oracle violations in both arms
+    // (independence and quarantine soundness included), no quarantine on
+    // the nominal ablation, at least one justified quarantine with a
+    // subsequent recovery under storm and flood, and strictly lower
+    // well-behaved-victim service loss than monitored-only there.
+    let failures = report.acceptance_failures();
+    assert!(
+        failures.is_empty(),
+        "supervised campaign acceptance failed:\n{}",
+        failures.join("\n")
+    );
+
+    // The decisive contrast is also visible scenario by scenario.
+    for s in &report.scenarios {
+        if s.label.ends_with("irq-storm") || s.label.ends_with("bursty-flood") {
+            assert!(s.supervised.quarantines >= 1, "{}: no quarantine", s.label);
+            assert!(s.supervised.recoveries >= 1, "{}: no recovery", s.label);
+            assert!(
+                s.supervised.mode.worst_victim_loss < s.baseline.worst_victim_loss,
+                "{}: supervision did not strictly improve the victims",
+                s.label
+            );
+        }
+    }
+    let nominal = &report.scenarios[0];
+    assert!(nominal.label.ends_with("nominal"));
+    assert_eq!(nominal.supervised.quarantines, 0);
+    assert_eq!(nominal.supervised.demoted_arrivals, 0);
+    assert_eq!(
+        nominal.supervised.mode.worst_victim_loss, nominal.baseline.worst_victim_loss,
+        "supervision must be inert on a conformant stream"
+    );
+}
+
+#[test]
+fn supervised_report_is_byte_identical_across_threads_and_repetition() {
+    let config = campaign();
+    let sequential = run_supervised_campaign(&config).to_json();
+    assert_eq!(
+        sequential,
+        run_supervised_campaign(&config).to_json(),
+        "repetition diverged"
+    );
+    for threads in [2, 8] {
+        assert_eq!(
+            sequential,
+            fan_out(&config, threads).to_json(),
+            "{threads}-thread fan-out diverged from sequential"
+        );
+    }
+}

@@ -69,10 +69,12 @@ pub use paper::PaperSetup;
 // The platform types most users need, at the crate root.
 pub use rthv_hypervisor::{
     render_timeline, AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, CostModel,
-    Counters, HandlingClass, HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode,
-    IrqSourceId, IrqSourceSpec, Machine, MachineError, OverflowPolicy, PartitionId,
-    PartitionService, PartitionSpec, PolicyOptions, RunReport, ScheduleIrqError, ServiceInterval,
-    ServiceKind, SlotSpec, Span, TdmaSchedule, TraceRecorder,
+    Counters, HandlingClass, HealthSignal, HealthState, HealthTracker, HealthTransition,
+    HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode, IrqSourceId, IrqSourceSpec,
+    Machine, MachineError, OverflowPolicy, PartitionId, PartitionService, PartitionSpec,
+    PolicyOptions, RunReport, ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span,
+    SupervisionEvent, SupervisionEventKind, SupervisionPolicy, SupervisionReport, Supervisor,
+    TdmaSchedule, TraceRecorder, TransitionCause,
 };
 
 /// Virtual-time primitives ([`rthv_time`]).

@@ -27,6 +27,7 @@ use rthv::monitor::{interference_bound_dmin, DeltaFunction};
 use rthv::time::{Duration, Instant};
 use rthv::{
     IrqHandlingMode, IrqSourceId, Machine, OverflowPolicy, PaperSetup, PartitionId, RunReport,
+    SupervisionPolicy,
 };
 
 use crate::inject::{standard_scenarios, FaultPlan, FaultScenario};
@@ -153,12 +154,25 @@ pub struct ScenarioOutcome {
     pub unmonitored: ModeOutcome,
 }
 
-fn run_mode(
+pub(crate) fn run_mode(
     config: &CampaignConfig,
     idle: &IdleReference,
     plan: &FaultPlan,
     monitored: bool,
 ) -> ModeOutcome {
+    run_mode_report(config, idle, plan, monitored, None).0
+}
+
+/// Like [`run_mode`], but optionally enables runtime health supervision and
+/// also hands back the full [`RunReport`], so the supervised campaign can
+/// inspect supervision counters and run the quarantine-soundness oracle.
+pub(crate) fn run_mode_report(
+    config: &CampaignConfig,
+    idle: &IdleReference,
+    plan: &FaultPlan,
+    monitored: bool,
+    supervision: Option<SupervisionPolicy>,
+) -> (ModeOutcome, RunReport) {
     // The unmonitored baseline still runs interposed, but its "monitor"
     // admits any stream with 1 ns spacing — the safety mechanism is off.
     let dmin = if monitored {
@@ -172,6 +186,7 @@ fn run_mode(
         .config(IrqHandlingMode::Interposed, Some(delta));
     hv.policies.admission_clock = plan.admission_clock;
     hv.policies.overflow = config.overflow;
+    hv.policies.supervision = supervision;
     hv.partitions[config.setup.subscriber().index()].queue_capacity = config.queue_capacity;
 
     let mut machine = Machine::new(hv).expect("campaign platform is valid");
@@ -219,7 +234,8 @@ fn run_mode(
         }
     }
 
-    mode_outcome(monitored, &report, worst_loss, bound, violations)
+    let outcome = mode_outcome(monitored, &report, worst_loss, bound, violations);
+    (outcome, report)
 }
 
 fn mode_outcome(
@@ -372,7 +388,7 @@ impl CampaignReport {
     }
 }
 
-fn write_mode(out: &mut String, key: &str, mode: &ModeOutcome, trailer: &str) {
+pub(crate) fn write_mode(out: &mut String, key: &str, mode: &ModeOutcome, trailer: &str) {
     let _ = writeln!(out, r#"      "{key}": {{"#);
     let _ = writeln!(out, r#"        "completions": {},"#, mode.completions);
     let _ = writeln!(

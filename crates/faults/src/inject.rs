@@ -72,6 +72,13 @@ pub enum FaultKind {
         /// Arrival period.
         every: Duration,
     },
+    /// A perfectly well-behaved periodic stream (`period ≥ d_min`,
+    /// declared work) — the no-fault control the supervised campaign uses
+    /// to assert that supervision never quarantines a nominal source.
+    Nominal {
+        /// Arrival period (pick `≥ d_min`).
+        period: Duration,
+    },
 }
 
 impl FaultKind {
@@ -86,6 +93,7 @@ impl FaultKind {
             FaultKind::AdmissionClockJitter { .. } => "admission-clock-jitter",
             FaultKind::BudgetOverrun { .. } => "budget-overrun",
             FaultKind::NonYieldingGuest { .. } => "non-yielding-guest",
+            FaultKind::Nominal { .. } => "nominal",
         }
     }
 }
@@ -267,6 +275,18 @@ impl FaultScenario {
                         work,
                     });
                     t += every_ns;
+                }
+            }
+            FaultKind::Nominal { period } => {
+                let period_ns = period.as_nanos();
+                assert!(period_ns > 0, "nominal period must be positive");
+                let mut t = period_ns;
+                while t < horizon_ns {
+                    arrivals.push(InjectedArrival {
+                        at: Instant::from_nanos(t),
+                        work: bottom_cost,
+                    });
+                    t += period_ns;
                 }
             }
         }

@@ -30,6 +30,13 @@
 //!   unmonitored baseline must demonstrably break independence under an
 //!   IRQ storm — both outcomes are persisted in a deterministic JSON
 //!   report ([`CampaignReport::to_json`]).
+//! * [`supervised`] — the runtime-health-supervision campaign: every fault
+//!   family runs on a composite fault-then-calm plan, once monitored-only
+//!   and once monitored + supervised. The supervised arm must quarantine
+//!   misbehaving sources (each quarantine justified by a recorded signal,
+//!   never on the nominal ablation — [`oracle::check_supervision`]),
+//!   recover them during the calm tail, and *strictly* reduce well-behaved
+//!   victims' worst-case service loss under the storm and flood families.
 //!
 //! [`RunReport`]: rthv::RunReport
 //! [`IrqHandlingMode::Interposed`]: rthv::IrqHandlingMode::Interposed
@@ -40,10 +47,16 @@
 pub mod campaign;
 pub mod inject;
 pub mod oracle;
+pub mod supervised;
 
 pub use campaign::{
     idle_reference, run_campaign, run_scenario, CampaignConfig, CampaignReport, IdleReference,
     ModeOutcome, ScenarioOutcome,
 };
 pub use inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
-pub use oracle::{check_report, OracleConfig, Violation};
+pub use oracle::{check_report, check_supervision, OracleConfig, Violation};
+pub use supervised::{
+    composite_plan, run_supervised_campaign, run_supervised_scenario, supervised_scenarios,
+    SupervisedCampaignConfig, SupervisedCampaignReport, SupervisedModeOutcome,
+    SupervisedScenarioOutcome,
+};

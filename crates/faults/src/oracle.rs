@@ -14,7 +14,7 @@ use std::fmt;
 
 use rthv::monitor::{ActivationMonitor, Admission, DeltaFunction};
 use rthv::time::{Duration, Instant};
-use rthv::{RunReport, Span};
+use rthv::{HealthState, RunReport, Span, SupervisionEventKind, SupervisionReport};
 
 /// What the oracle holds a run against.
 #[derive(Debug, Clone)]
@@ -86,6 +86,35 @@ pub enum Violation {
         /// Interference bound (Eq. 14 plus the top-handler term).
         bound: Duration,
     },
+    /// Supervision quarantined a source on a scenario declared nominal —
+    /// a well-behaved stream must never be demoted.
+    QuarantineOnNominal {
+        /// The quarantined source index.
+        source: usize,
+        /// Time of the quarantine entry.
+        at: Instant,
+    },
+    /// A quarantine entry is not justified by a recorded penalty signal of
+    /// the same source at the same instant.
+    UnjustifiedQuarantine {
+        /// The quarantined source index.
+        source: usize,
+        /// Time of the quarantine entry.
+        at: Instant,
+    },
+    /// A supervision upgrade (towards Healthy) happened before a full
+    /// probation window elapsed since the source's previous transition or
+    /// last penalty signal — the hysteresis the policy promises.
+    PrematureRecovery {
+        /// The upgraded source index.
+        source: usize,
+        /// Time of the upgrade.
+        at: Instant,
+        /// Time observed since the latest transition/signal of the source.
+        elapsed: Duration,
+        /// The policy's probation window.
+        window: Duration,
+    },
 }
 
 impl Violation {
@@ -99,6 +128,9 @@ impl Violation {
             Violation::IrqLost { .. } => "irq-lost",
             Violation::Defect { .. } => "defect",
             Violation::Independence { .. } => "independence",
+            Violation::QuarantineOnNominal { .. } => "quarantine-on-nominal",
+            Violation::UnjustifiedQuarantine { .. } => "unjustified-quarantine",
+            Violation::PrematureRecovery { .. } => "premature-recovery",
         }
     }
 
@@ -153,6 +185,25 @@ impl Violation {
                 lost.as_nanos(),
                 bound.as_nanos()
             ),
+            Violation::QuarantineOnNominal { source, at } => format!(
+                r#"{{"kind":"quarantine-on-nominal","source":{source},"at_ns":{}}}"#,
+                at.as_nanos()
+            ),
+            Violation::UnjustifiedQuarantine { source, at } => format!(
+                r#"{{"kind":"unjustified-quarantine","source":{source},"at_ns":{}}}"#,
+                at.as_nanos()
+            ),
+            Violation::PrematureRecovery {
+                source,
+                at,
+                elapsed,
+                window,
+            } => format!(
+                r#"{{"kind":"premature-recovery","source":{source},"at_ns":{},"elapsed_ns":{},"window_ns":{}}}"#,
+                at.as_nanos(),
+                elapsed.as_nanos(),
+                window.as_nanos()
+            ),
         }
     }
 }
@@ -200,6 +251,22 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "partition {victim} lost {lost}, independence bound {bound}"
+            ),
+            Violation::QuarantineOnNominal { source, at } => {
+                write!(f, "source {source} quarantined at {at} on a nominal run")
+            }
+            Violation::UnjustifiedQuarantine { source, at } => write!(
+                f,
+                "source {source} quarantined at {at} without a recorded signal"
+            ),
+            Violation::PrematureRecovery {
+                source,
+                at,
+                elapsed,
+                window,
+            } => write!(
+                f,
+                "source {source} upgraded at {at} after only {elapsed} (window {window})"
             ),
         }
     }
@@ -343,6 +410,91 @@ fn check_conservation(report: &RunReport, scheduled: u64, out: &mut Vec<Violatio
     }
 }
 
+/// Invariant S — quarantine soundness over the supervision event log:
+///
+/// * on a scenario declared nominal, no quarantine may ever trigger;
+/// * every quarantine entry must be justified by a penalty signal of the
+///   same source recorded at the same instant (demotions are never
+///   spontaneous);
+/// * every upgrade towards Healthy must respect hysteresis — at least one
+///   full probation window since the source's previous transition *and*
+///   since its latest penalty signal.
+///
+/// Returns nothing for runs without supervision enabled.
+#[must_use]
+pub fn check_supervision(report: &RunReport, expect_nominal: bool) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let Some(supervision) = &report.supervision else {
+        return violations;
+    };
+    check_supervision_log(supervision, expect_nominal, &mut violations);
+    violations
+}
+
+fn check_supervision_log(
+    supervision: &SupervisionReport,
+    expect_nominal: bool,
+    out: &mut Vec<Violation>,
+) {
+    let window = supervision.policy.probation_window;
+    let n_sources = supervision.final_states.len();
+    // Latest penalty signal and latest transition per source, scanned in
+    // log order (the log is chronological by construction).
+    let mut last_signal: Vec<Option<Instant>> = vec![None; n_sources];
+    let mut last_transition: Vec<Option<Instant>> = vec![None; n_sources];
+    for event in &supervision.events {
+        let source = event.source;
+        match event.kind {
+            SupervisionEventKind::Signal(_) => {
+                last_signal[source] = Some(event.at);
+            }
+            SupervisionEventKind::Transition(transition) => {
+                if transition.to == HealthState::Quarantined {
+                    if expect_nominal {
+                        out.push(Violation::QuarantineOnNominal {
+                            source,
+                            at: event.at,
+                        });
+                    }
+                    // A demotion into quarantine must coincide with a
+                    // recorded penalty signal of the same source.
+                    if last_signal[source] != Some(event.at) {
+                        out.push(Violation::UnjustifiedQuarantine {
+                            source,
+                            at: event.at,
+                        });
+                    }
+                }
+                let upgrade = matches!(
+                    (transition.from, transition.to),
+                    (HealthState::Probation, HealthState::Healthy)
+                        | (HealthState::Quarantined, HealthState::Recovering)
+                        | (HealthState::Recovering, HealthState::Healthy)
+                );
+                if upgrade {
+                    let anchors = [last_transition[source], last_signal[source]];
+                    let elapsed = anchors
+                        .iter()
+                        .flatten()
+                        .map(|&anchor| event.at.saturating_duration_since(anchor))
+                        .min();
+                    if let Some(elapsed) = elapsed {
+                        if elapsed < window {
+                            out.push(Violation::PrematureRecovery {
+                                source,
+                                at: event.at,
+                                elapsed,
+                                window,
+                            });
+                        }
+                    }
+                }
+                last_transition[source] = Some(event.at);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -392,6 +544,7 @@ mod tests {
             service_intervals: None,
             hv_spans: None,
             window_spans: None,
+            supervision: None,
         }
     }
 

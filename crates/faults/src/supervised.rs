@@ -1,0 +1,557 @@
+//! The supervised campaign: monitored-only vs monitored + runtime health
+//! supervision under composite fault-then-calm plans.
+//!
+//! Each scenario's plan is **composite**: the fault family is active over
+//! the first `fault_window_permille` of the horizon, then a δ⁻-conformant
+//! *calm tail* (well-behaved arrivals spaced `calm_spacing_factor × d_min`)
+//! runs to the horizon. The composite shape is what makes the recovery leg
+//! of the quarantine state machine observable: supervision must first
+//! quarantine the misbehaving source during the fault window and then walk
+//! it back to `Healthy` during the calm tail.
+//!
+//! Each scenario runs twice, on the *same* composite plan:
+//!
+//! * **baseline** — the real δ⁻ monitor, no supervision (exactly the
+//!   monitored arm of the base campaign);
+//! * **supervised** — the same monitor plus the [`SupervisionPolicy`] under
+//!   test. Both arms are held to the full oracle; the supervised arm is
+//!   additionally checked by the quarantine-soundness oracle
+//!   ([`check_supervision`]).
+//!
+//! The campaign's acceptance claims ([`SupervisedCampaignReport`]):
+//!
+//! * zero oracle violations in either arm of every scenario;
+//! * zero quarantines on the nominal (no-fault) scenario;
+//! * at least one justified quarantine **and** a subsequent full recovery
+//!   under the IRQ-storm and bursty-flood families;
+//! * under those families, *strictly less* worst-case victim service loss
+//!   than the unsupervised baseline — graceful degradation must pay off,
+//!   not just not hurt.
+//!
+//! Scenario outcomes are pure functions of `(config, scenario)`, so a
+//! parallel fan-out assembling [`SupervisedCampaignReport::from_outcomes`]
+//! in scenario order is byte-identical to [`run_supervised_campaign`].
+//!
+//! [`check_supervision`]: crate::oracle::check_supervision
+
+use std::fmt::Write as _;
+
+use rthv::time::{Duration, Instant};
+use rthv::SupervisionPolicy;
+
+use crate::campaign::{
+    idle_reference, run_mode, run_mode_report, write_mode, CampaignConfig, IdleReference,
+    ModeOutcome,
+};
+use crate::inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
+use crate::oracle::{check_supervision, Violation};
+
+/// Parameters of the supervised campaign.
+#[derive(Debug, Clone)]
+pub struct SupervisedCampaignConfig {
+    /// Platform, horizon, queue bound and scenario list (the supervised
+    /// default replaces the base scenario list with
+    /// [`supervised_scenarios`]).
+    pub base: CampaignConfig,
+    /// The supervision policy enabled in the supervised arm.
+    pub policy: SupervisionPolicy,
+    /// How much of the horizon the fault occupies, in permille; the rest is
+    /// the conformant calm tail that exercises recovery.
+    pub fault_window_permille: u32,
+    /// Calm-tail arrival spacing, as a multiple of `d_min`.
+    pub calm_spacing_factor: u32,
+}
+
+impl Default for SupervisedCampaignConfig {
+    /// The standard supervised campaign: the base platform, the default
+    /// supervision policy, faults over the first 60 % of the horizon, calm
+    /// arrivals at `2 × d_min`, and one nominal plus all seven tier-1 fault
+    /// scenarios.
+    fn default() -> Self {
+        SupervisedCampaignConfig {
+            base: CampaignConfig {
+                scenarios: supervised_scenarios(0xFA_2014),
+                ..CampaignConfig::default()
+            },
+            policy: SupervisionPolicy::default(),
+            fault_window_permille: 600,
+            calm_spacing_factor: 2,
+        }
+    }
+}
+
+/// The supervised scenario list: a nominal (fault-free) ablation at id 0,
+/// then the seven tier-1 fault families with stable ids 1–7.
+#[must_use]
+pub fn supervised_scenarios(base_seed: u64) -> Vec<FaultScenario> {
+    let mut scenarios = vec![FaultScenario {
+        id: 0,
+        kind: FaultKind::Nominal {
+            period: Duration::from_millis(6),
+        },
+        seed: base_seed,
+    }];
+    for (i, scenario) in standard_scenarios(7, base_seed).into_iter().enumerate() {
+        scenarios.push(FaultScenario {
+            id: (i + 1) as u32,
+            ..scenario
+        });
+    }
+    scenarios
+}
+
+/// Expands a scenario into its composite fault-then-calm plan: the
+/// scenario's own arrivals truncated to the fault window, then conformant
+/// arrivals spaced `calm_spacing_factor × d_min` up to the horizon.
+#[must_use]
+pub fn composite_plan(config: &SupervisedCampaignConfig, scenario: &FaultScenario) -> FaultPlan {
+    let horizon_ns = config.base.horizon.as_nanos();
+    let fault_end_ns = horizon_ns / 1000 * u64::from(config.fault_window_permille);
+    let mut plan = scenario.plan(config.base.horizon, config.base.setup.bottom_cost);
+    plan.arrivals.retain(|a| a.at.as_nanos() < fault_end_ns);
+
+    let spacing = config
+        .base
+        .dmin
+        .saturating_mul(u64::from(config.calm_spacing_factor.max(1)))
+        .as_nanos();
+    // First calm arrival one full spacing after the fault window, which also
+    // puts it ≥ d_min after every fault arrival: the calm tail is raw
+    // δ⁻-conformant from its very first activation.
+    let mut t = fault_end_ns + spacing;
+    while t < horizon_ns {
+        plan.arrivals.push(InjectedArrival {
+            at: Instant::from_nanos(t),
+            work: config.base.setup.bottom_cost,
+        });
+        t += spacing;
+    }
+    plan
+}
+
+/// The supervised arm's outcome: the common mode fields plus the
+/// supervision ledger and the quarantine-soundness verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisedModeOutcome {
+    /// The common outcome fields (counters, victim loss, oracle verdict).
+    pub mode: ModeOutcome,
+    /// Edges into `Quarantined`.
+    pub quarantines: u64,
+    /// Full recoveries (`Recovering → Healthy`).
+    pub recoveries: u64,
+    /// Arrivals demoted to slot-local handling while quarantined.
+    pub demoted_arrivals: u64,
+    /// Interposed windows opened with a degraded (shrunk) budget.
+    pub shrunk_windows: u64,
+    /// What the quarantine-soundness oracle found (must be empty).
+    pub supervision_violations: Vec<Violation>,
+}
+
+/// Both arms of one supervised scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisedScenarioOutcome {
+    /// Stable scenario label (`id-slug`).
+    pub label: String,
+    /// The scenario's seed.
+    pub seed: u64,
+    /// Arrivals scheduled (identical in both arms).
+    pub scheduled: u64,
+    /// Monitored-only arm (no supervision).
+    pub baseline: ModeOutcome,
+    /// Monitored + supervised arm, on the same plan.
+    pub supervised: SupervisedModeOutcome,
+}
+
+/// Runs one scenario in both arms. Pure in `(config, idle, scenario)`, so
+/// campaign binaries can fan scenarios across threads and still assemble a
+/// byte-identical report.
+#[must_use]
+pub fn run_supervised_scenario(
+    config: &SupervisedCampaignConfig,
+    idle: &IdleReference,
+    scenario: &FaultScenario,
+) -> SupervisedScenarioOutcome {
+    let plan = composite_plan(config, scenario);
+    let baseline = run_mode(&config.base, idle, &plan, true);
+    let (mode, report) = run_mode_report(&config.base, idle, &plan, true, Some(config.policy));
+
+    let expect_nominal = matches!(scenario.kind, FaultKind::Nominal { .. });
+    let supervision_violations = check_supervision(&report, expect_nominal);
+
+    SupervisedScenarioOutcome {
+        label: scenario.label(),
+        seed: scenario.seed,
+        scheduled: plan.arrivals.len() as u64,
+        baseline,
+        supervised: SupervisedModeOutcome {
+            mode,
+            quarantines: report.counters.quarantine_entries,
+            recoveries: report.counters.recoveries,
+            demoted_arrivals: report.counters.supervised_demotions,
+            shrunk_windows: report.counters.shrunk_windows,
+            supervision_violations,
+        },
+    }
+}
+
+/// The whole supervised campaign's result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupervisedCampaignReport {
+    /// Monitoring distance of both arms.
+    pub dmin: Duration,
+    /// Horizon per run.
+    pub horizon: Duration,
+    /// Subscriber queue bound (0 encodes unbounded in the JSON).
+    pub queue_capacity: Option<usize>,
+    /// The supervision policy the supervised arm ran under.
+    pub policy: SupervisionPolicy,
+    /// Fault-window share of the horizon, in permille.
+    pub fault_window_permille: u32,
+    /// Per-scenario outcomes, in scenario order.
+    pub scenarios: Vec<SupervisedScenarioOutcome>,
+}
+
+impl SupervisedCampaignReport {
+    /// Assembles a report from per-scenario outcomes **in scenario order**.
+    #[must_use]
+    pub fn from_outcomes(
+        config: &SupervisedCampaignConfig,
+        outcomes: Vec<SupervisedScenarioOutcome>,
+    ) -> Self {
+        SupervisedCampaignReport {
+            dmin: config.base.dmin,
+            horizon: config.base.horizon,
+            queue_capacity: config.base.queue_capacity,
+            policy: config.policy,
+            fault_window_permille: config.fault_window_permille,
+            scenarios: outcomes,
+        }
+    }
+
+    /// Oracle violations across both arms of every scenario, including the
+    /// quarantine-soundness checks (must be zero).
+    #[must_use]
+    pub fn total_violations(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| {
+                (s.baseline.violations.len()
+                    + s.supervised.mode.violations.len()
+                    + s.supervised.supervision_violations.len()) as u64
+            })
+            .sum()
+    }
+
+    /// Quarantine entries on the nominal (fault-free) scenario — must be 0.
+    #[must_use]
+    pub fn nominal_quarantines(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .filter(|s| s.label.ends_with("nominal"))
+            .map(|s| s.supervised.quarantines)
+            .sum()
+    }
+
+    /// The storm/flood scenarios — the families the acceptance criteria
+    /// single out for mandatory quarantine, recovery, and strict victim
+    /// improvement.
+    fn storm_flood(&self) -> impl Iterator<Item = &SupervisedScenarioOutcome> {
+        self.scenarios
+            .iter()
+            .filter(|s| s.label.ends_with("irq-storm") || s.label.ends_with("bursty-flood"))
+    }
+
+    /// Checks every acceptance criterion and returns a human-readable line
+    /// per failure (empty = the campaign passes).
+    #[must_use]
+    pub fn acceptance_failures(&self) -> Vec<String> {
+        let mut failures = Vec::new();
+        if self.total_violations() != 0 {
+            for s in &self.scenarios {
+                for v in s
+                    .baseline
+                    .violations
+                    .iter()
+                    .chain(&s.supervised.mode.violations)
+                    .chain(&s.supervised.supervision_violations)
+                {
+                    failures.push(format!("{}: oracle violation: {v}", s.label));
+                }
+            }
+        }
+        if self.nominal_quarantines() != 0 {
+            failures.push(format!(
+                "nominal scenario quarantined a healthy source ({} entries)",
+                self.nominal_quarantines()
+            ));
+        }
+        let mut storm_flood_seen = 0usize;
+        for s in self.storm_flood() {
+            storm_flood_seen += 1;
+            if s.supervised.quarantines == 0 {
+                failures.push(format!("{}: no quarantine under a {}", s.label, "fault"));
+            }
+            if s.supervised.recoveries == 0 {
+                failures.push(format!("{}: quarantined source never recovered", s.label));
+            }
+            if s.supervised.mode.worst_victim_loss >= s.baseline.worst_victim_loss {
+                failures.push(format!(
+                    "{}: supervised victim loss {} ns not strictly below baseline {} ns",
+                    s.label,
+                    s.supervised.mode.worst_victim_loss.as_nanos(),
+                    s.baseline.worst_victim_loss.as_nanos()
+                ));
+            }
+        }
+        if storm_flood_seen == 0 {
+            failures.push("campaign has no storm/flood scenario to judge".to_string());
+        }
+        failures
+    }
+
+    /// Serializes the report as JSON. Every numeric field is an integer
+    /// (nanoseconds or counts) and nothing reads the wall clock, so equal
+    /// campaigns serialize byte-identically on any host.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, r#"  "campaign": "supervised-fault-injection","#);
+        let _ = writeln!(out, r#"  "dmin_ns": {},"#, self.dmin.as_nanos());
+        let _ = writeln!(out, r#"  "horizon_ns": {},"#, self.horizon.as_nanos());
+        let _ = writeln!(
+            out,
+            r#"  "queue_capacity": {},"#,
+            self.queue_capacity.unwrap_or(0)
+        );
+        let _ = writeln!(
+            out,
+            r#"  "fault_window_permille": {},"#,
+            self.fault_window_permille
+        );
+        let _ = writeln!(out, r#"  "policy": {{"#);
+        let _ = writeln!(out, r#"    "deny_penalty": {},"#, self.policy.deny_penalty);
+        let _ = writeln!(out, r#"    "clip_penalty": {},"#, self.policy.clip_penalty);
+        let _ = writeln!(
+            out,
+            r#"    "overflow_penalty": {},"#,
+            self.policy.overflow_penalty
+        );
+        let _ = writeln!(
+            out,
+            r#"    "nonyield_penalty": {},"#,
+            self.policy.nonyield_penalty
+        );
+        let _ = writeln!(
+            out,
+            r#"    "conform_credit": {},"#,
+            self.policy.conform_credit
+        );
+        let _ = writeln!(
+            out,
+            r#"    "probation_score": {},"#,
+            self.policy.probation_score
+        );
+        let _ = writeln!(
+            out,
+            r#"    "quarantine_score": {},"#,
+            self.policy.quarantine_score
+        );
+        let _ = writeln!(
+            out,
+            r#"    "probation_window_ns": {},"#,
+            self.policy.probation_window.as_nanos()
+        );
+        let _ = writeln!(
+            out,
+            r#"    "budget_shrink_divisor": {},"#,
+            self.policy.budget_shrink_divisor
+        );
+        let _ = writeln!(
+            out,
+            r#"    "watchdog_factor": {}"#,
+            self.policy.watchdog_factor
+        );
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, r#"  "scenario_count": {},"#, self.scenarios.len());
+        let _ = writeln!(out, r#"  "total_violations": {},"#, self.total_violations());
+        let _ = writeln!(
+            out,
+            r#"  "nominal_quarantines": {},"#,
+            self.nominal_quarantines()
+        );
+        let _ = writeln!(out, r#"  "scenarios": ["#);
+        for (i, s) in self.scenarios.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, r#"      "label": "{}","#, s.label);
+            let _ = writeln!(out, r#"      "seed": {},"#, s.seed);
+            let _ = writeln!(out, r#"      "scheduled": {},"#, s.scheduled);
+            let _ = writeln!(out, r#"      "quarantines": {},"#, s.supervised.quarantines);
+            let _ = writeln!(out, r#"      "recoveries": {},"#, s.supervised.recoveries);
+            let _ = writeln!(
+                out,
+                r#"      "demoted_arrivals": {},"#,
+                s.supervised.demoted_arrivals
+            );
+            let _ = writeln!(
+                out,
+                r#"      "shrunk_windows": {},"#,
+                s.supervised.shrunk_windows
+            );
+            let _ = writeln!(
+                out,
+                r#"      "supervision_violations": {},"#,
+                s.supervised.supervision_violations.len()
+            );
+            write_mode(&mut out, "baseline", &s.baseline, ",");
+            write_mode(&mut out, "supervised", &s.supervised.mode, "");
+            let comma = if i + 1 < self.scenarios.len() {
+                ","
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    }}{comma}");
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+/// Runs the whole supervised campaign sequentially (the reference path; the
+/// `supervised` binary fans [`run_supervised_scenario`] over threads
+/// instead and must produce a byte-identical report).
+#[must_use]
+pub fn run_supervised_campaign(config: &SupervisedCampaignConfig) -> SupervisedCampaignReport {
+    let idle = idle_reference(&config.base);
+    let outcomes = config
+        .base
+        .scenarios
+        .iter()
+        .map(|s| run_supervised_scenario(config, &idle, s))
+        .collect();
+    SupervisedCampaignReport::from_outcomes(config, outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A short supervised campaign: the nominal ablation, the storm, and
+    /// the flood — the three scenarios the acceptance criteria pivot on.
+    fn small() -> SupervisedCampaignConfig {
+        let mut config = SupervisedCampaignConfig::default();
+        config.base.horizon = Duration::from_millis(250);
+        config.base.scenarios = supervised_scenarios(0xFA_2014)
+            .into_iter()
+            .filter(|s| s.id <= 2)
+            .collect();
+        config
+    }
+
+    #[test]
+    fn nominal_scenario_never_quarantines() {
+        let report = run_supervised_campaign(&small());
+        assert_eq!(report.nominal_quarantines(), 0);
+        let nominal = &report.scenarios[0];
+        assert_eq!(nominal.supervised.quarantines, 0);
+        assert_eq!(nominal.supervised.demoted_arrivals, 0);
+        assert!(nominal.supervised.supervision_violations.is_empty());
+    }
+
+    #[test]
+    fn storm_and_flood_quarantine_then_recover() {
+        let report = run_supervised_campaign(&small());
+        for s in &report.scenarios[1..] {
+            assert!(s.supervised.quarantines >= 1, "{}: no quarantine", s.label);
+            assert!(s.supervised.recoveries >= 1, "{}: no recovery", s.label);
+            assert!(
+                s.supervised.demoted_arrivals > 0,
+                "{}: quarantine never demoted an arrival",
+                s.label
+            );
+        }
+    }
+
+    #[test]
+    fn supervision_strictly_reduces_victim_loss_under_storm_and_flood() {
+        let report = run_supervised_campaign(&small());
+        for s in &report.scenarios[1..] {
+            assert!(
+                s.supervised.mode.worst_victim_loss < s.baseline.worst_victim_loss,
+                "{}: supervised {:?} vs baseline {:?}",
+                s.label,
+                s.supervised.mode.worst_victim_loss,
+                s.baseline.worst_victim_loss
+            );
+        }
+    }
+
+    #[test]
+    fn campaign_is_oracle_clean_and_accepted() {
+        let report = run_supervised_campaign(&small());
+        assert_eq!(
+            report.acceptance_failures(),
+            Vec::<String>::new(),
+            "acceptance failed"
+        );
+    }
+
+    #[test]
+    fn sequential_and_manual_fanout_reports_are_byte_identical() {
+        let config = small();
+        let sequential = run_supervised_campaign(&config).to_json();
+        let idle = idle_reference(&config.base);
+        let mut outcomes: Vec<SupervisedScenarioOutcome> = config
+            .base
+            .scenarios
+            .iter()
+            .rev()
+            .map(|s| run_supervised_scenario(&config, &idle, s))
+            .collect();
+        outcomes.reverse();
+        let assembled = SupervisedCampaignReport::from_outcomes(&config, outcomes).to_json();
+        assert_eq!(sequential, assembled);
+    }
+
+    #[test]
+    fn json_shape_is_stable_and_integer_only() {
+        let report = run_supervised_campaign(&small());
+        let json = report.to_json();
+        assert!(json.contains(r#""campaign": "supervised-fault-injection""#));
+        assert!(json.contains(r#""label": "00-nominal""#));
+        assert!(json.contains(r#""label": "01-irq-storm""#));
+        assert!(json.contains(r#""nominal_quarantines": 0"#));
+        assert!(json.contains(r#""baseline": {"#));
+        assert!(json.contains(r#""supervised": {"#));
+        // Integer-only: no floating-point fields anywhere.
+        assert!(!json.contains('.'));
+    }
+
+    #[test]
+    fn composite_plan_has_a_conformant_tail() {
+        let config = small();
+        let storm = &config.base.scenarios[1];
+        let plan = composite_plan(&config, storm);
+        let fault_end =
+            config.base.horizon.as_nanos() / 1000 * u64::from(config.fault_window_permille);
+        let tail: Vec<_> = plan
+            .arrivals
+            .iter()
+            .filter(|a| a.at.as_nanos() >= fault_end)
+            .collect();
+        assert!(!tail.is_empty(), "no calm tail");
+        let spacing = config
+            .base
+            .dmin
+            .saturating_mul(u64::from(config.calm_spacing_factor))
+            .as_nanos();
+        for pair in tail.windows(2) {
+            assert_eq!(pair[1].at.as_nanos() - pair[0].at.as_nanos(), spacing);
+        }
+        // Strictly increasing overall — schedulable as-is.
+        for pair in plan.arrivals.windows(2) {
+            assert!(pair[0].at < pair[1].at);
+        }
+    }
+}

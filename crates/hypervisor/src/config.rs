@@ -7,7 +7,7 @@ use serde::{Deserialize, Serialize};
 use rthv_monitor::{DeltaFunction, ShaperConfig};
 use rthv_time::{ClockModel, Duration};
 
-use crate::{IrqSourceId, PartitionId};
+use crate::{IrqSourceId, PartitionId, SupervisionPolicy};
 
 /// Worst-case execution times of the hypervisor primitives, in virtual time.
 ///
@@ -291,6 +291,10 @@ pub struct PolicyOptions {
     pub admission_clock: AdmissionClock,
     /// Behaviour of full bounded partition IRQ queues.
     pub overflow: OverflowPolicy,
+    /// Runtime health supervision of monitored IRQ sources (quarantine,
+    /// hysteresis recovery, degraded-mode budgets). `None` — the default —
+    /// disables supervision; the machine then behaves exactly as before.
+    pub supervision: Option<SupervisionPolicy>,
 }
 
 /// Which top handler variant the hypervisor runs.
@@ -405,6 +409,13 @@ pub enum ConfigError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The supervision policy has inconsistent thresholds (zero scores or
+    /// window, quarantine threshold not above the probation threshold, or
+    /// a zero shrink divisor / watchdog factor).
+    InvalidSupervision {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -435,6 +446,9 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::InvalidWindowLayout { reason } => {
                 write!(f, "invalid TDMA window layout: {reason}")
+            }
+            ConfigError::InvalidSupervision { reason } => {
+                write!(f, "invalid supervision policy: {reason}")
             }
         }
     }
@@ -513,6 +527,26 @@ impl HypervisorConfig {
             if let Some(missing) = covered.iter().position(|&c| !c) {
                 return Err(ConfigError::InvalidWindowLayout {
                     reason: format!("partition P{missing} owns no window"),
+                });
+            }
+        }
+        if let Some(supervision) = &self.policies.supervision {
+            let reason = if supervision.probation_score == 0 {
+                Some("probation score must be positive")
+            } else if supervision.quarantine_score <= supervision.probation_score {
+                Some("quarantine score must exceed the probation score")
+            } else if supervision.probation_window.is_zero() {
+                Some("probation window must be positive")
+            } else if supervision.budget_shrink_divisor == 0 {
+                Some("budget shrink divisor must be positive")
+            } else if supervision.watchdog_factor == 0 {
+                Some("watchdog factor must be positive")
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
+                return Err(ConfigError::InvalidSupervision {
+                    reason: reason.to_owned(),
                 });
             }
         }

@@ -28,6 +28,7 @@ mod ids;
 mod machine;
 mod record;
 mod schedule;
+mod supervise;
 mod timeline;
 
 pub use config::{
@@ -41,4 +42,8 @@ pub use record::{
     ServiceKind, Span, TraceRecorder,
 };
 pub use schedule::TdmaSchedule;
+pub use supervise::{
+    HealthSignal, HealthState, HealthTracker, HealthTransition, SupervisionEvent,
+    SupervisionEventKind, SupervisionPolicy, SupervisionReport, Supervisor, TransitionCause,
+};
 pub use timeline::render_timeline;

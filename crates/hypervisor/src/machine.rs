@@ -27,14 +27,15 @@
 use std::collections::VecDeque;
 use std::mem;
 
-use rthv_monitor::{MonitorStats, Shaper};
+use rthv_monitor::{MonitorStats, Shaper, ShaperConfig};
 use rthv_sim::{EventId, EventQueue};
 use rthv_time::{Duration, Instant};
 
 use crate::{
     AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, Counters, HandlingClass,
-    HypervisorConfig, IrqCompletion, IrqHandlingMode, IrqSourceId, OverflowPolicy, PartitionId,
-    ServiceInterval, ServiceKind, Span, TdmaSchedule, TraceRecorder,
+    HealthSignal, HealthState, HypervisorConfig, IrqCompletion, IrqHandlingMode, IrqSourceId,
+    OverflowPolicy, PartitionId, ServiceInterval, ServiceKind, Span, SupervisionReport, Supervisor,
+    TdmaSchedule, TraceRecorder,
 };
 
 /// Events driving the machine.
@@ -76,6 +77,11 @@ enum HvCont {
     EnterInterposed {
         partition: PartitionId,
         budget: Duration,
+        /// The admitted source (budget-clip attribution for supervision).
+        source: IrqSourceId,
+        /// Whether `budget` was shrunk by supervision's degraded mode —
+        /// clips under a shrunk budget are expected and carry no penalty.
+        shrunk: bool,
     },
     /// Context switch back from an interposed window finished.
     ExitInterposed,
@@ -117,6 +123,10 @@ struct InterposedWindow {
     partition: PartitionId,
     opened: Instant,
     budget_end: Instant,
+    /// The admitted source (budget-clip attribution for supervision).
+    source: IrqSourceId,
+    /// Whether the enforced budget was shrunk by supervision.
+    shrunk: bool,
 }
 
 /// An IRQ that fired while the hypervisor had interrupts latched.
@@ -181,6 +191,10 @@ pub struct RunReport {
     pub hv_spans: Option<Vec<Span>>,
     /// Interposed window spans (open to close), if tracing was enabled.
     pub window_spans: Option<Vec<Span>>,
+    /// Health-supervision outcome (signal/transition log, final states,
+    /// per-partition penalty ledger) when
+    /// [`PolicyOptions::supervision`](crate::PolicyOptions) was enabled.
+    pub supervision: Option<SupervisionReport>,
 }
 
 /// The simulated hypervisor platform.
@@ -242,6 +256,9 @@ pub struct Machine {
     current_slot: u64,
     partitions: Vec<PartitionRt>,
     monitors: Vec<Option<Shaper>>,
+    /// Runtime health supervision, when enabled by
+    /// [`PolicyOptions::supervision`](crate::PolicyOptions).
+    supervisor: Option<Supervisor>,
     recorder: TraceRecorder,
     counters: Counters,
     /// Per-source next sequence number.
@@ -274,11 +291,23 @@ impl Machine {
     pub fn new(config: HypervisorConfig) -> Result<Self, ConfigError> {
         config.validate()?;
         let schedule = TdmaSchedule::from_windows(&config.slot_windows());
-        let monitors = config
+        let monitors: Vec<Option<Shaper>> = config
             .sources
             .iter()
             .map(|s| s.monitor.as_ref().map(Shaper::from_config))
             .collect();
+        // Supervision covers exactly the monitored sources: unmonitored
+        // sources are never interposed, so there is nothing to demote.
+        let supervisor = config.policies.supervision.map(|policy| {
+            let mut supervisor =
+                Supervisor::new(policy, config.sources.len(), config.partitions.len());
+            for (i, shaper) in monitors.iter().enumerate() {
+                if let Some(shaper) = shaper {
+                    supervisor.track(i, config.sources[i].subscriber.index(), shaper.watch());
+                }
+            }
+            supervisor
+        });
         let mut queue = EventQueue::new();
         // A fresh queue is at time zero, so the relative form cannot fail.
         queue.schedule_in(
@@ -303,6 +332,7 @@ impl Machine {
                 .map(|_| PartitionRt::default())
                 .collect(),
             monitors,
+            supervisor,
             recorder: TraceRecorder::new(),
             counters: Counters::new(partition_count),
             next_seq: vec![0; source_count],
@@ -357,6 +387,20 @@ impl Machine {
         self.monitors[source.index()].as_ref().map(Shaper::stats)
     }
 
+    /// Current supervision health state of one source — `None` when
+    /// supervision is disabled or the source is unmonitored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source index is out of range.
+    #[must_use]
+    pub fn supervision_state(&self, source: IrqSourceId) -> Option<HealthState> {
+        assert!(source.index() < self.config.sources.len(), "unknown source");
+        self.supervisor
+            .as_ref()
+            .and_then(|s| s.state(source.index()))
+    }
+
     /// Enables per-partition service-interval recording (off by default —
     /// long runs would accumulate many intervals). Must be called before
     /// any partition-level execution is to be captured.
@@ -385,7 +429,14 @@ impl Machine {
     /// Replaces the δ⁻ function of a monitored source at run time (used by
     /// the Appendix-A learn-then-run scenario).
     ///
-    /// Returns `false` if the source is unmonitored.
+    /// The stored configuration is updated alongside the live shaper, so
+    /// [`config`](Machine::config) keeps describing the effective monitor
+    /// and a machine built from that configuration matches this one after
+    /// [`reset`](Machine::reset). The supervision conformance watch (when
+    /// enabled) is rebuilt from the new δ⁻ as well.
+    ///
+    /// Returns `false` if the source is unmonitored (or throttled by a
+    /// token bucket, which has no δ⁻ to replace).
     ///
     /// # Panics
     ///
@@ -395,10 +446,18 @@ impl Machine {
         source: IrqSourceId,
         delta: rthv_monitor::DeltaFunction,
     ) -> bool {
-        match &mut self.monitors[source.index()] {
-            Some(shaper) => shaper.set_delta(delta),
-            None => false,
+        let Some(shaper) = self.monitors[source.index()].as_mut() else {
+            return false;
+        };
+        if !shaper.set_delta(delta.clone()) {
+            return false;
         }
+        let watch = shaper.watch();
+        self.config.sources[source.index()].monitor = Some(ShaperConfig::Delta(delta));
+        if let Some(supervisor) = &mut self.supervisor {
+            supervisor.set_watch(source.index(), watch);
+        }
+        true
     }
 
     /// Schedules a single IRQ arrival demanding the source's declared
@@ -443,6 +502,13 @@ impl Machine {
     ) -> Result<(), ScheduleIrqError> {
         if source.index() >= self.config.sources.len() {
             return Err(ScheduleIrqError::UnknownSource { source });
+        }
+        if self
+            .supervisor
+            .as_ref()
+            .is_some_and(|s| s.is_quarantined(source.index()))
+        {
+            return Err(ScheduleIrqError::SourceQuarantined { source });
         }
         let seq = self.next_seq[source.index()];
         self.queue
@@ -518,6 +584,7 @@ impl Machine {
                         break;
                     };
                     self.handle(event);
+                    self.supervise_tick();
                 }
                 _ => break,
             }
@@ -538,6 +605,7 @@ impl Machine {
                         return false;
                     };
                     self.handle(event);
+                    self.supervise_tick();
                 }
                 _ => return false,
             }
@@ -581,6 +649,9 @@ impl Machine {
         }
         for monitor in self.monitors.iter_mut().flatten() {
             monitor.reset();
+        }
+        if let Some(supervisor) = &mut self.supervisor {
+            supervisor.reset();
         }
         self.recorder.clear();
         self.counters.reset();
@@ -635,6 +706,18 @@ impl Machine {
             service_intervals: self.service_trace,
             hv_spans: self.hv_trace,
             window_spans: self.window_trace,
+            supervision: self.supervisor.as_ref().map(Supervisor::report),
+        }
+    }
+
+    /// Advances the supervision state machines to current virtual time,
+    /// taking any time-based recovery edges that became due. Called after
+    /// every processed event so a quarantined source that simply goes
+    /// silent still recovers.
+    fn supervise_tick(&mut self) {
+        let now = self.queue.now();
+        if let Some(supervisor) = &mut self.supervisor {
+            supervisor.tick(now, &mut self.counters);
         }
     }
 
@@ -654,6 +737,13 @@ impl Machine {
 
     fn on_arrival(&mut self, source: IrqSourceId, seq: u64, work: Duration) {
         let arrival = self.now();
+        // Supervision judges the *raw* hardware arrival stream (timestamp
+        // timer semantics): conformant arrivals pay back penalty score and
+        // drive recovery; violations restart the clean stretch. Latching
+        // does not distort this — the hardware timestamp is `arrival`.
+        if let Some(supervisor) = &mut self.supervisor {
+            supervisor.observe_arrival(source.index(), arrival, &mut self.counters);
+        }
         if self.hv.is_some() {
             self.counters.latched_irqs += 1;
             self.latched.push_back(LatchedIrq {
@@ -687,11 +777,18 @@ impl Machine {
                 arrival,
                 work,
             } => self.after_top_handler(source, seq, arrival, work),
-            HvCont::EnterInterposed { partition, budget } => {
+            HvCont::EnterInterposed {
+                partition,
+                budget,
+                source,
+                shrunk,
+            } => {
                 self.window = Some(InterposedWindow {
                     partition,
                     opened: self.now(),
                     budget_end: self.now() + budget,
+                    source,
+                    shrunk,
                 });
                 self.dispatch();
             }
@@ -752,7 +849,30 @@ impl Machine {
                 "partial segment end must coincide with budget expiry"
             );
             self.counters.expired_windows += 1;
+            self.signal_budget_clip(now);
             self.close_window();
+        }
+    }
+
+    /// Charges a budget-clip penalty against the open window's source —
+    /// unless the window ran under a supervision-shrunk budget, where a
+    /// clip of full-`C_BH` work is the *expected* degraded-mode outcome
+    /// and must not feed back into the score (that spiral would make
+    /// recovery unreachable).
+    fn signal_budget_clip(&mut self, now: Instant) {
+        let Some(window) = self.window else {
+            return;
+        };
+        if window.shrunk {
+            return;
+        }
+        if let Some(supervisor) = &mut self.supervisor {
+            supervisor.signal(
+                window.source.index(),
+                HealthSignal::BudgetClip,
+                now,
+                &mut self.counters,
+            );
         }
     }
 
@@ -885,9 +1005,15 @@ impl Machine {
         let foreign = spec.subscriber != self.active_partition();
         let monitored = self.config.mode == IrqHandlingMode::Interposed
             && self.monitors[source.index()].is_some();
+        // A quarantined source is demoted to slot-local handling: the
+        // monitoring function is not consulted, so its C_Mon is not paid.
+        let quarantined = self
+            .supervisor
+            .as_ref()
+            .is_some_and(|s| s.is_quarantined(source.index()));
         // Eq. 15: the monitoring function extends the top handler for
         // foreign-slot IRQs of monitored sources.
-        let cost = if foreign && monitored {
+        let cost = if foreign && monitored && !quarantined {
             self.config.costs.monitored_top_cost()
         } else {
             self.config.costs.top_handler
@@ -940,6 +1066,16 @@ impl Machine {
                     match self.config.policies.overflow {
                         OverflowPolicy::RejectNewest => {
                             self.counters.overflow_rejected += 1;
+                            // The arriving source caused the pressure; the
+                            // overflow is charged against its health score.
+                            if let Some(supervisor) = &mut self.supervisor {
+                                supervisor.signal(
+                                    source.index(),
+                                    HealthSignal::Overflow,
+                                    now,
+                                    &mut self.counters,
+                                );
+                            }
                             continue;
                         }
                         OverflowPolicy::DropOldest => {
@@ -947,6 +1083,14 @@ impl Machine {
                             // hypervisor work, so the front is not mid-run.
                             queue.pop_front();
                             self.counters.overflow_dropped += 1;
+                            if let Some(supervisor) = &mut self.supervisor {
+                                supervisor.signal(
+                                    source.index(),
+                                    HealthSignal::Overflow,
+                                    now,
+                                    &mut self.counters,
+                                );
+                            }
                         }
                     }
                 }
@@ -961,9 +1105,36 @@ impl Machine {
                     remaining: work,
                 });
         }
+        // Watchdog: a single activation demanding a non-yielding amount of
+        // bottom-handler work (≥ factor × declared C_BH) is flagged before
+        // any admission decision — the guest would not give the window back.
+        if let Some(supervisor) = &mut self.supervisor {
+            let factor = u64::from(supervisor.policy().watchdog_factor);
+            if !budget.is_zero() && work.as_nanos() >= budget.as_nanos().saturating_mul(factor) {
+                supervisor.signal(
+                    source.index(),
+                    HealthSignal::NonYielding,
+                    now,
+                    &mut self.counters,
+                );
+            }
+        }
         let foreign = subscriber != self.active_partition();
+        // A quarantined source is demoted to slot-local (delayed) handling:
+        // interposition is suspended entirely and the monitor not consulted,
+        // so no admission is recorded and no C_Mon is charged.
+        let quarantined = self
+            .supervisor
+            .as_ref()
+            .is_some_and(|s| s.is_quarantined(source.index()));
         let mut interpose = false;
-        if foreign && self.config.mode == IrqHandlingMode::Interposed && self.window.is_none() {
+        let mut enforced_budget = budget;
+        let mut shrunk = false;
+        if foreign
+            && self.config.mode == IrqHandlingMode::Interposed
+            && self.window.is_none()
+            && !quarantined
+        {
             if let Some(monitor) = &mut self.monitors[source.index()] {
                 // By default the monitoring condition is evaluated on the
                 // hardware IRQ timestamp (the paper's timestamp timer), not
@@ -985,12 +1156,38 @@ impl Machine {
                 if admitted {
                     interpose = true;
                     self.counters.monitor_admitted += 1;
+                    // Degraded mode (Probation/Recovering): the enforced
+                    // window budget shrinks, trading the source's own
+                    // completion for tighter interference on its victims.
+                    if let Some(supervisor) = &self.supervisor {
+                        let (effective, was_shrunk) =
+                            supervisor.effective_budget(source.index(), budget);
+                        enforced_budget = effective;
+                        shrunk = was_shrunk;
+                    }
                 } else {
                     self.counters.monitor_denied += 1;
+                    if let Some(supervisor) = &mut self.supervisor {
+                        supervisor.signal(
+                            source.index(),
+                            HealthSignal::Denied,
+                            now,
+                            &mut self.counters,
+                        );
+                    }
                 }
             }
+        } else if foreign
+            && self.config.mode == IrqHandlingMode::Interposed
+            && quarantined
+            && self.monitors[source.index()].is_some()
+        {
+            self.counters.supervised_demotions += 1;
         }
         if interpose {
+            if shrunk {
+                self.counters.shrunk_windows += 1;
+            }
             self.window_openings.push(now);
             self.counters.interposed_windows += 1;
             self.counters.context_switches += 1;
@@ -998,7 +1195,9 @@ impl Machine {
                 self.config.costs.sched_manip + self.config.costs.context_switch,
                 HvCont::EnterInterposed {
                     partition: subscriber,
-                    budget,
+                    budget: enforced_budget,
+                    source,
+                    shrunk,
                 },
             );
         } else {
@@ -1077,6 +1276,7 @@ impl Machine {
                 // The budget elapsed while the hypervisor was busy.
                 if !self.partitions[window.partition.index()].queue.is_empty() {
                     self.counters.expired_windows += 1;
+                    self.signal_budget_clip(now);
                 }
                 self.close_window();
                 return;
@@ -1192,6 +1392,13 @@ pub enum ScheduleIrqError {
         /// Current virtual time.
         now: Instant,
     },
+    /// The source is currently quarantined by runtime health supervision:
+    /// new arrivals for it are refused (and surfaced to the caller) rather
+    /// than silently counted against a demoted source.
+    SourceQuarantined {
+        /// The quarantined source id.
+        source: IrqSourceId,
+    },
 }
 
 impl std::fmt::Display for ScheduleIrqError {
@@ -1202,6 +1409,9 @@ impl std::fmt::Display for ScheduleIrqError {
             }
             ScheduleIrqError::InPast { at, now } => {
                 write!(f, "cannot schedule IRQ at {at}; simulation time is {now}")
+            }
+            ScheduleIrqError::SourceQuarantined { source } => {
+                write!(f, "IRQ source {source} is quarantined by supervision")
             }
         }
     }

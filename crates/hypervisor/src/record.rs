@@ -178,6 +178,16 @@ pub struct Counters {
     /// segment ends, TDMA boundaries) — the denominator of the engine's
     /// events-per-second throughput metric.
     pub events_processed: u64,
+    /// Arrivals of quarantined sources handled slot-locally instead of
+    /// being offered to the activation monitor (supervision only).
+    pub supervised_demotions: u64,
+    /// Interposed windows opened under a supervision-shrunk budget
+    /// (Probation/Recovering degraded mode).
+    pub shrunk_windows: u64,
+    /// Supervision state-machine edges into `Quarantined`.
+    pub quarantine_entries: u64,
+    /// Full supervision recoveries (`Recovering → Healthy`).
+    pub recoveries: u64,
     /// Per-partition service accounting.
     pub service: Vec<PartitionService>,
 }

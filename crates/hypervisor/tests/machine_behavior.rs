@@ -864,3 +864,156 @@ fn outstanding_work_is_reported_not_lost() {
     assert_eq!(report.outstanding, 1);
     assert!(report.defect.is_none());
 }
+
+// ----------------------------------------------------------------------
+// Runtime health supervision: quarantine, recovery, degraded scheduling
+// ----------------------------------------------------------------------
+
+use rthv_hypervisor::{HealthState, ScheduleIrqError, SupervisionPolicy};
+
+fn supervised_config(monitor_dmin_us: u64) -> HypervisorConfig {
+    let mut cfg = paper_config(IrqHandlingMode::Interposed, Some(dmin(monitor_dmin_us)));
+    cfg.policies.supervision = Some(SupervisionPolicy::default());
+    cfg
+}
+
+#[test]
+fn reset_after_runtime_delta_change_matches_fresh_machine() {
+    let trace = mixed_trace();
+    let schedule = |m: &mut Machine| {
+        for &at in &trace {
+            m.schedule_irq(IRQ0, at).expect("in the future");
+        }
+    };
+
+    // First run: tighten the monitor distance mid-run. This rewrites the
+    // machine's own config, so reset() must rebuild the per-source monitor
+    // history under the *new* δ⁻, not the construction-time one.
+    let mut m = Machine::new(paper_config(IrqHandlingMode::Interposed, Some(dmin(300))))
+        .expect("valid config");
+    m.enable_service_trace();
+    schedule(&mut m);
+    m.run_until(at_us(20_000));
+    assert!(m.set_monitor_delta(IRQ0, dmin(450)));
+    assert!(m.run_until_complete(at_us(1_000_000)));
+
+    // Reset + rerun: the whole trace now runs under d_min = 450 µs.
+    m.reset();
+    schedule(&mut m);
+    assert!(m.run_until_complete(at_us(1_000_000)));
+    let config = m.config().clone();
+    let rerun = m.finish();
+
+    // Reference: a fresh machine built from the updated config.
+    let mut fresh = Machine::new(config).expect("valid config");
+    fresh.enable_service_trace();
+    schedule(&mut fresh);
+    assert!(fresh.run_until_complete(at_us(1_000_000)));
+    let fresh_report = fresh.finish();
+
+    assert_eq!(rerun.end, fresh_report.end);
+    assert_eq!(
+        rerun.recorder.completions(),
+        fresh_report.recorder.completions()
+    );
+    assert_eq!(rerun.counters, fresh_report.counters);
+    assert_eq!(rerun.monitor_stats, fresh_report.monitor_stats);
+    assert_eq!(rerun.admissions, fresh_report.admissions);
+    // The tightened δ⁻ actually bites: some admissions must be denials.
+    assert!(rerun.counters.monitor_denied > 0);
+}
+
+/// A denial burst: arrivals every 100 µs in partition 0's slot, far below
+/// the 300 µs monitor distance, so two of every three arrivals are denied.
+/// Each denial costs 2 points; the default policy quarantines at 24.
+fn denial_burst() -> Vec<Instant> {
+    (0..30u64).map(|k| at_us(500 + 100 * k)).collect()
+}
+
+#[test]
+fn quarantined_source_rejects_new_scheduling_with_typed_error() {
+    let mut m = Machine::new(supervised_config(300)).expect("valid config");
+    for &at in &denial_burst() {
+        m.schedule_irq(IRQ0, at).expect("healthy source schedules");
+    }
+    m.run_until(at_us(5_000));
+    assert_eq!(
+        m.supervision_state(IRQ0),
+        Some(HealthState::Quarantined),
+        "the denial burst must quarantine the source"
+    );
+    let err = m
+        .schedule_irq(IRQ0, at_us(50_000))
+        .expect_err("a quarantined source must not accept new IRQs");
+    assert_eq!(err, ScheduleIrqError::SourceQuarantined { source: IRQ0 });
+    assert!(err.to_string().contains("quarantined"));
+}
+
+#[test]
+fn quarantined_source_recovers_and_report_logs_the_round_trip() {
+    let mut m = Machine::new(supervised_config(300)).expect("valid config");
+    // Burst (quarantines within ~3 ms), then a calm conformant tail spaced
+    // 6 ms ≫ d_min. Everything is scheduled up front, while still Healthy.
+    for &at in &denial_burst() {
+        m.schedule_irq(IRQ0, at).expect("future");
+    }
+    for k in 0..6u64 {
+        m.schedule_irq(IRQ0, at_us(10_000 + 6_000 * k))
+            .expect("future");
+    }
+    assert!(m.run_until_complete(at_us(1_000_000)));
+    assert_eq!(
+        m.supervision_state(IRQ0),
+        Some(HealthState::Healthy),
+        "the calm tail must walk the source back to Healthy"
+    );
+    let report = m.finish();
+    let supervision = report.supervision.expect("supervision enabled");
+    assert_eq!(supervision.quarantine_entries(), 1);
+    assert_eq!(supervision.recoveries(), 1);
+    assert_eq!(report.counters.quarantine_entries, 1);
+    assert_eq!(report.counters.recoveries, 1);
+    // Arrivals that landed while quarantined were demoted to slot-local
+    // handling, yet none of them was lost.
+    assert!(report.counters.supervised_demotions > 0);
+    assert_eq!(report.outstanding, 0);
+    assert!(report.defect.is_none());
+    assert_eq!(
+        report.recorder.len() as u64
+            + report.counters.coalesced_irqs
+            + report.counters.overflow_rejected
+            + report.counters.overflow_dropped,
+        36
+    );
+}
+
+#[test]
+fn supervision_is_inert_on_a_conformant_stream() {
+    // The same conformant trace, supervised and unsupervised, must produce
+    // identical completions: supervision may only alter behaviour once a
+    // source misbehaves.
+    let run = |cfg: HypervisorConfig| {
+        let mut m = Machine::new(cfg).expect("valid config");
+        for k in 0..30u64 {
+            m.schedule_irq(IRQ0, at_us(500 + 700 * k)).expect("future");
+        }
+        assert!(m.run_until_complete(at_us(1_000_000)));
+        m.finish()
+    };
+    let plain = run(paper_config(IrqHandlingMode::Interposed, Some(dmin(300))));
+    let supervised = run(supervised_config(300));
+    assert_eq!(
+        plain.recorder.completions(),
+        supervised.recorder.completions()
+    );
+    assert_eq!(supervised.counters.quarantine_entries, 0);
+    assert_eq!(supervised.counters.supervised_demotions, 0);
+    assert_eq!(supervised.counters.shrunk_windows, 0);
+    let supervision = supervised.supervision.expect("supervision enabled");
+    assert_eq!(supervision.quarantine_entries(), 0);
+    assert!(supervision
+        .final_states
+        .iter()
+        .flatten()
+        .all(|s| *s == HealthState::Healthy));
+}

@@ -1,0 +1,179 @@
+//! Property tests for the health-supervision state machine: hysteresis
+//! (no oscillation faster than the probation window), liveness of the
+//! Healthy state under conformant streams, and recovery reachability from
+//! every state under arbitrary signal histories.
+
+use proptest::prelude::*;
+
+use rthv_hypervisor::{
+    HealthSignal, HealthState, HealthTracker, HealthTransition, SupervisionPolicy,
+};
+use rthv_time::{Duration, Instant};
+
+/// One step of a random supervision history: advance time by `gap_us`,
+/// then apply one of the seven tracker operations.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Signal(HealthSignal),
+    Conformant,
+    RawViolation,
+    Tick,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Signal(HealthSignal::Denied)),
+        Just(Op::Signal(HealthSignal::BudgetClip)),
+        Just(Op::Signal(HealthSignal::Overflow)),
+        Just(Op::Signal(HealthSignal::NonYielding)),
+        Just(Op::Conformant),
+        Just(Op::RawViolation),
+        Just(Op::Tick),
+    ]
+}
+
+fn policy_strategy() -> impl Strategy<Value = SupervisionPolicy> {
+    (
+        (
+            1u32..10, // deny
+            1u32..10, // clip
+            1u32..10, // overflow
+            1u32..16, // nonyield
+            1u32..4,  // credit
+        ),
+        (
+            1u32..20, // probation score
+            1u32..40, // quarantine margin above probation
+            1u64..50, // probation window, ms
+            1u32..8,  // budget shrink divisor
+            2u32..16, // watchdog factor
+        ),
+    )
+        .prop_map(
+            |(
+                (deny, clip, overflow, nonyield, credit),
+                (probation, margin, window_ms, div, wd),
+            )| {
+                SupervisionPolicy {
+                    deny_penalty: deny,
+                    clip_penalty: clip,
+                    overflow_penalty: overflow,
+                    nonyield_penalty: nonyield,
+                    conform_credit: credit,
+                    probation_score: probation,
+                    quarantine_score: probation + margin,
+                    probation_window: Duration::from_millis(window_ms),
+                    budget_shrink_divisor: div,
+                    watchdog_factor: wd,
+                }
+            },
+        )
+}
+
+fn history_strategy() -> impl Strategy<Value = Vec<(u64, Op)>> {
+    prop::collection::vec((1u64..30_000, op_strategy()), 1..200)
+}
+
+/// Replays a history, returning the tracker, the final time, and every
+/// transition with its timestamp.
+fn replay(
+    policy: SupervisionPolicy,
+    history: &[(u64, Op)],
+) -> (HealthTracker, Instant, Vec<(Instant, HealthTransition)>) {
+    let mut tracker = HealthTracker::new(policy);
+    let mut now = Instant::ZERO;
+    let mut transitions = Vec::new();
+    for &(gap_us, op) in history {
+        now += Duration::from_micros(gap_us);
+        let taken = match op {
+            Op::Signal(signal) => tracker.signal(signal, now),
+            Op::Conformant => tracker.conformant(now),
+            Op::RawViolation => {
+                tracker.raw_violation(now);
+                None
+            }
+            Op::Tick => tracker.tick(now),
+        };
+        if let Some(t) = taken {
+            transitions.push((now, t));
+        }
+    }
+    (tracker, now, transitions)
+}
+
+proptest! {
+    /// Hysteresis: the state machine never oscillates into Quarantined
+    /// faster than the probation window — leaving Quarantined itself costs
+    /// a full clean window, so consecutive entries are at least a window
+    /// apart, no matter how adversarial the signal history is.
+    #[test]
+    fn quarantine_entries_respect_the_probation_window(
+        policy in policy_strategy(),
+        history in history_strategy(),
+    ) {
+        let window = policy.probation_window;
+        let (_, _, transitions) = replay(policy, &history);
+        let entries: Vec<Instant> = transitions
+            .iter()
+            .filter(|(_, t)| t.to == HealthState::Quarantined)
+            .map(|(at, _)| *at)
+            .collect();
+        for pair in entries.windows(2) {
+            prop_assert!(
+                pair[1].saturating_duration_since(pair[0]) >= window,
+                "re-quarantined after {:?} < window {:?}",
+                pair[1].saturating_duration_since(pair[0]),
+                window
+            );
+        }
+    }
+
+    /// Liveness of Healthy: a source whose raw stream stays permanently
+    /// δ⁻-conformant (only conformant arrivals and time ticks, never a
+    /// penalty signal) is never demoted, let alone quarantined.
+    #[test]
+    fn permanently_conformant_source_is_never_quarantined(
+        policy in policy_strategy(),
+        gaps in prop::collection::vec((1u64..30_000, prop::bool::ANY), 1..200),
+    ) {
+        let mut tracker = HealthTracker::new(policy);
+        let mut now = Instant::ZERO;
+        for (gap_us, tick) in gaps {
+            now += Duration::from_micros(gap_us);
+            let taken = if tick {
+                tracker.tick(now)
+            } else {
+                tracker.conformant(now)
+            };
+            prop_assert_eq!(taken, None, "a conformant stream took an edge");
+            prop_assert_eq!(tracker.state(), HealthState::Healthy);
+        }
+    }
+
+    /// Recovery reachability: from *any* state an arbitrary signal history
+    /// can reach, a sufficiently long stretch of conformant arrivals walks
+    /// the source all the way back to Healthy.
+    #[test]
+    fn recovery_is_reachable_from_every_state(
+        policy in policy_strategy(),
+        history in history_strategy(),
+    ) {
+        let (mut tracker, mut now, _) = replay(policy, &history);
+        // Enough conformant arrivals to zero any score (≤ quarantine_score
+        // after saturating escalation bookkeeping) and span several
+        // probation windows at half-window spacing.
+        let spacing = Duration::from_nanos((policy.probation_window.as_nanos() / 2).max(1));
+        let calls = policy.quarantine_score as usize + 8;
+        for _ in 0..calls {
+            now += spacing;
+            tracker.conformant(now);
+        }
+        prop_assert_eq!(
+            tracker.state(),
+            HealthState::Healthy,
+            "stuck in {:?} with score {}",
+            tracker.state(),
+            tracker.score()
+        );
+    }
+}

@@ -52,9 +52,11 @@ mod interference;
 mod learning;
 mod monitor;
 mod throttle;
+mod watch;
 
 pub use delta::{DeltaFunction, DeltaFunctionError};
 pub use interference::{interference_bound, interference_bound_dmin};
 pub use learning::DeltaLearner;
 pub use monitor::{ActivationMonitor, Admission, MonitorStats};
 pub use throttle::{token_bucket_interference, Shaper, ShaperConfig, TokenBucket};
+pub use watch::ConformanceWatch;

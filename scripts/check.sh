@@ -23,4 +23,12 @@ echo "==> smoke fault-injection campaign (7 scenarios, fixed seed)"
 cargo run --release -q -p rthv-experiments --bin campaign \
     target/CAMPAIGN_smoke.json 7 16392212
 
+echo "==> smoke supervised campaign (nominal + 7 fault families, fixed seed)"
+# Fails on any oracle violation (quarantine soundness included), a
+# quarantine on the nominal ablation, a storm/flood scenario that never
+# quarantines or never recovers, or supervision failing to strictly
+# reduce well-behaved victims' worst-case service loss there.
+cargo run --release -q -p rthv-experiments --bin supervised \
+    target/CAMPAIGN_supervised_smoke.json 16392212
+
 echo "All checks passed."
