@@ -121,6 +121,124 @@ fn measure_supervision(supervised: bool) -> SupervisionMeasured {
     }
 }
 
+/// Arrivals in the checkpoint-overhead probe. Smaller than the supervision
+/// probe because the hashed pass steps the machine slot by slot.
+const CHECKPOINT_ARRIVALS: u64 = 20_000;
+
+/// Snapshot/restore repetitions for a stable mean.
+const CHECKPOINT_REPS: u32 = 100;
+
+struct CheckpointMeasured {
+    plain_seconds: f64,
+    hashed_seconds: f64,
+    boundaries: u64,
+    snapshot_mean_seconds: f64,
+    restore_mean_seconds: f64,
+}
+
+impl CheckpointMeasured {
+    /// Relative cost of hashing every slot boundary, in percent.
+    fn overhead_percent(&self) -> f64 {
+        (self.hashed_seconds / self.plain_seconds - 1.0) * 100.0
+    }
+}
+
+/// The conformant monitored machine the checkpoint probe runs (the same
+/// shape as the supervision probe), without any arrivals scheduled yet.
+fn checkpoint_machine() -> Machine {
+    let setup = PaperSetup::default();
+    let dmin = SimDuration::from_millis(3);
+    let delta = DeltaFunction::from_dmin(dmin).expect("positive d_min");
+    let hv = setup.config(IrqHandlingMode::Interposed, Some(delta));
+    Machine::new(hv).expect("paper setup is valid")
+}
+
+/// Runs the probe's conformant scenario slot by slot, injecting arrivals
+/// online — each slot's arrivals are scheduled just before the slot runs,
+/// the way a real system receives IRQs, so the pending event queue stays
+/// small and the per-boundary `observe` hook measures exactly what it
+/// costs, not the size of a pre-loaded future. Both checkpoint passes use
+/// this driver; their only difference is the hook.
+fn drive_checkpoint_run(mut observe: impl FnMut(&Machine)) -> (u64, rthv::RunReport) {
+    let dmin = SimDuration::from_millis(3);
+    let horizon = SimInstant::ZERO + dmin.saturating_mul(CHECKPOINT_ARRIVALS + 2);
+    let mut machine = checkpoint_machine();
+    let schedule = machine.schedule().clone();
+    let mut next_arrival = 1u64;
+    let mut boundaries = 0u64;
+    while schedule.boundary_time(boundaries + 1) <= horizon {
+        boundaries += 1;
+        let boundary = schedule.boundary_time(boundaries);
+        while next_arrival <= CHECKPOINT_ARRIVALS
+            && SimInstant::ZERO + dmin.saturating_mul(next_arrival) <= boundary
+        {
+            machine
+                .schedule_irq(
+                    IrqSourceId::new(0),
+                    SimInstant::ZERO + dmin.saturating_mul(next_arrival),
+                )
+                .expect("conformant arrival schedules");
+            next_arrival += 1;
+        }
+        machine.run_until(boundary);
+        observe(&machine);
+    }
+    machine.run_until(horizon);
+    (boundaries, machine.finish())
+}
+
+/// Times the Fig. 6c-style conformant scenario three ways: stepped slot by
+/// slot without hashing (the reference), the identical stepping with
+/// `state_hash()` at every boundary (the cost of continuous divergence
+/// checking), and repeated `snapshot()`/`restore()` of a mid-run machine.
+/// The hashed run is verified to produce the identical report — hashing is
+/// observation, not perturbation.
+fn measure_checkpoint() -> CheckpointMeasured {
+    let start = HostInstant::now();
+    let (boundaries, plain_report) = drive_checkpoint_run(|_| {});
+    let plain_seconds = start.elapsed().as_secs_f64();
+
+    let mut digest = 0u64;
+    let start = HostInstant::now();
+    let (_, hashed_report) = drive_checkpoint_run(|machine| digest ^= machine.state_hash());
+    let hashed_seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(digest);
+    assert_eq!(
+        format!("{plain_report:?}"),
+        format!("{hashed_report:?}"),
+        "per-slot state hashing must not perturb the run"
+    );
+
+    let dmin = SimDuration::from_millis(3);
+    let mut machine = checkpoint_machine();
+    machine.run_until(SimInstant::ZERO + dmin.saturating_mul(4));
+    let start = HostInstant::now();
+    for _ in 0..CHECKPOINT_REPS {
+        std::hint::black_box(machine.snapshot());
+    }
+    let snapshot_mean_seconds = start.elapsed().as_secs_f64() / f64::from(CHECKPOINT_REPS);
+    let snapshot = machine.snapshot();
+    let mut target = checkpoint_machine();
+    let start = HostInstant::now();
+    for _ in 0..CHECKPOINT_REPS {
+        target.restore(&snapshot);
+    }
+    let restore_mean_seconds = start.elapsed().as_secs_f64() / f64::from(CHECKPOINT_REPS);
+    assert_eq!(
+        target.state_hash(),
+        machine.state_hash(),
+        "a restored machine must hash identically to its source"
+    );
+
+    CheckpointMeasured {
+        plain_seconds,
+        hashed_seconds,
+        boundaries,
+        snapshot_mean_seconds,
+        restore_mean_seconds,
+    }
+}
+
 fn main() {
     let path = std::env::args()
         .nth(1)
@@ -205,6 +323,18 @@ fn main() {
         on.wall_seconds,
     );
 
+    let checkpoint = measure_checkpoint();
+    eprintln!(
+        "checkpoint overhead: {} boundaries — plain {:.3} s, hashed {:.3} s ({:+.2}%), \
+         snapshot {:.1} us, restore {:.1} us",
+        checkpoint.boundaries,
+        checkpoint.plain_seconds,
+        checkpoint.hashed_seconds,
+        checkpoint.overhead_percent(),
+        checkpoint.snapshot_mean_seconds * 1e6,
+        checkpoint.restore_mean_seconds * 1e6,
+    );
+
     let json = format!(
         r#"{{
   "benchmark": "fig6c_conformant_scenario",
@@ -224,6 +354,16 @@ fn main() {
     }},
     "overhead_ratio": {overhead_ratio:.4}
   }},
+  "checkpoint_overhead": {{
+    "description": "conformant monitored workload with online arrival injection, stepped slot-by-slot without vs with state_hash() at every boundary (verified non-perturbing), plus mean snapshot()/restore() cost of a mid-run machine; state_hash is O(live machine state), so pre-scheduling an entire campaign's arrivals would inflate it",
+    "arrivals": {carrivals},
+    "slot_boundaries": {boundaries},
+    "plain_wall_seconds": {cplain:.6},
+    "hashed_wall_seconds": {chashed:.6},
+    "per_slot_hash_overhead_percent": {coverhead:.2},
+    "snapshot_mean_us": {csnap:.2},
+    "restore_mean_us": {crestore:.2}
+  }},
   "points": [
 {points}  ]
 }}
@@ -234,6 +374,13 @@ fn main() {
         od = off.decisions_per_sec(),
         nw = on.wall_seconds,
         nd = on.decisions_per_sec(),
+        carrivals = CHECKPOINT_ARRIVALS,
+        boundaries = checkpoint.boundaries,
+        cplain = checkpoint.plain_seconds,
+        chashed = checkpoint.hashed_seconds,
+        coverhead = checkpoint.overhead_percent(),
+        csnap = checkpoint.snapshot_mean_seconds * 1e6,
+        crestore = checkpoint.restore_mean_seconds * 1e6,
     );
     std::fs::write(&path, json).expect("write benchmark export");
     eprintln!("wrote {path}");

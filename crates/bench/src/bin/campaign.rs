@@ -4,33 +4,52 @@
 //! deterministic JSON report.
 //!
 //! Usage: `cargo run --release -p rthv-experiments --bin campaign
-//! [output-path] [scenario-count] [base-seed]` (defaults:
-//! `CAMPAIGN_faults.json`, 21 scenarios, seed `0xFA2014`).
+//! [output-path] [scenario-count] [base-seed]
+//! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]`
+//! (defaults: `CAMPAIGN_faults.json`, 21 scenarios, seed `0xFA2014`).
+//!
+//! With `--journal`, each completed scenario is appended to a JSONL journal
+//! the moment it finishes; with `--resume`, scenarios already present in a
+//! journal (matched by label *and* seed) are loaded instead of re-executed.
+//! Because every scenario is pure in `(config, seed)`, a resumed report is
+//! byte-identical to an uninterrupted run — `--resume` can never change a
+//! published number, only skip work. `--abort-after <n>` is the crash-test
+//! hook: the process dies via `abort()` right after the n-th journal append
+//! of this run is flushed.
 //!
 //! Scenarios fan across host cores with [`SweepRunner`]; the assembled
-//! report is verified byte-identical to a sequential pass before it is
-//! written. The process exits non-zero if any *monitored* run trips the
-//! oracle, or if the unmonitored baseline fails to demonstrate at least
-//! one independence violation — both outcomes are the campaign's
-//! acceptance criteria, persisted in the report.
+//! report is verified byte-identical to a sequential re-execution (which
+//! also cross-checks any resumed outcomes) before it is written. The
+//! process exits non-zero if any *monitored* run trips the oracle, or if
+//! the unmonitored baseline fails to demonstrate at least one independence
+//! violation — both outcomes are the campaign's acceptance criteria,
+//! persisted in the report.
 
 use std::process::ExitCode;
 
-use rthv_experiments::SweepRunner;
+use rthv_experiments::{parse_journal_flags, read_complete_lines, Journal, SweepRunner};
 use rthv_faults::{
     idle_reference, run_scenario, standard_scenarios, CampaignConfig, CampaignReport,
+    ScenarioOutcome,
 };
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let path = args
+    let (options, positional) = match parse_journal_flags(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("campaign: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut positional = positional.into_iter();
+    let path = positional
         .next()
         .unwrap_or_else(|| "CAMPAIGN_faults.json".to_string());
-    let count: usize = args
+    let count: usize = positional
         .next()
         .map(|s| s.parse().expect("scenario count must be a number"))
         .unwrap_or(21);
-    let base_seed: u64 = args
+    let base_seed: u64 = positional
         .next()
         .map(|s| s.parse().expect("base seed must be a number"))
         .unwrap_or(0xFA_2014);
@@ -41,22 +60,71 @@ fn main() -> ExitCode {
     };
     let idle = idle_reference(&config);
 
+    // Completed outcomes from the resume journal, aligned to the scenario
+    // list by (label, seed) so a journal from a different seed or count
+    // silently resumes nothing rather than corrupting the report.
+    let resumed: Vec<Option<ScenarioOutcome>> = match &options.resume {
+        Some(journal_path) => {
+            let lines = read_complete_lines(journal_path).expect("read resume journal");
+            let mut completed = Vec::new();
+            for line in &lines {
+                match ScenarioOutcome::from_journal_json(line) {
+                    Ok(outcome) => completed.push(outcome),
+                    Err(error) => eprintln!("campaign: ignoring corrupt journal line: {error}"),
+                }
+            }
+            config
+                .scenarios
+                .iter()
+                .map(|scenario| {
+                    completed
+                        .iter()
+                        .find(|o| o.label == scenario.label() && o.seed == scenario.seed)
+                        .cloned()
+                })
+                .collect()
+        }
+        None => config.scenarios.iter().map(|_| None).collect(),
+    };
+    let journal = options
+        .journal
+        .as_deref()
+        .map(|p| Journal::open_append(p).expect("open journal"));
+    let abort_after = options.abort_after;
+
     let runner = SweepRunner::available();
-    let outcomes = runner.run(&config.scenarios, |_, scenario| {
-        run_scenario(&config, &idle, scenario)
+    let outcomes = runner.run(&config.scenarios, |index, scenario| {
+        if let Some(done) = &resumed[index] {
+            return done.clone();
+        }
+        let outcome = run_scenario(&config, &idle, scenario);
+        if let Some(journal) = &journal {
+            let appended = journal
+                .append(&outcome.to_journal_json())
+                .expect("journal append");
+            if abort_after.is_some_and(|limit| appended >= limit) {
+                // Crash-test hook: die without unwinding or cleanup —
+                // exactly the failure the resume path must survive.
+                eprintln!("campaign: --abort-after {appended} reached, aborting");
+                std::process::abort();
+            }
+        }
+        outcome
     });
     let report = CampaignReport::from_outcomes(&config, outcomes);
 
-    let sequential = runner.threads() > 1 && count <= 8;
-    if sequential {
-        // Cheap campaigns double as a determinism self-check.
+    let resumed_any = resumed.iter().any(Option::is_some);
+    if (runner.threads() > 1 || resumed_any) && count <= 8 {
+        // Cheap campaigns double as a determinism self-check: a fresh
+        // sequential re-execution must reproduce the assembled report,
+        // including every outcome taken from the resume journal.
         let reference = SweepRunner::sequential().run(&config.scenarios, |_, scenario| {
             run_scenario(&config, &idle, scenario)
         });
         assert_eq!(
             CampaignReport::from_outcomes(&config, reference).to_json(),
             report.to_json(),
-            "parallel campaign diverged from sequential"
+            "parallel/resumed campaign diverged from sequential re-execution"
         );
     }
 
@@ -64,8 +132,9 @@ fn main() -> ExitCode {
     std::fs::write(&path, &json).expect("write campaign report");
 
     eprintln!(
-        "campaign: {} scenarios on {} thread(s) -> {path}",
+        "campaign: {} scenarios ({} resumed) on {} thread(s) -> {path}",
         report.scenarios.len(),
+        resumed.iter().filter(|r| r.is_some()).count(),
         runner.threads(),
     );
     eprintln!(

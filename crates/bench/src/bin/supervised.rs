@@ -5,31 +5,47 @@
 //! oracle, results written as a deterministic JSON report.
 //!
 //! Usage: `cargo run --release -p rthv-experiments --bin supervised
-//! [output-path] [base-seed]` (defaults: `CAMPAIGN_supervised.json`,
-//! seed `0xFA2014`).
+//! [output-path] [base-seed]
+//! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]`
+//! (defaults: `CAMPAIGN_supervised.json`, seed `0xFA2014`).
+//!
+//! With `--journal`, each completed scenario is appended to a JSONL journal
+//! the moment it finishes; with `--resume`, scenarios already present in a
+//! journal (matched by label *and* seed) are loaded instead of re-executed
+//! — byte-identical to an uninterrupted run, since every scenario is pure
+//! in `(config, seed)`. `--abort-after <n>` aborts the process right after
+//! the n-th journal append of this run is flushed (crash-test hook).
 //!
 //! Scenarios fan across host cores with [`SweepRunner`]; the assembled
-//! report is verified byte-identical to a sequential pass before it is
-//! written. The process exits non-zero on any acceptance failure: an
-//! oracle violation in either arm, a quarantine on the nominal ablation, a
-//! storm/flood scenario that never quarantines or never recovers, or a
-//! storm/flood scenario where supervision fails to *strictly* reduce the
-//! well-behaved victims' worst-case service loss.
+//! report is verified byte-identical to a sequential re-execution (which
+//! also cross-checks any resumed outcomes) before it is written. The
+//! process exits non-zero on any acceptance failure: an oracle violation
+//! in either arm, a quarantine on the nominal ablation, a storm/flood
+//! scenario that never quarantines or never recovers, or a storm/flood
+//! scenario where supervision fails to *strictly* reduce the well-behaved
+//! victims' worst-case service loss.
 
 use std::process::ExitCode;
 
-use rthv_experiments::SweepRunner;
+use rthv_experiments::{parse_journal_flags, read_complete_lines, Journal, SweepRunner};
 use rthv_faults::{
     idle_reference, run_supervised_scenario, supervised_scenarios, SupervisedCampaignConfig,
-    SupervisedCampaignReport,
+    SupervisedCampaignReport, SupervisedScenarioOutcome,
 };
 
 fn main() -> ExitCode {
-    let mut args = std::env::args().skip(1);
-    let path = args
+    let (options, positional) = match parse_journal_flags(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("supervised: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut positional = positional.into_iter();
+    let path = positional
         .next()
         .unwrap_or_else(|| "CAMPAIGN_supervised.json".to_string());
-    let base_seed: u64 = args
+    let base_seed: u64 = positional
         .next()
         .map(|s| s.parse().expect("base seed must be a number"))
         .unwrap_or(0xFA_2014);
@@ -38,22 +54,67 @@ fn main() -> ExitCode {
     config.base.scenarios = supervised_scenarios(base_seed);
     let idle = idle_reference(&config.base);
 
+    // Completed outcomes from the resume journal, aligned by (label, seed).
+    let resumed: Vec<Option<SupervisedScenarioOutcome>> = match &options.resume {
+        Some(journal_path) => {
+            let lines = read_complete_lines(journal_path).expect("read resume journal");
+            let mut completed = Vec::new();
+            for line in &lines {
+                match SupervisedScenarioOutcome::from_journal_json(line) {
+                    Ok(outcome) => completed.push(outcome),
+                    Err(error) => eprintln!("supervised: ignoring corrupt journal line: {error}"),
+                }
+            }
+            config
+                .base
+                .scenarios
+                .iter()
+                .map(|scenario| {
+                    completed
+                        .iter()
+                        .find(|o| o.label == scenario.label() && o.seed == scenario.seed)
+                        .cloned()
+                })
+                .collect()
+        }
+        None => config.base.scenarios.iter().map(|_| None).collect(),
+    };
+    let journal = options
+        .journal
+        .as_deref()
+        .map(|p| Journal::open_append(p).expect("open journal"));
+    let abort_after = options.abort_after;
+
     let runner = SweepRunner::available();
-    let outcomes = runner.run(&config.base.scenarios, |_, scenario| {
-        run_supervised_scenario(&config, &idle, scenario)
+    let outcomes = runner.run(&config.base.scenarios, |index, scenario| {
+        if let Some(done) = &resumed[index] {
+            return done.clone();
+        }
+        let outcome = run_supervised_scenario(&config, &idle, scenario);
+        if let Some(journal) = &journal {
+            let appended = journal
+                .append(&outcome.to_journal_json())
+                .expect("journal append");
+            if abort_after.is_some_and(|limit| appended >= limit) {
+                eprintln!("supervised: --abort-after {appended} reached, aborting");
+                std::process::abort();
+            }
+        }
+        outcome
     });
     let report = SupervisedCampaignReport::from_outcomes(&config, outcomes);
 
-    if runner.threads() > 1 {
-        // The campaign is small enough that a sequential replay is cheap —
-        // it doubles as the cross-thread determinism self-check.
+    if runner.threads() > 1 || resumed.iter().any(Option::is_some) {
+        // The campaign is small enough that a sequential re-execution is
+        // cheap — it doubles as the cross-thread determinism self-check and
+        // cross-checks every outcome taken from the resume journal.
         let reference = SweepRunner::sequential().run(&config.base.scenarios, |_, scenario| {
             run_supervised_scenario(&config, &idle, scenario)
         });
         assert_eq!(
             SupervisedCampaignReport::from_outcomes(&config, reference).to_json(),
             report.to_json(),
-            "parallel supervised campaign diverged from sequential"
+            "parallel/resumed supervised campaign diverged from sequential re-execution"
         );
     }
 
@@ -61,8 +122,9 @@ fn main() -> ExitCode {
     std::fs::write(&path, &json).expect("write supervised campaign report");
 
     eprintln!(
-        "supervised campaign: {} scenarios on {} thread(s) -> {path}",
+        "supervised campaign: {} scenarios ({} resumed) on {} thread(s) -> {path}",
         report.scenarios.len(),
+        resumed.iter().filter(|r| r.is_some()).count(),
         runner.threads(),
     );
     eprintln!("  total violations:     {}", report.total_violations());

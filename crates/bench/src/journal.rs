@@ -1,0 +1,245 @@
+//! Crash-safe scenario journals for resumable campaign runs.
+//!
+//! A journal is a JSONL file with one line per completed scenario, appended
+//! atomically (single `write` + flush under a mutex) as each scenario
+//! finishes. If the process dies mid-campaign — panic, OOM kill, power cut
+//! — the journal holds every scenario completed so far, with at most one
+//! torn trailing line. A later run started with `--resume <journal>` loads
+//! the completed outcomes and re-executes only the missing scenarios;
+//! because every scenario is pure in `(config, seed)`, the resumed report
+//! is byte-identical to an uninterrupted run.
+//!
+//! Line payloads are the lossless journal codecs from `rthv-faults`
+//! (`ScenarioOutcome::to_journal_json` and friends); this module only deals
+//! in whole lines and stays generic over what they encode.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// An append-only journal file shared by the sweep's worker threads.
+#[derive(Debug)]
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+}
+
+#[derive(Debug)]
+struct JournalInner {
+    file: File,
+    appended: u64,
+}
+
+impl Journal {
+    /// Opens `path` for appending, creating it (and its parent directory)
+    /// if missing. Existing content is preserved so a resumed run can keep
+    /// journaling into the same file.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from creating the directory or opening the file.
+    pub fn open_append(path: &Path) -> io::Result<Journal> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Journal {
+            inner: Mutex::new(JournalInner { file, appended: 0 }),
+        })
+    }
+
+    /// Appends one journal line (a newline is added) and flushes it, then
+    /// returns how many lines **this process** has appended so far. The
+    /// payload and its newline go down in a single `write` call, so a crash
+    /// can tear at most the line being written — never reorder or
+    /// interleave lines.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the write or flush.
+    pub fn append(&self, line: &str) -> io::Result<u64> {
+        let mut buffer = String::with_capacity(line.len() + 1);
+        buffer.push_str(line);
+        buffer.push('\n');
+        let mut inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        inner.file.write_all(buffer.as_bytes())?;
+        inner.file.flush()?;
+        inner.appended += 1;
+        Ok(inner.appended)
+    }
+}
+
+/// Reads every *complete* line of a journal, in order. A torn trailing
+/// line — the mark of a crash mid-append — is silently dropped: it belongs
+/// to a scenario that never finished, so the resume path re-runs it.
+/// Interior lines are returned verbatim; validating their payloads is the
+/// caller's (typed, per-line) job.
+///
+/// # Errors
+///
+/// Any I/O error from reading the file, including it not existing — a
+/// missing resume journal is a user error, not an empty campaign.
+pub fn read_complete_lines(path: &Path) -> io::Result<Vec<String>> {
+    let mut text = String::new();
+    File::open(path)?.read_to_string(&mut text)?;
+    let mut lines: Vec<String> = Vec::new();
+    let mut rest = text.as_str();
+    while let Some(newline) = rest.find('\n') {
+        lines.push(rest[..newline].to_string());
+        rest = &rest[newline + 1..];
+    }
+    // `rest` now holds any unterminated tail: drop it.
+    Ok(lines)
+}
+
+/// Journal-related command-line options shared by the campaign binaries.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct JournalOptions {
+    /// `--journal <path>`: append each completed scenario to this file.
+    pub journal: Option<PathBuf>,
+    /// `--resume <path>`: load completed scenarios from this journal and
+    /// skip re-running them.
+    pub resume: Option<PathBuf>,
+    /// `--abort-after <n>`: crash-test hook — abort the process right after
+    /// the n-th journal append of this run has been flushed.
+    pub abort_after: Option<u64>,
+}
+
+/// Splits `--journal`, `--resume` and `--abort-after` (each taking one
+/// value) out of an argument list, returning the options and the remaining
+/// positional arguments in their original order.
+///
+/// # Errors
+///
+/// A human-readable message when a flag is missing its value, repeated, or
+/// `--abort-after` is not a number.
+pub fn parse_journal_flags(
+    args: impl Iterator<Item = String>,
+) -> Result<(JournalOptions, Vec<String>), String> {
+    let mut options = JournalOptions::default();
+    let mut positional = Vec::new();
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--journal" | "--resume" | "--abort-after" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{arg} requires a value"))?;
+                let slot_taken = match arg.as_str() {
+                    "--journal" => options.journal.replace(PathBuf::from(value)).is_some(),
+                    "--resume" => options.resume.replace(PathBuf::from(value)).is_some(),
+                    _ => {
+                        let n = value
+                            .parse::<u64>()
+                            .map_err(|e| format!("--abort-after expects a number: {e}"))?;
+                        options.abort_after.replace(n).is_some()
+                    }
+                };
+                if slot_taken {
+                    return Err(format!("{arg} given twice"));
+                }
+            }
+            _ => positional.push(arg),
+        }
+    }
+    Ok((options, positional))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("rthv-journal-test-{}-{name}", std::process::id()));
+        path
+    }
+
+    #[test]
+    fn append_then_read_round_trips_in_order() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let journal = Journal::open_append(&path).expect("open");
+        assert_eq!(journal.append("{\"a\":1}").expect("append"), 1);
+        assert_eq!(journal.append("{\"b\":2}").expect("append"), 2);
+        drop(journal);
+        assert_eq!(
+            read_complete_lines(&path).expect("read"),
+            vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()]
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped_but_interior_lines_survive() {
+        let path = temp_path("torn");
+        std::fs::write(&path, "{\"a\":1}\n{\"b\":2}\n{\"torn\":").expect("write");
+        assert_eq!(
+            read_complete_lines(&path).expect("read"),
+            vec!["{\"a\":1}".to_string(), "{\"b\":2}".to_string()]
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn reopening_appends_after_existing_lines() {
+        let path = temp_path("reopen");
+        let _ = std::fs::remove_file(&path);
+        Journal::open_append(&path)
+            .expect("open")
+            .append("first")
+            .expect("append");
+        let second = Journal::open_append(&path).expect("reopen");
+        // Per-process count restarts; file content accumulates.
+        assert_eq!(second.append("second").expect("append"), 1);
+        assert_eq!(
+            read_complete_lines(&path).expect("read"),
+            vec!["first".to_string(), "second".to_string()]
+        );
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn missing_journal_is_an_error() {
+        assert!(read_complete_lines(&temp_path("missing-never-created")).is_err());
+    }
+
+    #[test]
+    fn flag_parsing_extracts_options_and_keeps_positionals() {
+        let args = [
+            "out.json",
+            "--journal",
+            "j.jsonl",
+            "7",
+            "--resume",
+            "old.jsonl",
+            "--abort-after",
+            "3",
+            "42",
+        ]
+        .into_iter()
+        .map(String::from);
+        let (options, positional) = parse_journal_flags(args).expect("valid");
+        assert_eq!(options.journal, Some(PathBuf::from("j.jsonl")));
+        assert_eq!(options.resume, Some(PathBuf::from("old.jsonl")));
+        assert_eq!(options.abort_after, Some(3));
+        assert_eq!(positional, vec!["out.json", "7", "42"]);
+    }
+
+    #[test]
+    fn flag_parsing_rejects_malformed_input() {
+        for bad in [
+            vec!["--journal"],
+            vec!["--abort-after", "three"],
+            vec!["--resume", "a", "--resume", "b"],
+        ] {
+            let args = bad.iter().map(|s| (*s).to_string());
+            assert!(parse_journal_flags(args).is_err(), "accepted {bad:?}");
+        }
+    }
+}

@@ -10,10 +10,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod journal;
 pub mod runner;
 pub mod sweep;
 
-pub use runner::{merge_histograms, SweepRunner};
+pub use journal::{parse_journal_flags, read_complete_lines, Journal, JournalOptions};
+pub use runner::{merge_histograms, ScenarioOutcome, SweepError, SweepRunner};
 
 use rthv::monitor::DeltaFunction;
 use rthv::time::{Duration, Instant};

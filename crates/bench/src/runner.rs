@@ -1,4 +1,5 @@
-//! Parallel scenario fan-out with sequential-identical results.
+//! Parallel scenario fan-out with sequential-identical results and
+//! panic-isolated workers.
 //!
 //! Every experiment in this crate is a *sweep*: a list of independent
 //! scenarios (d_min points, load levels, policy combinations), each fully
@@ -16,16 +17,98 @@
 //! 2. results are written into a per-scenario slot and read back in index
 //!    order — merge order is fixed even though completion order is not.
 //!
+//! Crash safety: every scenario closure runs under
+//! [`std::panic::catch_unwind`], so a panicking scenario never unwinds
+//! through a worker thread — the remaining scenarios still run, result
+//! locks are never poisoned, and the failure surfaces as a typed
+//! [`SweepError`] ([`SweepRunner::try_run`]) or a per-scenario
+//! [`ScenarioOutcome::Crashed`] with deterministic bounded retry
+//! ([`SweepRunner::run_isolated`]).
+//!
 //! Aggregations over the ordered results (histogram merges via
 //! [`LatencyHistogram::merge`], latency sums, maxima) are then plain folds
 //! of per-scenario values and reproduce a single-accumulator sequential run
 //! exactly.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::thread;
 
 use rthv::stats::LatencyHistogram;
+
+/// Why a sweep could not produce a full result vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A scenario closure panicked; the payload is preserved. When several
+    /// scenarios panic, the one with the lowest index is reported
+    /// (deterministic regardless of thread interleaving).
+    ScenarioPanicked {
+        /// Index of the panicking scenario.
+        index: usize,
+        /// The panic payload, stringified.
+        panic_msg: String,
+    },
+    /// A scenario slot was never filled — a worker died without writing a
+    /// result or a panic record. Should be unreachable; kept as a typed
+    /// error instead of an `unwrap` so a harness bug degrades into data.
+    MissingResult {
+        /// Index of the unfilled slot.
+        index: usize,
+    },
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::ScenarioPanicked { index, panic_msg } => {
+                write!(f, "scenario {index} panicked: {panic_msg}")
+            }
+            SweepError::MissingResult { index } => {
+                write!(f, "scenario {index} produced no result")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+/// The fate of one scenario under [`SweepRunner::run_isolated`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioOutcome<R> {
+    /// The scenario completed (possibly after retries).
+    Completed(R),
+    /// Every attempt panicked; the sweep carried on without it.
+    Crashed {
+        /// The last attempt's panic payload, stringified.
+        panic_msg: String,
+        /// How many attempts were made (= the configured maximum).
+        attempts: u32,
+    },
+}
+
+impl<R> ScenarioOutcome<R> {
+    /// The completed result, if any.
+    pub fn completed(self) -> Option<R> {
+        match self {
+            ScenarioOutcome::Completed(r) => Some(r),
+            ScenarioOutcome::Crashed { .. } => None,
+        }
+    }
+}
+
+/// Stringifies a panic payload (`&str` and `String` payloads verbatim,
+/// anything else a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// A thread-pool-free parallel sweep executor.
 ///
@@ -88,24 +171,58 @@ impl SweepRunner {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from any scenario closure after all worker
-    /// threads have stopped.
+    /// Panics (on the calling thread, after every worker finished) if any
+    /// scenario closure panicked — the typed-error path is
+    /// [`try_run`](Self::try_run).
     pub fn run<S, R, F>(&self, scenarios: &[S], scenario: F) -> Vec<R>
     where
         S: Sync,
         R: Send,
         F: Fn(usize, &S) -> R + Sync,
     {
+        match self.try_run(scenarios, scenario) {
+            Ok(results) => results,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Like [`run`](Self::run), but a panicking scenario becomes a typed
+    /// [`SweepError`] instead of unwinding: the panic is caught inside the
+    /// worker, every other scenario still executes, and no lock is
+    /// poisoned. When several scenarios panic, the lowest index wins —
+    /// deterministically, whatever the thread interleaving.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::ScenarioPanicked`] for the first (by index) panicking
+    /// scenario; [`SweepError::MissingResult`] if a result slot was never
+    /// filled.
+    pub fn try_run<S, R, F>(&self, scenarios: &[S], scenario: F) -> Result<Vec<R>, SweepError>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(usize, &S) -> R + Sync,
+    {
+        let execute = |index: usize, s: &S| -> Result<R, SweepError> {
+            catch_unwind(AssertUnwindSafe(|| scenario(index, s))).map_err(|payload| {
+                SweepError::ScenarioPanicked {
+                    index,
+                    panic_msg: panic_message(payload.as_ref()),
+                }
+            })
+        };
+
         if self.threads == 1 || scenarios.len() <= 1 {
             return scenarios
                 .iter()
                 .enumerate()
-                .map(|(index, s)| scenario(index, s))
+                .map(|(index, s)| execute(index, s))
                 .collect();
         }
 
         let cursor = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<R>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<Result<R, SweepError>>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
         let workers = self.threads.min(scenarios.len());
         thread::scope(|scope| {
             for _ in 0..workers {
@@ -114,19 +231,62 @@ impl SweepRunner {
                     let Some(s) = scenarios.get(index) else {
                         break;
                     };
-                    let result = scenario(index, s);
-                    *slots[index].lock().expect("result slot poisoned") = Some(result);
+                    let result = execute(index, s);
+                    // catch_unwind above means no worker unwinds holding
+                    // this lock, but a poisoned lock still must not take
+                    // down the sweep: the data underneath is a plain
+                    // `Option` write, valid regardless.
+                    *slots[index].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                 });
             }
         });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("result slot poisoned")
-                    .expect("every scenario index was claimed exactly once")
-            })
-            .collect()
+        let mut results = Vec::with_capacity(slots.len());
+        for (index, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                Some(Ok(result)) => results.push(result),
+                Some(Err(error)) => return Err(error),
+                None => return Err(SweepError::MissingResult { index }),
+            }
+        }
+        Ok(results)
+    }
+
+    /// Runs every scenario in crash isolation with deterministic bounded
+    /// retry: `scenario(attempt, index, &scenarios[index])` is called with
+    /// `attempt` counting from 1; a panicking attempt is retried
+    /// immediately (no wall-clock backoff — determinism over politeness)
+    /// up to `max_attempts` times, and a scenario whose every attempt
+    /// panicked becomes [`ScenarioOutcome::Crashed`] without affecting any
+    /// other scenario. Results come back in scenario order.
+    pub fn run_isolated<S, R, F>(
+        &self,
+        scenarios: &[S],
+        max_attempts: u32,
+        scenario: F,
+    ) -> Vec<ScenarioOutcome<R>>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(u32, usize, &S) -> R + Sync,
+    {
+        let max_attempts = max_attempts.max(1);
+        let isolated = |index: usize, s: &S| -> ScenarioOutcome<R> {
+            let mut last_msg = String::new();
+            for attempt in 1..=max_attempts {
+                match catch_unwind(AssertUnwindSafe(|| scenario(attempt, index, s))) {
+                    Ok(result) => return ScenarioOutcome::Completed(result),
+                    Err(payload) => last_msg = panic_message(payload.as_ref()),
+                }
+            }
+            ScenarioOutcome::Crashed {
+                panic_msg: last_msg,
+                attempts: max_attempts,
+            }
+        };
+        // The isolated closure never panics, so `try_run` cannot fail with
+        // `ScenarioPanicked`; `MissingResult` degrades into `Crashed`.
+        self.try_run(scenarios, isolated)
+            .unwrap_or_else(|error| panic!("isolated sweep failed: {error}"))
     }
 }
 
@@ -201,6 +361,74 @@ mod tests {
         let empty: Vec<u8> = Vec::new();
         assert!(SweepRunner::new(4).run(&empty, |_, &x| x).is_empty());
         assert_eq!(SweepRunner::new(4).run(&[7u8], |_, &x| x), vec![7]);
+    }
+
+    #[test]
+    fn a_panicking_scenario_is_a_typed_error_not_a_poisoned_sweep() {
+        for runner in [SweepRunner::sequential(), SweepRunner::new(4)] {
+            let inputs: Vec<u64> = (0..9).collect();
+            let verdict = runner.try_run(&inputs, |_, &x| {
+                assert!(x != 4, "scenario four is cursed");
+                x * 10
+            });
+            match verdict {
+                Err(SweepError::ScenarioPanicked { index, panic_msg }) => {
+                    assert_eq!(index, 4);
+                    assert!(panic_msg.contains("cursed"), "got: {panic_msg}");
+                }
+                other => panic!("expected a typed panic error, got {other:?}"),
+            }
+            // The same runner still works afterwards — nothing poisoned.
+            assert_eq!(
+                runner.try_run(&inputs, |_, &x| x + 1),
+                Ok((1..=9).collect::<Vec<u64>>())
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_index_wins_when_several_scenarios_panic() {
+        let inputs: Vec<u64> = (0..16).collect();
+        let verdict = SweepRunner::new(8).try_run(&inputs, |_, &x| {
+            assert!(x % 3 != 2, "boom {x}");
+            x
+        });
+        assert!(
+            matches!(verdict, Err(SweepError::ScenarioPanicked { index: 2, .. })),
+            "got {verdict:?}"
+        );
+    }
+
+    #[test]
+    fn run_isolated_retries_deterministically_and_quarantines_crashes() {
+        use std::sync::atomic::AtomicU32;
+        // Scenario value = number of leading attempts that panic.
+        let crashes: Vec<u32> = vec![0, 1, 2, 0, 3];
+        let calls: Vec<AtomicU32> = crashes.iter().map(|_| AtomicU32::new(0)).collect();
+        let outcomes = SweepRunner::new(4).run_isolated(&crashes, 2, |attempt, index, &n| {
+            calls[index].fetch_add(1, Ordering::Relaxed);
+            assert!(attempt > n, "attempt {attempt} of scenario {index} crashed");
+            index as u64
+        });
+        assert_eq!(outcomes.len(), 5);
+        assert_eq!(outcomes[0], ScenarioOutcome::Completed(0));
+        assert_eq!(outcomes[1], ScenarioOutcome::Completed(1));
+        assert_eq!(outcomes[3], ScenarioOutcome::Completed(3));
+        for crashed_index in [2usize, 4] {
+            match &outcomes[crashed_index] {
+                ScenarioOutcome::Crashed {
+                    panic_msg,
+                    attempts,
+                } => {
+                    assert_eq!(*attempts, 2);
+                    assert!(panic_msg.contains("crashed"), "got: {panic_msg}");
+                }
+                other => panic!("scenario {crashed_index} should crash, got {other:?}"),
+            }
+        }
+        // Attempt accounting: retried exactly up to the bound, no more.
+        let attempt_counts: Vec<u32> = calls.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        assert_eq!(attempt_counts, vec![1, 2, 2, 1, 2]);
     }
 
     #[test]

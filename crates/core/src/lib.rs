@@ -71,10 +71,10 @@ pub use rthv_hypervisor::{
     render_timeline, AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, CostModel,
     Counters, HandlingClass, HealthSignal, HealthState, HealthTracker, HealthTransition,
     HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode, IrqSourceId, IrqSourceSpec,
-    Machine, MachineError, OverflowPolicy, PartitionId, PartitionService, PartitionSpec,
-    PolicyOptions, RunReport, ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span,
-    SupervisionEvent, SupervisionEventKind, SupervisionPolicy, SupervisionReport, Supervisor,
-    TdmaSchedule, TraceRecorder, TransitionCause,
+    Machine, MachineError, MachineSnapshot, OverflowPolicy, PartitionId, PartitionService,
+    PartitionSpec, PolicyOptions, RunReport, ScheduleIrqError, ServiceInterval, ServiceKind,
+    SlotSpec, Span, SupervisionEvent, SupervisionEventKind, SupervisionPolicy, SupervisionReport,
+    Supervisor, TdmaSchedule, TraceRecorder, TransitionCause,
 };
 
 /// Virtual-time primitives ([`rthv_time`]).

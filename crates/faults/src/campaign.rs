@@ -166,13 +166,23 @@ pub(crate) fn run_mode(
 /// Like [`run_mode`], but optionally enables runtime health supervision and
 /// also hands back the full [`RunReport`], so the supervised campaign can
 /// inspect supervision counters and run the quarantine-soundness oracle.
-pub(crate) fn run_mode_report(
+/// Builds the campaign machine for one mode of one scenario plan, with
+/// every arrival already scheduled — exactly the machine
+/// [`run_mode_report`] drives to the horizon. Exposed so the
+/// [`replay`](crate::replay) oracle re-executes the *same* machine, not a
+/// reimplementation of it.
+///
+/// # Panics
+///
+/// Panics if the campaign platform configuration is invalid or a plan
+/// arrival lies outside the horizon.
+#[must_use]
+pub fn scenario_machine(
     config: &CampaignConfig,
-    idle: &IdleReference,
     plan: &FaultPlan,
     monitored: bool,
     supervision: Option<SupervisionPolicy>,
-) -> (ModeOutcome, RunReport) {
+) -> Machine {
     // The unmonitored baseline still runs interposed, but its "monitor"
     // admits any stream with 1 ns spacing — the safety mechanism is off.
     let dmin = if monitored {
@@ -196,6 +206,17 @@ pub(crate) fn run_mode_report(
             .schedule_irq_with_work(IrqSourceId::new(0), arrival.at, arrival.work)
             .expect("plan arrivals lie inside the horizon");
     }
+    machine
+}
+
+pub(crate) fn run_mode_report(
+    config: &CampaignConfig,
+    idle: &IdleReference,
+    plan: &FaultPlan,
+    monitored: bool,
+    supervision: Option<SupervisionPolicy>,
+) -> (ModeOutcome, RunReport) {
+    let mut machine = scenario_machine(config, plan, monitored, supervision);
     machine.run_until(Instant::ZERO + config.horizon);
     let report = machine.finish();
 

@@ -79,6 +79,18 @@ pub enum FaultKind {
         /// Arrival period (pick `≥ d_min`).
         period: Duration,
     },
+    /// A nominal stream whose *harness* — not the simulated machine — is
+    /// declared crash-prone: the sweep runner's panic-isolation path is
+    /// expected to see the worker panic on the first `crashes` attempts
+    /// and succeed on attempt `crashes + 1`. The simulated plan itself is
+    /// identical to [`FaultKind::Nominal`]; the fault lives one layer up,
+    /// which is exactly what the resumable runner must survive.
+    HarnessCrash {
+        /// Arrival period of the underlying nominal stream.
+        period: Duration,
+        /// How many leading attempts the harness aborts.
+        crashes: u32,
+    },
 }
 
 impl FaultKind {
@@ -94,6 +106,7 @@ impl FaultKind {
             FaultKind::BudgetOverrun { .. } => "budget-overrun",
             FaultKind::NonYieldingGuest { .. } => "non-yielding-guest",
             FaultKind::Nominal { .. } => "nominal",
+            FaultKind::HarnessCrash { .. } => "harness-crash",
         }
     }
 }
@@ -277,7 +290,7 @@ impl FaultScenario {
                     t += every_ns;
                 }
             }
-            FaultKind::Nominal { period } => {
+            FaultKind::Nominal { period } | FaultKind::HarnessCrash { period, .. } => {
                 let period_ns = period.as_nanos();
                 assert!(period_ns > 0, "nominal period must be positive");
                 let mut t = period_ns;

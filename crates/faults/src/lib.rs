@@ -37,24 +37,38 @@
 //!   never on the nominal ablation — [`oracle::check_supervision`]),
 //!   recover them during the calm tail, and *strictly* reduce well-behaved
 //!   victims' worst-case service loss under the storm and flood families.
+//! * [`replay`] — the divergence-detecting checkpoint replay: any campaign
+//!   scenario can be recorded with per-slot-boundary state hashes plus
+//!   periodic [`MachineSnapshot`] checkpoints, then re-executed from the
+//!   nearest checkpoint; the first boundary whose hash mismatches becomes
+//!   a [`Violation::ReplayDivergence`] with a repro seed.
+//! * [`journal`] — complete, hand-rolled JSON round-trips for scenario
+//!   outcomes, so a killed campaign's journal reloads bit-identically and
+//!   a `--resume` run assembles the same report as an uninterrupted one.
 //!
 //! [`RunReport`]: rthv::RunReport
 //! [`IrqHandlingMode::Interposed`]: rthv::IrqHandlingMode::Interposed
+//! [`MachineSnapshot`]: rthv::MachineSnapshot
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod campaign;
 pub mod inject;
+pub mod journal;
+mod json;
 pub mod oracle;
+pub mod replay;
 pub mod supervised;
 
 pub use campaign::{
-    idle_reference, run_campaign, run_scenario, CampaignConfig, CampaignReport, IdleReference,
-    ModeOutcome, ScenarioOutcome,
+    idle_reference, run_campaign, run_scenario, scenario_machine, CampaignConfig, CampaignReport,
+    IdleReference, ModeOutcome, ScenarioOutcome,
 };
 pub use inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
+pub use journal::JournalError;
 pub use oracle::{check_report, check_supervision, OracleConfig, Violation};
+pub use replay::{record_scenario, verify, verify_from, ReplayConfig, ReplayTrace};
 pub use supervised::{
     composite_plan, run_supervised_campaign, run_supervised_scenario, supervised_scenarios,
     SupervisedCampaignConfig, SupervisedCampaignReport, SupervisedModeOutcome,

@@ -102,6 +102,20 @@ pub enum Violation {
         /// Time of the quarantine entry.
         at: Instant,
     },
+    /// A checkpoint replay diverged from the recorded run: at slot boundary
+    /// `slot` the re-executed machine's state hash differs from the hash the
+    /// original run recorded. Either the simulation is not a pure function
+    /// of its inputs, or the recorded state was corrupted in flight.
+    ReplayDivergence {
+        /// First slot boundary whose state hash mismatched.
+        slot: u64,
+        /// The hash the original run recorded at that boundary.
+        expected: u64,
+        /// The hash the replayed machine produced.
+        actual: u64,
+        /// The scenario seed that reproduces the divergence.
+        seed: u64,
+    },
     /// A supervision upgrade (towards Healthy) happened before a full
     /// probation window elapsed since the source's previous transition or
     /// last penalty signal — the hysteresis the policy promises.
@@ -130,6 +144,7 @@ impl Violation {
             Violation::Independence { .. } => "independence",
             Violation::QuarantineOnNominal { .. } => "quarantine-on-nominal",
             Violation::UnjustifiedQuarantine { .. } => "unjustified-quarantine",
+            Violation::ReplayDivergence { .. } => "replay-divergence",
             Violation::PrematureRecovery { .. } => "premature-recovery",
         }
     }
@@ -204,6 +219,14 @@ impl Violation {
                 elapsed.as_nanos(),
                 window.as_nanos()
             ),
+            Violation::ReplayDivergence {
+                slot,
+                expected,
+                actual,
+                seed,
+            } => format!(
+                r#"{{"kind":"replay-divergence","slot":{slot},"expected":{expected},"actual":{actual},"seed":{seed}}}"#
+            ),
         }
     }
 }
@@ -267,6 +290,16 @@ impl fmt::Display for Violation {
             } => write!(
                 f,
                 "source {source} upgraded at {at} after only {elapsed} (window {window})"
+            ),
+            Violation::ReplayDivergence {
+                slot,
+                expected,
+                actual,
+                seed,
+            } => write!(
+                f,
+                "replay diverged at slot boundary {slot}: recorded hash \
+                 {expected:#018x}, replayed {actual:#018x} (repro seed {seed})"
             ),
         }
     }

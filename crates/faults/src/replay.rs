@@ -1,0 +1,351 @@
+//! Divergence-detecting checkpoint replay.
+//!
+//! [`record_scenario`] drives one campaign machine to the horizon slot
+//! boundary by slot boundary, recording the machine's
+//! [`state_hash`](rthv::Machine::state_hash) at every boundary and a full
+//! [`MachineSnapshot`] every [`ReplayConfig::checkpoint_every`] boundaries.
+//! [`verify_from`] then re-executes the run from the nearest checkpoint at
+//! or before a chosen slot and compares hashes boundary by boundary: the
+//! first mismatch is reported as
+//! [`Violation::ReplayDivergence`] carrying the diverging slot, both
+//! hashes, and the scenario seed that reproduces the run.
+//!
+//! Because scenario plans are pure seed functions and the machine is a
+//! pure function of `(config, plan)`, a clean replay proves the recorded
+//! `RunReport` is reproducible from its inputs; a divergence pinpoints
+//! *when* the re-execution first went off the recorded trajectory — at
+//! slot granularity, not merely "the final report differs".
+
+use rthv::time::Instant;
+use rthv::{Machine, MachineSnapshot, RunReport, SupervisionPolicy, TdmaSchedule};
+
+use crate::campaign::{scenario_machine, CampaignConfig};
+use crate::inject::FaultScenario;
+use crate::oracle::Violation;
+
+/// How a scenario is recorded and replayed.
+#[derive(Debug, Clone)]
+pub struct ReplayConfig {
+    /// Run with the real δ⁻ monitor (`true`) or the admit-everything
+    /// baseline shaper (`false`).
+    pub monitored: bool,
+    /// Runtime health supervision for the run, if any.
+    pub supervision: Option<SupervisionPolicy>,
+    /// Keep a full machine snapshot every this many slot boundaries (the
+    /// initial state is always checkpoint 0). Must be non-zero.
+    pub checkpoint_every: u64,
+}
+
+impl Default for ReplayConfig {
+    /// Monitored, unsupervised, a checkpoint every 8 slot boundaries.
+    fn default() -> Self {
+        ReplayConfig {
+            monitored: true,
+            supervision: None,
+            checkpoint_every: 8,
+        }
+    }
+}
+
+/// The recording of one scenario run: per-boundary state hashes, periodic
+/// checkpoints, and the finished [`RunReport`].
+#[derive(Debug, Clone)]
+pub struct ReplayTrace {
+    seed: u64,
+    /// `boundary_hashes[k - 1]` is the state hash after processing every
+    /// event up to and including slot boundary `k`.
+    boundary_hashes: Vec<u64>,
+    /// Snapshots keyed by the boundary index they were taken at; always
+    /// starts with `(0, <initial state>)`.
+    checkpoints: Vec<(u64, MachineSnapshot)>,
+    /// FNV-1a digest of the final report's canonical rendering — covers
+    /// the record buffers in full, beyond the per-boundary length+last
+    /// summary inside `state_hash`.
+    report_digest: u64,
+    report: RunReport,
+}
+
+impl ReplayTrace {
+    /// The scenario seed that reproduces this run.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Slot boundaries recorded before the horizon.
+    #[must_use]
+    pub fn boundaries(&self) -> u64 {
+        self.boundary_hashes.len() as u64
+    }
+
+    /// Full checkpoints kept (including the initial state).
+    #[must_use]
+    pub fn checkpoints(&self) -> u64 {
+        self.checkpoints.len() as u64
+    }
+
+    /// The finished run's report.
+    #[must_use]
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+}
+
+/// Runs one scenario to the horizon, recording boundary hashes and
+/// periodic checkpoints.
+///
+/// # Panics
+///
+/// Panics if `replay.checkpoint_every` is zero or the campaign platform
+/// configuration is invalid.
+#[must_use]
+pub fn record_scenario(
+    config: &CampaignConfig,
+    scenario: &FaultScenario,
+    replay: &ReplayConfig,
+) -> ReplayTrace {
+    assert!(replay.checkpoint_every > 0, "checkpoint period must be > 0");
+    let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
+    let mut machine = scenario_machine(config, &plan, replay.monitored, replay.supervision);
+    let schedule = machine.schedule().clone();
+    let horizon = Instant::ZERO + config.horizon;
+
+    let mut checkpoints = vec![(0, machine.snapshot())];
+    let mut boundary_hashes = Vec::new();
+    let mut k = 1u64;
+    while schedule.boundary_time(k) <= horizon {
+        machine.run_until(schedule.boundary_time(k));
+        boundary_hashes.push(machine.state_hash());
+        if k.is_multiple_of(replay.checkpoint_every) {
+            checkpoints.push((k, machine.snapshot()));
+        }
+        k += 1;
+    }
+    machine.run_until(horizon);
+    let report = machine.finish();
+    ReplayTrace {
+        seed: scenario.seed,
+        boundary_hashes,
+        checkpoints,
+        report_digest: fnv1a(format!("{report:?}").as_bytes()),
+        report,
+    }
+}
+
+/// Re-executes the recorded run from its initial state and checks every
+/// slot boundary. Equivalent to [`verify_from`] with `from_slot = 0`.
+///
+/// # Errors
+///
+/// The first diverging boundary, as [`Violation::ReplayDivergence`].
+pub fn verify(
+    config: &CampaignConfig,
+    scenario: &FaultScenario,
+    replay: &ReplayConfig,
+    trace: &ReplayTrace,
+) -> Result<(), Violation> {
+    verify_from(config, scenario, replay, trace, 0)
+}
+
+/// Re-executes the recorded run from the nearest checkpoint at or before
+/// slot boundary `from_slot`, comparing the machine's state hash against
+/// the recording at every subsequent boundary and the final report digest
+/// at the horizon.
+///
+/// # Errors
+///
+/// The first diverging boundary, as [`Violation::ReplayDivergence`]
+/// carrying `(slot, expected hash, actual hash, scenario seed)`.
+///
+/// # Panics
+///
+/// Panics if `trace` was recorded with a different `checkpoint_every` (so
+/// no usable checkpoint exists) or under a different boundary count.
+pub fn verify_from(
+    config: &CampaignConfig,
+    scenario: &FaultScenario,
+    replay: &ReplayConfig,
+    trace: &ReplayTrace,
+    from_slot: u64,
+) -> Result<(), Violation> {
+    verify_from_with(config, scenario, replay, trace, from_slot, |_, _| {})
+}
+
+/// [`verify_from`] with a state-mutation hook, called as `mutate(k,
+/// &mut machine)` right before the replay executes the segment ending at
+/// boundary `k`. The no-op hook is the production path; tests inject
+/// mid-run corruption through it and assert the oracle pins the first
+/// diverging slot.
+///
+/// # Errors
+///
+/// See [`verify_from`].
+///
+/// # Panics
+///
+/// See [`verify_from`].
+pub fn verify_from_with(
+    config: &CampaignConfig,
+    scenario: &FaultScenario,
+    replay: &ReplayConfig,
+    trace: &ReplayTrace,
+    from_slot: u64,
+    mut mutate: impl FnMut(u64, &mut Machine),
+) -> Result<(), Violation> {
+    let (start, snapshot) = trace
+        .checkpoints
+        .iter()
+        .rev()
+        .find(|(k, _)| *k <= from_slot)
+        .expect("checkpoint 0 always exists");
+
+    let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
+    let mut machine = scenario_machine(config, &plan, replay.monitored, replay.supervision);
+    machine.restore(snapshot);
+    let schedule: TdmaSchedule = machine.schedule().clone();
+    let horizon = Instant::ZERO + config.horizon;
+
+    for k in (start + 1)..=trace.boundaries() {
+        mutate(k, &mut machine);
+        machine.run_until(schedule.boundary_time(k));
+        let actual = machine.state_hash();
+        let expected = trace.boundary_hashes[(k - 1) as usize];
+        if actual != expected {
+            return Err(Violation::ReplayDivergence {
+                slot: k,
+                expected,
+                actual,
+                seed: trace.seed,
+            });
+        }
+    }
+
+    // Past the last boundary: the report digest covers the full record
+    // buffers (completions, admissions, spans), catching any tail-only
+    // divergence the length+last boundary hash could miss.
+    let end_slot = trace.boundaries() + 1;
+    mutate(end_slot, &mut machine);
+    machine.run_until(horizon);
+    let report = machine.finish();
+    let actual = fnv1a(format!("{report:?}").as_bytes());
+    if actual != trace.report_digest {
+        return Err(Violation::ReplayDivergence {
+            slot: end_slot,
+            expected: trace.report_digest,
+            actual,
+            seed: trace.seed,
+        });
+    }
+    Ok(())
+}
+
+/// 64-bit FNV-1a over raw bytes (the same digest family `state_hash`
+/// uses for state words).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inject::FaultKind;
+    use rthv::time::Duration;
+    use rthv::IrqSourceId;
+
+    fn config() -> CampaignConfig {
+        CampaignConfig {
+            horizon: Duration::from_millis(200),
+            scenarios: Vec::new(),
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn storm() -> FaultScenario {
+        FaultScenario {
+            id: 0,
+            kind: FaultKind::IrqStorm {
+                period: Duration::from_micros(300),
+            },
+            seed: 0xFA,
+        }
+    }
+
+    #[test]
+    fn clean_replay_verifies_from_every_checkpoint() {
+        let config = config();
+        let replay = ReplayConfig::default();
+        let trace = record_scenario(&config, &storm(), &replay);
+        assert!(trace.boundaries() > 10);
+        assert!(trace.checkpoints() > 1);
+        for from_slot in [0, 1, 7, 8, 9, trace.boundaries()] {
+            assert_eq!(
+                verify_from(&config, &storm(), &replay, &trace, from_slot),
+                Ok(()),
+                "from_slot={from_slot}"
+            );
+        }
+    }
+
+    #[test]
+    fn supervised_replay_verifies() {
+        let config = config();
+        let replay = ReplayConfig {
+            supervision: Some(rthv::SupervisionPolicy::default()),
+            ..ReplayConfig::default()
+        };
+        let trace = record_scenario(&config, &storm(), &replay);
+        assert_eq!(verify(&config, &storm(), &replay, &trace), Ok(()));
+    }
+
+    #[test]
+    fn injected_mutation_is_pinned_to_its_slot() {
+        let config = config();
+        let replay = ReplayConfig::default();
+        let trace = record_scenario(&config, &storm(), &replay);
+
+        // Corrupt the machine right before the segment ending at boundary
+        // 11: a δ⁻ swap silently changes future admissions. The oracle
+        // must report slot 11 — not the end of the run.
+        let verdict = verify_from_with(&config, &storm(), &replay, &trace, 0, |k, machine| {
+            if k == 11 {
+                let delta = rthv::monitor::DeltaFunction::from_dmin(Duration::from_millis(9))
+                    .expect("valid δ⁻");
+                assert!(machine.set_monitor_delta(IrqSourceId::new(0), delta));
+            }
+        });
+        match verdict {
+            Err(Violation::ReplayDivergence {
+                slot,
+                expected,
+                actual,
+                seed,
+            }) => {
+                assert_eq!(slot, 11);
+                assert_ne!(expected, actual);
+                assert_eq!(seed, 0xFA);
+            }
+            other => panic!("expected a replay divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn divergence_json_is_integer_only() {
+        let v = Violation::ReplayDivergence {
+            slot: 11,
+            expected: 0xDEAD,
+            actual: 0xBEEF,
+            seed: 7,
+        };
+        assert_eq!(v.slug(), "replay-divergence");
+        assert_eq!(
+            v.to_json(),
+            r#"{"kind":"replay-divergence","slot":11,"expected":57005,"actual":48879,"seed":7}"#
+        );
+        assert!(!v.to_json().contains('.'));
+    }
+}

@@ -36,7 +36,7 @@ pub use config::{
     IrqHandlingMode, IrqSourceSpec, OverflowPolicy, PartitionSpec, PolicyOptions, SlotSpec,
 };
 pub use ids::{IrqSourceId, PartitionId};
-pub use machine::{Machine, MachineError, RunReport, ScheduleIrqError};
+pub use machine::{Machine, MachineError, MachineSnapshot, RunReport, ScheduleIrqError};
 pub use record::{
     AdmissionRecord, Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval,
     ServiceKind, Span, TraceRecorder,

@@ -39,7 +39,7 @@ use crate::{
 };
 
 /// Events driving the machine.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum Event {
     /// A hardware IRQ fires.
     Arrival {
@@ -62,7 +62,7 @@ enum Event {
 }
 
 /// What to do when the current hypervisor block finishes.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 enum HvCont {
     /// Top handler (and, in interposed mode for foreign IRQs, the monitoring
     /// function) completed.
@@ -91,7 +91,7 @@ enum HvCont {
 
 /// Current partition-level activity (only meaningful while no hypervisor
 /// block runs).
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 enum Activity {
     /// CPU is inside a hypervisor block (or between dispatch steps).
     #[default]
@@ -111,7 +111,7 @@ enum Activity {
 
 /// A running hypervisor block: its continuation and start time (for exact
 /// hypervisor-time accounting at block end).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct HvBlock {
     cont: HvCont,
     started: Instant,
@@ -152,7 +152,7 @@ struct PendingIrq {
 }
 
 /// Per-partition run-time state.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct PartitionRt {
     queue: VecDeque<PendingIrq>,
 }
@@ -708,6 +708,222 @@ impl Machine {
             window_spans: self.window_trace,
             supervision: self.supervisor.as_ref().map(Supervisor::report),
         }
+    }
+
+    /// Captures a deep checkpoint of the machine's complete state —
+    /// scheduler position, event queue (ids and generations included),
+    /// per-source monitor trace rings, supervision state machines,
+    /// partition queues, counters and every record buffer.
+    ///
+    /// A machine [`restore`](Machine::restore)d from the snapshot continues
+    /// the run exactly as the original would have: same events, same
+    /// decisions, byte-identical [`RunReport`]. Snapshots are plain data —
+    /// cheap to clone, safe to keep across further execution of the source
+    /// machine.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            config: self.config.clone(),
+            schedule: self.schedule.clone(),
+            queue: self.queue.clone(),
+            hv: self.hv.clone(),
+            activity: self.activity.clone(),
+            window: self.window,
+            pending_boundary: self.pending_boundary,
+            latched: self.latched.clone(),
+            current_slot: self.current_slot,
+            partitions: self.partitions.clone(),
+            monitors: self.monitors.clone(),
+            supervisor: self.supervisor.clone(),
+            recorder: self.recorder.clone(),
+            counters: self.counters.clone(),
+            next_seq: self.next_seq.clone(),
+            expected_completions: self.expected_completions,
+            window_openings: self.window_openings.clone(),
+            admissions: self.admissions.clone(),
+            defect: self.defect.clone(),
+            service_trace: self.service_trace.clone(),
+            hv_trace: self.hv_trace.clone(),
+            window_trace: self.window_trace.clone(),
+        }
+    }
+
+    /// Rewinds the machine to the state captured by
+    /// [`snapshot`](Machine::snapshot), including runtime configuration
+    /// mutations ([`set_mode`](Machine::set_mode),
+    /// [`set_monitor_delta`](Machine::set_monitor_delta)) made before the
+    /// snapshot was taken. Arrivals scheduled after the snapshot are
+    /// forgotten; arrivals that were pending at snapshot time fire again.
+    pub fn restore(&mut self, snapshot: &MachineSnapshot) {
+        self.config = snapshot.config.clone();
+        self.schedule = snapshot.schedule.clone();
+        self.queue = snapshot.queue.clone();
+        self.hv = snapshot.hv.clone();
+        self.activity = snapshot.activity.clone();
+        self.window = snapshot.window;
+        self.pending_boundary = snapshot.pending_boundary;
+        self.latched = snapshot.latched.clone();
+        self.current_slot = snapshot.current_slot;
+        self.partitions = snapshot.partitions.clone();
+        self.monitors = snapshot.monitors.clone();
+        self.supervisor = snapshot.supervisor.clone();
+        self.recorder = snapshot.recorder.clone();
+        self.counters = snapshot.counters.clone();
+        self.next_seq = snapshot.next_seq.clone();
+        self.expected_completions = snapshot.expected_completions;
+        self.window_openings = snapshot.window_openings.clone();
+        self.admissions = snapshot.admissions.clone();
+        self.defect = snapshot.defect.clone();
+        self.service_trace = snapshot.service_trace.clone();
+        self.hv_trace = snapshot.hv_trace.clone();
+        self.window_trace = snapshot.window_trace.clone();
+    }
+
+    /// A cheap deterministic digest (64-bit FNV-1a over canonical state
+    /// words) of the machine's live execution state.
+    ///
+    /// Two machines in behaviourally identical states — same virtual time,
+    /// same scheduled events, same monitor histories, same supervision
+    /// states, same counters — hash equal; a restored-vs-fresh divergence
+    /// shows up at the first slot boundary where the hashes differ rather
+    /// than only in the end-of-run report. Unbounded record buffers
+    /// (completions, admissions, window openings) contribute their length
+    /// and most recent entry, which pins down the divergence point without
+    /// rescanning the whole history on every boundary.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        let mut words = Vec::with_capacity(256);
+        self.state_words(&mut words);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for word in words {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x100_0000_01b3);
+            }
+        }
+        hash
+    }
+
+    /// Appends the machine's canonical state words (the preimage of
+    /// [`state_hash`](Machine::state_hash)).
+    fn state_words(&self, out: &mut Vec<u64>) {
+        out.push(self.queue.now().as_nanos());
+        out.push(self.current_slot);
+        out.push(match self.config.mode {
+            IrqHandlingMode::Baseline => 0,
+            IrqHandlingMode::Interposed => 1,
+        });
+        self.queue.for_each_scheduled(|at, seq, event| {
+            out.push(at.as_nanos());
+            out.push(seq);
+            event_words(event, out);
+        });
+        match &self.hv {
+            None => out.push(0),
+            Some(block) => {
+                out.push(1);
+                out.push(block.started.as_nanos());
+                hv_cont_words(&block.cont, out);
+            }
+        }
+        match &self.activity {
+            Activity::None => out.push(0),
+            Activity::User { partition, since } => {
+                out.push(1);
+                out.push(partition.index() as u64);
+                out.push(since.as_nanos());
+            }
+            Activity::Bottom {
+                partition,
+                since,
+                end_event,
+            } => {
+                out.push(2);
+                out.push(partition.index() as u64);
+                out.push(since.as_nanos());
+                out.push(u64::from(end_event.generation()));
+                out.push(end_event.seq());
+            }
+        }
+        match &self.window {
+            None => out.push(0),
+            Some(w) => {
+                out.push(1);
+                out.push(w.partition.index() as u64);
+                out.push(w.opened.as_nanos());
+                out.push(w.budget_end.as_nanos());
+                out.push(w.source.index() as u64);
+                out.push(u64::from(w.shrunk));
+            }
+        }
+        match self.pending_boundary {
+            None => out.push(0),
+            Some(index) => {
+                out.push(1);
+                out.push(index);
+            }
+        }
+        out.push(self.latched.len() as u64);
+        for irq in &self.latched {
+            out.push(irq.source.index() as u64);
+            out.push(irq.seq);
+            out.push(irq.arrival.as_nanos());
+            out.push(irq.work.as_nanos());
+        }
+        for partition in &self.partitions {
+            out.push(partition.queue.len() as u64);
+            for pending in &partition.queue {
+                out.push(pending.source.index() as u64);
+                out.push(pending.seq);
+                out.push(pending.arrival.as_nanos());
+                out.push(pending.work.as_nanos());
+                out.push(pending.remaining.as_nanos());
+            }
+        }
+        for monitor in &self.monitors {
+            match monitor {
+                None => out.push(0),
+                Some(shaper) => {
+                    out.push(1);
+                    shaper.state_words(out);
+                }
+            }
+        }
+        match &self.supervisor {
+            None => out.push(0),
+            Some(supervisor) => {
+                out.push(1);
+                supervisor.state_words(out);
+            }
+        }
+        counter_words(&self.counters, out);
+        out.extend(self.next_seq.iter().copied());
+        out.push(self.expected_completions);
+        out.push(self.recorder.len() as u64);
+        if let Some(last) = self.recorder.completions().last() {
+            out.push(last.source.index() as u64);
+            out.push(last.seq);
+            out.push(last.partition.index() as u64);
+            out.push(last.arrival.as_nanos());
+            out.push(last.completed.as_nanos());
+            out.push(match last.class {
+                HandlingClass::Direct => 0,
+                HandlingClass::Interposed => 1,
+                HandlingClass::Delayed => 2,
+            });
+        }
+        out.push(self.window_openings.len() as u64);
+        if let Some(last) = self.window_openings.last() {
+            out.push(last.as_nanos());
+        }
+        out.push(self.admissions.len() as u64);
+        if let Some(last) = self.admissions.last() {
+            out.push(last.source.index() as u64);
+            out.push(last.seq);
+            out.push(last.check_at.as_nanos());
+            out.push(u64::from(last.admitted));
+        }
+        out.push(u64::from(self.defect.is_some()));
     }
 
     /// Advances the supervision state machines to current virtual time,
@@ -1317,6 +1533,129 @@ impl Machine {
                 };
             }
         }
+    }
+}
+
+/// A deep checkpoint of a [`Machine`]'s complete execution state, produced
+/// by [`Machine::snapshot`] and consumed by [`Machine::restore`].
+///
+/// The snapshot is opaque plain data: it owns clones of every piece of
+/// machine state — configuration (including runtime mutations), TDMA
+/// schedule position, the event queue with its id/generation table, the
+/// running hypervisor block, partition queues, per-source admission
+/// monitors with their δ⁻ trace rings, the supervision state machines,
+/// counters, and all record buffers. Restoring it onto any machine built
+/// from a compatible configuration resumes the run bit-identically.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    config: HypervisorConfig,
+    schedule: TdmaSchedule,
+    queue: EventQueue<Event>,
+    hv: Option<HvBlock>,
+    activity: Activity,
+    window: Option<InterposedWindow>,
+    pending_boundary: Option<u64>,
+    latched: VecDeque<LatchedIrq>,
+    current_slot: u64,
+    partitions: Vec<PartitionRt>,
+    monitors: Vec<Option<Shaper>>,
+    supervisor: Option<Supervisor>,
+    recorder: TraceRecorder,
+    counters: Counters,
+    next_seq: Vec<u64>,
+    expected_completions: u64,
+    window_openings: Vec<Instant>,
+    admissions: Vec<AdmissionRecord>,
+    defect: Option<MachineError>,
+    service_trace: Option<Vec<Vec<ServiceInterval>>>,
+    hv_trace: Option<Vec<Span>>,
+    window_trace: Option<Vec<Span>>,
+}
+
+impl MachineSnapshot {
+    /// Virtual time at which the snapshot was taken.
+    #[must_use]
+    pub fn taken_at(&self) -> Instant {
+        self.queue.now()
+    }
+}
+
+/// Appends the canonical word encoding of a scheduled [`Event`].
+fn event_words(event: &Event, out: &mut Vec<u64>) {
+    match event {
+        Event::Arrival { source, seq, work } => {
+            out.push(0);
+            out.push(source.index() as u64);
+            out.push(*seq);
+            out.push(work.as_nanos());
+        }
+        Event::HvEnd => out.push(1),
+        Event::SegEnd => out.push(2),
+        Event::Boundary { index } => {
+            out.push(3);
+            out.push(*index);
+        }
+    }
+}
+
+/// Appends the canonical word encoding of a hypervisor-block continuation.
+fn hv_cont_words(cont: &HvCont, out: &mut Vec<u64>) {
+    match cont {
+        HvCont::TopHandler {
+            source,
+            seq,
+            arrival,
+            work,
+        } => {
+            out.push(0);
+            out.push(source.index() as u64);
+            out.push(*seq);
+            out.push(arrival.as_nanos());
+            out.push(work.as_nanos());
+        }
+        HvCont::EnterInterposed {
+            partition,
+            budget,
+            source,
+            shrunk,
+        } => {
+            out.push(1);
+            out.push(partition.index() as u64);
+            out.push(budget.as_nanos());
+            out.push(source.index() as u64);
+            out.push(u64::from(*shrunk));
+        }
+        HvCont::ExitInterposed => out.push(2),
+        HvCont::SlotSwitch { slot } => {
+            out.push(3);
+            out.push(*slot);
+        }
+    }
+}
+
+/// Appends every [`Counters`] scalar plus per-partition service accounting.
+fn counter_words(counters: &Counters, out: &mut Vec<u64>) {
+    out.push(counters.context_switches);
+    out.push(counters.slot_switches);
+    out.push(counters.hypervisor_time.as_nanos());
+    out.push(counters.interposed_windows);
+    out.push(counters.deferred_boundaries);
+    out.push(counters.aborted_windows);
+    out.push(counters.expired_windows);
+    out.push(counters.latched_irqs);
+    out.push(counters.coalesced_irqs);
+    out.push(counters.overflow_rejected);
+    out.push(counters.overflow_dropped);
+    out.push(counters.monitor_admitted);
+    out.push(counters.monitor_denied);
+    out.push(counters.events_processed);
+    out.push(counters.supervised_demotions);
+    out.push(counters.shrunk_windows);
+    out.push(counters.quarantine_entries);
+    out.push(counters.recoveries);
+    for service in &counters.service {
+        out.push(service.user.as_nanos());
+        out.push(service.bottom.as_nanos());
     }
 }
 

@@ -317,6 +317,35 @@ impl HealthTracker {
         self.entered_at = at;
         HealthTransition { from, to, cause }
     }
+
+    /// Appends the tracker's mutable state as canonical `u64` words for
+    /// checkpoint state-hashing.
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        out.push(state_word(self.state));
+        out.push(u64::from(self.score));
+        out.push(self.entered_at.as_nanos());
+        out.push(self.clean_since.as_nanos());
+    }
+}
+
+/// Stable numeric encoding of a health state for state-hashing.
+fn state_word(state: HealthState) -> u64 {
+    match state {
+        HealthState::Healthy => 0,
+        HealthState::Probation => 1,
+        HealthState::Quarantined => 2,
+        HealthState::Recovering => 3,
+    }
+}
+
+/// Stable numeric encoding of a health signal for state-hashing.
+fn signal_word(signal: HealthSignal) -> u64 {
+    match signal {
+        HealthSignal::Denied => 0,
+        HealthSignal::BudgetClip => 1,
+        HealthSignal::Overflow => 2,
+        HealthSignal::NonYielding => 3,
+    }
 }
 
 /// Kind of a recorded supervision event.
@@ -517,6 +546,45 @@ impl Supervisor {
             *penalty = 0;
         }
         self.events.clear();
+    }
+
+    /// Appends the supervisor's mutable state as canonical `u64` words —
+    /// every tracker, every conformance watch, the partition ledger and the
+    /// event log's length plus its most recent entry — for checkpoint
+    /// state-hashing.
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        for slot in &self.slots {
+            match slot {
+                None => out.push(0),
+                Some(slot) => {
+                    out.push(1);
+                    out.push(slot.partition as u64);
+                    slot.tracker.state_words(out);
+                    slot.watch.state_words(out);
+                }
+            }
+        }
+        out.extend(self.partition_penalties.iter().copied());
+        out.push(self.events.len() as u64);
+        if let Some(event) = self.events.last() {
+            out.push(event.at.as_nanos());
+            out.push(event.source as u64);
+            match event.kind {
+                SupervisionEventKind::Signal(signal) => {
+                    out.push(0);
+                    out.push(signal_word(signal));
+                }
+                SupervisionEventKind::Transition(t) => {
+                    out.push(1);
+                    out.push(state_word(t.from));
+                    out.push(state_word(t.to));
+                    out.push(match t.cause {
+                        TransitionCause::Signal(signal) => 1 + signal_word(signal),
+                        TransitionCause::Conformance => 0,
+                    });
+                }
+            }
+        }
     }
 
     /// Snapshot for the run report.

@@ -121,6 +121,15 @@ impl TokenBucket {
         self.last_refill = Instant::ZERO;
         self.stats = MonitorStats::default();
     }
+
+    /// Appends the bucket's mutable state as canonical `u64` words (token
+    /// count, refill anchor, counters) for checkpoint state-hashing.
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        out.push(u64::from(self.tokens));
+        out.push(self.last_refill.as_nanos());
+        out.push(self.stats.admitted);
+        out.push(self.stats.denied);
+    }
 }
 
 impl fmt::Display for TokenBucket {
@@ -242,6 +251,22 @@ impl Shaper {
         match self {
             Shaper::Delta(monitor) => monitor.reset(),
             Shaper::Bucket(bucket) => bucket.reset(),
+        }
+    }
+
+    /// Appends the shaper's mutable state as canonical `u64` words (a
+    /// variant discriminant followed by the inner state) for checkpoint
+    /// state-hashing.
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        match self {
+            Shaper::Delta(monitor) => {
+                out.push(0);
+                monitor.state_words(out);
+            }
+            Shaper::Bucket(bucket) => {
+                out.push(1);
+                bucket.state_words(out);
+            }
         }
     }
 }

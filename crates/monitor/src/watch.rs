@@ -116,6 +116,22 @@ impl ConformanceWatch {
         self.violations = 0;
         self.last_violation = None;
     }
+
+    /// Appends the watch's mutable state as canonical `u64` words (shadow
+    /// monitor state, counts, last-violation timestamp) for checkpoint
+    /// state-hashing.
+    pub fn state_words(&self, out: &mut Vec<u64>) {
+        self.shadow.state_words(out);
+        out.push(self.observed);
+        out.push(self.violations);
+        match self.last_violation {
+            Some(at) => {
+                out.push(1);
+                out.push(at.as_nanos());
+            }
+            None => out.push(0),
+        }
+    }
 }
 
 impl Shaper {

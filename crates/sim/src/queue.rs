@@ -34,6 +34,20 @@ pub struct EventId {
     seq: u64,
 }
 
+impl EventId {
+    /// The queue generation that issued this id.
+    #[must_use]
+    pub fn generation(self) -> u32 {
+        self.generation
+    }
+
+    /// The dense per-generation sequence number.
+    #[must_use]
+    pub fn seq(self) -> u64 {
+        self.seq
+    }
+}
+
 /// Error returned when scheduling an event strictly before the queue's
 /// current time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +122,17 @@ struct Entry<E> {
     event: E,
 }
 
+impl<E: Clone> Clone for Entry<E> {
+    fn clone(&self) -> Self {
+        Entry {
+            at: self.at,
+            seq: self.seq,
+            id: self.id,
+            event: self.event.clone(),
+        }
+    }
+}
+
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
@@ -147,7 +172,7 @@ enum IdState {
 /// and their slots are recycled. Memory is O(live ids), with no hashing and
 /// no per-operation allocation once the ring capacity covers the peak
 /// number of simultaneously live ids.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 struct IdTable {
     /// Every id strictly below this watermark has been consumed.
     base: u64,
@@ -372,6 +397,27 @@ impl<E> EventQueue<E> {
         None
     }
 
+    /// Visits every live (scheduled, not cancelled) event in canonical
+    /// firing order — ascending `(time, seq)` — without disturbing the
+    /// queue.
+    ///
+    /// The callback receives the firing time, the dense sequence number and
+    /// the event payload. This is the queue's canonical-state iterator:
+    /// two queues that would pop the same event stream visit the same
+    /// `(time, seq, event)` triples, which is what checkpoint state-hashing
+    /// relies on.
+    pub fn for_each_scheduled(&self, mut f: impl FnMut(Instant, u64, &E)) {
+        let mut live: Vec<&Entry<E>> = self
+            .heap
+            .iter()
+            .filter(|entry| self.ids.state(entry.id.seq) != IdState::Cancelled)
+            .collect();
+        live.sort_by_key(|entry| (entry.at, entry.seq));
+        for entry in live {
+            f(entry.at, entry.seq, &entry.event);
+        }
+    }
+
     /// Timestamp of the earliest live event without popping it.
     #[must_use]
     pub fn peek_time(&mut self) -> Option<Instant> {
@@ -395,6 +441,23 @@ impl<E> EventQueue<E> {
 impl<E> Default for EventQueue<E> {
     fn default() -> Self {
         EventQueue::new()
+    }
+}
+
+impl<E: Clone> Clone for EventQueue<E> {
+    /// Deep-copies the queue, preserving event ids, generations and the
+    /// lazy-cancellation bookkeeping: the clone pops exactly the same
+    /// `(time, event)` stream as the original would, and ids issued by the
+    /// original remain valid (cancellable) on the clone. This is the
+    /// foundation of machine checkpointing.
+    fn clone(&self) -> Self {
+        EventQueue {
+            heap: self.heap.clone(),
+            ids: self.ids.clone(),
+            next_seq: self.next_seq,
+            generation: self.generation,
+            now: self.now,
+        }
     }
 }
 
@@ -694,6 +757,88 @@ mod tests {
             ring_cap,
             "steady state reallocated the ring"
         );
+    }
+
+    #[test]
+    fn clone_pops_the_identical_stream() {
+        let mut q = EventQueue::new();
+        let mut cancels = Vec::new();
+        for i in 0..200u64 {
+            let id = q
+                .schedule_at(Instant::from_nanos((i * 37) % 90), i)
+                .expect("future");
+            if i % 5 == 0 {
+                cancels.push(id);
+            }
+        }
+        for id in cancels {
+            assert!(q.cancel(id));
+        }
+        let mut copy = q.clone();
+        assert_eq!(copy.len(), q.len());
+        loop {
+            let a = q.pop();
+            let b = copy.pop();
+            assert_eq!(a, b, "clone diverged from original");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn clone_preserves_ids_and_generation() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_nanos(1), Ev::A)
+            .expect("future");
+        q.clear();
+        let id = q
+            .schedule_at(Instant::from_nanos(2), Ev::B)
+            .expect("future");
+        let mut copy = q.clone();
+        // An id issued by the original cancels the cloned event: the clone
+        // is the same queue lifetime, not a restarted one.
+        assert_eq!(copy.try_cancel(id), Ok(true));
+        assert!(copy.is_empty());
+        assert_eq!(q.len(), 1, "original untouched by the clone's cancel");
+    }
+
+    #[test]
+    fn for_each_scheduled_visits_live_events_in_pop_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(Instant::from_nanos(30), Ev::C)
+            .expect("future");
+        let b = q
+            .schedule_at(Instant::from_nanos(20), Ev::B)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(10), Ev::A)
+            .expect("future");
+        q.schedule_at(Instant::from_nanos(10), Ev::B)
+            .expect("future");
+        q.cancel(b);
+        let mut seen = Vec::new();
+        q.for_each_scheduled(|at, seq, e| seen.push((at, seq, *e)));
+        assert_eq!(
+            seen,
+            vec![
+                (Instant::from_nanos(10), 2, Ev::A),
+                (Instant::from_nanos(10), 3, Ev::B),
+                (Instant::from_nanos(30), 0, Ev::C),
+            ]
+        );
+        // The walk is read-only: popping still yields everything live.
+        assert_eq!(q.pop().map(|(_, e)| e), Some(Ev::A));
+    }
+
+    #[test]
+    fn event_id_exposes_raw_parts() {
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.clear();
+        let id = q
+            .schedule_at(Instant::from_nanos(1), Ev::A)
+            .expect("future");
+        assert_eq!(id.generation(), 1);
+        assert_eq!(id.seq(), 0);
     }
 
     #[test]

@@ -42,4 +42,6 @@ pub use ecu::{AutomotiveTraceBuilder, BurstSpec, PeriodicTaskSpec};
 pub use exponential::ExponentialArrivals;
 pub use periodic::PeriodicJitterArrivals;
 pub use trace::{ArrivalTrace, TraceError};
-pub use trace_io::{read_trace, write_trace, ReadTraceError};
+pub use trace_io::{
+    read_trace, read_trace_file, write_trace, write_trace_file, ReadTraceError, TraceIoError,
+};

@@ -23,6 +23,23 @@ echo "==> smoke fault-injection campaign (7 scenarios, fixed seed)"
 cargo run --release -q -p rthv-experiments --bin campaign \
     target/CAMPAIGN_smoke.json 7 16392212
 
+echo "==> kill-then-resume smoke (abort mid-campaign, resume, compare reports)"
+# The same campaign, killed via abort() after two scenarios are journaled,
+# then resumed from the journal. The resumed report must be byte-identical
+# to the uninterrupted one above — --resume can never change a number.
+rm -f target/CAMPAIGN_smoke_journal.jsonl target/CAMPAIGN_smoke_resumed.json
+cargo run --release -q -p rthv-experiments --bin campaign \
+    target/CAMPAIGN_smoke_resumed.json 7 16392212 \
+    --journal target/CAMPAIGN_smoke_journal.jsonl --abort-after 2 || true
+test ! -f target/CAMPAIGN_smoke_resumed.json \
+    || { echo "aborted run must not write a report"; exit 1; }
+cargo run --release -q -p rthv-experiments --bin campaign \
+    target/CAMPAIGN_smoke_resumed.json 7 16392212 \
+    --resume target/CAMPAIGN_smoke_journal.jsonl \
+    --journal target/CAMPAIGN_smoke_journal.jsonl
+cmp target/CAMPAIGN_smoke.json target/CAMPAIGN_smoke_resumed.json \
+    || { echo "resumed report differs from uninterrupted run"; exit 1; }
+
 echo "==> smoke supervised campaign (nominal + 7 fault families, fixed seed)"
 # Fails on any oracle violation (quarantine soundness included), a
 # quarantine on the nominal ablation, a storm/flood scenario that never
