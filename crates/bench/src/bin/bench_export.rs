@@ -5,11 +5,16 @@
 //! regressions.
 //!
 //! Usage: `cargo run --release -p rthv-experiments --bin bench_export
-//! [output-path]` (default `BENCH_sim.json` in the working directory).
+//! [output-path] [--metrics <json>]` (default `BENCH_sim.json` in the
+//! working directory). With `--metrics`, the observability probe's metrics
+//! snapshot is also written to the given path — deterministic across runs.
 //!
 //! The parallel pass fans the scenario's independent load levels over host
 //! cores with [`SweepRunner`] and cross-checks that the merged result is
-//! identical to the sequential one before reporting its timing.
+//! identical to the sequential one before reporting its timing. A
+//! single-core host cannot demonstrate parallel speedup, so each sweep
+//! point records how many workers actually ran and whether its speedup
+//! number is meaningful at all.
 
 use std::fmt::Write as _;
 use std::time::Instant as HostInstant;
@@ -18,7 +23,7 @@ use rthv::monitor::DeltaFunction;
 use rthv::scenarios::{merge_fig6_loads, run_fig6_load, Fig6Config, Fig6Run, Fig6Variant};
 use rthv::time::{Duration as SimDuration, Instant as SimInstant};
 use rthv::{IrqHandlingMode, IrqSourceId, Machine, PaperSetup, SupervisionPolicy};
-use rthv_experiments::SweepRunner;
+use rthv_experiments::{parse_journal_flags, SweepRunner};
 
 /// IRQs per load level at each scale; the paper's Figure 6 uses 5000.
 const SCALES: [usize; 3] = [1_000, 5_000, 20_000];
@@ -118,6 +123,71 @@ fn measure_supervision(supervised: bool) -> SupervisionMeasured {
     SupervisionMeasured {
         wall_seconds,
         decisions: report.counters.monitor_admitted + report.counters.monitor_denied,
+    }
+}
+
+/// Arrivals in the observability-overhead probe: same conformant shape as
+/// the supervision probe (but longer, to lift the signal above scheduler
+/// noise), so the timing delta is purely the flight-recorder hooks on the
+/// hot path.
+const OBS_ARRIVALS: u64 = 120_000;
+
+/// The instrumented hot path must stay within this factor of the bare one.
+const OBS_OVERHEAD_BUDGET: f64 = 1.05;
+
+/// Bare/instrumented run pairs; the reported overhead is the *median* of
+/// the pairwise ratios. A single ~100 ms run is hostage to scheduler noise
+/// on a busy host; pairing the two modes back to back cancels slow drift,
+/// and the median discards the outlier pairs a noisy neighbour produces.
+const OBS_REPS: usize = 9;
+
+struct ObsMeasured {
+    wall_seconds: f64,
+    decisions: u64,
+    snapshot: Option<String>,
+}
+
+impl ObsMeasured {
+    fn decisions_per_sec(&self) -> f64 {
+        self.decisions as f64 / self.wall_seconds
+    }
+}
+
+/// Runs a fully conformant monitored workload (arrivals at exactly `d_min`)
+/// with the observability layer off or on and times the whole run. Metrics
+/// are pure observation, so both runs make identical admission decisions —
+/// asserted by the caller — and the delta is the cost of the counter,
+/// histogram, gauge and flight-recorder hooks.
+fn measure_obs(instrumented: bool) -> ObsMeasured {
+    let setup = PaperSetup::default();
+    let dmin = SimDuration::from_millis(3);
+    let delta = DeltaFunction::from_dmin(dmin).expect("positive d_min");
+    let hv = setup.config(IrqHandlingMode::Interposed, Some(delta));
+    let mut machine = Machine::new(hv).expect("paper setup is valid");
+    if instrumented {
+        let obs_config = machine.default_obs_config();
+        machine.enable_metrics(obs_config);
+    }
+    for i in 1..=OBS_ARRIVALS {
+        machine
+            .schedule_irq(
+                IrqSourceId::new(0),
+                SimInstant::ZERO + dmin.saturating_mul(i),
+            )
+            .expect("conformant arrival schedules");
+    }
+    let horizon = SimInstant::ZERO + dmin.saturating_mul(OBS_ARRIVALS + 2);
+
+    let start = HostInstant::now();
+    machine.run_until(horizon);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let snapshot = machine.metrics_snapshot_json();
+    let report = machine.finish();
+
+    ObsMeasured {
+        wall_seconds,
+        decisions: report.counters.monitor_admitted + report.counters.monitor_denied,
+        snapshot,
     }
 }
 
@@ -240,8 +310,14 @@ fn measure_checkpoint() -> CheckpointMeasured {
 }
 
 fn main() {
-    let path = std::env::args()
-        .nth(1)
+    let (options, positional) =
+        parse_journal_flags(std::env::args().skip(1)).unwrap_or_else(|message| {
+            eprintln!("bench_export: {message}");
+            std::process::exit(1);
+        });
+    let path = positional
+        .into_iter()
+        .next()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let parallel_runner = SweepRunner::available();
@@ -256,14 +332,24 @@ fn main() {
         let parallel = measure(&config, &parallel_runner);
         assert_identical(&sequential.run, &parallel.run);
         let speedup = parallel.events_per_sec() / sequential.events_per_sec();
+        // On a single-core host (or a single-load sweep) the "parallel"
+        // pass is just the sequential pass with extra bookkeeping; its
+        // speedup says nothing about the engine and is flagged as such.
+        let threads_used = parallel_runner.effective_threads(config.loads.len());
+        let speedup_meaningful = cores > 1 && threads_used > 1;
 
         eprintln!(
             "scale {scale}: sequential {:.0} events/s ({:.3} s), parallel {:.0} events/s \
-             ({:.3} s), speedup {speedup:.2}x on {cores} core(s)",
+             ({:.3} s), speedup {speedup:.2}x on {threads_used} worker(s), {cores} core(s){}",
             sequential.events_per_sec(),
             sequential.wall_seconds,
             parallel.events_per_sec(),
             parallel.wall_seconds,
+            if speedup_meaningful {
+                ""
+            } else {
+                " [speedup not meaningful]"
+            },
         );
 
         let _ = write!(
@@ -279,11 +365,13 @@ fn main() {
       }},
       "parallel": {{
         "threads": {threads},
+        "threads_used": {threads_used},
         "wall_seconds": {pw:.6},
         "events_per_sec": {pe:.1},
         "irqs_per_sec": {pi:.1}
       }},
       "parallel_speedup": {speedup:.3},
+      "parallel_speedup_meaningful": {speedup_meaningful},
       "mean_latency_us": {mean},
       "max_latency_us": {max}
     }}"#,
@@ -323,6 +411,57 @@ fn main() {
         on.wall_seconds,
     );
 
+    // Run the two modes back to back OBS_REPS times; keep each mode's best
+    // run for the throughput numbers and the median pairwise ratio as the
+    // overhead estimate.
+    let mut ratios = Vec::with_capacity(OBS_REPS);
+    let mut bare = measure_obs(false);
+    let mut instrumented = measure_obs(true);
+    ratios.push(instrumented.wall_seconds / bare.wall_seconds);
+    for _ in 1..OBS_REPS {
+        let b = measure_obs(false);
+        let i = measure_obs(true);
+        ratios.push(i.wall_seconds / b.wall_seconds);
+        if b.wall_seconds < bare.wall_seconds {
+            bare = b;
+        }
+        if i.wall_seconds < instrumented.wall_seconds {
+            instrumented = i;
+        }
+    }
+    assert_eq!(
+        bare.decisions, instrumented.decisions,
+        "observability must not change a conformant stream's admission decisions"
+    );
+    ratios.sort_by(f64::total_cmp);
+    let obs_ratio = ratios[ratios.len() / 2];
+    eprintln!(
+        "observability overhead: {} decisions — bare {:.0} decisions/s ({:.3} s), instrumented \
+         {:.0} decisions/s ({:.3} s), ratio {obs_ratio:.3}x (budget {OBS_OVERHEAD_BUDGET:.2}x)",
+        bare.decisions,
+        bare.decisions_per_sec(),
+        bare.wall_seconds,
+        instrumented.decisions_per_sec(),
+        instrumented.wall_seconds,
+    );
+    if obs_ratio > OBS_OVERHEAD_BUDGET {
+        eprintln!(
+            "WARNING: observability overhead {obs_ratio:.3}x exceeds the \
+             {OBS_OVERHEAD_BUDGET:.2}x budget on this host"
+        );
+    }
+    if let Some(metrics_path) = &options.metrics {
+        let snapshot = instrumented
+            .snapshot
+            .as_ref()
+            .expect("instrumented probe has metrics");
+        std::fs::write(metrics_path, snapshot).expect("write metrics snapshot");
+        eprintln!(
+            "bench_export: metrics snapshot -> {}",
+            metrics_path.display()
+        );
+    }
+
     let checkpoint = measure_checkpoint();
     eprintln!(
         "checkpoint overhead: {} boundaries — plain {:.3} s, hashed {:.3} s ({:+.2}%), \
@@ -354,6 +493,22 @@ fn main() {
     }},
     "overhead_ratio": {overhead_ratio:.4}
   }},
+  "observability_overhead": {{
+    "description": "conformant monitored workload timed with the flight-recorder observability layer off vs on; both runs make identical admission decisions, so the delta is the cost of the counter/histogram/gauge/recorder hooks",
+    "arrivals": {oarrivals},
+    "admission_decisions": {odecisions},
+    "bare": {{
+      "wall_seconds": {bw:.6},
+      "decisions_per_sec": {bd:.1}
+    }},
+    "instrumented": {{
+      "wall_seconds": {iw:.6},
+      "decisions_per_sec": {id:.1}
+    }},
+    "overhead_ratio": {obs_ratio:.4},
+    "overhead_budget_ratio": {OBS_OVERHEAD_BUDGET:.2},
+    "within_budget": {within_budget}
+  }},
   "checkpoint_overhead": {{
     "description": "conformant monitored workload with online arrival injection, stepped slot-by-slot without vs with state_hash() at every boundary (verified non-perturbing), plus mean snapshot()/restore() cost of a mid-run machine; state_hash is O(live machine state), so pre-scheduling an entire campaign's arrivals would inflate it",
     "arrivals": {carrivals},
@@ -374,6 +529,13 @@ fn main() {
         od = off.decisions_per_sec(),
         nw = on.wall_seconds,
         nd = on.decisions_per_sec(),
+        oarrivals = OBS_ARRIVALS,
+        odecisions = bare.decisions,
+        bw = bare.wall_seconds,
+        bd = bare.decisions_per_sec(),
+        iw = instrumented.wall_seconds,
+        id = instrumented.decisions_per_sec(),
+        within_budget = obs_ratio <= OBS_OVERHEAD_BUDGET,
         carrivals = CHECKPOINT_ARRIVALS,
         boundaries = checkpoint.boundaries,
         cplain = checkpoint.plain_seconds,

@@ -5,7 +5,8 @@
 //!
 //! Usage: `cargo run --release -p rthv-experiments --bin campaign
 //! [output-path] [scenario-count] [base-seed]
-//! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]`
+//! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]
+//! [--metrics <json>]`
 //! (defaults: `CAMPAIGN_faults.json`, 21 scenarios, seed `0xFA2014`).
 //!
 //! With `--journal`, each completed scenario is appended to a JSONL journal
@@ -17,6 +18,13 @@
 //! hook: the process dies via `abort()` right after the n-th journal append
 //! of this run is flushed.
 //!
+//! With `--metrics <json>`, the first scenario is re-run with the
+//! flight-recorder observability layer enabled and its metrics snapshots
+//! (monitored and unmonitored) are written to the given path. Metrics are
+//! pure observation, so the campaign report itself is unchanged and the
+//! snapshot file is deterministic — two runs with the same arguments
+//! produce byte-identical files.
+//!
 //! Scenarios fan across host cores with [`SweepRunner`]; the assembled
 //! report is verified byte-identical to a sequential re-execution (which
 //! also cross-checks any resumed outcomes) before it is written. The
@@ -27,10 +35,12 @@
 
 use std::process::ExitCode;
 
-use rthv_experiments::{parse_journal_flags, read_complete_lines, Journal, SweepRunner};
+use rthv_experiments::{
+    parse_journal_flags, read_complete_lines, write_scenario_observation, Journal, SweepRunner,
+};
 use rthv_faults::{
-    idle_reference, run_scenario, standard_scenarios, CampaignConfig, CampaignReport,
-    ScenarioOutcome,
+    idle_reference, run_scenario, run_scenario_with_metrics, standard_scenarios, CampaignConfig,
+    CampaignReport, ScenarioOutcome,
 };
 
 fn main() -> ExitCode {
@@ -130,6 +140,20 @@ fn main() -> ExitCode {
 
     let json = report.to_json();
     std::fs::write(&path, &json).expect("write campaign report");
+
+    if let Some(metrics_path) = &options.metrics {
+        // Observability snapshot of the first scenario: re-run with the
+        // flight recorder on. Metrics never change outcomes, so the report
+        // above is untouched; the assert pins that.
+        let scenario = &config.scenarios[0];
+        let observation = run_scenario_with_metrics(&config, &idle, scenario, None);
+        assert_eq!(
+            observation.outcome, report.scenarios[0],
+            "metrics instrumentation changed a scenario outcome"
+        );
+        write_scenario_observation(metrics_path, &observation).expect("write metrics snapshot");
+        eprintln!("campaign: metrics snapshot -> {}", metrics_path.display());
+    }
 
     eprintln!(
         "campaign: {} scenarios ({} resumed) on {} thread(s) -> {path}",

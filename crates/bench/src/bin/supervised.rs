@@ -6,8 +6,15 @@
 //!
 //! Usage: `cargo run --release -p rthv-experiments --bin supervised
 //! [output-path] [base-seed]
-//! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]`
+//! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]
+//! [--metrics <json>]`
 //! (defaults: `CAMPAIGN_supervised.json`, seed `0xFA2014`).
+//!
+//! With `--metrics <json>`, the first scenario is re-run with health
+//! supervision *and* the flight-recorder observability layer enabled, and
+//! its deterministic metrics snapshots (monitored and unmonitored) —
+//! including the recorded health transitions — are written to the given
+//! path. Metrics are pure observation; the campaign report is unchanged.
 //!
 //! With `--journal`, each completed scenario is appended to a JSONL journal
 //! the moment it finishes; with `--resume`, scenarios already present in a
@@ -27,10 +34,12 @@
 
 use std::process::ExitCode;
 
-use rthv_experiments::{parse_journal_flags, read_complete_lines, Journal, SweepRunner};
+use rthv_experiments::{
+    parse_journal_flags, read_complete_lines, write_scenario_observation, Journal, SweepRunner,
+};
 use rthv_faults::{
-    idle_reference, run_supervised_scenario, supervised_scenarios, SupervisedCampaignConfig,
-    SupervisedCampaignReport, SupervisedScenarioOutcome,
+    idle_reference, run_scenario_with_metrics, run_supervised_scenario, supervised_scenarios,
+    SupervisedCampaignConfig, SupervisedCampaignReport, SupervisedScenarioOutcome,
 };
 
 fn main() -> ExitCode {
@@ -120,6 +129,17 @@ fn main() -> ExitCode {
 
     let json = report.to_json();
     std::fs::write(&path, &json).expect("write supervised campaign report");
+
+    if let Some(metrics_path) = &options.metrics {
+        // Observability snapshot of the first scenario under supervision:
+        // the recorder picks up quarantine/recovery health transitions
+        // alongside the admission stream.
+        let scenario = &config.base.scenarios[0];
+        let observation =
+            run_scenario_with_metrics(&config.base, &idle, scenario, Some(config.policy));
+        write_scenario_observation(metrics_path, &observation).expect("write metrics snapshot");
+        eprintln!("supervised: metrics snapshot -> {}", metrics_path.display());
+    }
 
     eprintln!(
         "supervised campaign: {} scenarios ({} resumed) on {} thread(s) -> {path}",

@@ -108,11 +108,14 @@ pub struct JournalOptions {
     /// `--abort-after <n>`: crash-test hook — abort the process right after
     /// the n-th journal append of this run has been flushed.
     pub abort_after: Option<u64>,
+    /// `--metrics <path>`: run with the flight-recorder observability layer
+    /// enabled and write the deterministic metrics snapshot JSON here.
+    pub metrics: Option<PathBuf>,
 }
 
-/// Splits `--journal`, `--resume` and `--abort-after` (each taking one
-/// value) out of an argument list, returning the options and the remaining
-/// positional arguments in their original order.
+/// Splits `--journal`, `--resume`, `--abort-after` and `--metrics` (each
+/// taking one value) out of an argument list, returning the options and the
+/// remaining positional arguments in their original order.
 ///
 /// # Errors
 ///
@@ -126,13 +129,14 @@ pub fn parse_journal_flags(
     let mut args = args;
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--journal" | "--resume" | "--abort-after" => {
+            "--journal" | "--resume" | "--abort-after" | "--metrics" => {
                 let value = args
                     .next()
                     .ok_or_else(|| format!("{arg} requires a value"))?;
                 let slot_taken = match arg.as_str() {
                     "--journal" => options.journal.replace(PathBuf::from(value)).is_some(),
                     "--resume" => options.resume.replace(PathBuf::from(value)).is_some(),
+                    "--metrics" => options.metrics.replace(PathBuf::from(value)).is_some(),
                     _ => {
                         let n = value
                             .parse::<u64>()
@@ -148,6 +152,34 @@ pub fn parse_journal_flags(
         }
     }
     Ok((options, positional))
+}
+
+/// Writes a [`ScenarioObservation`] — one scenario's monitored and
+/// unmonitored metrics snapshots — as a single deterministic JSON file. The
+/// embedded snapshots come out of the observability hub byte-identical
+/// across runs, so two invocations with the same campaign arguments produce
+/// byte-identical files; the `check.sh` smoke pins this with `cmp`.
+///
+/// # Errors
+///
+/// Any I/O error from writing the file.
+pub fn write_scenario_observation(
+    path: &Path,
+    observation: &rthv_faults::ScenarioObservation,
+) -> io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"scenario\": \"{}\",\n",
+        observation.outcome.label
+    ));
+    out.push_str(&format!("  \"seed\": {},\n", observation.outcome.seed));
+    out.push_str("  \"monitored\": ");
+    out.push_str(observation.monitored_obs.trim_end());
+    out.push_str(",\n  \"unmonitored\": ");
+    out.push_str(observation.unmonitored_obs.trim_end());
+    out.push_str("\n}\n");
+    std::fs::write(path, out)
 }
 
 #[cfg(test)]
@@ -221,6 +253,8 @@ mod tests {
             "--abort-after",
             "3",
             "42",
+            "--metrics",
+            "obs.json",
         ]
         .into_iter()
         .map(String::from);
@@ -228,6 +262,7 @@ mod tests {
         assert_eq!(options.journal, Some(PathBuf::from("j.jsonl")));
         assert_eq!(options.resume, Some(PathBuf::from("old.jsonl")));
         assert_eq!(options.abort_after, Some(3));
+        assert_eq!(options.metrics, Some(PathBuf::from("obs.json")));
         assert_eq!(positional, vec!["out.json", "7", "42"]);
     }
 
@@ -237,6 +272,8 @@ mod tests {
             vec!["--journal"],
             vec!["--abort-after", "three"],
             vec!["--resume", "a", "--resume", "b"],
+            vec!["--metrics"],
+            vec!["--metrics", "a.json", "--metrics", "b.json"],
         ] {
             let args = bad.iter().map(|s| (*s).to_string());
             assert!(parse_journal_flags(args).is_err(), "accepted {bad:?}");

@@ -14,7 +14,9 @@ pub mod journal;
 pub mod runner;
 pub mod sweep;
 
-pub use journal::{parse_journal_flags, read_complete_lines, Journal, JournalOptions};
+pub use journal::{
+    parse_journal_flags, read_complete_lines, write_scenario_observation, Journal, JournalOptions,
+};
 pub use runner::{merge_histograms, ScenarioOutcome, SweepError, SweepRunner};
 
 use rthv::monitor::DeltaFunction;

@@ -161,6 +161,15 @@ impl SweepRunner {
         self.threads
     }
 
+    /// The worker count that actually runs for `scenario_count` scenarios:
+    /// no more threads than scenarios are spawned, so a 3-point sweep on a
+    /// 16-core host uses 3 workers. Exported with per-point timings so a
+    /// reported "parallel" number says how parallel it really was.
+    #[must_use]
+    pub fn effective_threads(&self, scenario_count: usize) -> usize {
+        self.threads.min(scenario_count).max(1)
+    }
+
     /// Runs `scenario(index, &scenarios[index])` for every scenario and
     /// returns the results in scenario order.
     ///

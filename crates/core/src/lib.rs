@@ -118,6 +118,15 @@ pub mod workload {
     };
 }
 
+/// Flight-recorder observability: metrics hub, counters, latency
+/// histograms, and bound-headroom gauges ([`rthv_obs`]).
+pub mod obs {
+    pub use rthv_obs::{
+        FlightRecorder, HeadroomGauge, MetricsHub, ObsConfig, ObsCounters, ObsEvent, ObsEventKind,
+        SourceObs,
+    };
+}
+
 /// Latency statistics ([`rthv_stats`]).
 pub mod stats {
     pub use rthv_stats::{

@@ -216,8 +216,30 @@ pub(crate) fn run_mode_report(
     monitored: bool,
     supervision: Option<SupervisionPolicy>,
 ) -> (ModeOutcome, RunReport) {
+    let (outcome, report, _) = run_mode_observed(config, idle, plan, monitored, supervision, false);
+    (outcome, report)
+}
+
+/// Like [`run_mode_report`], but when `metrics` is set the machine runs with
+/// the flight-recorder observability layer enabled and the third element of
+/// the return value carries the deterministic metrics snapshot JSON.
+/// Metrics are pure observation: the [`ModeOutcome`] is byte-identical to a
+/// bare run's, which the determinism tests assert.
+pub(crate) fn run_mode_observed(
+    config: &CampaignConfig,
+    idle: &IdleReference,
+    plan: &FaultPlan,
+    monitored: bool,
+    supervision: Option<SupervisionPolicy>,
+    metrics: bool,
+) -> (ModeOutcome, RunReport, Option<String>) {
     let mut machine = scenario_machine(config, plan, monitored, supervision);
+    if metrics {
+        let obs_config = machine.default_obs_config();
+        machine.enable_metrics(obs_config);
+    }
     machine.run_until(Instant::ZERO + config.horizon);
+    let obs = machine.metrics_snapshot_json();
     let report = machine.finish();
 
     let scheduled = plan.arrivals.len() as u64;
@@ -256,7 +278,7 @@ pub(crate) fn run_mode_report(
     }
 
     let outcome = mode_outcome(monitored, &report, worst_loss, bound, violations);
-    (outcome, report)
+    (outcome, report, obs)
 }
 
 fn mode_outcome(
@@ -298,6 +320,50 @@ pub fn run_scenario(
         scheduled: plan.arrivals.len() as u64,
         monitored: run_mode(config, idle, &plan, true),
         unmonitored: run_mode(config, idle, &plan, false),
+    }
+}
+
+/// One scenario's outcome together with the observability snapshots of both
+/// runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioObservation {
+    /// The scenario outcome — byte-identical to [`run_scenario`]'s.
+    pub outcome: ScenarioOutcome,
+    /// Metrics snapshot JSON of the monitored run.
+    pub monitored_obs: String,
+    /// Metrics snapshot JSON of the unmonitored run.
+    pub unmonitored_obs: String,
+}
+
+/// Runs one scenario in both modes with the flight-recorder observability
+/// layer enabled, returning the outcome plus both metrics snapshots.
+///
+/// Metrics are pure observation: the returned [`ScenarioOutcome`] is
+/// identical to what [`run_scenario`] produces without them (given the same
+/// `supervision`), and two calls with the same inputs yield byte-identical
+/// snapshot JSON — both properties are pinned by tests.
+#[must_use]
+pub fn run_scenario_with_metrics(
+    config: &CampaignConfig,
+    idle: &IdleReference,
+    scenario: &FaultScenario,
+    supervision: Option<SupervisionPolicy>,
+) -> ScenarioObservation {
+    let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
+    let (monitored, _, monitored_obs) =
+        run_mode_observed(config, idle, &plan, true, supervision, true);
+    let (unmonitored, _, unmonitored_obs) =
+        run_mode_observed(config, idle, &plan, false, supervision, true);
+    ScenarioObservation {
+        outcome: ScenarioOutcome {
+            label: scenario.label(),
+            seed: scenario.seed,
+            scheduled: plan.arrivals.len() as u64,
+            monitored,
+            unmonitored,
+        },
+        monitored_obs: monitored_obs.expect("metrics were enabled"),
+        unmonitored_obs: unmonitored_obs.expect("metrics were enabled"),
     }
 }
 
@@ -585,5 +651,35 @@ mod tests {
     fn idle_reference_is_deterministic() {
         let config = small();
         assert_eq!(idle_reference(&config), idle_reference(&config));
+    }
+
+    #[test]
+    fn metrics_never_change_a_scenario_outcome() {
+        let config = small();
+        let idle = idle_reference(&config);
+        for scenario in &config.scenarios {
+            let bare = run_scenario(&config, &idle, scenario);
+            let observed = run_scenario_with_metrics(&config, &idle, scenario, None);
+            assert_eq!(
+                observed.outcome,
+                bare,
+                "{}: instrumentation changed the outcome",
+                scenario.label()
+            );
+        }
+    }
+
+    #[test]
+    fn metrics_snapshots_are_byte_identical_across_runs() {
+        let config = small();
+        let idle = idle_reference(&config);
+        let scenario = &config.scenarios[0];
+        let first = run_scenario_with_metrics(&config, &idle, scenario, None);
+        let second = run_scenario_with_metrics(&config, &idle, scenario, None);
+        assert_eq!(first, second);
+        // The storm scenario must leave real marks in both snapshots.
+        assert!(first.monitored_obs.contains("\"obs\": \"flight-recorder\""));
+        assert!(!first.monitored_obs.contains("\"raised\": 0,"));
+        assert!(!first.unmonitored_obs.contains("\"raised\": 0,"));
     }
 }

@@ -62,8 +62,9 @@ pub mod replay;
 pub mod supervised;
 
 pub use campaign::{
-    idle_reference, run_campaign, run_scenario, scenario_machine, CampaignConfig, CampaignReport,
-    IdleReference, ModeOutcome, ScenarioOutcome,
+    idle_reference, run_campaign, run_scenario, run_scenario_with_metrics, scenario_machine,
+    CampaignConfig, CampaignReport, IdleReference, ModeOutcome, ScenarioObservation,
+    ScenarioOutcome,
 };
 pub use inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
 pub use journal::JournalError;

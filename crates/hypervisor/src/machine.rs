@@ -27,15 +27,16 @@
 use std::collections::VecDeque;
 use std::mem;
 
-use rthv_monitor::{MonitorStats, Shaper, ShaperConfig};
+use rthv_monitor::{Admission, MonitorStats, Shaper, ShaperConfig};
+use rthv_obs::{MetricsHub, ObsConfig, SourceObs};
 use rthv_sim::{EventId, EventQueue};
 use rthv_time::{Duration, Instant};
 
 use crate::{
     AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, Counters, HandlingClass,
     HealthSignal, HealthState, HypervisorConfig, IrqCompletion, IrqHandlingMode, IrqSourceId,
-    OverflowPolicy, PartitionId, ServiceInterval, ServiceKind, Span, SupervisionReport, Supervisor,
-    TdmaSchedule, TraceRecorder,
+    OverflowPolicy, PartitionId, ServiceInterval, ServiceKind, Span, SupervisionEventKind,
+    SupervisionReport, Supervisor, TdmaSchedule, TraceRecorder,
 };
 
 /// Events driving the machine.
@@ -276,6 +277,17 @@ pub struct Machine {
     hv_trace: Option<Vec<Span>>,
     /// Interposed window spans, populated when tracing is enabled.
     window_trace: Option<Vec<Span>>,
+    /// Observability hub (counters, latency histograms, headroom gauges,
+    /// flight recorder), when enabled by
+    /// [`enable_metrics`](Machine::enable_metrics). Pure observation: it
+    /// never feeds back into any decision, so an instrumented run is
+    /// byte-identical to a bare one.
+    metrics: Option<MetricsHub>,
+    /// Supervision-event watermark for the flight recorder: how many
+    /// entries of the supervisor's event log have already been tailed into
+    /// the metrics hub. Observability-only state (excluded from
+    /// [`state_hash`](Machine::state_hash) alongside the hub itself).
+    obs_supervision_seen: usize,
 }
 
 impl Machine {
@@ -343,6 +355,8 @@ impl Machine {
             service_trace: None,
             hv_trace: None,
             window_trace: None,
+            metrics: None,
+            obs_supervision_seen: 0,
             config,
         })
     }
@@ -414,6 +428,65 @@ impl Machine {
             self.hv_trace = Some(Vec::new());
             self.window_trace = Some(Vec::new());
         }
+    }
+
+    /// Enables the observability hub: scalar counters, per-source latency
+    /// histograms, per-source bound-headroom gauges and the structured
+    /// flight recorder (off by default).
+    ///
+    /// Each source's gauge compares the densest admission window observed
+    /// against the Eq. 13–16 budget `η⁺(Δt) · C'_BH`, with `Δt` the
+    /// configured gauge window, `η⁺` derived from the source's enforced
+    /// shaper and `C'_BH = C_BH + C_sched + 2·C_ctx` from the cost model.
+    /// Unmonitored sources get an unbudgeted gauge (observation only).
+    ///
+    /// The hub is pure observation — no machine decision reads it — so a
+    /// run with metrics enabled is byte-identical (state hashes, reports)
+    /// to the same run without. Calling this again replaces the hub with a
+    /// fresh one of the new geometry.
+    pub fn enable_metrics(&mut self, config: ObsConfig) {
+        let sources: Vec<SourceObs> = self
+            .config
+            .sources
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| SourceObs {
+                budget_events: self.monitors[i]
+                    .as_ref()
+                    .and_then(|shaper| shaper.window_budget(config.gauge_window)),
+                effective_cost: self.config.costs.effective_bottom_cost(spec.bottom_cost),
+            })
+            .collect();
+        self.metrics = Some(MetricsHub::new(config, &sources));
+        self.obs_supervision_seen = self
+            .supervisor
+            .as_ref()
+            .map_or(0, |supervisor| supervisor.events().len());
+    }
+
+    /// The default observability geometry for this machine: standard ring
+    /// and histogram sizes, with the gauge window set to the TDMA cycle —
+    /// the Δt the paper's per-cycle interference argument is about.
+    #[must_use]
+    pub fn default_obs_config(&self) -> ObsConfig {
+        ObsConfig {
+            gauge_window: self.schedule.cycle(),
+            ..ObsConfig::default()
+        }
+    }
+
+    /// The observability hub, when [`enable_metrics`](Machine::enable_metrics)
+    /// was called.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&MetricsHub> {
+        self.metrics.as_ref()
+    }
+
+    /// Deterministic JSON snapshot of the observability hub, when metrics
+    /// are enabled. Byte-identical across reruns with equal inputs.
+    #[must_use]
+    pub fn metrics_snapshot_json(&self) -> Option<String> {
+        self.metrics.as_ref().map(MetricsHub::snapshot_json)
     }
 
     /// Switches the top-handler variant at run time.
@@ -671,6 +744,10 @@ impl Machine {
         if let Some(spans) = &mut self.window_trace {
             spans.clear();
         }
+        if let Some(metrics) = &mut self.metrics {
+            metrics.reset();
+        }
+        self.obs_supervision_seen = 0;
     }
 
     /// Finalizes the run: closes the books on the in-progress partition
@@ -745,6 +822,8 @@ impl Machine {
             service_trace: self.service_trace.clone(),
             hv_trace: self.hv_trace.clone(),
             window_trace: self.window_trace.clone(),
+            metrics: self.metrics.clone(),
+            obs_supervision_seen: self.obs_supervision_seen,
         }
     }
 
@@ -777,6 +856,8 @@ impl Machine {
         self.service_trace = snapshot.service_trace.clone();
         self.hv_trace = snapshot.hv_trace.clone();
         self.window_trace = snapshot.window_trace.clone();
+        self.metrics = snapshot.metrics.clone();
+        self.obs_supervision_seen = snapshot.obs_supervision_seen;
     }
 
     /// A cheap deterministic digest (64-bit FNV-1a over canonical state
@@ -806,6 +887,15 @@ impl Machine {
 
     /// Appends the machine's canonical state words (the preimage of
     /// [`state_hash`](Machine::state_hash)).
+    ///
+    /// The observability hub (`metrics`, `obs_supervision_seen`) is
+    /// deliberately **excluded**: it is derived observation that never
+    /// influences execution, and hashing it would make an instrumented
+    /// run's boundary hashes differ from a bare run's — breaking the
+    /// metrics-on/metrics-off byte-identity guarantee and replay-journal
+    /// compatibility across the two. The hub still travels with
+    /// [`snapshot`](Machine::snapshot)/[`restore`](Machine::restore), so a
+    /// resumed run reproduces its metrics exactly.
     fn state_words(&self, out: &mut Vec<u64>) {
         out.push(self.queue.now().as_nanos());
         out.push(self.current_slot);
@@ -934,6 +1024,24 @@ impl Machine {
         let now = self.queue.now();
         if let Some(supervisor) = &mut self.supervisor {
             supervisor.tick(now, &mut self.counters);
+            // Tail any new health transitions into the flight recorder.
+            // This runs after every handled event, so transitions raised
+            // mid-event (signals) are captured in the same tick as
+            // time-based recovery edges.
+            if let Some(metrics) = &mut self.metrics {
+                let events = supervisor.events();
+                for event in &events[self.obs_supervision_seen..] {
+                    if let SupervisionEventKind::Transition(transition) = event.kind {
+                        metrics.record_health(
+                            event.at,
+                            event.source,
+                            transition.from.slug(),
+                            transition.to.slug(),
+                        );
+                    }
+                }
+                self.obs_supervision_seen = events.len();
+            }
         }
     }
 
@@ -960,8 +1068,14 @@ impl Machine {
         if let Some(supervisor) = &mut self.supervisor {
             supervisor.observe_arrival(source.index(), arrival, &mut self.counters);
         }
+        if let Some(metrics) = &mut self.metrics {
+            metrics.record_raised(arrival, source.index());
+        }
         if self.hv.is_some() {
             self.counters.latched_irqs += 1;
+            if let Some(metrics) = &mut self.metrics {
+                metrics.record_deferred(arrival, source.index());
+            }
             self.latched.push_back(LatchedIrq {
                 source,
                 seq,
@@ -1043,6 +1157,13 @@ impl Machine {
             } else {
                 HandlingClass::Delayed
             };
+            if let Some(metrics) = &mut self.metrics {
+                metrics.record_completion(
+                    now,
+                    pending.source.index(),
+                    now.duration_since(pending.arrival),
+                );
+            }
             self.recorder.record(IrqCompletion {
                 source: pending.source,
                 seq: pending.seq,
@@ -1079,6 +1200,12 @@ impl Machine {
         let Some(window) = self.window else {
             return;
         };
+        // The flight recorder logs every clip, including expected ones
+        // under a supervision-shrunk budget; only the health *penalty*
+        // below is waived for those.
+        if let Some(metrics) = &mut self.metrics {
+            metrics.record_budget_clip(now, window.partition.index());
+        }
         if window.shrunk {
             return;
         }
@@ -1093,6 +1220,10 @@ impl Machine {
     }
 
     fn on_boundary(&mut self, index: u64) {
+        let boundary_now = self.now();
+        if let Some(metrics) = &mut self.metrics {
+            metrics.record_slot_boundary(boundary_now, index as usize);
+        }
         let next = index + 1;
         if self
             .queue
@@ -1282,6 +1413,9 @@ impl Machine {
                     match self.config.policies.overflow {
                         OverflowPolicy::RejectNewest => {
                             self.counters.overflow_rejected += 1;
+                            if let Some(metrics) = &mut self.metrics {
+                                metrics.record_overflow(now, source.index());
+                            }
                             // The arriving source caused the pressure; the
                             // overflow is charged against its health score.
                             if let Some(supervisor) = &mut self.supervisor {
@@ -1299,6 +1433,9 @@ impl Machine {
                             // hypervisor work, so the front is not mid-run.
                             queue.pop_front();
                             self.counters.overflow_dropped += 1;
+                            if let Some(metrics) = &mut self.metrics {
+                                metrics.record_overflow(now, source.index());
+                            }
                             if let Some(supervisor) = &mut self.supervisor {
                                 supervisor.signal(
                                     source.index(),
@@ -1362,13 +1499,26 @@ impl Machine {
                     AdmissionClock::IrqTimestamp => arrival,
                     AdmissionClock::ProcessingTime => now,
                 };
-                let admitted = monitor.try_admit(check_at);
+                let admission = monitor.try_admit_detailed(check_at);
+                let admitted = matches!(admission, Admission::Admitted);
                 self.admissions.push(AdmissionRecord {
                     source,
                     seq,
                     check_at,
                     admitted,
                 });
+                if let Some(metrics) = &mut self.metrics {
+                    match admission {
+                        Admission::Admitted => {
+                            metrics.record_admitted(check_at, source.index());
+                        }
+                        Admission::Denied { violated_distance } => metrics.record_denied(
+                            check_at,
+                            source.index(),
+                            (violated_distance != usize::MAX).then_some(violated_distance as u64),
+                        ),
+                    }
+                }
                 if admitted {
                     interpose = true;
                     self.counters.monitor_admitted += 1;
@@ -1570,6 +1720,8 @@ pub struct MachineSnapshot {
     service_trace: Option<Vec<Vec<ServiceInterval>>>,
     hv_trace: Option<Vec<Span>>,
     window_trace: Option<Vec<Span>>,
+    metrics: Option<MetricsHub>,
+    obs_supervision_seen: usize,
 }
 
 impl MachineSnapshot {

@@ -587,6 +587,13 @@ impl Supervisor {
         }
     }
 
+    /// The event log so far, oldest first — cheap (no clone) access for
+    /// observability consumers that tail new entries incrementally.
+    #[must_use]
+    pub fn events(&self) -> &[SupervisionEvent] {
+        &self.events
+    }
+
     /// Snapshot for the run report.
     #[must_use]
     pub fn report(&self) -> SupervisionReport {

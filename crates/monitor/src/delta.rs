@@ -184,7 +184,9 @@ impl DeltaFunction {
     ///
     /// For `l = 1` this is the closed form `⌊Δt/d_min⌋ + 1`. When
     /// `d_min` is zero the event count is unbounded and `u64::MAX` is
-    /// returned.
+    /// returned. For `l > 1` the count is exact up to ~4 million events
+    /// per window; for astronomically wider windows the conservative
+    /// `l = 1` ceiling `⌊Δt/d_min⌋ + 1` is returned instead.
     #[must_use]
     pub fn eta_plus(&self, dt: Duration) -> u64 {
         if self.dmin().is_zero() {
@@ -193,13 +195,49 @@ impl DeltaFunction {
         if self.entries.len() == 1 {
             return dt.div_floor(self.dmin()) + 1;
         }
-        // Find the largest q with δ⁻(q) ≤ Δt. δ⁻ grows at least dmin per
-        // extra event beyond the stored prefix, so the search terminates.
+        // Find the largest q with δ⁻(q) ≤ Δt by walking the superadditive
+        // extension once, incrementally — calling `delta` per candidate q
+        // would rebuild its table from scratch each time (cubic in the
+        // answer). δ̂(q + 1) only depends on the previous l values, so a
+        // rotating window of l durations suffices: no table allocation.
+        //
+        // The closure guarantees δ̂(q) ≥ (q − 1)·d_min, so the answer can
+        // never exceed the l = 1 ceiling ⌊Δt/d_min⌋ + 1 — which also stops
+        // the walk when δ̂ saturates at `Duration::MAX` without exceeding a
+        // huge Δt (the regression this bounds: the search used to spin
+        // forever there). Beyond `MAX_EXACT_EVENTS` steps the exact count
+        // is unaffordable and the ceiling itself is returned; it is an
+        // upper bound on η⁺, which is the safe direction everywhere η⁺
+        // feeds an interference budget.
+        const MAX_EXACT_EVENTS: u64 = 1 << 22;
+        let ceiling = dt.div_floor(self.dmin()) + 1;
+        let limit = ceiling.min(MAX_EXACT_EVENTS);
+        let l = self.entries.len();
         let mut q = 1u64;
-        while self.delta(q + 1) <= dt {
+        // Stored prefix: δ(q + 1) = entries[q - 1] while q ≤ l.
+        while q < limit && q as usize <= l {
+            if self.entries[(q - 1) as usize] > dt {
+                return q;
+            }
             q += 1;
         }
-        q
+        // Extension: `recent[i]` holds δ̂(q − i), i.e. the last l values in
+        // descending recency — seeded with the stored entries reversed.
+        let mut recent: Vec<Duration> = self.entries.iter().rev().copied().collect();
+        while q < limit {
+            let mut next = Duration::ZERO;
+            for (i, &entry) in self.entries.iter().enumerate() {
+                // δ̂(q + 1) = max_i δ̂(q − i) + entries[i].
+                next = next.max(recent[i].saturating_add(entry));
+            }
+            if next > dt {
+                return q;
+            }
+            q += 1;
+            recent.rotate_right(1);
+            recent[0] = next;
+        }
+        ceiling
     }
 
     /// Scales the admissible long-term load by `fraction` (0 < fraction ≤ 1)
@@ -377,6 +415,42 @@ mod tests {
             assert!(delta.delta(eta) <= dt, "δ(η⁺(Δt)) must fit in Δt");
             assert!(delta.delta(eta + 1) > dt, "η⁺ must be maximal");
         }
+    }
+
+    #[test]
+    fn eta_plus_terminates_on_saturating_delta() {
+        // Regression: for l > 1 the η⁺ search walked q upward while
+        // δ(q + 1) ≤ Δt; once δ̂ saturates at Duration::MAX a huge Δt kept
+        // that true forever. The ⌊Δt/d_min⌋ + 1 ceiling (exact, by
+        // superadditivity) now bounds the walk.
+        let delta = DeltaFunction::new(micros(&[100, 500])).expect("valid");
+        let huge = Duration::MAX;
+        assert_eq!(delta.eta_plus(huge), huge.div_floor(delta.dmin()) + 1);
+    }
+
+    #[test]
+    fn eta_plus_zero_window_counts_one_event() {
+        // A closed zero-length window still contains the event at its edge,
+        // for every l.
+        let l1 = DeltaFunction::from_dmin(Duration::from_micros(7)).expect("valid");
+        let l3 = DeltaFunction::new(micros(&[7, 20, 90])).expect("valid");
+        assert_eq!(l1.eta_plus(Duration::ZERO), 1);
+        assert_eq!(l3.eta_plus(Duration::ZERO), 1);
+    }
+
+    #[test]
+    fn delta_fast_path_boundary_matches_extension() {
+        // q = l + 1 is the last stored entry, q = l + 2 the first extended
+        // value: the seam must be consistent (extension never below the
+        // stored prefix plus one minimum distance).
+        let delta = DeltaFunction::new(micros(&[100, 500, 900])).expect("valid");
+        let l = delta.len() as u64;
+        assert_eq!(delta.delta(l + 1), Duration::from_micros(900));
+        assert_eq!(
+            delta.delta(l + 2),
+            Duration::from_micros(1_000),
+            "δ̂(5) = δ̂(4) + δ(2)"
+        );
     }
 
     #[test]

@@ -306,6 +306,19 @@ impl ActivationMonitor {
         }
     }
 
+    /// Checks an activation, records the outcome, and returns the full
+    /// [`Admission`] verdict — [`try_admit`](Self::try_admit) with the
+    /// violated-distance detail preserved for observability consumers.
+    /// Decisions and state updates are identical to `try_admit`.
+    pub fn try_admit_detailed(&mut self, now: Instant) -> Admission {
+        let admission = self.check(now);
+        match admission {
+            Admission::Admitted => self.record_admitted(now),
+            Admission::Denied { .. } => self.stats.denied += 1,
+        }
+        admission
+    }
+
     /// Clears the trace buffer and counters.
     pub fn reset(&mut self) {
         self.trace.clear();

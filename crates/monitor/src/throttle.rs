@@ -215,12 +215,53 @@ impl Shaper {
         }
     }
 
+    /// Checks and records one admission attempt at `now`, returning the
+    /// full verdict. Identical decisions and state updates to
+    /// [`try_admit`](Self::try_admit); bucket denials carry no distance
+    /// (`violated_distance: usize::MAX`) since a bucket has none.
+    pub fn try_admit_detailed(&mut self, now: Instant) -> Admission {
+        match self {
+            Shaper::Delta(monitor) => monitor.try_admit_detailed(now),
+            Shaper::Bucket(bucket) => {
+                if bucket.try_admit(now) {
+                    Admission::Admitted
+                } else {
+                    Admission::Denied {
+                        violated_distance: usize::MAX,
+                    }
+                }
+            }
+        }
+    }
+
     /// Admission / denial counters.
     #[must_use]
     pub fn stats(&self) -> MonitorStats {
         match self {
             Shaper::Delta(monitor) => monitor.stats(),
             Shaper::Bucket(bucket) => bucket.stats(),
+        }
+    }
+
+    /// Maximum admissions any closed window of length `dt` can see under
+    /// this shaper: `η⁺(Δt)` for the δ⁻ monitor, `capacity + ⌈Δt/refill⌉`
+    /// for a bucket. `None` when the shaper enforces no finite budget
+    /// (zero `d_min` or zero refill interval) — the event-count factor of
+    /// the Eq. 13–16 interference budget, exposed for headroom gauges.
+    #[must_use]
+    pub fn window_budget(&self, dt: Duration) -> Option<u64> {
+        match self {
+            Shaper::Delta(monitor) => {
+                let eta = monitor.delta().eta_plus(dt);
+                (eta != u64::MAX).then_some(eta)
+            }
+            Shaper::Bucket(bucket) => {
+                if bucket.refill_interval().is_zero() {
+                    None
+                } else {
+                    Some(u64::from(bucket.capacity()) + dt.div_ceil(bucket.refill_interval()))
+                }
+            }
         }
     }
 

@@ -167,6 +167,67 @@ proptest! {
         prop_assert!(lhs >= rhs, "δ({}) = {} < {}", a + b - 1, lhs, rhs);
     }
 
+    /// Exhaustive form of superadditivity: for every split `a + b = q + 1`
+    /// (two spans sharing one event), `δ(q) ≥ δ(a) + δ(b)` — not just for a
+    /// sampled pair. This pins down both the `q - 2 < l` fast path and the
+    /// `prev_q = n + 1 - i` extension index: an off-by-one in either breaks
+    /// some split for some q.
+    #[test]
+    fn delta_superadditive_over_every_split(
+        delta in delta_strategy(),
+        q in 3u64..40,
+    ) {
+        for a in 2..q {
+            let b = q + 1 - a;
+            let lhs = delta.delta(q);
+            let rhs = delta.delta(a).saturating_add(delta.delta(b));
+            prop_assert!(
+                lhs >= rhs,
+                "δ({q}) = {lhs} < δ({a}) + δ({b}) = {rhs}"
+            );
+        }
+    }
+
+    /// η⁺/δ duality for multi-entry functions: η⁺(Δt) is the *largest* q
+    /// whose span fits the closed window — δ(η⁺(Δt)) ≤ Δt < δ(η⁺(Δt) + 1).
+    /// Exercises the incremental table walk in `eta_plus` against the
+    /// from-scratch `delta` for every length the monitor supports.
+    #[test]
+    fn eta_plus_is_the_exact_delta_inverse(
+        delta in delta_strategy(),
+        dt_us in 0u64..25_000,
+    ) {
+        let dt = Duration::from_micros(dt_us);
+        let eta = delta.eta_plus(dt);
+        prop_assert!(
+            delta.delta(eta) <= dt,
+            "δ(η⁺) = {} exceeds the window {dt}", delta.delta(eta)
+        );
+        prop_assert!(
+            delta.delta(eta + 1) > dt,
+            "η⁺ = {eta} not maximal: δ(η⁺ + 1) = {} still fits {dt}",
+            delta.delta(eta + 1)
+        );
+    }
+
+    /// The duality holds exactly *at* the stored-prefix boundary too: for
+    /// Δt = δ(q) the window fits q events, for Δt = δ(q) − 1 ns it cannot
+    /// (when δ is strictly increasing there).
+    #[test]
+    fn eta_plus_boundary_at_stored_entries(
+        delta in delta_strategy(),
+    ) {
+        for (i, &entry) in delta.entries().iter().enumerate() {
+            let q = i as u64 + 2;
+            prop_assert!(delta.eta_plus(entry) >= q, "window δ({q}) must fit {q} events");
+            let shaved = entry - Duration::from_nanos(1);
+            prop_assert!(
+                delta.eta_plus(shaved) < q || delta.delta(q) <= shaved,
+                "window below δ({q}) cannot fit {q} events"
+            );
+        }
+    }
+
     /// Scaling the load down stretches every distance accordingly.
     #[test]
     fn scale_load_stretches(

@@ -13,19 +13,24 @@ use rthv_time::Duration;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     bin_width: Duration,
+    range: Duration,
     bins: Vec<u64>,
     overflow: u64,
     count: u64,
     total_nanos: u128,
 }
 
-/// Error returned by [`LatencyHistogram::new`].
+/// Error returned by [`LatencyHistogram::new`] and
+/// [`LatencyHistogram::try_merge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum HistogramError {
     /// The bin width was zero.
     ZeroBinWidth,
     /// The range was smaller than one bin.
     RangeTooSmall,
+    /// Two histograms with different bin geometry were merged; summing
+    /// their bins index-by-index would silently change what each bin means.
+    GeometryMismatch,
 }
 
 impl fmt::Display for HistogramError {
@@ -34,6 +39,9 @@ impl fmt::Display for HistogramError {
             HistogramError::ZeroBinWidth => write!(f, "histogram bin width must be positive"),
             HistogramError::RangeTooSmall => {
                 write!(f, "histogram range must cover at least one bin")
+            }
+            HistogramError::GeometryMismatch => {
+                write!(f, "histogram geometries (bin width or range) differ")
             }
         }
     }
@@ -58,6 +66,7 @@ impl LatencyHistogram {
         let bins = range.div_ceil(bin_width) as usize;
         Ok(LatencyHistogram {
             bin_width,
+            range,
             bins: vec![0; bins],
             overflow: 0,
             count: 0,
@@ -67,8 +76,12 @@ impl LatencyHistogram {
 
     /// Adds one sample.
     pub fn add(&mut self, sample: Duration) {
-        let index = (sample.as_nanos() / self.bin_width.as_nanos()) as usize;
-        if index < self.bins.len() {
+        // The upper-edge check must use `range`, not the bin count: when
+        // `range` is not a multiple of `bin_width` the last bin is partial
+        // (`[floor, range)`), and indexing alone would file samples in
+        // `[range, bins·width)` into it instead of the overflow bin.
+        if sample < self.range {
+            let index = (sample.as_nanos() / self.bin_width.as_nanos()) as usize;
             self.bins[index] += 1;
         } else {
             self.overflow += 1;
@@ -100,6 +113,13 @@ impl LatencyHistogram {
     #[must_use]
     pub fn bin_width(&self) -> Duration {
         self.bin_width
+    }
+
+    /// The covered range: samples in `[0, range)` land in a bin, samples at
+    /// or beyond `range` in the overflow counter.
+    #[must_use]
+    pub fn range(&self) -> Duration {
+        self.range
     }
 
     /// Sample count of bin `index` (`[index·w, (index+1)·w)`).
@@ -143,20 +163,42 @@ impl LatencyHistogram {
             .map(|(i, &count)| (self.bin_start(i), count))
     }
 
-    /// Merges another histogram with identical geometry into this one.
+    /// Merges another histogram with identical geometry into this one,
+    /// returning [`HistogramError::GeometryMismatch`] when bin width or
+    /// range differ — bins at the same index would then describe different
+    /// latency intervals, so summing them index-by-index is meaningless.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the bin widths or bin counts differ.
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        assert_eq!(self.bin_width, other.bin_width, "bin widths must match");
-        assert_eq!(self.bins.len(), other.bins.len(), "bin counts must match");
+    /// [`HistogramError::GeometryMismatch`] if `bin_width` or `range`
+    /// differ; `self` is left untouched.
+    pub fn try_merge(&mut self, other: &LatencyHistogram) -> Result<(), HistogramError> {
+        if self.bin_width != other.bin_width || self.range != other.range {
+            return Err(HistogramError::GeometryMismatch);
+        }
+        debug_assert_eq!(self.bins.len(), other.bins.len());
         for (a, b) in self.bins.iter_mut().zip(&other.bins) {
             *a += b;
         }
         self.overflow += other.overflow;
         self.count += other.count;
         self.total_nanos += other.total_nanos;
+        Ok(())
+    }
+
+    /// Merges another histogram with identical geometry into this one.
+    ///
+    /// Prefer [`try_merge`](Self::try_merge) when the two histograms come
+    /// from independent code paths and geometry agreement is not a given.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bin widths or ranges differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin widths must match");
+        assert_eq!(self.range, other.range, "ranges must match");
+        self.try_merge(other)
+            .expect("geometry checked by the asserts above");
     }
 }
 
@@ -238,6 +280,50 @@ mod tests {
         let mut a = LatencyHistogram::new(us(10), us(100)).expect("valid");
         let b = LatencyHistogram::new(us(20), us(100)).expect("valid");
         a.merge(&b);
+    }
+
+    #[test]
+    fn try_merge_reports_mismatched_geometry_and_leaves_target_intact() {
+        let mut a = LatencyHistogram::new(us(10), us(100)).expect("valid");
+        a.add(us(5));
+        let before = a.clone();
+
+        let mut narrow = LatencyHistogram::new(us(20), us(100)).expect("valid");
+        narrow.add(us(5));
+        assert_eq!(a.try_merge(&narrow), Err(HistogramError::GeometryMismatch));
+        assert_eq!(a, before, "failed merge must not half-apply");
+
+        // Same bin count (10) but a different width/range pairing: the
+        // index-by-index sum would be silently wrong, so this must fail too.
+        let rescaled = LatencyHistogram::new(us(20), us(200)).expect("valid");
+        assert_eq!(
+            a.try_merge(&rescaled),
+            Err(HistogramError::GeometryMismatch)
+        );
+        assert_eq!(a, before);
+
+        let mut same = LatencyHistogram::new(us(10), us(100)).expect("valid");
+        same.add(us(95));
+        assert_eq!(a.try_merge(&same), Ok(()));
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.bin_count(9), 1);
+    }
+
+    #[test]
+    fn upper_edge_samples_overflow_with_partial_last_bin() {
+        // Regression: range 100 µs with 30 µs bins gives 4 bins whose raw
+        // span is [0, 120 µs); samples in [100, 120) µs used to be filed
+        // into the last bin even though they are at/beyond the range.
+        let mut h = LatencyHistogram::new(us(30), us(100)).expect("valid");
+        assert_eq!(h.bins(), 4);
+        assert_eq!(h.range(), us(100));
+        h.add(us(99)); // inside the partial last bin [90, 100)
+        h.add(us(100)); // exactly at range -> overflow
+        h.add(us(105)); // inside the phantom tail [100, 120) -> overflow
+        h.add(us(120)); // beyond the raw bin span -> overflow
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.overflow(), 3);
+        assert_eq!(h.count(), 4);
     }
 
     #[test]

@@ -14,14 +14,32 @@ cargo test -q
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
+echo "==> cargo clippy -p rthv-obs -- -D warnings"
+# The observability crate is new in this series; lint it explicitly so a
+# workspace-level exclusion can never silently skip it.
+cargo clippy -p rthv-obs -- -D warnings
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
 echo "==> smoke fault-injection campaign (7 scenarios, fixed seed)"
 # Fails on any monitored-mode oracle violation, or if the unmonitored
-# baseline fails to demonstrate an independence violation.
+# baseline fails to demonstrate an independence violation. --metrics also
+# exercises the flight-recorder observability layer.
 cargo run --release -q -p rthv-experiments --bin campaign \
-    target/CAMPAIGN_smoke.json 7 16392212
+    target/CAMPAIGN_smoke.json 7 16392212 \
+    --metrics target/OBS_smoke.json
+
+echo "==> metrics-determinism smoke (re-run, compare campaign + obs snapshots)"
+# Metrics are pure observation: a second identical run must reproduce both
+# the campaign report and the metrics snapshot byte-for-byte.
+cargo run --release -q -p rthv-experiments --bin campaign \
+    target/CAMPAIGN_smoke_rerun.json 7 16392212 \
+    --metrics target/OBS_smoke_rerun.json
+cmp target/CAMPAIGN_smoke.json target/CAMPAIGN_smoke_rerun.json \
+    || { echo "campaign report is not deterministic"; exit 1; }
+cmp target/OBS_smoke.json target/OBS_smoke_rerun.json \
+    || { echo "metrics snapshot is not deterministic"; exit 1; }
 
 echo "==> kill-then-resume smoke (abort mid-campaign, resume, compare reports)"
 # The same campaign, killed via abort() after two scenarios are journaled,
