@@ -21,12 +21,18 @@ use std::time::Instant as HostInstant;
 
 use rthv::monitor::DeltaFunction;
 use rthv::scenarios::{merge_fig6_loads, run_fig6_load, Fig6Config, Fig6Run, Fig6Variant};
+use rthv::sim::EngineQueue;
 use rthv::time::{Duration as SimDuration, Instant as SimInstant};
-use rthv::{IrqHandlingMode, IrqSourceId, Machine, PaperSetup, SupervisionPolicy};
+use rthv::{
+    EngineChoice, EngineKind, IrqHandlingMode, IrqSourceId, Machine, PaperSetup, SupervisionPolicy,
+};
 use rthv_experiments::{parse_journal_flags, SweepRunner};
 
 /// IRQs per load level at each scale; the paper's Figure 6 uses 5000.
 const SCALES: [usize; 3] = [1_000, 5_000, 20_000];
+
+/// Both engines, heap first (the reference).
+const ENGINES: [EngineKind; 2] = [EngineKind::Heap, EngineKind::Wheel];
 
 struct Measured {
     wall_seconds: f64,
@@ -42,6 +48,13 @@ impl Measured {
 
     fn irqs_per_sec(&self) -> f64 {
         self.irqs as f64 / self.wall_seconds
+    }
+}
+
+fn choice(kind: EngineKind) -> EngineChoice {
+    match kind {
+        EngineKind::Heap => EngineChoice::Heap,
+        EngineKind::Wheel => EngineChoice::Wheel,
     }
 }
 
@@ -309,6 +322,80 @@ fn measure_checkpoint() -> CheckpointMeasured {
     }
 }
 
+/// Live-population levels for the `queue_micro` probe: small (a single
+/// scenario's working set), medium (a pre-scheduled campaign), large (the
+/// scaling-cliff regime the heap degraded in).
+const QUEUE_FILLS: [usize; 3] = [1_000, 32_000, 256_000];
+
+/// Timed operations per phase at each fill level.
+const QUEUE_OPS: usize = 200_000;
+
+struct QueueMicro {
+    engine: EngineKind,
+    fill: usize,
+    schedule_per_sec: f64,
+    cancel_per_sec: f64,
+    pop_per_sec: f64,
+}
+
+/// SplitMix64 step — a deterministic offset stream with no external deps.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Times raw engine operations against a queue held at `fill` live events:
+/// `QUEUE_OPS` schedules at seeded offsets spread over ~100 TDMA cycles
+/// (so the wheel populates several levels), then cancellation of exactly
+/// those events (compaction-guard cost included — that is the amortized
+/// price of lazy deletion), then `QUEUE_OPS` pops against the same fill.
+fn measure_queue_micro(kind: EngineKind, fill: usize) -> QueueMicro {
+    let cycle = PaperSetup::default().tdma_cycle();
+    let span = cycle.as_nanos().saturating_mul(100).max(1);
+    let mut state = 0x5EED_0BAD_u64 ^ ((fill as u64) << 1) ^ kind as u64;
+    let mut offset = || SimDuration::from_nanos(1 + splitmix(&mut state) % span);
+
+    let mut queue: EngineQueue<u64> = EngineQueue::new(kind, cycle);
+    queue.reserve(fill + QUEUE_OPS);
+    for i in 0..fill {
+        queue.schedule_in(offset(), i as u64);
+    }
+
+    let start = HostInstant::now();
+    let mut ids = Vec::with_capacity(QUEUE_OPS);
+    for i in 0..QUEUE_OPS {
+        ids.push(queue.schedule_in(offset(), i as u64));
+    }
+    let schedule_per_sec = QUEUE_OPS as f64 / start.elapsed().as_secs_f64();
+
+    let start = HostInstant::now();
+    for id in ids {
+        queue.cancel(id);
+    }
+    let cancel_per_sec = QUEUE_OPS as f64 / start.elapsed().as_secs_f64();
+
+    for i in 0..QUEUE_OPS {
+        queue.schedule_in(offset(), i as u64);
+    }
+    let start = HostInstant::now();
+    for _ in 0..QUEUE_OPS {
+        std::hint::black_box(queue.pop());
+    }
+    let pop_per_sec = QUEUE_OPS as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(queue.len(), fill, "pop phase must leave the fill intact");
+
+    QueueMicro {
+        engine: kind,
+        fill,
+        schedule_per_sec,
+        cancel_per_sec,
+        pop_per_sec,
+    }
+}
+
 fn main() {
     let (options, positional) =
         parse_journal_flags(std::env::args().skip(1)).unwrap_or_else(|message| {
@@ -323,38 +410,55 @@ fn main() {
     let parallel_runner = SweepRunner::available();
 
     let mut points = String::new();
-    for (i, &scale) in SCALES.iter().enumerate() {
-        let config = Fig6Config {
-            irqs_per_load: scale,
-            ..Fig6Config::default()
-        };
-        let sequential = measure(&config, &SweepRunner::sequential());
-        let parallel = measure(&config, &parallel_runner);
-        assert_identical(&sequential.run, &parallel.run);
-        let speedup = parallel.events_per_sec() / sequential.events_per_sec();
-        // On a single-core host (or a single-load sweep) the "parallel"
-        // pass is just the sequential pass with extra bookkeeping; its
-        // speedup says nothing about the engine and is flagged as such.
-        let threads_used = parallel_runner.effective_threads(config.loads.len());
-        let speedup_meaningful = cores > 1 && threads_used > 1;
+    let total_points = ENGINES.len() * SCALES.len();
+    let mut point_index = 0usize;
+    let mut reference_runs: Vec<Fig6Run> = Vec::new();
+    for engine in ENGINES {
+        for &scale in &SCALES {
+            let config = Fig6Config {
+                irqs_per_load: scale,
+                engine: choice(engine),
+                ..Fig6Config::default()
+            };
+            let sequential = measure(&config, &SweepRunner::sequential());
+            let parallel = measure(&config, &parallel_runner);
+            assert_identical(&sequential.run, &parallel.run);
+            // The wheel points must be observationally identical to the
+            // heap points measured first — the benchmark doubles as a
+            // cross-engine differential check on the exported numbers.
+            match engine {
+                EngineKind::Heap => reference_runs.push(sequential.run.clone()),
+                EngineKind::Wheel => {
+                    assert_identical(&reference_runs[point_index % SCALES.len()], &sequential.run);
+                }
+            }
+            let speedup = parallel.events_per_sec() / sequential.events_per_sec();
+            // On a single-core host (or a single-load sweep) the "parallel"
+            // pass is just the sequential pass with extra bookkeeping; its
+            // speedup says nothing about the engine and is flagged as such.
+            let threads_used = parallel_runner.effective_threads(config.loads.len());
+            let speedup_meaningful = cores > 1 && threads_used > 1;
 
-        eprintln!(
-            "scale {scale}: sequential {:.0} events/s ({:.3} s), parallel {:.0} events/s \
-             ({:.3} s), speedup {speedup:.2}x on {threads_used} worker(s), {cores} core(s){}",
-            sequential.events_per_sec(),
-            sequential.wall_seconds,
-            parallel.events_per_sec(),
-            parallel.wall_seconds,
-            if speedup_meaningful {
-                ""
-            } else {
-                " [speedup not meaningful]"
-            },
-        );
+            eprintln!(
+                "{engine} @ scale {scale}: sequential {:.0} events/s ({:.3} s), parallel {:.0} \
+                 events/s ({:.3} s), speedup {speedup:.2}x on {threads_used} worker(s), {cores} \
+                 core(s){}",
+                sequential.events_per_sec(),
+                sequential.wall_seconds,
+                parallel.events_per_sec(),
+                parallel.wall_seconds,
+                if speedup_meaningful {
+                    ""
+                } else {
+                    " [speedup not meaningful]"
+                },
+            );
 
-        let _ = write!(
-            points,
-            r#"    {{
+            let _ = write!(
+                points,
+                r#"    {{
+      "engine": "{engine}",
+      "host_cores": {cores},
       "irqs_per_load": {scale},
       "total_irqs": {irqs},
       "total_events": {events},
@@ -375,22 +479,65 @@ fn main() {
       "mean_latency_us": {mean},
       "max_latency_us": {max}
     }}"#,
-            irqs = sequential.irqs,
-            events = sequential.events,
-            sw = sequential.wall_seconds,
-            se = sequential.events_per_sec(),
-            si = sequential.irqs_per_sec(),
-            threads = parallel_runner.threads(),
-            pw = parallel.wall_seconds,
-            pe = parallel.events_per_sec(),
-            pi = parallel.irqs_per_sec(),
-            mean = sequential.run.mean_latency.as_micros(),
-            max = sequential.run.max_latency.as_micros(),
+                irqs = sequential.irqs,
+                events = sequential.events,
+                sw = sequential.wall_seconds,
+                se = sequential.events_per_sec(),
+                si = sequential.irqs_per_sec(),
+                threads = parallel_runner.threads(),
+                pw = parallel.wall_seconds,
+                pe = parallel.events_per_sec(),
+                pi = parallel.irqs_per_sec(),
+                mean = sequential.run.mean_latency.as_micros(),
+                max = sequential.run.max_latency.as_micros(),
+            );
+            point_index += 1;
+            if point_index < total_points {
+                points.push_str(",\n");
+            } else {
+                points.push('\n');
+            }
+        }
+    }
+
+    let mut queue_micro = String::new();
+    for (i, point) in ENGINES
+        .iter()
+        .flat_map(|&engine| QUEUE_FILLS.iter().map(move |&fill| (engine, fill)))
+        .map(|(engine, fill)| measure_queue_micro(engine, fill))
+        .enumerate()
+    {
+        eprintln!(
+            "queue_micro {} @ fill {}: schedule {:.1}M ops/s, cancel {:.1}M ops/s, pop {:.1}M \
+             ops/s",
+            point.engine,
+            point.fill,
+            point.schedule_per_sec / 1e6,
+            point.cancel_per_sec / 1e6,
+            point.pop_per_sec / 1e6,
         );
-        if i + 1 < SCALES.len() {
-            points.push_str(",\n");
+        let _ = write!(
+            queue_micro,
+            r#"    {{
+      "engine": "{engine}",
+      "host_cores": {cores},
+      "fill": {fill},
+      "timed_ops": {ops},
+      "schedule_ops_per_sec": {s:.1},
+      "cancel_ops_per_sec": {c:.1},
+      "pop_ops_per_sec": {p:.1}
+    }}"#,
+            engine = point.engine,
+            fill = point.fill,
+            ops = QUEUE_OPS,
+            s = point.schedule_per_sec,
+            c = point.cancel_per_sec,
+            p = point.pop_per_sec,
+        );
+        if i + 1 < ENGINES.len() * QUEUE_FILLS.len() {
+            queue_micro.push_str(",\n");
         } else {
-            points.push('\n');
+            queue_micro.push('\n');
         }
     }
 
@@ -477,7 +624,7 @@ fn main() {
     let json = format!(
         r#"{{
   "benchmark": "fig6c_conformant_scenario",
-  "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales; parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass",
+  "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales per event engine (heap reference vs hierarchical timing wheel, verified observationally identical); parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass; queue_micro times raw engine schedule/cancel/pop ops at three fill levels",
   "host_cores": {cores},
   "supervision_overhead": {{
     "description": "conformant monitored workload timed with health supervision off vs on; both runs make identical admission decisions, so the delta is pure supervision bookkeeping",
@@ -519,6 +666,8 @@ fn main() {
     "snapshot_mean_us": {csnap:.2},
     "restore_mean_us": {crestore:.2}
   }},
+  "queue_micro": [
+{queue_micro}  ],
   "points": [
 {points}  ]
 }}

@@ -69,12 +69,13 @@ pub use paper::PaperSetup;
 // The platform types most users need, at the crate root.
 pub use rthv_hypervisor::{
     render_timeline, AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, CostModel,
-    Counters, HandlingClass, HealthSignal, HealthState, HealthTracker, HealthTransition,
-    HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode, IrqSourceId, IrqSourceSpec,
-    Machine, MachineError, MachineSnapshot, OverflowPolicy, PartitionId, PartitionService,
-    PartitionSpec, PolicyOptions, RunReport, ScheduleIrqError, ServiceInterval, ServiceKind,
-    SlotSpec, Span, SupervisionEvent, SupervisionEventKind, SupervisionPolicy, SupervisionReport,
-    Supervisor, TdmaSchedule, TraceRecorder, TransitionCause,
+    Counters, EngineChoice, EngineKind, EngineStats, HandlingClass, HealthSignal, HealthState,
+    HealthTracker, HealthTransition, HypervisorConfig, IrqCompletion, IrqFlagSemantics,
+    IrqHandlingMode, IrqSourceId, IrqSourceSpec, Machine, MachineError, MachineSnapshot,
+    OverflowPolicy, PartitionId, PartitionService, PartitionSpec, PolicyOptions, RunReport,
+    ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span, SupervisionEvent,
+    SupervisionEventKind, SupervisionPolicy, SupervisionReport, Supervisor, TdmaSchedule,
+    TraceRecorder, TransitionCause,
 };
 
 /// Virtual-time primitives ([`rthv_time`]).
@@ -122,8 +123,8 @@ pub mod workload {
 /// histograms, and bound-headroom gauges ([`rthv_obs`]).
 pub mod obs {
     pub use rthv_obs::{
-        FlightRecorder, HeadroomGauge, MetricsHub, ObsConfig, ObsCounters, ObsEvent, ObsEventKind,
-        SourceObs,
+        EngineObs, FlightRecorder, HeadroomGauge, MetricsHub, ObsConfig, ObsCounters, ObsEvent,
+        ObsEventKind, SourceObs,
     };
 }
 
@@ -135,7 +136,10 @@ pub mod stats {
     };
 }
 
-/// The deterministic event queue ([`rthv_sim`]).
+/// The deterministic event engines ([`rthv_sim`]).
 pub mod sim {
-    pub use rthv_sim::{EventId, EventQueue, SchedulePastError};
+    pub use rthv_sim::{
+        Engine, EngineKind, EngineQueue, EngineStats, EventId, EventQueue, SchedulePastError,
+        WheelEngine,
+    };
 }

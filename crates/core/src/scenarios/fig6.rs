@@ -10,7 +10,7 @@
 //!   delayed IRQs at all; average ≈ 150 µs (~16× better than 6a) and the
 //!   worst case decoupled from the TDMA cycle.
 
-use rthv_hypervisor::{HandlingClass, IrqHandlingMode, IrqSourceId, Machine};
+use rthv_hypervisor::{EngineChoice, HandlingClass, IrqHandlingMode, IrqSourceId, Machine};
 use rthv_monitor::DeltaFunction;
 use rthv_stats::LatencyHistogram;
 use rthv_time::{Duration, Instant};
@@ -57,6 +57,10 @@ pub struct Fig6Config {
     pub range: Duration,
     /// Base RNG seed; each load perturbs it.
     pub seed: u64,
+    /// Event engine backing every load's machine. Perf-only: the run's
+    /// outputs are engine-invariant, so benchmarks flip this to compare
+    /// engines within one process.
+    pub engine: EngineChoice,
 }
 
 impl Default for Fig6Config {
@@ -68,6 +72,7 @@ impl Default for Fig6Config {
             bin_width: Duration::from_micros(250),
             range: Duration::from_micros(8_500),
             seed: 0xD4C_2014,
+            engine: EngineChoice::Auto,
         }
     }
 }
@@ -174,8 +179,9 @@ pub fn run_fig6_load(config: &Fig6Config, variant: Fig6Variant, index: usize) ->
             Some(DeltaFunction::from_dmin(lambda).expect("positive d_min")),
         ),
     };
-    let mut machine = Machine::new(config.setup.config(mode, monitor))
-        .expect("paper setup is a valid configuration");
+    let mut hv = config.setup.config(mode, monitor);
+    hv.policies.engine = config.engine;
+    let mut machine = Machine::new(hv).expect("paper setup is a valid configuration");
     machine
         .schedule_irq_trace(IrqSourceId::new(0), trace.as_slice())
         .expect("trace lies in the future");

@@ -26,8 +26,8 @@ use std::fmt::Write as _;
 use rthv::monitor::{interference_bound_dmin, DeltaFunction};
 use rthv::time::{Duration, Instant};
 use rthv::{
-    IrqHandlingMode, IrqSourceId, Machine, OverflowPolicy, PaperSetup, PartitionId, RunReport,
-    SupervisionPolicy,
+    EngineChoice, IrqHandlingMode, IrqSourceId, Machine, OverflowPolicy, PaperSetup, PartitionId,
+    RunReport, SupervisionPolicy,
 };
 
 use crate::inject::{standard_scenarios, FaultPlan, FaultScenario};
@@ -47,6 +47,12 @@ pub struct CampaignConfig {
     pub queue_capacity: Option<usize>,
     /// What a full bounded queue does with the excess.
     pub overflow: OverflowPolicy,
+    /// Event engine backing every campaign machine. [`EngineChoice::Auto`]
+    /// honours `RTHV_ENGINE`; pin [`EngineChoice::Heap`] /
+    /// [`EngineChoice::Wheel`] for cross-engine differential runs. The
+    /// choice never changes any outcome — that invariant *is* the
+    /// cross-engine oracle.
+    pub engine: EngineChoice,
     /// The scenarios to run.
     pub scenarios: Vec<FaultScenario>,
 }
@@ -62,6 +68,7 @@ impl Default for CampaignConfig {
             horizon: Duration::from_millis(500),
             queue_capacity: Some(16),
             overflow: OverflowPolicy::RejectNewest,
+            engine: EngineChoice::Auto,
             scenarios: standard_scenarios(21, 0xFA_2014),
         }
     }
@@ -94,9 +101,10 @@ pub struct IdleReference {
 #[must_use]
 pub fn idle_reference(config: &CampaignConfig) -> IdleReference {
     let delta = DeltaFunction::from_dmin(config.dmin).expect("positive d_min");
-    let hv = config
+    let mut hv = config
         .setup
         .config(IrqHandlingMode::Interposed, Some(delta));
+    hv.policies.engine = config.engine;
     let mut machine = Machine::new(hv).expect("paper setup is valid");
     machine.run_until(Instant::ZERO + config.horizon);
     let report = machine.finish();
@@ -197,6 +205,7 @@ pub fn scenario_machine(
     hv.policies.admission_clock = plan.admission_clock;
     hv.policies.overflow = config.overflow;
     hv.policies.supervision = supervision;
+    hv.policies.engine = config.engine;
     hv.partitions[config.setup.subscriber().index()].queue_capacity = config.queue_capacity;
 
     let mut machine = Machine::new(hv).expect("campaign platform is valid");

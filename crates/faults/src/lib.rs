@@ -69,7 +69,9 @@ pub use campaign::{
 pub use inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
 pub use journal::JournalError;
 pub use oracle::{check_report, check_supervision, OracleConfig, Violation};
-pub use replay::{record_scenario, verify, verify_from, ReplayConfig, ReplayTrace};
+pub use replay::{
+    record_scenario, verify, verify_cross_engine, verify_from, ReplayConfig, ReplayTrace,
+};
 pub use supervised::{
     composite_plan, run_supervised_campaign, run_supervised_scenario, supervised_scenarios,
     SupervisedCampaignConfig, SupervisedCampaignReport, SupervisedModeOutcome,

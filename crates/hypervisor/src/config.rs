@@ -5,6 +5,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use rthv_monitor::{DeltaFunction, ShaperConfig};
+use rthv_sim::EngineKind;
 use rthv_time::{ClockModel, Duration};
 
 use crate::{IrqSourceId, PartitionId, SupervisionPolicy};
@@ -281,6 +282,50 @@ pub enum OverflowPolicy {
     DropOldest,
 }
 
+/// Which simulation engine backs the machine's event queue.
+///
+/// Both engines are **observation-equivalent**: identical event streams,
+/// identical [`state_hash`](crate::Machine::state_hash) at every point —
+/// the cross-engine differential suite in `rthv-faults` pins this. The
+/// choice therefore only affects speed, and is deliberately *excluded*
+/// from machine state hashing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum EngineChoice {
+    /// Resolve from the `RTHV_ENGINE` environment variable (`"heap"` or
+    /// `"wheel"`), falling back to the heap engine. This is the default so
+    /// the CI harness can sweep the whole tier-1 suite and every benchmark
+    /// binary across engines without per-call-site plumbing.
+    #[default]
+    Auto,
+    /// Binary-heap reference engine (`O(log n)`, trivially correct).
+    Heap,
+    /// Hierarchical timing wheel (`O(1)` amortised, closed-form
+    /// fast-forward; levels sized from the TDMA cycle).
+    Wheel,
+}
+
+impl EngineChoice {
+    /// The concrete engine this choice selects, consulting `RTHV_ENGINE`
+    /// (read once per process) for [`EngineChoice::Auto`].
+    #[must_use]
+    pub fn resolve(self) -> EngineKind {
+        match self {
+            EngineChoice::Heap => EngineKind::Heap,
+            EngineChoice::Wheel => EngineKind::Wheel,
+            EngineChoice::Auto => *ENV_ENGINE.get_or_init(|| {
+                std::env::var("RTHV_ENGINE")
+                    .ok()
+                    .and_then(|name| EngineKind::parse(&name))
+                    .unwrap_or(EngineKind::Heap)
+            }),
+        }
+    }
+}
+
+/// Process-wide cache of the `RTHV_ENGINE` resolution: the selection must
+/// be stable for a whole run even if the environment mutates mid-process.
+static ENV_ENGINE: std::sync::OnceLock<EngineKind> = std::sync::OnceLock::new();
+
 /// Tunable semantic choices of the modified top handler, separate from the
 /// quantitative [`CostModel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -295,6 +340,9 @@ pub struct PolicyOptions {
     /// hysteresis recovery, degraded-mode budgets). `None` — the default —
     /// disables supervision; the machine then behaves exactly as before.
     pub supervision: Option<SupervisionPolicy>,
+    /// Simulation engine behind the event queue. Performance-only: both
+    /// engines produce byte-identical runs.
+    pub engine: EngineChoice,
 }
 
 /// Which top handler variant the hypervisor runs.

@@ -32,8 +32,9 @@ mod supervise;
 mod timeline;
 
 pub use config::{
-    AdmissionClock, BoundaryPolicy, ConfigError, CostModel, HypervisorConfig, IrqFlagSemantics,
-    IrqHandlingMode, IrqSourceSpec, OverflowPolicy, PartitionSpec, PolicyOptions, SlotSpec,
+    AdmissionClock, BoundaryPolicy, ConfigError, CostModel, EngineChoice, HypervisorConfig,
+    IrqFlagSemantics, IrqHandlingMode, IrqSourceSpec, OverflowPolicy, PartitionSpec, PolicyOptions,
+    SlotSpec,
 };
 pub use ids::{IrqSourceId, PartitionId};
 pub use machine::{Machine, MachineError, MachineSnapshot, RunReport, ScheduleIrqError};
@@ -41,6 +42,7 @@ pub use record::{
     AdmissionRecord, Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval,
     ServiceKind, Span, TraceRecorder,
 };
+pub use rthv_sim::{EngineKind, EngineStats};
 pub use schedule::TdmaSchedule;
 pub use supervise::{
     HealthSignal, HealthState, HealthTracker, HealthTransition, SupervisionEvent,

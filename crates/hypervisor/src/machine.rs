@@ -29,7 +29,7 @@ use std::mem;
 
 use rthv_monitor::{Admission, MonitorStats, Shaper, ShaperConfig};
 use rthv_obs::{MetricsHub, ObsConfig, SourceObs};
-use rthv_sim::{EventId, EventQueue};
+use rthv_sim::{EngineKind, EngineQueue, EngineStats, EventId};
 use rthv_time::{Duration, Instant};
 
 use crate::{
@@ -246,7 +246,7 @@ pub struct RunReport {
 pub struct Machine {
     config: HypervisorConfig,
     schedule: TdmaSchedule,
-    queue: EventQueue<Event>,
+    queue: EngineQueue<Event>,
     /// The running hypervisor block, if any.
     hv: Option<HvBlock>,
     activity: Activity,
@@ -320,7 +320,13 @@ impl Machine {
             }
             supervisor
         });
-        let mut queue = EventQueue::new();
+        // The engine is a performance choice only: both kinds produce
+        // byte-identical runs (pinned by the cross-engine differential
+        // suite), so the selection is config, not hashed state. The wheel's
+        // level geometry is sized from the TDMA cycle so a full hypervisor
+        // cycle fits in its level-1 rotation.
+        let engine = config.policies.engine.resolve();
+        let mut queue = EngineQueue::new(engine, schedule.cycle());
         // A fresh queue is at time zero, so the relative form cannot fail.
         queue.schedule_in(
             schedule.boundary_time(1).duration_since(Instant::ZERO),
@@ -608,10 +614,37 @@ impl Machine {
         source: IrqSourceId,
         arrivals: &[Instant],
     ) -> Result<(), ScheduleIrqError> {
+        // The trace length is the scenario's own peak-population hint:
+        // pre-sizing here removes heap/id-ring reallocation from the
+        // scheduling path entirely (the heap engine's scaling cliff).
+        self.reserve_events(arrivals.len());
         for &at in arrivals {
             self.schedule_irq(source, at)?;
         }
         Ok(())
+    }
+
+    /// Pre-sizes the event queue for `additional` more simultaneously
+    /// scheduled events. Scenario builders that know their arrival count
+    /// call this once up front so steady-state scheduling never
+    /// reallocates.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.queue.reserve(additional);
+    }
+
+    /// Which simulation engine backs this machine's event queue.
+    #[must_use]
+    pub fn engine_kind(&self) -> EngineKind {
+        self.queue.kind()
+    }
+
+    /// Engine health counters: live/stale population, compactions, and —
+    /// on the wheel engine — cascade, occupancy and closed-form
+    /// fast-forward activity. Observability only; never part of
+    /// [`state_hash`](Machine::state_hash).
+    #[must_use]
+    pub fn engine_stats(&self) -> EngineStats {
+        self.queue.stats()
     }
 
     /// Number of bottom-handler completions still outstanding (one per
@@ -651,16 +684,11 @@ impl Machine {
     /// to the first detected defect).
     pub fn run_until(&mut self, until: Instant) {
         while self.defect.is_none() {
-            match self.queue.peek_time() {
-                Some(t) if t <= until => {
-                    let Some((_, event)) = self.queue.pop() else {
-                        break;
-                    };
-                    self.handle(event);
-                    self.supervise_tick();
-                }
-                _ => break,
-            }
+            let Some((_, event)) = self.queue.advance_to(until) else {
+                break;
+            };
+            self.handle(event);
+            self.supervise_tick();
         }
     }
 
@@ -672,16 +700,11 @@ impl Machine {
             if self.defect.is_some() {
                 return false;
             }
-            match self.queue.peek_time() {
-                Some(t) if t <= deadline => {
-                    let Some((_, event)) = self.queue.pop() else {
-                        return false;
-                    };
-                    self.handle(event);
-                    self.supervise_tick();
-                }
-                _ => return false,
-            }
+            let Some((_, event)) = self.queue.advance_to(deadline) else {
+                return false;
+            };
+            self.handle(event);
+            self.supervise_tick();
         }
         true
     }
@@ -1221,8 +1244,18 @@ impl Machine {
 
     fn on_boundary(&mut self, index: u64) {
         let boundary_now = self.now();
+        let engine = self.queue.stats();
         if let Some(metrics) = &mut self.metrics {
             metrics.record_slot_boundary(boundary_now, index as usize);
+            metrics.record_engine(rthv_obs::EngineObs {
+                live: engine.live as u64,
+                stale: engine.stale as u64,
+                compactions: engine.compactions,
+                fast_forward_jumps: engine.fast_forward_jumps,
+                cascades: engine.cascades,
+                occupied_buckets: engine.occupied_buckets as u64,
+                overflow_len: engine.overflow_len as u64,
+            });
         }
         let next = index + 1;
         if self
@@ -1700,7 +1733,7 @@ impl Machine {
 pub struct MachineSnapshot {
     config: HypervisorConfig,
     schedule: TdmaSchedule,
-    queue: EventQueue<Event>,
+    queue: EngineQueue<Event>,
     hv: Option<HvBlock>,
     activity: Activity,
     window: Option<InterposedWindow>,

@@ -99,6 +99,28 @@ pub struct ObsCounters {
     pub slot_boundaries: u64,
 }
 
+/// Last-observed event-engine gauge, sampled at slot boundaries. Plain
+/// integers so the hub stays independent of the engine crate; all fields
+/// are pure observation and never feed back into the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineObs {
+    /// Live (scheduled, not cancelled) events in the engine.
+    pub live: u64,
+    /// Cancelled-but-not-yet-reclaimed tombstones.
+    pub stale: u64,
+    /// Tombstone compaction passes run so far.
+    pub compactions: u64,
+    /// Cursor fast-forward jumps that skipped more than one granule
+    /// (timing wheel only; zero on the heap engine).
+    pub fast_forward_jumps: u64,
+    /// Higher-level cascade refills (timing wheel only).
+    pub cascades: u64,
+    /// Occupied wheel buckets across all levels (timing wheel only).
+    pub occupied_buckets: u64,
+    /// Entries parked on the far-future overflow level (wheel only).
+    pub overflow_len: u64,
+}
+
 /// The metrics registry: counters, per-source latency histograms and
 /// headroom gauges, plus the flight recorder.
 ///
@@ -111,6 +133,7 @@ pub struct ObsCounters {
 pub struct MetricsHub {
     config: ObsConfig,
     counters: ObsCounters,
+    engine: EngineObs,
     latency: Vec<LatencyHistogram>,
     gauges: Vec<HeadroomGauge>,
     recorder: FlightRecorder,
@@ -130,6 +153,7 @@ impl MetricsHub {
         MetricsHub {
             config,
             counters: ObsCounters::default(),
+            engine: EngineObs::default(),
             latency: vec![histogram; sources.len()],
             gauges: sources
                 .iter()
@@ -265,10 +289,24 @@ impl MetricsHub {
             .record(at, ObsEventKind::SlotBoundary { slot });
     }
 
+    /// Overwrites the engine gauge with the engine's current stats —
+    /// sample at slot boundaries for a per-cycle occupancy view.
+    #[inline]
+    pub fn record_engine(&mut self, stats: EngineObs) {
+        self.engine = stats;
+    }
+
+    /// The last-recorded engine gauge.
+    #[must_use]
+    pub fn engine(&self) -> &EngineObs {
+        &self.engine
+    }
+
     /// Clears all observations, keeping geometry and allocations — the
     /// observability mirror of `Machine::reset`.
     pub fn reset(&mut self) {
         self.counters = ObsCounters::default();
+        self.engine = EngineObs::default();
         for histogram in &mut self.latency {
             *histogram =
                 LatencyHistogram::new(self.config.latency_bin_width, self.config.latency_range)
@@ -305,6 +343,16 @@ impl MetricsHub {
         let _ = writeln!(out, "    \"overflows\": {},", c.overflows);
         let _ = writeln!(out, "    \"health_transitions\": {},", c.health_transitions);
         let _ = writeln!(out, "    \"slot_boundaries\": {}", c.slot_boundaries);
+        let _ = writeln!(out, "  }},");
+        let e = &self.engine;
+        let _ = writeln!(out, "  \"engine\": {{");
+        let _ = writeln!(out, "    \"live\": {},", e.live);
+        let _ = writeln!(out, "    \"stale\": {},", e.stale);
+        let _ = writeln!(out, "    \"compactions\": {},", e.compactions);
+        let _ = writeln!(out, "    \"fast_forward_jumps\": {},", e.fast_forward_jumps);
+        let _ = writeln!(out, "    \"cascades\": {},", e.cascades);
+        let _ = writeln!(out, "    \"occupied_buckets\": {},", e.occupied_buckets);
+        let _ = writeln!(out, "    \"overflow_len\": {}", e.overflow_len);
         let _ = writeln!(out, "  }},");
         let _ = writeln!(out, "  \"sources\": [");
         for (source, (histogram, gauge)) in self.latency.iter().zip(&self.gauges).enumerate() {

@@ -1,15 +1,23 @@
 //! Deterministic discrete-event simulation engine.
 //!
 //! The hypervisor model in `rthv-hypervisor` advances virtual time by popping
-//! events off an [`EventQueue`]. The engine guarantees:
+//! events off an [`Engine`] implementation. Every engine guarantees:
 //!
 //! * **monotonic time** — events pop in non-decreasing timestamp order and
 //!   scheduling in the past is an error;
 //! * **deterministic tie-breaking** — events with equal timestamps pop in the
 //!   order they were scheduled (FIFO), so a simulation is a pure function of
 //!   its inputs;
-//! * **O(log n) scheduling and cancellation** — cancellation is lazy (a
-//!   tombstone set), which keeps identifiers stable.
+//! * **stable identifiers under lazy cancellation** — cancelling leaves a
+//!   tombstone that is drained (and, past 2× the live population, compacted)
+//!   later, so ids never dangle.
+//!
+//! Two engines satisfy the contract: [`EventQueue`], the `O(log n)`
+//! binary-heap reference, and [`WheelEngine`], a hierarchical timing wheel
+//! with `O(1)` amortised operations and closed-form fast-forward across
+//! empty virtual time. [`EngineQueue`] selects between them at runtime; the
+//! two are observation-equivalent bit for bit (see [`engine`] for the exact
+//! obligations).
 //!
 //! # Examples
 //!
@@ -32,6 +40,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod queue;
+mod wheel;
 
+pub use engine::{Engine, EngineKind, EngineQueue, EngineStats};
 pub use queue::{EventId, EventQueue, SchedulePastError, SimError};
+pub use wheel::WheelEngine;

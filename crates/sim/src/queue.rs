@@ -35,6 +35,12 @@ pub struct EventId {
 }
 
 impl EventId {
+    /// Assembles an id from its raw parts (engine-internal: both engines
+    /// must mint identical ids for identical schedule streams).
+    pub(crate) fn from_parts(generation: u32, seq: u64) -> Self {
+        EventId { generation, seq }
+    }
+
     /// The queue generation that issued this id.
     #[must_use]
     pub fn generation(self) -> u32 {
@@ -112,22 +118,51 @@ impl From<SchedulePastError> for SimError {
     }
 }
 
-/// One heap entry. Ordered by `(time, seq)` so the [`BinaryHeap`] (a max-heap
-/// with a reversed `Ord`) pops the earliest event first and breaks ties in
-/// scheduling order.
+/// Packs an event's firing time and dense sequence number into one `u128`
+/// sort key: `(time << 64) | seq`. Comparing keys is a single wide integer
+/// compare, yet orders exactly like lexicographic `(time, seq)` — earliest
+/// time first, FIFO within a timestamp.
+#[inline]
+pub(crate) fn pack_key(at: Instant, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | u128::from(seq)
+}
+
+/// The firing time half of a packed key.
+#[inline]
+pub(crate) fn key_time(key: u128) -> Instant {
+    Instant::from_nanos((key >> 64) as u64)
+}
+
+/// The sequence-number half of a packed key.
+#[inline]
+pub(crate) fn key_seq(key: u128) -> u64 {
+    key as u64
+}
+
+/// One heap entry. Ordered by the packed `(time, seq)` key so the
+/// [`BinaryHeap`] (a max-heap with a reversed `Ord`) pops the earliest event
+/// first and breaks ties in scheduling order with a single `u128` compare.
 struct Entry<E> {
-    at: Instant,
-    seq: u64,
-    id: EventId,
+    key: u128,
     event: E,
+}
+
+impl<E> Entry<E> {
+    #[inline]
+    fn at(&self) -> Instant {
+        key_time(self.key)
+    }
+
+    #[inline]
+    fn seq(&self) -> u64 {
+        key_seq(self.key)
+    }
 }
 
 impl<E: Clone> Clone for Entry<E> {
     fn clone(&self) -> Self {
         Entry {
-            at: self.at,
-            seq: self.seq,
-            id: self.id,
+            key: self.key,
             event: self.event.clone(),
         }
     }
@@ -135,7 +170,7 @@ impl<E: Clone> Clone for Entry<E> {
 
 impl<E> PartialEq for Entry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 
@@ -150,13 +185,13 @@ impl<E> PartialOrd for Entry<E> {
 impl<E> Ord for Entry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: the binary heap is a max-heap, we want earliest first.
-        (other.at, other.seq).cmp(&(self.at, self.seq))
+        other.key.cmp(&self.key)
     }
 }
 
 /// Lifecycle state of one issued event id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum IdState {
+pub(crate) enum IdState {
     /// Scheduled and not yet cancelled or popped.
     Pending,
     /// Cancelled but still in the heap (drained lazily).
@@ -173,7 +208,7 @@ enum IdState {
 /// no per-operation allocation once the ring capacity covers the peak
 /// number of simultaneously live ids.
 #[derive(Debug, Default, Clone)]
-struct IdTable {
+pub(crate) struct IdTable {
     /// Every id strictly below this watermark has been consumed.
     base: u64,
     /// `states[i]` is the state of id `base + i`.
@@ -183,12 +218,31 @@ struct IdTable {
 }
 
 impl IdTable {
+    /// A table whose ring starts with room for `capacity` live ids.
+    pub(crate) fn with_capacity(capacity: usize) -> Self {
+        IdTable {
+            base: 0,
+            states: VecDeque::with_capacity(capacity),
+            cancelled: 0,
+        }
+    }
+
+    /// Grows the ring to hold `additional` more live ids without moving.
+    pub(crate) fn reserve(&mut self, additional: usize) {
+        self.states.reserve(additional);
+    }
+
+    /// Number of ids currently marked [`IdState::Cancelled`].
+    pub(crate) fn cancelled(&self) -> usize {
+        self.cancelled
+    }
+
     /// Registers the next dense id (the caller allocates them in order).
-    fn push_pending(&mut self) {
+    pub(crate) fn push_pending(&mut self) {
         self.states.push_back(IdState::Pending);
     }
 
-    fn state(&self, seq: u64) -> IdState {
+    pub(crate) fn state(&self, seq: u64) -> IdState {
         if seq < self.base {
             return IdState::Consumed;
         }
@@ -201,7 +255,7 @@ impl IdTable {
     }
 
     /// Marks a pending id cancelled. Returns `false` if it was not pending.
-    fn cancel(&mut self, seq: u64) -> bool {
+    pub(crate) fn cancel(&mut self, seq: u64) -> bool {
         if seq < self.base {
             return false;
         }
@@ -226,7 +280,7 @@ impl IdTable {
     /// ever reaches this path; staleness across [`clear`](Self::clear) is
     /// reported upstream through the `SimError::StaleEventId` typed error,
     /// and the table itself must stay total over all inputs.
-    fn consume(&mut self, seq: u64) {
+    pub(crate) fn consume(&mut self, seq: u64) {
         if seq < self.base {
             return;
         }
@@ -244,7 +298,7 @@ impl IdTable {
     }
 
     /// Forgets every id but keeps the ring's capacity for reuse.
-    fn clear(&mut self) {
+    pub(crate) fn clear(&mut self) {
         self.base = 0;
         self.states.clear();
         self.cancelled = 0;
@@ -262,19 +316,38 @@ pub struct EventQueue<E> {
     /// Bumped by [`clear`](Self::clear) so stale ids are detectable.
     generation: u32,
     now: Instant,
+    /// Times the compaction guard rebuilt the heap to shed tombstones.
+    compactions: u64,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue at time [`Instant::ZERO`].
     #[must_use]
     pub fn new() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Creates an empty queue pre-sized for `capacity` simultaneously live
+    /// events: both the binary heap and the id-state ring allocate up front,
+    /// so a scenario whose peak event population is known (e.g. a
+    /// pre-scheduled arrival trace) never reallocates mid-run.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            ids: IdTable::default(),
+            heap: BinaryHeap::with_capacity(capacity),
+            ids: IdTable::with_capacity(capacity),
             next_seq: 0,
             generation: 0,
             now: Instant::ZERO,
+            compactions: 0,
         }
+    }
+
+    /// Grows the heap and the id ring to hold `additional` more live events
+    /// without reallocating on the scheduling path.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.ids.reserve(additional);
     }
 
     /// The queue's current time: the timestamp of the last popped event (or
@@ -312,6 +385,9 @@ impl<E> EventQueue<E> {
         self.next_seq = 0;
         self.generation = self.generation.wrapping_add(1);
         self.now = Instant::ZERO;
+        // Perf counters restart too: a cleared queue must be
+        // indistinguishable from a fresh one, gauge included.
+        self.compactions = 0;
     }
 
     /// Allocates the next id and pushes the entry; `at` must already be
@@ -322,9 +398,7 @@ impl<E> EventQueue<E> {
             seq: self.next_seq,
         };
         self.heap.push(Entry {
-            at,
-            seq: self.next_seq,
-            id,
+            key: pack_key(at, self.next_seq),
             event,
         });
         self.ids.push_pending();
@@ -386,7 +460,51 @@ impl<E> EventQueue<E> {
         if id.seq >= self.next_seq {
             return Ok(false);
         }
-        Ok(self.ids.cancel(id.seq))
+        let cancelled = self.ids.cancel(id.seq);
+        // Compaction guard: lazy deletion may never let tombstones outgrow
+        // 2× the live population, or a cancel storm would drag every later
+        // heap operation through a graveyard. The 2× threshold amortises:
+        // by the time it trips, at least two thirds of the heap is stale,
+        // so the O(n) rebuild is paid for by the Ω(n) cancels since the
+        // last one.
+        if cancelled && self.ids.cancelled() > 2 * self.len() {
+            self.compact();
+        }
+        Ok(cancelled)
+    }
+
+    /// Rebuilds the heap without the cancelled entries, consuming their
+    /// ids. Invoked automatically by the compaction guard; callable
+    /// directly before a long idle stretch.
+    pub fn compact(&mut self) {
+        if self.ids.cancelled() == 0 {
+            return;
+        }
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        let ids = &mut self.ids;
+        entries.retain(|entry| {
+            if ids.state(entry.seq()) == IdState::Cancelled {
+                ids.consume(entry.seq());
+                false
+            } else {
+                true
+            }
+        });
+        // `From<Vec>` heapifies in place, keeping the allocation.
+        self.heap = BinaryHeap::from(entries);
+        self.compactions += 1;
+    }
+
+    /// Engine health counters: live population, tombstone debt, compaction
+    /// and (for the wheel engine) fast-forward activity.
+    #[must_use]
+    pub fn stats(&self) -> crate::engine::EngineStats {
+        crate::engine::EngineStats {
+            live: self.len(),
+            stale: self.ids.cancelled(),
+            compactions: self.compactions,
+            ..crate::engine::EngineStats::default()
+        }
     }
 
     /// Pops the earliest live event, advancing [`now`](Self::now) to its
@@ -395,14 +513,15 @@ impl<E> EventQueue<E> {
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.ids.state(entry.id.seq) == IdState::Cancelled {
-                self.ids.consume(entry.id.seq);
+            if self.ids.state(entry.seq()) == IdState::Cancelled {
+                self.ids.consume(entry.seq());
                 continue;
             }
-            debug_assert!(entry.at >= self.now, "heap yielded an event in the past");
-            self.now = entry.at;
-            self.ids.consume(entry.id.seq);
-            return Some((entry.at, entry.event));
+            let at = entry.at();
+            debug_assert!(at >= self.now, "heap yielded an event in the past");
+            self.now = at;
+            self.ids.consume(entry.seq());
+            return Some((at, entry.event));
         }
         None
     }
@@ -420,11 +539,11 @@ impl<E> EventQueue<E> {
         let mut live: Vec<&Entry<E>> = self
             .heap
             .iter()
-            .filter(|entry| self.ids.state(entry.id.seq) != IdState::Cancelled)
+            .filter(|entry| self.ids.state(entry.seq()) != IdState::Cancelled)
             .collect();
-        live.sort_by_key(|entry| (entry.at, entry.seq));
+        live.sort_by_key(|entry| entry.key);
         for entry in live {
-            f(entry.at, entry.seq, &entry.event);
+            f(entry.at(), entry.seq(), &entry.event);
         }
     }
 
@@ -434,13 +553,13 @@ impl<E> EventQueue<E> {
         loop {
             match self.heap.peek() {
                 None => return None,
-                Some(entry) if self.ids.state(entry.id.seq) != IdState::Cancelled => {
-                    return Some(entry.at);
+                Some(entry) if self.ids.state(entry.seq()) != IdState::Cancelled => {
+                    return Some(entry.at());
                 }
                 Some(_) => {
                     // Drain the cancelled head lazily.
                     if let Some(entry) = self.heap.pop() {
-                        self.ids.consume(entry.id.seq);
+                        self.ids.consume(entry.seq());
                     }
                 }
             }
@@ -467,6 +586,7 @@ impl<E: Clone> Clone for EventQueue<E> {
             next_seq: self.next_seq,
             generation: self.generation,
             now: self.now,
+            compactions: self.compactions,
         }
     }
 }

@@ -8,8 +8,14 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (RTHV_ENGINE=heap)"
+RTHV_ENGINE=heap cargo test --workspace -q
+
+echo "==> cargo test -q (RTHV_ENGINE=wheel)"
+# The whole tier-1 suite again on the timing-wheel engine: every machine
+# built with EngineChoice::Auto honours RTHV_ENGINE, so any test passing
+# on the heap but failing here is a cross-engine divergence.
+RTHV_ENGINE=wheel cargo test --workspace -q
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
@@ -57,6 +63,19 @@ cargo run --release -q -p rthv-experiments --bin campaign \
     --journal target/CAMPAIGN_smoke_journal.jsonl
 cmp target/CAMPAIGN_smoke.json target/CAMPAIGN_smoke_resumed.json \
     || { echo "resumed report differs from uninterrupted run"; exit 1; }
+
+echo "==> cross-engine smoke campaign (heap vs wheel, byte-identical reports)"
+# The same smoke campaign pinned to each engine. The campaign report is a
+# pure function of the simulated trajectory, so a single differing byte
+# means the engines diverged — the CI form of the state-hash oracle.
+RTHV_ENGINE=heap cargo run --release -q -p rthv-experiments --bin campaign \
+    target/CAMPAIGN_smoke_heap.json 7 16392212
+RTHV_ENGINE=wheel cargo run --release -q -p rthv-experiments --bin campaign \
+    target/CAMPAIGN_smoke_wheel.json 7 16392212
+cmp target/CAMPAIGN_smoke_heap.json target/CAMPAIGN_smoke_wheel.json \
+    || { echo "cross-engine divergence: heap and wheel campaign reports differ"; exit 1; }
+cmp target/CAMPAIGN_smoke.json target/CAMPAIGN_smoke_heap.json \
+    || { echo "default-engine report differs from pinned heap report"; exit 1; }
 
 echo "==> smoke supervised campaign (nominal + 7 fault families, fixed seed)"
 # Fails on any oracle violation (quarantine soundness included), a
