@@ -1,0 +1,670 @@
+//! The admission fleet: dense source ids hash-routed across N shards,
+//! driven through a deterministic discrete-event loop with typed admission
+//! outcomes, bounded fail-closed retry, a load-shedding ladder and
+//! checkpoint-based shard failover.
+//!
+//! Every arrival ends in exactly one [`AdmitOutcome`] — admitted, denied by
+//! the δ⁻ monitor, or shed with a typed [`ShedReason`]. Nothing is silent:
+//! the fleet ledger balances `scheduled = admitted + denied + shed` and
+//! `admitted = completed + lost_in_flight + in_flight_at_end`, and the
+//! fleet-wide oracle re-checks both identities plus per-victim Eq. 13–16
+//! independence over the union of all shards' admitted streams.
+
+use std::fmt;
+
+use rthv_hypervisor::{HealthSignal, HealthState, SupervisionPolicy};
+use rthv_monitor::{Admission, DeltaFunction};
+use rthv_obs::MetricsHub;
+use rthv_sim::{EngineKind, EngineQueue};
+use rthv_stats::LatencyHistogram;
+use rthv_time::{Duration, Instant};
+use rthv_workload::FloodEvent;
+
+use rthv_faults::{check_admitted_stream, Violation};
+
+use crate::shard::{InFlight, Shard, ShardCounters};
+
+/// Why an arrival was shed instead of reaching (or surviving) an admission
+/// check. Typed degradation: callers can budget each class separately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The shard's bounded in-flight queue was at capacity.
+    QueueFull,
+    /// The shard was stalled and the deterministic bounded retry budget
+    /// (`max_retries × retry_backoff`) could not outlast the stall — the
+    /// fail-closed deny-on-stall escalation.
+    ShardStalled,
+    /// The shard was above its shed watermark and the source's health
+    /// state was Probation or Quarantined — the load-shedding ladder
+    /// demotes suspect sources first.
+    Demoted {
+        /// The health state that ranked the source for demotion.
+        state: HealthState,
+    },
+    /// The activation had been admitted but its service was lost to a
+    /// shard crash before completing.
+    ShardCrash,
+}
+
+impl ShedReason {
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            ShedReason::QueueFull => "queue-full",
+            ShedReason::ShardStalled => "shard-stalled",
+            ShedReason::Demoted { .. } => "demoted",
+            ShedReason::ShardCrash => "shard-crash",
+        }
+    }
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::Demoted { state } => write!(f, "demoted:{}", state.slug()),
+            other => f.write_str(other.slug()),
+        }
+    }
+}
+
+/// The typed outcome of one arrival at the fleet ingress.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmitOutcome {
+    /// δ⁻-conformant; service scheduled.
+    Admitted,
+    /// The δ⁻ monitor denied the activation.
+    Denied {
+        /// δ⁻ entry index of the first violated constraint.
+        violated_distance: usize,
+    },
+    /// Shed before the admission check could (safely) run.
+    Shed {
+        /// The typed degradation class.
+        reason: ShedReason,
+    },
+}
+
+/// How a crashed shard rebuilds its monitor arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailoverMode {
+    /// Restore the last checkpoint and replay the admission journal tail —
+    /// the recovered δ⁻ state is exactly the pre-crash state.
+    Checkpoint,
+    /// Restart with empty monitors (the no-failover baseline). Post-crash
+    /// admissions forget the pre-crash stream, so a storm straddling the
+    /// cut can overrun the Eq. 13–16 bound — which the fleet oracle must
+    /// detect.
+    FreshState,
+}
+
+impl FailoverMode {
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            FailoverMode::Checkpoint => "checkpoint",
+            FailoverMode::FreshState => "fresh-state",
+        }
+    }
+}
+
+/// Fleet construction error. Every invalid geometry is typed; nothing
+/// panics at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// `shards == 0`.
+    NoShards,
+    /// `sources == 0`.
+    NoSources,
+    /// `queue_capacity == 0` — a shard that can hold nothing admits
+    /// nothing.
+    ZeroQueueCapacity,
+    /// `service_cost` is zero — completions would collapse onto arrivals.
+    ZeroServiceCost,
+    /// `retry_backoff` is zero — the bounded retry would never advance.
+    ZeroBackoff,
+    /// `shed_watermark_permille > 1000`.
+    BadWatermark,
+    /// `engine` names no known event engine.
+    UnknownEngine {
+        /// The rejected engine name.
+        value: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoShards => f.write_str("fleet needs at least one shard"),
+            FleetError::NoSources => f.write_str("fleet needs at least one source"),
+            FleetError::ZeroQueueCapacity => f.write_str("shard queue capacity must be positive"),
+            FleetError::ZeroServiceCost => f.write_str("service cost must be positive"),
+            FleetError::ZeroBackoff => f.write_str("retry backoff must be positive"),
+            FleetError::BadWatermark => f.write_str("shed watermark must be at most 1000 permille"),
+            FleetError::UnknownEngine { value } => {
+                write!(f, "unknown event engine {value:?} (expected heap or wheel)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Fleet geometry and policy. Construction is validated by
+/// [`AdmitFleet::new`]; runs are pure functions of the config plus the
+/// arrival and fault streams.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Shard count.
+    pub shards: u32,
+    /// Dense global source-id space `0..sources`.
+    pub sources: u32,
+    /// The δ⁻ condition every source's monitor enforces.
+    pub delta: DeltaFunction,
+    /// Bounded per-shard in-flight queue capacity.
+    pub queue_capacity: usize,
+    /// Service time charged per admitted activation (`C'_BH`).
+    pub service_cost: Duration,
+    /// Bounded retry budget against a stalled shard.
+    pub max_retries: u32,
+    /// Deterministic backoff between retries.
+    pub retry_backoff: Duration,
+    /// In-flight occupancy (‰ of capacity) above which the shedding
+    /// ladder starts demoting Probation/Quarantined sources.
+    pub shed_watermark_permille: u32,
+    /// Per-source supervision policy feeding the ladder.
+    pub supervision: SupervisionPolicy,
+    /// Checkpoint after this many journalled admissions.
+    pub checkpoint_every: u64,
+    /// What a crash does to shard state.
+    pub failover: FailoverMode,
+    /// Event-engine name (`"heap"` or `"wheel"`); rejected values become
+    /// [`FleetError::UnknownEngine`], never a silent fallback.
+    pub engine: String,
+    /// Ingress-to-completion latency histogram bin width.
+    pub latency_bin_width: Duration,
+    /// Latency histogram range.
+    pub latency_range: Duration,
+}
+
+impl FleetConfig {
+    /// Paper-flavoured defaults: the Section-6 sporadic condition
+    /// `d_min = 1 ms`, a 100 µs effective bottom cost, 48-deep shard
+    /// queues, shedding from 750 ‰ occupancy, 3 retries at 200 µs and a
+    /// checkpoint every 32 admissions.
+    #[must_use]
+    pub fn paper(shards: u32, sources: u32) -> Self {
+        FleetConfig {
+            shards,
+            sources,
+            delta: DeltaFunction::from_dmin(Duration::from_millis(1))
+                .expect("the paper's 1 ms sporadic condition is a valid δ⁻"),
+            queue_capacity: 48,
+            service_cost: Duration::from_micros(100),
+            max_retries: 3,
+            retry_backoff: Duration::from_micros(200),
+            shed_watermark_permille: 750,
+            supervision: SupervisionPolicy::default(),
+            checkpoint_every: 32,
+            failover: FailoverMode::Checkpoint,
+            engine: "heap".to_owned(),
+            latency_bin_width: Duration::from_micros(50),
+            latency_range: Duration::from_millis(20),
+        }
+    }
+}
+
+/// A shard-level fault, injected at an absolute instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFault {
+    /// When the fault strikes.
+    pub at: Instant,
+    /// Which shard it strikes.
+    pub shard: u32,
+    /// What it does.
+    pub kind: ShardFaultKind,
+}
+
+/// The shard fault families, mirroring [`rthv_faults::FaultKind`]'s
+/// `ShardCrash`/`ShardStall` one layer up where shards actually exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFaultKind {
+    /// The shard process dies: in-flight work is lost (typed), state is
+    /// rebuilt per [`FailoverMode`].
+    Crash,
+    /// The shard stops serving for a window; ingress fails closed after
+    /// the bounded retry budget.
+    Stall {
+        /// Stall window length.
+        duration: Duration,
+    },
+}
+
+/// Routes a global source id to its shard: a splitmix64 finalizer over the
+/// id, reduced mod `shards`. Pure and stable — the same `(source, shards)`
+/// pair routes identically across fleet reconstructions, engines and
+/// processes.
+#[must_use]
+pub fn route(source: u32, shards: u32) -> u32 {
+    let mut z = u64::from(source).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z % u64::from(shards)) as u32
+}
+
+/// What flows through the fleet's event engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FleetEvent {
+    /// An ingress arrival from `source`.
+    Arrival { source: u32 },
+    /// Shard crash.
+    Crash { shard: u32 },
+    /// Shard stall starting now, ending at `until`.
+    Stall { shard: u32, until: Instant },
+    /// Service completion at the head of `shard`'s in-flight queue.
+    Drain { shard: u32 },
+}
+
+/// The sharded admission fleet. Construction validates the geometry and
+/// freezes the source→shard routing table; [`AdmitFleet::run`] executes
+/// one deterministic campaign arm over fresh shard state.
+#[derive(Debug)]
+pub struct AdmitFleet {
+    config: FleetConfig,
+    engine: EngineKind,
+    /// `router[source] = (shard, local index within the shard's arena)`.
+    router: Vec<(u32, u32)>,
+    /// Sources per shard.
+    locals: Vec<u32>,
+}
+
+impl AdmitFleet {
+    /// Validates `config` and builds the routing table.
+    pub fn new(config: FleetConfig) -> Result<AdmitFleet, FleetError> {
+        if config.shards == 0 {
+            return Err(FleetError::NoShards);
+        }
+        if config.sources == 0 {
+            return Err(FleetError::NoSources);
+        }
+        if config.queue_capacity == 0 {
+            return Err(FleetError::ZeroQueueCapacity);
+        }
+        if config.service_cost.is_zero() {
+            return Err(FleetError::ZeroServiceCost);
+        }
+        if config.retry_backoff.is_zero() {
+            return Err(FleetError::ZeroBackoff);
+        }
+        if config.shed_watermark_permille > 1000 {
+            return Err(FleetError::BadWatermark);
+        }
+        let engine =
+            EngineKind::parse(&config.engine).ok_or_else(|| FleetError::UnknownEngine {
+                value: config.engine.clone(),
+            })?;
+        let mut locals = vec![0u32; config.shards as usize];
+        let router = (0..config.sources)
+            .map(|source| {
+                let shard = route(source, config.shards);
+                let local = locals[shard as usize];
+                locals[shard as usize] += 1;
+                (shard, local)
+            })
+            .collect();
+        Ok(AdmitFleet {
+            config,
+            engine,
+            router,
+            locals,
+        })
+    }
+
+    /// The validated configuration.
+    #[must_use]
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The frozen `(shard, local)` route of `source`, if it exists.
+    #[must_use]
+    pub fn route_of(&self, source: u32) -> Option<(u32, u32)> {
+        self.router.get(source as usize).copied()
+    }
+
+    /// Runs one campaign arm: `arrivals` (sorted, as produced by
+    /// [`rthv_workload::open_loop_flood`] / [`rthv_workload::ecu_fleet`])
+    /// against `faults`, over fresh shard state. Pure in everything except
+    /// `hub`, which — when given — receives the observability event stream.
+    pub fn run(
+        &self,
+        arrivals: &[FloodEvent],
+        faults: &[ShardFault],
+        mut hub: Option<&mut MetricsHub>,
+    ) -> FleetReport {
+        let cfg = &self.config;
+        let shards: Vec<Shard> = self
+            .locals
+            .iter()
+            .map(|&n| Shard::new(n as usize, &cfg.delta, cfg.supervision))
+            .collect();
+        let tick_hint = cfg.delta.dmin().max(Duration::from_micros(64));
+        let mut queue: EngineQueue<FleetEvent> = EngineQueue::new(self.engine, tick_hint);
+
+        // Arrivals before faults: at equal instants the FIFO tie-break
+        // lets same-tick ingress beat the crash that would shed it, which
+        // is both deterministic and the adversarial-maximal ordering (the
+        // crash then kills it in flight instead).
+        for ev in arrivals {
+            queue
+                .schedule_at(ev.at, FleetEvent::Arrival { source: ev.source })
+                .expect("arrival streams start at the epoch");
+        }
+        for fault in faults {
+            let event = match fault.kind {
+                ShardFaultKind::Crash => FleetEvent::Crash { shard: fault.shard },
+                ShardFaultKind::Stall { duration } => FleetEvent::Stall {
+                    shard: fault.shard,
+                    until: fault.at + duration,
+                },
+            };
+            queue
+                .schedule_at(fault.at, event)
+                .expect("fault plans start at the epoch");
+        }
+
+        let mut admitted: Vec<Vec<Instant>> = vec![Vec::new(); cfg.sources as usize];
+        let mut latency = LatencyHistogram::new(cfg.latency_bin_width, cfg.latency_range)
+            .expect("validated latency geometry");
+        let mut max_latency = Duration::ZERO;
+
+        while let Some((now, event)) = queue.pop() {
+            match event {
+                FleetEvent::Arrival { source } => {
+                    let Some(&(shard_id, local)) = self.router.get(source as usize) else {
+                        continue; // out-of-range source: not ours to admit
+                    };
+                    if let Some(h) = hub.as_deref_mut() {
+                        h.record_raised(now, source as usize);
+                    }
+                    let shard = &shards[shard_id as usize];
+                    let outcome = shard.with_state(|s| {
+                        s.counters.scheduled += 1;
+                        // Fail-closed stall handling: a bounded number of
+                        // deterministic backoff retries may outlast the
+                        // stall; if they cannot, the arrival is shed — we
+                        // never admit against a monitor we cannot reach.
+                        if let Some(until) = s.stalled_until {
+                            if now < until {
+                                let wait = until - now;
+                                let backoff = cfg.retry_backoff.as_nanos();
+                                let needed = wait.as_nanos().div_ceil(backoff);
+                                if needed > u64::from(cfg.max_retries) {
+                                    s.counters.shed_stalled += 1;
+                                    return AdmitOutcome::Shed {
+                                        reason: ShedReason::ShardStalled,
+                                    };
+                                }
+                                s.counters.retries += needed;
+                            } else {
+                                s.stalled_until = None;
+                            }
+                        }
+                        if s.in_flight.len() >= cfg.queue_capacity {
+                            s.counters.shed_queue_full += 1;
+                            if let Some(tr) =
+                                s.trackers[local as usize].signal(HealthSignal::Overflow, now)
+                            {
+                                if let Some(h) = hub.as_deref_mut() {
+                                    h.record_health(
+                                        now,
+                                        source as usize,
+                                        tr.from.slug(),
+                                        tr.to.slug(),
+                                    );
+                                }
+                            }
+                            return AdmitOutcome::Shed {
+                                reason: ShedReason::QueueFull,
+                            };
+                        }
+                        // The shedding ladder: above the watermark, shed
+                        // Probation/Quarantined sources before they reach
+                        // the monitor, preserving headroom for healthy ones.
+                        let occupancy = s.in_flight.len() as u64 * 1000;
+                        let watermark =
+                            u64::from(cfg.shed_watermark_permille) * cfg.queue_capacity as u64;
+                        let state = s.trackers[local as usize].state();
+                        if occupancy >= watermark && state.shed_rank() >= 2 {
+                            s.counters.shed_demoted += 1;
+                            return AdmitOutcome::Shed {
+                                reason: ShedReason::Demoted { state },
+                            };
+                        }
+                        // Admission always checks the hardware arrival
+                        // timestamp (the paper's IRQ-timestamp clock), so
+                        // the admitted stream is δ⁻-conformant in arrival
+                        // time regardless of queueing or retries.
+                        match s.monitors[local as usize].try_admit_detailed(now) {
+                            Admission::Admitted => {
+                                s.counters.admitted += 1;
+                                if let Some(tr) = s.trackers[local as usize].conformant(now) {
+                                    if let Some(h) = hub.as_deref_mut() {
+                                        h.record_health(
+                                            now,
+                                            source as usize,
+                                            tr.from.slug(),
+                                            tr.to.slug(),
+                                        );
+                                    }
+                                }
+                                s.note_admitted(local, now, cfg.checkpoint_every);
+                                AdmitOutcome::Admitted
+                            }
+                            Admission::Denied { violated_distance } => {
+                                s.counters.denied += 1;
+                                if let Some(tr) =
+                                    s.trackers[local as usize].signal(HealthSignal::Denied, now)
+                                {
+                                    if let Some(h) = hub.as_deref_mut() {
+                                        h.record_health(
+                                            now,
+                                            source as usize,
+                                            tr.from.slug(),
+                                            tr.to.slug(),
+                                        );
+                                    }
+                                }
+                                AdmitOutcome::Denied { violated_distance }
+                            }
+                        }
+                    });
+                    match outcome {
+                        AdmitOutcome::Admitted => {
+                            admitted[source as usize].push(now);
+                            if let Some(h) = hub.as_deref_mut() {
+                                h.record_admitted(now, source as usize);
+                            }
+                            // Single-server shard: the admission completes
+                            // after everything already in service.
+                            shard.with_state(|s| {
+                                let start = s.busy_until.max(now);
+                                let completion = start + cfg.service_cost;
+                                s.busy_until = completion;
+                                let id = queue
+                                    .schedule_at(completion, FleetEvent::Drain { shard: shard_id })
+                                    .expect("completions are in the future");
+                                s.in_flight.push_back(InFlight {
+                                    id,
+                                    source,
+                                    arrival: now,
+                                });
+                            });
+                        }
+                        AdmitOutcome::Denied { violated_distance } => {
+                            if let Some(h) = hub.as_deref_mut() {
+                                h.record_denied(
+                                    now,
+                                    source as usize,
+                                    Some(violated_distance as u64),
+                                );
+                            }
+                        }
+                        AdmitOutcome::Shed { .. } => {
+                            if let Some(h) = hub.as_deref_mut() {
+                                h.record_shed(now, source as usize);
+                            }
+                        }
+                    }
+                }
+                FleetEvent::Drain { shard } => {
+                    let done = shards[shard as usize].with_state(|s| {
+                        let head = s.in_flight.pop_front();
+                        if head.is_some() {
+                            s.counters.completed += 1;
+                        }
+                        head
+                    });
+                    if let Some(flight) = done {
+                        let lat = now - flight.arrival;
+                        latency.add(lat);
+                        max_latency = max_latency.max(lat);
+                        if let Some(h) = hub.as_deref_mut() {
+                            h.record_completion(now, flight.source as usize, lat);
+                        }
+                    }
+                }
+                FleetEvent::Crash { shard } => {
+                    let dropped = shards[shard as usize]
+                        .with_state(|s| s.crash(now, cfg.failover, &cfg.delta, cfg.supervision));
+                    for flight in dropped {
+                        queue.cancel(flight.id);
+                        if let Some(h) = hub.as_deref_mut() {
+                            h.record_shed(now, flight.source as usize);
+                        }
+                    }
+                }
+                FleetEvent::Stall { shard, until } => {
+                    shards[shard as usize].with_state(|s| {
+                        s.counters.stalls += 1;
+                        s.stalled_until = Some(s.stalled_until.map_or(until, |u| u.max(until)));
+                        s.busy_until = s.busy_until.max(until);
+                    });
+                }
+            }
+        }
+
+        let shard_counters: Vec<ShardCounters> = shards.iter().map(Shard::counters).collect();
+        let mut counters = ShardCounters::default();
+        for c in &shard_counters {
+            counters.add(c);
+        }
+        let in_flight_at_end = shards
+            .iter()
+            .map(|s| s.with_state(|st| st.in_flight.len() as u64))
+            .sum();
+        FleetReport {
+            shards: cfg.shards,
+            sources: cfg.sources,
+            counters,
+            shard_counters,
+            admitted,
+            in_flight_at_end,
+            latency,
+            max_latency,
+        }
+    }
+}
+
+/// Everything one fleet run leaves behind, sufficient for the fleet-wide
+/// oracle to re-verify independence and conservation offline.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Shard count of the run.
+    pub shards: u32,
+    /// Source count of the run.
+    pub sources: u32,
+    /// Fleet-aggregated ledger.
+    pub counters: ShardCounters,
+    /// Per-shard ledgers.
+    pub shard_counters: Vec<ShardCounters>,
+    /// Per-source admitted timestamps, in admission order.
+    pub admitted: Vec<Vec<Instant>>,
+    /// Admissions still in service when the horizon ended.
+    pub in_flight_at_end: u64,
+    /// Ingress-to-completion latency distribution.
+    pub latency: LatencyHistogram,
+    /// Worst observed completion latency.
+    pub max_latency: Duration,
+}
+
+impl FleetReport {
+    /// The union of all shards' admitted streams, merged into one
+    /// `(timestamp, source)` sequence ordered by time then source id.
+    #[must_use]
+    pub fn merged_admitted(&self) -> Vec<(Instant, u32)> {
+        let mut merged: Vec<(Instant, u32)> = self
+            .admitted
+            .iter()
+            .enumerate()
+            .flat_map(|(source, times)| times.iter().map(move |&at| (at, source as u32)))
+            .collect();
+        merged.sort_unstable();
+        merged
+    }
+
+    /// Canonical byte encoding of [`merged_admitted`](Self::merged_admitted)
+    /// (`"<at_ns> <source>\n"` lines) — the thing that must be
+    /// byte-identical across shard counts and engines.
+    #[must_use]
+    pub fn merged_bytes(&self) -> String {
+        let mut out = String::new();
+        for (at, source) in self.merged_admitted() {
+            out.push_str(&format!("{} {}\n", at.as_nanos(), source));
+        }
+        out
+    }
+
+    /// Typed sheds per 1000 scheduled arrivals (0 when nothing arrived).
+    #[must_use]
+    pub fn shed_permille(&self) -> u64 {
+        if self.counters.scheduled == 0 {
+            return 0;
+        }
+        self.counters.shed_total() * 1000 / self.counters.scheduled
+    }
+
+    /// The fleet-wide oracle: per-victim δ⁻ replay, sliding-window η⁺
+    /// counts and the Eq. 13–16 interference bound over each source's
+    /// admitted stream — *including across crash/failover cuts*, because
+    /// the streams span the whole run — plus the two conservation
+    /// identities of the fleet ledger.
+    #[must_use]
+    pub fn check(&self, delta: &DeltaFunction, effective_cost: Duration) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (source, stream) in self.admitted.iter().enumerate() {
+            if stream.is_empty() {
+                continue;
+            }
+            out.extend(check_admitted_stream(source, stream, delta, effective_cost));
+        }
+        let c = &self.counters;
+        let ingress_accounted = c.admitted + c.denied + c.shed_total();
+        if ingress_accounted != c.scheduled {
+            out.push(Violation::IrqLost {
+                scheduled: c.scheduled,
+                accounted: ingress_accounted,
+            });
+        }
+        let service_accounted = c.completed + c.lost_in_flight + self.in_flight_at_end;
+        if service_accounted != c.admitted {
+            out.push(Violation::IrqLost {
+                scheduled: c.admitted,
+                accounted: service_accounted,
+            });
+        }
+        out
+    }
+}

@@ -1,0 +1,47 @@
+//! A fault-tolerant sharded δ⁻ admission fleet.
+//!
+//! The paper's admission test ([`ActivationMonitor`], Eq. 6) protects one
+//! interrupt line on one machine. This crate scales the same test to a
+//! *fleet*: dense source ids hash-routed across N shards, each shard an
+//! arena of monitors behind a poison-immune lock, driven open-loop by
+//! Poisson floods, CAN-style ECU fleets and adversarial fault plans. Three
+//! robustness layers ride on top:
+//!
+//! * **Failover** ([`FailoverMode`]) — shards crash (seeded
+//!   [`ShardFault`]s); checkpointed monitor state plus a journal-tail
+//!   replay restores exactly the pre-crash δ⁻ rings, so admitted streams
+//!   stay bound-conformant *across* the cut. The fresh-state baseline
+//!   demonstrably does not.
+//! * **Graceful degradation** ([`AdmitOutcome`]) — bounded in-flight
+//!   queues, deterministic bounded retry with backoff against stalled
+//!   shards that fails *closed* ([`ShedReason::ShardStalled`]), and a
+//!   load-shedding ladder that demotes Probation/Quarantined sources
+//!   first ([`ShedReason::Demoted`]). Every shed is typed; nothing is
+//!   silently dropped or blindly admitted.
+//! * **A fleet-wide oracle** ([`FleetReport::check`]) — per-victim δ⁻
+//!   replay, sliding-window η⁺ counts and the Eq. 13–16 interference
+//!   bound over the union of all shards' admitted streams, plus the two
+//!   ledger conservation identities.
+//!
+//! The [`storm`] module packages all of it into the deterministic,
+//! journal-resumable `admit_storm` campaign.
+//!
+//! [`ActivationMonitor`]: rthv_monitor::ActivationMonitor
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod shard;
+pub mod storm;
+
+pub use fleet::{
+    route, AdmitFleet, AdmitOutcome, FailoverMode, FleetConfig, FleetError, FleetReport,
+    ShardFault, ShardFaultKind, ShedReason,
+};
+pub use shard::{Shard, ShardCounters};
+pub use storm::{
+    assemble_report, fleet_faults, report_passes, run_storm_scenario, storm_hub, storm_scenarios,
+    traffic_events, ArmOutcome, ScenarioRecord, StormConfig, StormOutcome, StormScenario,
+    TrafficKind, HOT_SOURCES,
+};

@@ -1,0 +1,706 @@
+//! The `admit_storm` campaign: seeded storm scenarios driven through the
+//! fleet twice — once with checkpoint failover (the system under test) and
+//! once with fresh-state restarts (the no-failover baseline) — plus the
+//! deterministic, journal-resumable JSON report the campaign binary emits.
+//!
+//! The campaign's claim mirrors the fault campaign one layer up: under
+//! seeded shard-crash storms the failover arm keeps every victim's
+//! admitted stream inside the Eq. 13–16 bound (zero oracle violations),
+//! while the fresh-state baseline demonstrably breaks it; and under
+//! open-loop floods the typed shed rate stays inside a stated budget.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rthv_faults::{FaultKind, FaultScenario};
+use rthv_obs::{MetricsHub, ObsConfig, SourceObs};
+use rthv_stats::LatencyHistogram;
+use rthv_time::{Duration, Instant};
+use rthv_workload::{ecu_fleet, open_loop_flood, FloodEvent, FloodSpec};
+
+use crate::fleet::{
+    AdmitFleet, FailoverMode, FleetConfig, FleetError, FleetReport, ShardFault, ShardFaultKind,
+};
+use crate::shard::ShardCounters;
+
+/// Campaign geometry: the fleet config both arms share, the traffic
+/// horizon and the shed budget the verdict enforces.
+#[derive(Debug, Clone)]
+pub struct StormConfig {
+    /// Traffic/fault horizon per scenario.
+    pub horizon: Duration,
+    /// Verdict budget: worst failover-arm shed rate (‰ of scheduled)
+    /// over the flood-family scenarios.
+    pub shed_budget_permille: u64,
+    /// The shared fleet geometry; [`FleetConfig::failover`] is overridden
+    /// per arm.
+    pub base: FleetConfig,
+}
+
+impl StormConfig {
+    /// The standard campaign: 8 shards × 64 sources over a 1 s horizon,
+    /// 16-deep shard queues, shed budget 120 ‰. Note that under pure
+    /// floods δ⁻ admission caps each shard's admitted rate below its
+    /// drain rate, so campaign sheds come from faults (fail-closed stall
+    /// sheds, crash drops), not queue overflow — the budget bounds those.
+    #[must_use]
+    pub fn standard(engine: &str) -> Self {
+        let mut base = FleetConfig::paper(8, 64);
+        base.queue_capacity = 16;
+        base.engine = engine.to_owned();
+        StormConfig {
+            horizon: Duration::from_millis(1000),
+            shed_budget_permille: 120,
+            base,
+        }
+    }
+
+    /// The smoke campaign: 4 shards × 16 sources over 250 ms — small
+    /// enough for CI, same families and verdict.
+    #[must_use]
+    pub fn smoke(engine: &str) -> Self {
+        let mut base = FleetConfig::paper(4, 16);
+        base.queue_capacity = 16;
+        base.engine = engine.to_owned();
+        StormConfig {
+            horizon: Duration::from_millis(250),
+            shed_budget_permille: 120,
+            base,
+        }
+    }
+}
+
+/// What drives the fleet ingress in a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficKind {
+    /// Open-loop Poisson flood, every source at mean rate `mean`.
+    Flood {
+        /// Per-source mean interarrival time.
+        mean: Duration,
+    },
+    /// One typical-ECU trace per source ([`ecu_fleet`]).
+    EcuFleet,
+    /// An adversarial [`FaultScenario`] plan, concentrated onto the
+    /// first [`HOT_SOURCES`] source ids round-robin — the paper's single
+    /// misbehaving-line adversity aimed at a small victim set.
+    FaultPlan {
+        /// The injected adversity generating the arrivals.
+        kind: FaultKind,
+    },
+}
+
+/// How many source ids concentrated [`TrafficKind::FaultPlan`] traffic
+/// lands on: small enough that storms and bursts stay well below `d_min`
+/// per source, so a fresh-state restart demonstrably over-admits.
+pub const HOT_SOURCES: u32 = 2;
+
+impl TrafficKind {
+    /// Stable machine-readable label.
+    #[must_use]
+    pub fn slug(&self) -> &'static str {
+        match self {
+            TrafficKind::Flood { .. } => "flood",
+            TrafficKind::EcuFleet => "ecu-fleet",
+            TrafficKind::FaultPlan { kind } => kind.slug(),
+        }
+    }
+}
+
+/// One storm scenario: a traffic generator plus a shard-fault adversity,
+/// both pure functions of the scenario seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StormScenario {
+    /// Position in the campaign (stable across runs; part of the label).
+    pub id: u32,
+    /// Ingress traffic.
+    pub traffic: TrafficKind,
+    /// Shard-fault adversity (kind + seed); [`FaultKind::Nominal`] means
+    /// no shard faults.
+    pub fault: FaultScenario,
+}
+
+impl StormScenario {
+    /// Stable scenario label, e.g. `00-flood-shard-crash`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{:02}-{}-{}",
+            self.id,
+            self.traffic.slug(),
+            self.fault.kind.slug()
+        )
+    }
+
+    /// Whether the adversity crashes shards (the failover-vs-baseline
+    /// differentiator).
+    #[must_use]
+    pub fn crash_family(&self) -> bool {
+        matches!(self.fault.kind, FaultKind::ShardCrash { .. })
+    }
+
+    /// Whether the scenario counts toward the shed budget: open-loop
+    /// fleet-wide traffic without stalls (stall scenarios shed by design —
+    /// that is the fail-closed contract, not an overload symptom).
+    #[must_use]
+    pub fn flood_family(&self) -> bool {
+        matches!(
+            self.traffic,
+            TrafficKind::Flood { .. } | TrafficKind::EcuFleet
+        ) && !matches!(self.fault.kind, FaultKind::ShardStall { .. })
+    }
+}
+
+/// The seven storm families, cycled `count` times with per-scenario
+/// derived seeds. Mirrors [`rthv_faults::standard_scenarios`]'s shape: the
+/// list is a pure function of `(count, base_seed)`.
+#[must_use]
+pub fn storm_scenarios(count: u32, base_seed: u64, horizon: Duration) -> Vec<StormScenario> {
+    let crash_period = Duration::from_nanos((horizon.as_nanos() / 5).max(1));
+    let stall_period = Duration::from_nanos((horizon.as_nanos() / 4).max(1));
+    let families: [(TrafficKind, FaultKind); 7] = [
+        (
+            TrafficKind::Flood {
+                mean: Duration::from_micros(500),
+            },
+            FaultKind::ShardCrash {
+                period: crash_period,
+                crashes: 4,
+            },
+        ),
+        (
+            TrafficKind::EcuFleet,
+            FaultKind::ShardStall {
+                period: stall_period,
+                stall: Duration::from_millis(2),
+            },
+        ),
+        (
+            TrafficKind::FaultPlan {
+                kind: FaultKind::BurstyFlood {
+                    burst: 24,
+                    spacing: Duration::from_micros(20),
+                    every: Duration::from_millis(4),
+                },
+            },
+            FaultKind::ShardCrash {
+                period: stall_period,
+                crashes: 3,
+            },
+        ),
+        (
+            TrafficKind::Flood {
+                mean: Duration::from_micros(300),
+            },
+            FaultKind::ShardCrash {
+                period: stall_period,
+                crashes: 3,
+            },
+        ),
+        (
+            TrafficKind::FaultPlan {
+                kind: FaultKind::IrqStorm {
+                    period: Duration::from_micros(400),
+                },
+            },
+            FaultKind::ShardStall {
+                period: crash_period,
+                stall: Duration::from_millis(1),
+            },
+        ),
+        (
+            TrafficKind::Flood {
+                mean: Duration::from_micros(250),
+            },
+            FaultKind::Nominal {
+                period: Duration::from_millis(1),
+            },
+        ),
+        (
+            TrafficKind::Flood {
+                mean: Duration::from_millis(3),
+            },
+            FaultKind::Nominal {
+                period: Duration::from_millis(1),
+            },
+        ),
+    ];
+    (0..count)
+        .map(|id| {
+            let (traffic, kind) = families[(id as usize) % families.len()];
+            StormScenario {
+                id,
+                traffic,
+                fault: FaultScenario {
+                    id,
+                    kind,
+                    seed: derive_seed(base_seed, id),
+                },
+            }
+        })
+        .collect()
+}
+
+/// Splitmix64 finalizer — the same derivation the flood generators use.
+fn derive_seed(base: u64, lane: u32) -> u64 {
+    let mut z = base ^ u64::from(lane).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Expands a scenario's traffic into the merged fleet arrival schedule.
+#[must_use]
+pub fn traffic_events(scenario: &StormScenario, config: &StormConfig) -> Vec<FloodEvent> {
+    match scenario.traffic {
+        TrafficKind::Flood { mean } => open_loop_flood(&FloodSpec {
+            sources: config.base.sources,
+            mean,
+            horizon: config.horizon,
+            seed: scenario.fault.seed ^ 0xF10_0D5,
+        }),
+        TrafficKind::EcuFleet => ecu_fleet(
+            config.base.sources,
+            config.horizon,
+            scenario.fault.seed ^ 0xEC0_FA5,
+        ),
+        TrafficKind::FaultPlan { kind } => {
+            let plan = FaultScenario {
+                id: scenario.id,
+                kind,
+                seed: scenario.fault.seed ^ 0xAD_7E55,
+            }
+            .plan(config.horizon, config.base.service_cost);
+            let hot = config.base.sources.min(HOT_SOURCES);
+            plan.arrivals
+                .iter()
+                .enumerate()
+                .map(|(i, a)| FloodEvent {
+                    at: a.at,
+                    source: (i as u32) % hot,
+                })
+                .collect()
+        }
+    }
+}
+
+/// Expands a scenario's [`FaultScenario`] into concrete shard faults:
+/// crash/stall `i` strikes a seeded shard at `(i+1) · period` plus seeded
+/// sub-period jitter. Nominal (and any non-shard) kinds inject nothing.
+#[must_use]
+pub fn fleet_faults(fault: &FaultScenario, shards: u32, horizon: Duration) -> Vec<ShardFault> {
+    let mut rng = StdRng::seed_from_u64(fault.seed ^ 0x5AAD_FA17);
+    let mut out = Vec::new();
+    let horizon_ns = horizon.as_nanos();
+    match fault.kind {
+        FaultKind::ShardCrash { period, crashes } => {
+            let period_ns = period.as_nanos().max(1);
+            for i in 0..u64::from(crashes) {
+                let jitter = rng.gen_range(0..(period_ns / 8).max(1));
+                let at = (i + 1) * period_ns + jitter;
+                let shard = rng.gen_range(0..shards);
+                if at < horizon_ns {
+                    out.push(ShardFault {
+                        at: Instant::from_nanos(at),
+                        shard,
+                        kind: ShardFaultKind::Crash,
+                    });
+                }
+            }
+        }
+        FaultKind::ShardStall { period, stall } => {
+            let period_ns = period.as_nanos().max(1);
+            let mut i = 0u64;
+            loop {
+                let jitter = rng.gen_range(0..(period_ns / 8).max(1));
+                let at = (i + 1) * period_ns + jitter;
+                let shard = rng.gen_range(0..shards);
+                if at >= horizon_ns {
+                    break;
+                }
+                out.push(ShardFault {
+                    at: Instant::from_nanos(at),
+                    shard,
+                    kind: ShardFaultKind::Stall { duration: stall },
+                });
+                i += 1;
+            }
+        }
+        _ => {}
+    }
+    out.sort_by_key(|f| (f.at, f.shard));
+    out
+}
+
+/// One arm's distilled result: the ledger, the fleet-oracle verdict and
+/// bin-quantized latency percentiles. Everything is an integer or a stable
+/// slug, so the serialized form is byte-identical across hosts, engines
+/// and resumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmOutcome {
+    /// Fleet-aggregated ledger.
+    pub counters: ShardCounters,
+    /// Fleet-oracle violation count.
+    pub violations: u64,
+    /// Sorted, de-duplicated violation-kind slugs.
+    pub violation_kinds: Vec<&'static str>,
+    /// Typed sheds per 1000 scheduled arrivals.
+    pub shed_permille: u64,
+    /// Median ingress-to-completion latency, quantized to the histogram
+    /// bin's upper edge, in ns (−1 when nothing completed).
+    pub p50_latency_ns: i64,
+    /// 99th-percentile latency, same quantization.
+    pub p99_latency_ns: i64,
+    /// Exact worst completion latency in ns (−1 when nothing completed).
+    pub max_latency_ns: i64,
+}
+
+impl ArmOutcome {
+    fn distill(report: &FleetReport, config: &StormConfig) -> ArmOutcome {
+        let violations = report.check(&config.base.delta, config.base.service_cost);
+        let mut kinds: Vec<&'static str> = violations.iter().map(|v| v.slug()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        let completed = report.latency.count();
+        ArmOutcome {
+            counters: report.counters,
+            violations: violations.len() as u64,
+            violation_kinds: kinds,
+            shed_permille: report.shed_permille(),
+            p50_latency_ns: percentile_ns(&report.latency, 500),
+            p99_latency_ns: percentile_ns(&report.latency, 990),
+            max_latency_ns: if completed == 0 {
+                -1
+            } else {
+                report.max_latency.as_nanos() as i64
+            },
+        }
+    }
+
+    /// One-line JSON object (integers and stable slugs only).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let c = &self.counters;
+        let kinds = self
+            .violation_kinds
+            .iter()
+            .map(|k| format!("\"{k}\""))
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            concat!(
+                "{{\"scheduled\":{},\"admitted\":{},\"denied\":{},",
+                "\"shed_queue_full\":{},\"shed_stalled\":{},\"shed_demoted\":{},",
+                "\"lost_in_flight\":{},\"completed\":{},\"retries\":{},",
+                "\"crashes\":{},\"stalls\":{},\"checkpoints\":{},",
+                "\"journal_replayed\":{},\"shed_permille\":{},",
+                "\"violations\":{},\"violation_kinds\":[{}],",
+                "\"p50_latency_ns\":{},\"p99_latency_ns\":{},\"max_latency_ns\":{}}}"
+            ),
+            c.scheduled,
+            c.admitted,
+            c.denied,
+            c.shed_queue_full,
+            c.shed_stalled,
+            c.shed_demoted,
+            c.lost_in_flight,
+            c.completed,
+            c.retries,
+            c.crashes,
+            c.stalls,
+            c.checkpoints,
+            c.journal_replayed,
+            self.shed_permille,
+            self.violations,
+            kinds,
+            self.p50_latency_ns,
+            self.p99_latency_ns,
+            self.max_latency_ns,
+        )
+    }
+}
+
+/// `permille`-quantile latency as the upper edge of the bin holding that
+/// rank, in ns. Ranks landing in the overflow bin report the histogram
+/// range (a "≥ range" quantization); an empty histogram reports −1.
+fn percentile_ns(latency: &LatencyHistogram, permille: u64) -> i64 {
+    let total = latency.count();
+    if total == 0 {
+        return -1;
+    }
+    let target = (total * permille).div_ceil(1000).max(1);
+    let mut cum = 0u64;
+    for i in 0..latency.bins() {
+        cum += latency.bin_count(i);
+        if cum >= target {
+            return (latency.bin_start(i) + latency.bin_width()).as_nanos() as i64;
+        }
+    }
+    (latency.bin_start(latency.bins())).as_nanos() as i64
+}
+
+/// One scenario's two-arm result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormOutcome {
+    /// Scenario label (stable across runs).
+    pub label: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Shard-crash adversity?
+    pub crash_family: bool,
+    /// Counts toward the shed budget?
+    pub flood_family: bool,
+    /// Checkpoint-failover arm (the system under test).
+    pub failover: ArmOutcome,
+    /// Fresh-state baseline arm.
+    pub baseline: ArmOutcome,
+}
+
+impl StormOutcome {
+    /// The one-line JSON fragment embedded verbatim in report and journal.
+    #[must_use]
+    pub fn to_json_fragment(&self) -> String {
+        format!(
+            "{{\"label\":\"{}\",\"seed\":{},\"crash_family\":{},\"flood_family\":{},\"failover\":{},\"baseline\":{}}}",
+            self.label,
+            self.seed,
+            u8::from(self.crash_family),
+            u8::from(self.flood_family),
+            self.failover.to_json(),
+            self.baseline.to_json(),
+        )
+    }
+
+    /// Distills the journal/report record.
+    #[must_use]
+    pub fn record(&self) -> ScenarioRecord {
+        ScenarioRecord {
+            label: self.label.clone(),
+            seed: self.seed,
+            crash_family: self.crash_family,
+            flood_family: self.flood_family,
+            failover_violations: self.failover.violations,
+            baseline_violations: self.baseline.violations,
+            shed_permille: self.failover.shed_permille,
+            failover_sheds: self.failover.counters.shed_total(),
+            failover_lost: self.failover.counters.lost_in_flight,
+            fragment: self.to_json_fragment(),
+        }
+    }
+}
+
+/// The journal/report unit: the digest integers the verdict needs plus the
+/// full JSON fragment spliced verbatim, so a `--resume` run assembles a
+/// byte-identical report without re-serializing old results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioRecord {
+    /// Scenario label.
+    pub label: String,
+    /// Scenario seed.
+    pub seed: u64,
+    /// Shard-crash adversity?
+    pub crash_family: bool,
+    /// Counts toward the shed budget?
+    pub flood_family: bool,
+    /// Failover-arm oracle violations.
+    pub failover_violations: u64,
+    /// Baseline-arm oracle violations.
+    pub baseline_violations: u64,
+    /// Failover-arm shed rate (‰).
+    pub shed_permille: u64,
+    /// Failover-arm typed sheds (queue-full + stalled + demoted).
+    pub failover_sheds: u64,
+    /// Failover-arm in-flight activations dropped by crashes.
+    pub failover_lost: u64,
+    /// Verbatim scenario JSON fragment.
+    pub fragment: String,
+}
+
+impl ScenarioRecord {
+    /// One journal line: `label seed crash flood failover_viol
+    /// baseline_viol shed_permille sheds lost fragment`.
+    #[must_use]
+    pub fn to_journal_line(&self) -> String {
+        format!(
+            "{} {} {} {} {} {} {} {} {} {}",
+            self.label,
+            self.seed,
+            u8::from(self.crash_family),
+            u8::from(self.flood_family),
+            self.failover_violations,
+            self.baseline_violations,
+            self.shed_permille,
+            self.failover_sheds,
+            self.failover_lost,
+            self.fragment,
+        )
+    }
+
+    /// Parses a journal line; `None` on any malformed field (torn tails
+    /// are dropped by the journal reader before this sees them).
+    #[must_use]
+    pub fn parse_journal_line(line: &str) -> Option<ScenarioRecord> {
+        let mut parts = line.splitn(10, ' ');
+        let label = parts.next()?.to_owned();
+        let seed = parts.next()?.parse().ok()?;
+        let crash_family = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        let flood_family = match parts.next()? {
+            "0" => false,
+            "1" => true,
+            _ => return None,
+        };
+        let failover_violations = parts.next()?.parse().ok()?;
+        let baseline_violations = parts.next()?.parse().ok()?;
+        let shed_permille = parts.next()?.parse().ok()?;
+        let failover_sheds = parts.next()?.parse().ok()?;
+        let failover_lost = parts.next()?.parse().ok()?;
+        let fragment = parts.next()?.to_owned();
+        if !fragment.starts_with('{') || !fragment.ends_with('}') {
+            return None;
+        }
+        Some(ScenarioRecord {
+            label,
+            seed,
+            crash_family,
+            flood_family,
+            failover_violations,
+            baseline_violations,
+            shed_permille,
+            failover_sheds,
+            failover_lost,
+            fragment,
+        })
+    }
+}
+
+/// Builds the observability hub matching a storm config: one gauge per
+/// source, budgeted at `η⁺(gauge_window)` of the shared δ⁻ with the shard
+/// service cost as the per-admission charge, and the fleet's latency
+/// binning. Pure observation — feeding it never changes a campaign number.
+#[must_use]
+pub fn storm_hub(config: &StormConfig) -> MetricsHub {
+    let obs = ObsConfig {
+        latency_bin_width: config.base.latency_bin_width,
+        latency_range: config.base.latency_range,
+        ..ObsConfig::default()
+    };
+    let per_source = SourceObs {
+        budget_events: Some(config.base.delta.eta_plus(obs.gauge_window)),
+        effective_cost: config.base.service_cost,
+    };
+    let sources = vec![per_source; config.base.sources as usize];
+    MetricsHub::new(obs, &sources)
+}
+
+/// Runs one scenario's two arms. The failover arm optionally feeds `hub`
+/// (the baseline arm never does — it exists only to be caught by the
+/// oracle, not to pollute the export).
+pub fn run_storm_scenario(
+    config: &StormConfig,
+    scenario: &StormScenario,
+    hub: Option<&mut MetricsHub>,
+) -> Result<StormOutcome, FleetError> {
+    let arrivals = traffic_events(scenario, config);
+    let faults = fleet_faults(&scenario.fault, config.base.shards, config.horizon);
+
+    let mut failover_cfg = config.base.clone();
+    failover_cfg.failover = FailoverMode::Checkpoint;
+    let failover_fleet = AdmitFleet::new(failover_cfg)?;
+    let failover_report = failover_fleet.run(&arrivals, &faults, hub);
+
+    let mut baseline_cfg = config.base.clone();
+    baseline_cfg.failover = FailoverMode::FreshState;
+    let baseline_fleet = AdmitFleet::new(baseline_cfg)?;
+    let baseline_report = baseline_fleet.run(&arrivals, &faults, None);
+
+    Ok(StormOutcome {
+        label: scenario.label(),
+        seed: scenario.fault.seed,
+        crash_family: scenario.crash_family(),
+        flood_family: scenario.flood_family(),
+        failover: ArmOutcome::distill(&failover_report, config),
+        baseline: ArmOutcome::distill(&baseline_report, config),
+    })
+}
+
+/// Assembles the deterministic campaign report from scenario records (in
+/// campaign order): a config header, the verbatim fragments, totals and
+/// the three-part verdict.
+#[must_use]
+pub fn assemble_report(config: &StormConfig, base_seed: u64, records: &[ScenarioRecord]) -> String {
+    let crash_records: Vec<&ScenarioRecord> = records.iter().filter(|r| r.crash_family).collect();
+    // Baseline breakage is structurally guaranteed only for fleet-wide
+    // floods (every shard hosts sub-d_min-dense sources, so any crash cut
+    // lands inside pending traffic); concentrated fault-plan crashes may
+    // miss the hot shards and merely contribute to the totals.
+    let crash_flood_records: Vec<&ScenarioRecord> = crash_records
+        .iter()
+        .copied()
+        .filter(|r| r.flood_family)
+        .collect();
+    let failover_violations: u64 = records.iter().map(|r| r.failover_violations).sum();
+    let baseline_violations: u64 = records.iter().map(|r| r.baseline_violations).sum();
+    let failover_sheds: u64 = records.iter().map(|r| r.failover_sheds).sum();
+    let failover_lost: u64 = records.iter().map(|r| r.failover_lost).sum();
+    let worst_flood_shed = records
+        .iter()
+        .filter(|r| r.flood_family)
+        .map(|r| r.shed_permille)
+        .max()
+        .unwrap_or(0);
+    let failover_clean = failover_violations == 0;
+    let baseline_broken = !crash_flood_records.is_empty()
+        && crash_flood_records
+            .iter()
+            .all(|r| r.baseline_violations > 0);
+    let shed_within_budget = worst_flood_shed <= config.shed_budget_permille;
+    let pass = failover_clean && baseline_broken && shed_within_budget;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"shards\":{},\"sources\":{},\"horizon_ns\":{},\"queue_capacity\":{},\"service_cost_ns\":{},\"max_retries\":{},\"retry_backoff_ns\":{},\"shed_watermark_permille\":{},\"checkpoint_every\":{},\"shed_budget_permille\":{},\"base_seed\":{}}},\n",
+        config.base.shards,
+        config.base.sources,
+        config.horizon.as_nanos(),
+        config.base.queue_capacity,
+        config.base.service_cost.as_nanos(),
+        config.base.max_retries,
+        config.base.retry_backoff.as_nanos(),
+        config.base.shed_watermark_permille,
+        config.base.checkpoint_every,
+        config.shed_budget_permille,
+        base_seed,
+    ));
+    out.push_str("  \"scenarios\": [\n");
+    for (i, record) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!("    {}{}\n", record.fragment, comma));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"totals\": {{\"scenarios\":{},\"crash_scenarios\":{},\"failover_violations\":{},\"baseline_violations\":{},\"failover_sheds\":{},\"failover_lost_in_flight\":{},\"worst_flood_shed_permille\":{}}},\n",
+        records.len(),
+        crash_records.len(),
+        failover_violations,
+        baseline_violations,
+        failover_sheds,
+        failover_lost,
+        worst_flood_shed,
+    ));
+    out.push_str(&format!(
+        "  \"verdict\": {{\"failover_clean\":{failover_clean},\"baseline_broken\":{baseline_broken},\"shed_within_budget\":{shed_within_budget},\"pass\":{pass}}}\n",
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Whether an assembled report's verdict passes (used by the binary's
+/// exit code and the smoke gate).
+#[must_use]
+pub fn report_passes(report: &str) -> bool {
+    report.contains("\"pass\":true")
+}

@@ -1,0 +1,138 @@
+//! Property tests for the fleet's structural invariants: the hash route
+//! is a pure stable function, admitted streams are invariant under the
+//! shard count, the engine choice and the checkpoint cadence, and
+//! checkpoint failover is admission-transparent — a crashed-and-restored
+//! fleet admits exactly what an uncrashed one does.
+
+use proptest::prelude::*;
+
+use rthv_admit::{route, AdmitFleet, FailoverMode, FleetConfig, ShardFault, ShardFaultKind};
+use rthv_monitor::DeltaFunction;
+use rthv_time::{Duration, Instant};
+use rthv_workload::{open_loop_flood, FloodSpec};
+
+/// A fleet config whose sheds cannot fire: admissions depend only on each
+/// source's own monitor and arrival times, which is exactly the
+/// sharding-invariance precondition.
+fn unshedding_config(
+    shards: u32,
+    sources: u32,
+    engine: &str,
+    checkpoint_every: u64,
+) -> FleetConfig {
+    let mut config = FleetConfig::paper(shards, sources);
+    config.queue_capacity = 1 << 20;
+    config.engine = engine.to_owned();
+    config.checkpoint_every = checkpoint_every;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The route is pure and in-range: the same `(source, shards)` pair
+    /// maps to the same shard on every call, in every process, and the
+    /// fleet's frozen router agrees with the free function after
+    /// reconstruction.
+    #[test]
+    fn routing_is_pure_stable_and_in_range(
+        sources in 1u32..256,
+        shards in 1u32..32,
+    ) {
+        for source in 0..sources {
+            let first = route(source, shards);
+            prop_assert!(first < shards);
+            prop_assert_eq!(first, route(source, shards));
+        }
+        let a = AdmitFleet::new(unshedding_config(shards, sources, "heap", 32)).unwrap();
+        let b = AdmitFleet::new(unshedding_config(shards, sources, "wheel", 7)).unwrap();
+        for source in 0..sources {
+            let (shard_a, _) = a.route_of(source).unwrap();
+            let (shard_b, _) = b.route_of(source).unwrap();
+            prop_assert_eq!(shard_a, route(source, shards));
+            prop_assert_eq!(shard_a, shard_b,
+                "routing must not depend on engine or checkpoint cadence");
+        }
+    }
+
+    /// The merged admitted stream is byte-identical across shard counts
+    /// {1, 4, 16}, both engines and arbitrary checkpoint cadences: with
+    /// sheds structurally impossible, admission is a per-source property
+    /// and sharding is pure routing.
+    #[test]
+    fn merged_streams_survive_resharding_engines_and_cadence(
+        seed in any::<u64>(),
+        mean_us in 150u64..1500,
+        checkpoint_every in 1u64..64,
+    ) {
+        let sources = 16;
+        let arrivals = open_loop_flood(&FloodSpec {
+            sources,
+            mean: Duration::from_micros(mean_us),
+            horizon: Duration::from_millis(40),
+            seed,
+        });
+        let mut reference: Option<String> = None;
+        for shards in [1u32, 4, 16] {
+            for engine in ["heap", "wheel"] {
+                let fleet = AdmitFleet::new(
+                    unshedding_config(shards, sources, engine, checkpoint_every),
+                ).unwrap();
+                let report = fleet.run(&arrivals, &[], None);
+                prop_assert_eq!(report.counters.shed_total(), 0);
+                let bytes = report.merged_bytes();
+                match &reference {
+                    None => reference = Some(bytes),
+                    Some(r) => prop_assert_eq!(
+                        r, &bytes,
+                        "admitted stream changed under shards={} engine={}",
+                        shards, engine
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Checkpoint failover is admission-transparent: crashing any shard at
+    /// any instant (with snapshot + journal-tail restore) leaves the
+    /// admitted stream byte-identical to the fault-free run — the δ⁻ rings
+    /// come back exactly as they were.
+    #[test]
+    fn checkpoint_failover_is_admission_transparent(
+        seed in any::<u64>(),
+        crash_at_us in 1_000u64..39_000,
+        crashed_shard in 0u32..4,
+        checkpoint_every in 1u64..48,
+    ) {
+        let sources = 12;
+        let arrivals = open_loop_flood(&FloodSpec {
+            sources,
+            mean: Duration::from_micros(400),
+            horizon: Duration::from_millis(40),
+            seed,
+        });
+        let fault = ShardFault {
+            at: Instant::ZERO + Duration::from_micros(crash_at_us),
+            shard: crashed_shard,
+            kind: ShardFaultKind::Crash,
+        };
+        let config = unshedding_config(4, sources, "heap", checkpoint_every);
+        let calm = AdmitFleet::new(config.clone()).unwrap().run(&arrivals, &[], None);
+        let crashed = AdmitFleet::new(config).unwrap().run(&arrivals, &[fault], None);
+        prop_assert_eq!(
+            calm.merged_bytes(), crashed.merged_bytes(),
+            "a checkpoint-restored shard must admit exactly what it would have"
+        );
+        let delta = DeltaFunction::from_dmin(Duration::from_millis(1)).unwrap();
+        prop_assert!(crashed.check(&delta, Duration::from_micros(100)).is_empty());
+
+        // The fresh-state ablation of the same cut is NOT transparent
+        // whenever the crashed shard had admitted anything before the cut
+        // with traffic still pending after it — the δ⁻ history is gone.
+        let mut fresh_cfg = unshedding_config(4, sources, "heap", checkpoint_every);
+        fresh_cfg.failover = FailoverMode::FreshState;
+        let fresh = AdmitFleet::new(fresh_cfg).unwrap().run(&arrivals, &[fault], None);
+        prop_assert!(fresh.counters.admitted >= crashed.counters.admitted,
+            "forgetting δ⁻ history can only admit more");
+    }
+}

@@ -1,0 +1,210 @@
+//! Admission-fleet storm campaign: seeded traffic/fault scenarios driven
+//! through the sharded δ⁻ admission fleet twice — once with
+//! checkpoint-based shard failover (the system under test) and once with
+//! fresh-state shard restarts (the no-failover baseline) — every admitted
+//! stream replayed through the fleet-wide temporal-independence oracle,
+//! results written as a deterministic JSON report.
+//!
+//! Usage: `cargo run --release -p rthv-experiments --bin admit_storm
+//! [output-path] [scenario-count] [base-seed] [--smoke]
+//! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]
+//! [--metrics <json>]`
+//! (defaults: `STORM_admit.json`, 7 scenarios, seed `0xAD2014`).
+//!
+//! `--smoke` swaps the 8×64-source 1 s geometry for the CI-sized
+//! 4×16-source 250 ms one; families and verdict are unchanged. The event
+//! engine comes from `RTHV_ENGINE` (`heap`, the default, or `wheel`); an
+//! unknown value is a typed, loud failure before any scenario runs.
+//!
+//! With `--journal`, each completed scenario is appended to a JSONL
+//! journal the moment it finishes; with `--resume`, scenarios already
+//! present in a journal (matched by label *and* seed) are loaded instead
+//! of re-executed. Every scenario is pure in `(config, seed)` and resumed
+//! report fragments are spliced verbatim, so a resumed report is
+//! byte-identical to an uninterrupted run. `--abort-after <n>` is the
+//! crash-test hook: the process dies via `abort()` right after the n-th
+//! journal append of this run is flushed.
+//!
+//! With `--metrics <json>`, the first scenario's failover arm is re-run
+//! with the flight-recorder observability hub attached and the snapshot is
+//! written to the given path. Metrics are pure observation, so the report
+//! is unchanged — the binary asserts the observed record equals the
+//! report's — and the snapshot file is deterministic.
+//!
+//! The process exits non-zero unless the report's three-part verdict
+//! passes: zero failover-arm oracle violations, every crash+flood baseline
+//! broken, and the worst flood-family shed rate inside the stated budget.
+
+use std::process::ExitCode;
+
+use rthv_admit::{
+    assemble_report, report_passes, run_storm_scenario, storm_hub, storm_scenarios, AdmitFleet,
+    ScenarioRecord, StormConfig,
+};
+use rthv_experiments::{parse_journal_flags, read_complete_lines, Journal, SweepRunner};
+
+fn main() -> ExitCode {
+    let (options, positional) = match parse_journal_flags(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            eprintln!("admit_storm: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut smoke = false;
+    let positional: Vec<String> = positional
+        .into_iter()
+        .filter(|arg| {
+            let is_smoke = arg == "--smoke";
+            smoke |= is_smoke;
+            !is_smoke
+        })
+        .collect();
+    let mut positional = positional.into_iter();
+    let path = positional
+        .next()
+        .unwrap_or_else(|| "STORM_admit.json".to_string());
+    let count: u32 = positional
+        .next()
+        .map(|s| s.parse().expect("scenario count must be a number"))
+        .unwrap_or(7);
+    let base_seed: u64 = positional
+        .next()
+        .map(|s| s.parse().expect("base seed must be a number"))
+        .unwrap_or(0xAD_2014);
+
+    let engine = std::env::var("RTHV_ENGINE").unwrap_or_else(|_| "heap".to_string());
+    let config = if smoke {
+        StormConfig::smoke(&engine)
+    } else {
+        StormConfig::standard(&engine)
+    };
+    // Fail loudly on a bad fleet config — in particular an unknown
+    // RTHV_ENGINE value — before any scenario burns cycles.
+    if let Err(error) = AdmitFleet::new(config.base.clone()) {
+        eprintln!("admit_storm: {error}");
+        return ExitCode::FAILURE;
+    }
+    let scenarios = storm_scenarios(count, base_seed, config.horizon);
+
+    // Completed records from the resume journal, aligned to the scenario
+    // list by (label, seed) so a journal from a different seed or count
+    // silently resumes nothing rather than corrupting the report.
+    let resumed: Vec<Option<ScenarioRecord>> = match &options.resume {
+        Some(journal_path) => {
+            let lines = read_complete_lines(journal_path).expect("read resume journal");
+            let mut completed = Vec::new();
+            for line in &lines {
+                match ScenarioRecord::parse_journal_line(line) {
+                    Some(record) => completed.push(record),
+                    None => eprintln!("admit_storm: ignoring corrupt journal line"),
+                }
+            }
+            scenarios
+                .iter()
+                .map(|scenario| {
+                    completed
+                        .iter()
+                        .find(|r| r.label == scenario.label() && r.seed == scenario.fault.seed)
+                        .cloned()
+                })
+                .collect()
+        }
+        None => scenarios.iter().map(|_| None).collect(),
+    };
+    let journal = options
+        .journal
+        .as_deref()
+        .map(|p| Journal::open_append(p).expect("open journal"));
+    let abort_after = options.abort_after;
+
+    let runner = SweepRunner::available();
+    let records = runner.run(&scenarios, |index, scenario| {
+        if let Some(done) = &resumed[index] {
+            return done.clone();
+        }
+        let outcome = run_storm_scenario(&config, scenario, None)
+            .expect("fleet config was validated before the sweep");
+        let record = outcome.record();
+        if let Some(journal) = &journal {
+            let appended = journal
+                .append(&record.to_journal_line())
+                .expect("journal append");
+            if abort_after.is_some_and(|limit| appended >= limit) {
+                // Crash-test hook: die without unwinding or cleanup —
+                // exactly the failure the resume path must survive.
+                eprintln!("admit_storm: --abort-after {appended} reached, aborting");
+                std::process::abort();
+            }
+        }
+        record
+    });
+    let report = assemble_report(&config, base_seed, &records);
+
+    let resumed_count = resumed.iter().filter(|r| r.is_some()).count();
+    if (runner.threads() > 1 || resumed_count > 0) && count <= 8 {
+        // Cheap campaigns double as a determinism self-check: a fresh
+        // sequential re-execution must reproduce the assembled report,
+        // including every record taken from the resume journal.
+        let reference = SweepRunner::sequential().run(&scenarios, |_, scenario| {
+            run_storm_scenario(&config, scenario, None)
+                .expect("fleet config was validated before the sweep")
+                .record()
+        });
+        assert_eq!(
+            assemble_report(&config, base_seed, &reference),
+            report,
+            "parallel/resumed storm report diverged from sequential re-execution"
+        );
+    }
+
+    std::fs::write(&path, &report).expect("write storm report");
+
+    if let Some(metrics_path) = &options.metrics {
+        // Observability snapshot of the first scenario's failover arm:
+        // re-run with the hub attached. Metrics never change outcomes, so
+        // the report above is untouched; the assert pins that.
+        let mut hub = storm_hub(&config);
+        let observed = run_storm_scenario(&config, &scenarios[0], Some(&mut hub))
+            .expect("fleet config was validated before the sweep");
+        assert_eq!(
+            observed.record(),
+            records[0],
+            "metrics instrumentation changed a scenario outcome"
+        );
+        std::fs::write(metrics_path, hub.snapshot_json()).expect("write metrics snapshot");
+        eprintln!(
+            "admit_storm: metrics snapshot -> {}",
+            metrics_path.display()
+        );
+    }
+
+    let failover_violations: u64 = records.iter().map(|r| r.failover_violations).sum();
+    let baseline_violations: u64 = records.iter().map(|r| r.baseline_violations).sum();
+    let worst_flood_shed = records
+        .iter()
+        .filter(|r| r.flood_family)
+        .map(|r| r.shed_permille)
+        .max()
+        .unwrap_or(0);
+    eprintln!(
+        "admit_storm: {} scenarios ({} resumed) on {} thread(s), engine {engine} -> {path}",
+        records.len(),
+        resumed_count,
+        runner.threads(),
+    );
+    eprintln!("  failover violations:        {failover_violations}");
+    eprintln!("  baseline violations:        {baseline_violations}");
+    eprintln!(
+        "  worst flood shed:           {worst_flood_shed} permille (budget {})",
+        config.shed_budget_permille
+    );
+
+    if report_passes(&report) {
+        eprintln!("PASS: failover holds the bound, the fresh-state baseline demonstrably does not");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: see the verdict block in {path}");
+        ExitCode::FAILURE
+    }
+}

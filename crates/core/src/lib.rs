@@ -69,11 +69,11 @@ pub use paper::PaperSetup;
 // The platform types most users need, at the crate root.
 pub use rthv_hypervisor::{
     render_timeline, AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, CostModel,
-    Counters, EngineChoice, EngineKind, EngineStats, HandlingClass, HealthSignal, HealthState,
-    HealthTracker, HealthTransition, HypervisorConfig, IrqCompletion, IrqFlagSemantics,
-    IrqHandlingMode, IrqSourceId, IrqSourceSpec, Machine, MachineError, MachineSnapshot,
-    OverflowPolicy, PartitionId, PartitionService, PartitionSpec, PolicyOptions, RunReport,
-    ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span, SupervisionEvent,
+    Counters, EngineChoice, EngineKind, EngineSelectError, EngineStats, HandlingClass,
+    HealthSignal, HealthState, HealthTracker, HealthTransition, HypervisorConfig, IrqCompletion,
+    IrqFlagSemantics, IrqHandlingMode, IrqSourceId, IrqSourceSpec, Machine, MachineError,
+    MachineSnapshot, OverflowPolicy, PartitionId, PartitionService, PartitionSpec, PolicyOptions,
+    RunReport, ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span, SupervisionEvent,
     SupervisionEventKind, SupervisionPolicy, SupervisionReport, Supervisor, TdmaSchedule,
     TraceRecorder, TransitionCause,
 };

@@ -91,6 +91,29 @@ pub enum FaultKind {
         /// How many leading attempts the harness aborts.
         crashes: u32,
     },
+    /// A nominal periodic stream whose *admission fleet* — not the
+    /// simulated machine — loses shards: `crashes` seeded shard crashes
+    /// spaced roughly `period` apart wipe a shard's monitor arena and its
+    /// in-flight queue. Like [`FaultKind::HarnessCrash`], the plan itself
+    /// is nominal; `rthv-admit` derives crash times and targets from the
+    /// scenario seed one layer up, then must restore each crashed shard
+    /// from its last checkpoint plus journal tail.
+    ShardCrash {
+        /// Spacing between consecutive shard crashes.
+        period: Duration,
+        /// Number of shard crashes over the horizon.
+        crashes: u32,
+    },
+    /// A nominal periodic stream whose admission fleet suffers shard
+    /// *stalls*: every `period` a seeded shard stops answering for `stall`.
+    /// The fleet's fail-closed policy must retry with bounded backoff and
+    /// then shed — typed, never silently dropped, never blindly admitted.
+    ShardStall {
+        /// Spacing between consecutive stall onsets.
+        period: Duration,
+        /// Length of each stall.
+        stall: Duration,
+    },
 }
 
 impl FaultKind {
@@ -107,6 +130,8 @@ impl FaultKind {
             FaultKind::NonYieldingGuest { .. } => "non-yielding-guest",
             FaultKind::Nominal { .. } => "nominal",
             FaultKind::HarnessCrash { .. } => "harness-crash",
+            FaultKind::ShardCrash { .. } => "shard-crash",
+            FaultKind::ShardStall { .. } => "shard-stall",
         }
     }
 }
@@ -290,7 +315,13 @@ impl FaultScenario {
                     t += every_ns;
                 }
             }
-            FaultKind::Nominal { period } | FaultKind::HarnessCrash { period, .. } => {
+            // The shard-fault families plan nominally too: the adversity
+            // lives in the admission fleet above the machine, exactly like
+            // the harness-crash family's fault lives in the sweep runner.
+            FaultKind::Nominal { period }
+            | FaultKind::HarnessCrash { period, .. }
+            | FaultKind::ShardCrash { period, .. }
+            | FaultKind::ShardStall { period, .. } => {
                 let period_ns = period.as_nanos();
                 assert!(period_ns > 0, "nominal period must be positive");
                 let mut t = period_ns;
@@ -484,6 +515,39 @@ mod tests {
                 s.label()
             );
         }
+    }
+
+    #[test]
+    fn shard_fault_kinds_plan_nominally() {
+        // Like harness-crash, the shard families' adversity lives one layer
+        // up (in the admission fleet): the simulated plan is the nominal
+        // periodic stream, byte for byte.
+        let period = Duration::from_millis(20);
+        let nominal = scenario(FaultKind::Nominal { period }, 9).plan(HORIZON, C_BH);
+        let crash = scenario(FaultKind::ShardCrash { period, crashes: 4 }, 9).plan(HORIZON, C_BH);
+        let stall = scenario(
+            FaultKind::ShardStall {
+                period,
+                stall: Duration::from_millis(5),
+            },
+            9,
+        )
+        .plan(HORIZON, C_BH);
+        assert_eq!(crash, nominal);
+        assert_eq!(stall, nominal);
+        assert_eq!(crash.admission_clock, AdmissionClock::IrqTimestamp);
+        assert_eq!(
+            FaultKind::ShardCrash { period, crashes: 4 }.slug(),
+            "shard-crash"
+        );
+        assert_eq!(
+            FaultKind::ShardStall {
+                period,
+                stall: Duration::from_millis(5)
+            }
+            .slug(),
+            "shard-stall"
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 
 use std::fmt;
 
-use rthv::monitor::{ActivationMonitor, Admission, DeltaFunction};
+use rthv::monitor::{interference_bound, ActivationMonitor, Admission, DeltaFunction};
 use rthv::time::{Duration, Instant};
 use rthv::{HealthState, RunReport, Span, SupervisionEventKind, SupervisionReport};
 
@@ -393,6 +393,64 @@ fn check_window_counts(admitted: &[Instant], delta: &DeltaFunction, out: &mut Ve
             }
         }
     }
+}
+
+/// The fleet-wide per-victim oracle: holds one victim's *merged* admitted
+/// activation stream — the union of every admission any shard granted the
+/// victim's source, across crash/failover cuts — to the Eq. 13–16
+/// independence bound.
+///
+/// Three independent checks per victim:
+///
+/// * the δ⁻ distance replay (invariant A) over the merged stream — a shard
+///   restored from a stale or empty checkpoint admits too densely right at
+///   the crash cut, and the first post-crash admission lands here;
+/// * the η⁺ sliding-window count check (invariant B) at 1×, 2× and 5×
+///   `d_min`;
+/// * the interference bound itself: the worst observed window charge
+///   `count · C'_BH` must stay within `η⁺(Δt) · C'_BH` (Eq. 14 via
+///   [`interference_bound`]), reported as [`Violation::Independence`] with
+///   the victim's source index.
+///
+/// `admitted` must be in non-decreasing time order (merge the per-shard
+/// streams before calling). A δ⁻ with `d_min = 0` bounds nothing and
+/// returns no violations, matching [`check_report`].
+#[must_use]
+pub fn check_admitted_stream(
+    victim: usize,
+    admitted: &[Instant],
+    delta: &DeltaFunction,
+    effective_cost: Duration,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    check_delta_replay(admitted, delta, &mut out);
+    check_window_counts(admitted, delta, &mut out);
+    if delta.dmin().is_zero() {
+        return out;
+    }
+    for factor in [1u64, 2, 5] {
+        let width = delta.dmin().saturating_mul(factor);
+        let bound = interference_bound(width, delta, effective_cost);
+        let mut hi = 0usize;
+        let mut worst = 0u64;
+        for lo in 0..admitted.len() {
+            let end = admitted[lo] + width;
+            hi = hi.max(lo);
+            while hi < admitted.len() && admitted[hi] < end {
+                hi += 1;
+            }
+            worst = worst.max((hi - lo) as u64);
+        }
+        let lost = effective_cost.saturating_mul(worst);
+        if lost > bound {
+            out.push(Violation::Independence {
+                victim,
+                lost,
+                bound,
+            });
+        }
+    }
+    out
 }
 
 /// Invariant C — budget check: each traced interposed window may span its

@@ -307,24 +307,52 @@ pub enum EngineChoice {
 impl EngineChoice {
     /// The concrete engine this choice selects, consulting `RTHV_ENGINE`
     /// (read once per process) for [`EngineChoice::Auto`].
-    #[must_use]
-    pub fn resolve(self) -> EngineKind {
+    ///
+    /// # Errors
+    ///
+    /// [`EngineSelectError`] when `RTHV_ENGINE` is set to something other
+    /// than `"heap"` or `"wheel"`. A typo used to silently fall back to
+    /// the heap engine — which made an engine-sweeping CI matrix *look*
+    /// like it covered the wheel while actually running heap twice.
+    pub fn try_resolve(self) -> Result<EngineKind, EngineSelectError> {
         match self {
-            EngineChoice::Heap => EngineKind::Heap,
-            EngineChoice::Wheel => EngineKind::Wheel,
-            EngineChoice::Auto => *ENV_ENGINE.get_or_init(|| {
-                std::env::var("RTHV_ENGINE")
-                    .ok()
-                    .and_then(|name| EngineKind::parse(&name))
-                    .unwrap_or(EngineKind::Heap)
-            }),
+            EngineChoice::Heap => Ok(EngineKind::Heap),
+            EngineChoice::Wheel => Ok(EngineKind::Wheel),
+            EngineChoice::Auto => ENV_ENGINE
+                .get_or_init(|| match std::env::var("RTHV_ENGINE") {
+                    Err(_) => Ok(EngineKind::Heap),
+                    Ok(name) => EngineKind::parse(&name).ok_or(EngineSelectError { value: name }),
+                })
+                .clone(),
         }
     }
 }
 
+/// `RTHV_ENGINE` named no known engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineSelectError {
+    /// The rejected variable value.
+    pub value: String,
+}
+
+impl fmt::Display for EngineSelectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RTHV_ENGINE={:?} names no event engine (expected \"heap\" or \"wheel\")",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for EngineSelectError {}
+
 /// Process-wide cache of the `RTHV_ENGINE` resolution: the selection must
 /// be stable for a whole run even if the environment mutates mid-process.
-static ENV_ENGINE: std::sync::OnceLock<EngineKind> = std::sync::OnceLock::new();
+/// The rejection is cached too — a bad value fails every machine build,
+/// not just the first.
+static ENV_ENGINE: std::sync::OnceLock<Result<EngineKind, EngineSelectError>> =
+    std::sync::OnceLock::new();
 
 /// Tunable semantic choices of the modified top handler, separate from the
 /// quantitative [`CostModel`].
@@ -464,6 +492,13 @@ pub enum ConfigError {
         /// Human-readable reason.
         reason: String,
     },
+    /// [`EngineChoice::Auto`] found `RTHV_ENGINE` set to an unknown
+    /// engine name. Surfaced as a config error (instead of a silent heap
+    /// fallback) so a typo in an engine-sweeping harness fails loudly.
+    UnknownEngine {
+        /// The rejected `RTHV_ENGINE` value.
+        value: String,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -498,6 +533,10 @@ impl fmt::Display for ConfigError {
             ConfigError::InvalidSupervision { reason } => {
                 write!(f, "invalid supervision policy: {reason}")
             }
+            ConfigError::UnknownEngine { value } => write!(
+                f,
+                "RTHV_ENGINE={value:?} names no event engine (expected \"heap\" or \"wheel\")"
+            ),
         }
     }
 }
@@ -757,5 +796,26 @@ mod tests {
     fn mode_display() {
         assert_eq!(IrqHandlingMode::Baseline.to_string(), "baseline");
         assert_eq!(IrqHandlingMode::Interposed.to_string(), "interposed");
+    }
+
+    #[test]
+    fn pinned_engine_choices_always_resolve() {
+        // Only Auto consults RTHV_ENGINE (process-global, exercised end to
+        // end by the campaign binaries under the CI engine matrix); the
+        // pinned choices must never fail regardless of the environment.
+        assert_eq!(EngineChoice::Heap.try_resolve(), Ok(EngineKind::Heap));
+        assert_eq!(EngineChoice::Wheel.try_resolve(), Ok(EngineKind::Wheel));
+    }
+
+    #[test]
+    fn unknown_engine_errors_name_the_offender() {
+        let err = EngineSelectError {
+            value: "whel".to_owned(),
+        };
+        assert!(err.to_string().contains("\"whel\""));
+        let config = ConfigError::UnknownEngine {
+            value: "whel".to_owned(),
+        };
+        assert!(config.to_string().contains("RTHV_ENGINE"));
     }
 }

@@ -325,7 +325,11 @@ impl Machine {
         // suite), so the selection is config, not hashed state. The wheel's
         // level geometry is sized from the TDMA cycle so a full hypervisor
         // cycle fits in its level-1 rotation.
-        let engine = config.policies.engine.resolve();
+        let engine = config
+            .policies
+            .engine
+            .try_resolve()
+            .map_err(|e| ConfigError::UnknownEngine { value: e.value })?;
         let mut queue = EngineQueue::new(engine, schedule.cycle());
         // A fresh queue is at time zero, so the relative form cannot fail.
         queue.schedule_in(

@@ -60,6 +60,21 @@ impl HealthState {
             HealthState::Recovering => "recovering",
         }
     }
+
+    /// Position in the load-shedding ladder: under overload, higher ranks
+    /// are shed first. Quarantined sources go before Probation, Probation
+    /// before the re-admitted Recovering, and Healthy traffic is shed only
+    /// by a full queue — the supervision score decides *who* degrades, not
+    /// just who is quarantined.
+    #[must_use]
+    pub fn shed_rank(self) -> u32 {
+        match self {
+            HealthState::Healthy => 0,
+            HealthState::Recovering => 1,
+            HealthState::Probation => 2,
+            HealthState::Quarantined => 3,
+        }
+    }
 }
 
 impl fmt::Display for HealthState {

@@ -93,6 +93,8 @@ pub struct ObsCounters {
     pub budget_clips: u64,
     /// Bounded-queue overflow rejections/drops.
     pub overflows: u64,
+    /// Admission-fleet ingress sheds (typed degradation outcomes).
+    pub shed: u64,
     /// Supervision health transitions.
     pub health_transitions: u64,
     /// TDMA slot boundaries crossed.
@@ -267,6 +269,16 @@ impl MetricsHub {
             .record(at, ObsEventKind::QueueOverflow { source });
     }
 
+    /// An admission-fleet ingress shed an arrival — a typed degradation
+    /// outcome (full queue, stalled shard past the retry budget, ladder
+    /// demotion, or in-flight loss to a shard crash). Fleet hubs index
+    /// their sources by shard, so `source` is the shedding shard.
+    #[inline]
+    pub fn record_shed(&mut self, at: Instant, source: usize) {
+        self.counters.shed += 1;
+        self.recorder.record(at, ObsEventKind::Shed { source });
+    }
+
     /// A supervision health transition.
     #[inline]
     pub fn record_health(
@@ -341,6 +353,7 @@ impl MetricsHub {
         let _ = writeln!(out, "    \"completions\": {},", c.completions);
         let _ = writeln!(out, "    \"budget_clips\": {},", c.budget_clips);
         let _ = writeln!(out, "    \"overflows\": {},", c.overflows);
+        let _ = writeln!(out, "    \"shed\": {},", c.shed);
         let _ = writeln!(out, "    \"health_transitions\": {},", c.health_transitions);
         let _ = writeln!(out, "    \"slot_boundaries\": {}", c.slot_boundaries);
         let _ = writeln!(out, "  }},");

@@ -58,6 +58,14 @@ pub enum ObsEventKind {
         /// Overflowing source index.
         source: usize,
     },
+    /// An admission-fleet ingress shed an arrival before the δ⁻ check —
+    /// a typed degradation outcome (queue full, shard stalled past the
+    /// retry budget, ladder demotion or in-flight loss to a shard crash),
+    /// never a silent drop.
+    Shed {
+        /// Shedding shard (fleet hubs index sources by shard).
+        source: usize,
+    },
     /// A supervision health transition (quarantine, probation, recovery).
     Health {
         /// Source whose health changed.
@@ -86,6 +94,7 @@ impl ObsEventKind {
             ObsEventKind::IrqCompleted { .. } => "irq_completed",
             ObsEventKind::BudgetClip { .. } => "budget_clip",
             ObsEventKind::QueueOverflow { .. } => "queue_overflow",
+            ObsEventKind::Shed { .. } => "shed",
             ObsEventKind::Health { .. } => "health",
             ObsEventKind::SlotBoundary { .. } => "slot_boundary",
         }
@@ -214,7 +223,8 @@ impl FlightRecorder {
                     ObsEventKind::IrqRaised { source }
                     | ObsEventKind::IrqDeferred { source }
                     | ObsEventKind::IrqAdmitted { source }
-                    | ObsEventKind::QueueOverflow { source } => {
+                    | ObsEventKind::QueueOverflow { source }
+                    | ObsEventKind::Shed { source } => {
                         let _ = write!(out, ", \"source\": {source}");
                     }
                     ObsEventKind::IrqDenied {

@@ -512,6 +512,13 @@ impl<E> EventQueue<E> {
     ///
     /// Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
+        // Mirror of the cancel-time guard: pops shrink the live population
+        // without touching tombstones buried below the heap top, so a
+        // cancel burst followed by a drain would otherwise leave stale
+        // entries outnumbering live ones unboundedly.
+        if self.ids.cancelled() > 2 * self.len() {
+            self.compact();
+        }
         while let Some(entry) = self.heap.pop() {
             if self.ids.state(entry.seq()) == IdState::Cancelled {
                 self.ids.consume(entry.seq());

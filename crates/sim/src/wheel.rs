@@ -444,6 +444,14 @@ impl<E> WheelEngine<E> {
     /// Pops the earliest live event, advancing [`now`](Self::now) to its
     /// timestamp. Returns `None` when the queue is empty.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
+        // The cancel-time guard alone is not enough: once cancels stop,
+        // pops keep shrinking the live population while tombstones parked
+        // in the overflow map (or far-future buckets the cursor has not
+        // rotated into) are never drained — the 2×-live bound would decay
+        // into unbounded debt. Re-check it on the pop side too.
+        if self.ids.cancelled() > 2 * self.len() {
+            self.compact();
+        }
         loop {
             if self.staging.is_empty() {
                 self.refill_staging();

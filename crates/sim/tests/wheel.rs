@@ -312,3 +312,56 @@ fn compaction_guard_bounds_tombstones_under_cancel_storm() {
         assert!(stats.stale <= 2 * stats.live);
     }
 }
+
+#[test]
+fn pop_side_guard_drains_overflow_tombstones_after_cancels_stop() {
+    // Regression: the cancel-time guard alone never fires once cancels
+    // stop, yet pops keep shrinking the live population while cancelled
+    // entries parked beyond the wheel's top span (the overflow map) — or
+    // below the heap top — are never visited. The 2×-live tombstone bound
+    // must survive a cancel-burst-then-drain pattern too.
+    for kind in [EngineKind::Heap, EngineKind::Wheel] {
+        let mut q: EngineQueue<u64> = EngineQueue::new(kind, Duration::from_micros(1));
+        // Many near events the drain phase will pop…
+        let near = 300u64;
+        for i in 0..near {
+            q.schedule_at(Instant::from_nanos(1_000 + i), i)
+                .expect("future");
+        }
+        // …plus far-future events beyond the wheel's top span, cancelled
+        // while the live population is still large enough that no single
+        // cancel trips the 2×-live cancel-time guard.
+        for i in 0..100u64 {
+            let id = q
+                .schedule_at(Instant::from_nanos((1 << 45) + i), 1_000 + i)
+                .expect("future");
+            assert!(q.cancel(id));
+        }
+        assert!(
+            q.stats().stale > 0,
+            "{kind}: the burst must leave parked tombstones"
+        );
+        // Cancels are over; drain the near events. Without the pop-side
+        // guard the stale count would stay at 100 while live drops toward
+        // zero, violating the bound unboundedly.
+        for _ in 0..near {
+            assert!(q.pop().is_some());
+            let stats = q.stats();
+            // The guard runs before each pop, so right after one the debt
+            // can sit at most one pop past the bound: 2·(live+1).
+            assert!(
+                stats.stale <= 2 * (stats.live + 1),
+                "{kind}: parked tombstones ({}) exceeded 2x live ({}) mid-drain",
+                stats.stale,
+                stats.live
+            );
+        }
+        let stats = q.stats();
+        assert_eq!(stats.live, 0, "{kind}: drain must empty the queue");
+        assert_eq!(
+            stats.stale, 0,
+            "{kind}: an emptied queue must carry no tombstone debt"
+        );
+        assert!(q.pop().is_none());
+    }
+}

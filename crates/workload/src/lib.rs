@@ -34,12 +34,14 @@
 
 mod ecu;
 mod exponential;
+mod flood;
 mod periodic;
 mod trace;
 mod trace_io;
 
 pub use ecu::{AutomotiveTraceBuilder, BurstSpec, PeriodicTaskSpec};
 pub use exponential::ExponentialArrivals;
+pub use flood::{ecu_fleet, open_loop_flood, FloodEvent, FloodSpec};
 pub use periodic::PeriodicJitterArrivals;
 pub use trace::{ArrivalTrace, TraceError};
 pub use trace_io::{

@@ -77,6 +77,21 @@ cmp target/CAMPAIGN_smoke_heap.json target/CAMPAIGN_smoke_wheel.json \
 cmp target/CAMPAIGN_smoke.json target/CAMPAIGN_smoke_heap.json \
     || { echo "default-engine report differs from pinned heap report"; exit 1; }
 
+echo "==> smoke admission-fleet storm (both engines, byte-identical reports)"
+# The sharded δ⁻ admission fleet under seeded crash/stall storms: exits
+# non-zero on any failover-arm Eq. 13-16 bound violation, a fresh-state
+# baseline that fails to break the bound, or a flood shed rate over the
+# stated budget. The report is a pure function of (config, seed), so the
+# heap and wheel runs must agree byte for byte.
+RTHV_ENGINE=heap cargo run --release -q -p rthv-experiments --bin admit_storm \
+    target/STORM_smoke_heap.json 5 16392212 --smoke
+RTHV_ENGINE=wheel cargo run --release -q -p rthv-experiments --bin admit_storm \
+    target/STORM_smoke_wheel.json 5 16392212 --smoke
+cmp target/STORM_smoke_heap.json target/STORM_smoke_wheel.json \
+    || { echo "cross-engine divergence: heap and wheel storm reports differ"; exit 1; }
+grep -q '"failover_violations":0' target/STORM_smoke_heap.json \
+    || { echo "admission-fleet failover arm tripped the independence oracle"; exit 1; }
+
 echo "==> smoke supervised campaign (nominal + 7 fault families, fixed seed)"
 # Fails on any oracle violation (quarantine soundness included), a
 # quarantine on the nominal ablation, a storm/flood scenario that never
