@@ -20,9 +20,13 @@ use rthv_stats::LatencyHistogram;
 use rthv_time::{Duration, Instant};
 use rthv_workload::FloodEvent;
 
-use rthv_faults::{check_admitted_stream, Violation};
+use rthv_faults::{check_admitted_stream, check_global_budget, check_group_budget, Violation};
 
 use crate::shard::{InFlight, Shard, ShardCounters};
+use crate::tenant::{
+    BrownoutController, BrownoutLevel, GroupBudget, TenantBudgetError, TenantConfig,
+    TenantCounters, TenantLedger, WindowBudget,
+};
 
 /// Why an arrival was shed instead of reaching (or surviving) an admission
 /// check. Typed degradation: callers can budget each class separately.
@@ -44,6 +48,13 @@ pub enum ShedReason {
     /// The activation had been admitted but its service was lost to a
     /// shard crash before completing.
     ShardCrash,
+    /// The source's tenant is quarantined by the brownout controller:
+    /// every arrival is shed until the tenant's offered load fits its
+    /// group budget again.
+    TenantQuarantined {
+        /// The quarantined tenant.
+        tenant: u32,
+    },
 }
 
 impl ShedReason {
@@ -55,6 +66,7 @@ impl ShedReason {
             ShedReason::ShardStalled => "shard-stalled",
             ShedReason::Demoted { .. } => "demoted",
             ShedReason::ShardCrash => "shard-crash",
+            ShedReason::TenantQuarantined { .. } => "tenant-quarantined",
         }
     }
 }
@@ -63,6 +75,7 @@ impl fmt::Display for ShedReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ShedReason::Demoted { state } => write!(f, "demoted:{}", state.slug()),
+            ShedReason::TenantQuarantined { tenant } => write!(f, "tenant-quarantined:{tenant}"),
             other => f.write_str(other.slug()),
         }
     }
@@ -71,13 +84,24 @@ impl fmt::Display for ShedReason {
 /// The typed outcome of one arrival at the fleet ingress.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AdmitOutcome {
-    /// δ⁻-conformant; service scheduled.
+    /// Conformant at every level; service scheduled.
     Admitted,
-    /// The δ⁻ monitor denied the activation.
+    /// The source's own δ⁻ monitor denied the activation.
     Denied {
         /// δ⁻ entry index of the first violated constraint.
         violated_distance: usize,
     },
+    /// The source passed its own monitor but the tenant's group budget
+    /// (window/aggregate pair, possibly brownout-shrunk) refused.
+    DeniedGroup {
+        /// The refusing tenant.
+        tenant: u32,
+    },
+    /// Source and group passed but the fleet-wide global budget refused.
+    /// Provably unreachable while budget sums are validated against the
+    /// global budget — counted and typed anyway, because the oracle
+    /// trusts ledgers over proofs.
+    DeniedGlobal,
     /// Shed before the admission check could (safely) run.
     Shed {
         /// The typed degradation class.
@@ -131,6 +155,13 @@ pub enum FleetError {
         /// The rejected engine name.
         value: String,
     },
+    /// The tenant hierarchy was rejected — zero or overflowing budgets,
+    /// budget sums escaping the global budget, or a bad source split.
+    /// Never silently clamped.
+    TenantBudget {
+        /// The typed rejection.
+        error: TenantBudgetError,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -145,6 +176,7 @@ impl fmt::Display for FleetError {
             FleetError::UnknownEngine { value } => {
                 write!(f, "unknown event engine {value:?} (expected heap or wheel)")
             }
+            FleetError::TenantBudget { error } => write!(f, "tenant budget rejected: {error}"),
         }
     }
 }
@@ -186,6 +218,9 @@ pub struct FleetConfig {
     pub latency_bin_width: Duration,
     /// Latency histogram range.
     pub latency_range: Duration,
+    /// The two-level tenant hierarchy with brownout overload control.
+    /// `None` keeps the flat single-level fleet of PR 7, byte-identically.
+    pub tenancy: Option<TenantConfig>,
 }
 
 impl FleetConfig {
@@ -211,6 +246,7 @@ impl FleetConfig {
             engine: "heap".to_owned(),
             latency_bin_width: Duration::from_micros(50),
             latency_range: Duration::from_millis(20),
+            tenancy: None,
         }
     }
 }
@@ -263,8 +299,12 @@ enum FleetEvent {
     Crash { shard: u32 },
     /// Shard stall starting now, ending at `until`.
     Stall { shard: u32, until: Instant },
-    /// Service completion at the head of `shard`'s in-flight queue.
-    Drain { shard: u32 },
+    /// Service completion at the head of one lane of `shard`'s in-flight
+    /// queues.
+    Drain { shard: u32, lane: u32 },
+    /// Retry-ladder re-attempt for an arrival that hit a stalled shard
+    /// (tenanted fleets with `retry_ladder` only).
+    Retry { source: u32, attempt: u32 },
 }
 
 /// The sharded admission fleet. Construction validates the geometry and
@@ -305,6 +345,11 @@ impl AdmitFleet {
             EngineKind::parse(&config.engine).ok_or_else(|| FleetError::UnknownEngine {
                 value: config.engine.clone(),
             })?;
+        if let Some(tenancy) = &config.tenancy {
+            tenancy
+                .validate(config.sources)
+                .map_err(|error| FleetError::TenantBudget { error })?;
+        }
         let mut locals = vec![0u32; config.shards as usize];
         let router = (0..config.sources)
             .map(|source| {
@@ -345,11 +390,15 @@ impl AdmitFleet {
         mut hub: Option<&mut MetricsHub>,
     ) -> FleetReport {
         let cfg = &self.config;
+        // A flat fleet serves one lane; a tenanted fleet reserves one lane
+        // per tenant plus a shared best-effort lane for demoted tenants.
+        let lanes = cfg.tenancy.as_ref().map_or(1, |tc| tc.tenants.len() + 1);
         let shards: Vec<Shard> = self
             .locals
             .iter()
-            .map(|&n| Shard::new(n as usize, &cfg.delta, cfg.supervision))
+            .map(|&n| Shard::new(n as usize, lanes, &cfg.delta, cfg.supervision))
             .collect();
+        let mut tenancy = cfg.tenancy.as_ref().map(TenancyRuntime::new);
         let tick_hint = cfg.delta.dmin().max(Duration::from_micros(64));
         let mut queue: EngineQueue<FleetEvent> = EngineQueue::new(self.engine, tick_hint);
 
@@ -380,7 +429,9 @@ impl AdmitFleet {
             .expect("validated latency geometry");
         let mut max_latency = Duration::ZERO;
 
+        let mut end_of_run = Instant::ZERO;
         while let Some((now, event)) = queue.pop() {
+            end_of_run = now;
             match event {
                 FleetEvent::Arrival { source } => {
                     let Some(&(shard_id, local)) = self.router.get(source as usize) else {
@@ -388,6 +439,19 @@ impl AdmitFleet {
                     };
                     if let Some(h) = hub.as_deref_mut() {
                         h.record_raised(now, source as usize);
+                    }
+                    if let Some(rt) = tenancy.as_mut() {
+                        self.tenant_ingress(
+                            rt,
+                            &shards,
+                            &mut queue,
+                            &mut admitted,
+                            &mut hub,
+                            now,
+                            source,
+                            0,
+                        );
+                        continue;
                     }
                     let shard = &shards[shard_id as usize];
                     let outcome = shard.with_state(|s| {
@@ -412,7 +476,7 @@ impl AdmitFleet {
                                 s.stalled_until = None;
                             }
                         }
-                        if s.in_flight.len() >= cfg.queue_capacity {
+                        if s.in_flight[0].len() >= cfg.queue_capacity {
                             s.counters.shed_queue_full += 1;
                             if let Some(tr) =
                                 s.trackers[local as usize].signal(HealthSignal::Overflow, now)
@@ -433,7 +497,7 @@ impl AdmitFleet {
                         // The shedding ladder: above the watermark, shed
                         // Probation/Quarantined sources before they reach
                         // the monitor, preserving headroom for healthy ones.
-                        let occupancy = s.in_flight.len() as u64 * 1000;
+                        let occupancy = s.in_flight[0].len() as u64 * 1000;
                         let watermark =
                             u64::from(cfg.shed_watermark_permille) * cfg.queue_capacity as u64;
                         let state = s.trackers[local as usize].state();
@@ -490,13 +554,19 @@ impl AdmitFleet {
                             // Single-server shard: the admission completes
                             // after everything already in service.
                             shard.with_state(|s| {
-                                let start = s.busy_until.max(now);
+                                let start = s.busy_until[0].max(now);
                                 let completion = start + cfg.service_cost;
-                                s.busy_until = completion;
+                                s.busy_until[0] = completion;
                                 let id = queue
-                                    .schedule_at(completion, FleetEvent::Drain { shard: shard_id })
+                                    .schedule_at(
+                                        completion,
+                                        FleetEvent::Drain {
+                                            shard: shard_id,
+                                            lane: 0,
+                                        },
+                                    )
                                     .expect("completions are in the future");
-                                s.in_flight.push_back(InFlight {
+                                s.in_flight[0].push_back(InFlight {
                                     id,
                                     source,
                                     arrival: now,
@@ -512,6 +582,13 @@ impl AdmitFleet {
                                 );
                             }
                         }
+                        // The flat ingress closure has no tenant levels;
+                        // kept for match completeness.
+                        AdmitOutcome::DeniedGroup { .. } | AdmitOutcome::DeniedGlobal => {
+                            if let Some(h) = hub.as_deref_mut() {
+                                h.record_denied(now, source as usize, None);
+                            }
+                        }
                         AdmitOutcome::Shed { .. } => {
                             if let Some(h) = hub.as_deref_mut() {
                                 h.record_shed(now, source as usize);
@@ -519,9 +596,9 @@ impl AdmitFleet {
                         }
                     }
                 }
-                FleetEvent::Drain { shard } => {
+                FleetEvent::Drain { shard, lane } => {
                     let done = shards[shard as usize].with_state(|s| {
-                        let head = s.in_flight.pop_front();
+                        let head = s.in_flight[lane as usize].pop_front();
                         if head.is_some() {
                             s.counters.completed += 1;
                         }
@@ -531,6 +608,10 @@ impl AdmitFleet {
                         let lat = now - flight.arrival;
                         latency.add(lat);
                         max_latency = max_latency.max(lat);
+                        if let Some(rt) = tenancy.as_mut() {
+                            let t = rt.tenant_of[flight.source as usize] as usize;
+                            rt.tenants[t].counters.completed += 1;
+                        }
                         if let Some(h) = hub.as_deref_mut() {
                             h.record_completion(now, flight.source as usize, lat);
                         }
@@ -541,6 +622,10 @@ impl AdmitFleet {
                         .with_state(|s| s.crash(now, cfg.failover, &cfg.delta, cfg.supervision));
                     for flight in dropped {
                         queue.cancel(flight.id);
+                        if let Some(rt) = tenancy.as_mut() {
+                            let t = rt.tenant_of[flight.source as usize] as usize;
+                            rt.tenants[t].counters.lost_in_flight += 1;
+                        }
                         if let Some(h) = hub.as_deref_mut() {
                             h.record_shed(now, flight.source as usize);
                         }
@@ -550,8 +635,26 @@ impl AdmitFleet {
                     shards[shard as usize].with_state(|s| {
                         s.counters.stalls += 1;
                         s.stalled_until = Some(s.stalled_until.map_or(until, |u| u.max(until)));
-                        s.busy_until = s.busy_until.max(until);
+                        for busy in &mut s.busy_until {
+                            *busy = (*busy).max(until);
+                        }
                     });
+                }
+                FleetEvent::Retry { source, attempt } => {
+                    // Retry events exist only in tenanted fleets with the
+                    // ladder enabled; a stray one in a flat fleet is inert.
+                    if let Some(rt) = tenancy.as_mut() {
+                        self.tenant_ingress(
+                            rt,
+                            &shards,
+                            &mut queue,
+                            &mut admitted,
+                            &mut hub,
+                            now,
+                            source,
+                            attempt,
+                        );
+                    }
                 }
             }
         }
@@ -561,10 +664,11 @@ impl AdmitFleet {
         for c in &shard_counters {
             counters.add(c);
         }
-        let in_flight_at_end = shards
-            .iter()
-            .map(|s| s.with_state(|st| st.in_flight.len() as u64))
-            .sum();
+        let in_flight_at_end = shards.iter().map(|s| s.in_flight_len() as u64).sum();
+        let (tenants, tenant_of) = match tenancy {
+            Some(rt) => rt.finish(&shards, end_of_run, hub),
+            None => (Vec::new(), Vec::new()),
+        };
         FleetReport {
             shards: cfg.shards,
             sources: cfg.sources,
@@ -574,7 +678,329 @@ impl AdmitFleet {
             in_flight_at_end,
             latency,
             max_latency,
+            tenants,
+            tenant_of,
+            tenancy: cfg.tenancy.clone(),
         }
+    }
+
+    /// One tenanted ingress attempt — an arrival (`attempt == 0`) or a
+    /// retry-ladder re-attempt — through the three-level admission
+    /// hierarchy: quarantine gate, stall policy, lane capacity, watermark
+    /// ladder, then source monitor → group budget → global budget, with
+    /// every refusal typed by the level that refused. State is recorded in
+    /// all three levels only after all three pass, so a higher-level
+    /// refusal leaves no phantom admission behind.
+    #[allow(clippy::too_many_arguments)]
+    fn tenant_ingress(
+        &self,
+        rt: &mut TenancyRuntime,
+        shards: &[Shard],
+        queue: &mut EngineQueue<FleetEvent>,
+        admitted: &mut [Vec<Instant>],
+        hub: &mut Option<&mut MetricsHub>,
+        now: Instant,
+        source: u32,
+        attempt: u32,
+    ) {
+        let cfg = &self.config;
+        let Some(&(shard_id, local)) = self.router.get(source as usize) else {
+            return;
+        };
+        let tenant = rt.tenant_of[source as usize] as usize;
+        let shard = &shards[shard_id as usize];
+        let retry_ladder = rt.retry_ladder;
+        if attempt == 0 {
+            shard.with_state(|s| s.counters.scheduled += 1);
+            rt.tenants[tenant].counters.scheduled += 1;
+        }
+        rt.tenants[tenant].brownout.roll(now);
+        let level = rt.tenants[tenant].brownout.level();
+        if level == BrownoutLevel::Quarantined {
+            shard.with_state(|s| s.counters.shed_quarantined += 1);
+            let tn = &mut rt.tenants[tenant];
+            tn.counters.shed_quarantined += 1;
+            tn.brownout.record(true);
+            if let Some(h) = hub.as_deref_mut() {
+                h.record_shed(now, source as usize);
+            }
+            return;
+        }
+        // Reserved lane per tenant; demoted tenants share the best-effort
+        // lane at a quarter of a reserved lane's depth.
+        let lane = if level >= BrownoutLevel::BestEffort {
+            rt.best_effort_lane
+        } else {
+            tenant
+        };
+        let lane_cap = if lane == rt.best_effort_lane {
+            (cfg.queue_capacity / 4).max(1)
+        } else {
+            cfg.queue_capacity
+        };
+        enum Gate {
+            RetryLater,
+            Shed(ShedReason),
+            Denied { violated_distance: usize },
+            Cleared,
+        }
+        let gate = shard.with_state(|s| {
+            if let Some(until) = s.stalled_until {
+                if now < until {
+                    if retry_ladder {
+                        // The event-driven ladder: come back one backoff
+                        // later, up to the bounded attempt budget, and
+                        // fail closed after it.
+                        if attempt < cfg.max_retries {
+                            s.counters.retries += 1;
+                            return Gate::RetryLater;
+                        }
+                        s.counters.shed_stalled += 1;
+                        return Gate::Shed(ShedReason::ShardStalled);
+                    }
+                    // Flat-style arithmetic fail-closed check.
+                    let wait = until - now;
+                    let needed = wait.as_nanos().div_ceil(cfg.retry_backoff.as_nanos());
+                    if needed > u64::from(cfg.max_retries) {
+                        s.counters.shed_stalled += 1;
+                        return Gate::Shed(ShedReason::ShardStalled);
+                    }
+                    s.counters.retries += needed;
+                } else {
+                    s.stalled_until = None;
+                }
+            }
+            if s.in_flight[lane].len() >= lane_cap {
+                s.counters.shed_queue_full += 1;
+                if let Some(tr) = s.trackers[local as usize].signal(HealthSignal::Overflow, now) {
+                    if let Some(h) = hub.as_deref_mut() {
+                        h.record_health(now, source as usize, tr.from.slug(), tr.to.slug());
+                    }
+                }
+                return Gate::Shed(ShedReason::QueueFull);
+            }
+            // The watermark ladder judges the tenant's own lane, so one
+            // tenant's backlog can never demote another's sources.
+            let occupancy = s.in_flight[lane].len() as u64 * 1000;
+            let watermark = u64::from(cfg.shed_watermark_permille) * lane_cap as u64;
+            let state = s.trackers[local as usize].state();
+            if occupancy >= watermark && state.shed_rank() >= 2 {
+                s.counters.shed_demoted += 1;
+                return Gate::Shed(ShedReason::Demoted { state });
+            }
+            // Level one: the source's own δ⁻ monitor — check only, so a
+            // refusal at a higher level leaves no phantom trace entry.
+            match s.monitors[local as usize].check(now) {
+                Admission::Admitted => Gate::Cleared,
+                Admission::Denied { violated_distance } => {
+                    s.counters.denied += 1;
+                    if let Some(tr) = s.trackers[local as usize].signal(HealthSignal::Denied, now) {
+                        if let Some(h) = hub.as_deref_mut() {
+                            h.record_health(now, source as usize, tr.from.slug(), tr.to.slug());
+                        }
+                    }
+                    Gate::Denied { violated_distance }
+                }
+            }
+        });
+        match gate {
+            Gate::RetryLater => {
+                rt.tenants[tenant].counters.retries += 1;
+                queue
+                    .schedule_at(
+                        now + cfg.retry_backoff,
+                        FleetEvent::Retry {
+                            source,
+                            attempt: attempt + 1,
+                        },
+                    )
+                    .expect("retries are in the future");
+            }
+            Gate::Shed(reason) => {
+                let tn = &mut rt.tenants[tenant];
+                match reason {
+                    ShedReason::QueueFull => tn.counters.shed_queue_full += 1,
+                    ShedReason::ShardStalled => tn.counters.shed_stalled += 1,
+                    ShedReason::Demoted { .. } => tn.counters.shed_demoted += 1,
+                    ShedReason::TenantQuarantined { .. } | ShedReason::ShardCrash => {}
+                }
+                tn.brownout.record(true);
+                if let Some(h) = hub.as_deref_mut() {
+                    h.record_shed(now, source as usize);
+                }
+            }
+            Gate::Denied { violated_distance } => {
+                let tn = &mut rt.tenants[tenant];
+                tn.counters.denied_source += 1;
+                tn.brownout.record(false);
+                if let Some(h) = hub.as_deref_mut() {
+                    h.record_denied(now, source as usize, Some(violated_distance as u64));
+                }
+            }
+            Gate::Cleared => {
+                // Level two: the tenant's group budget at its (possibly
+                // brownout-shrunk) effective limit.
+                let tn = &mut rt.tenants[tenant];
+                let effective = tn.brownout.effective_budget();
+                if !tn.group.admits(now, effective) {
+                    shard.with_state(|s| s.counters.denied += 1);
+                    tn.counters.denied_group += 1;
+                    tn.brownout.record(false);
+                    if let Some(h) = hub.as_deref_mut() {
+                        h.record_denied(now, source as usize, None);
+                    }
+                    return;
+                }
+                // Level three: the global interference budget. With
+                // validated budget sums this can never refuse a tenant
+                // inside its group budget — it is the defense-in-depth
+                // backstop the oracle re-checks.
+                if !rt.global.admits(now, u64::MAX) {
+                    shard.with_state(|s| s.counters.denied += 1);
+                    let tn = &mut rt.tenants[tenant];
+                    tn.counters.denied_global += 1;
+                    tn.brownout.record(false);
+                    if let Some(h) = hub.as_deref_mut() {
+                        h.record_denied(now, source as usize, None);
+                    }
+                    return;
+                }
+                shard.with_state(|s| {
+                    s.counters.admitted += 1;
+                    s.monitors[local as usize].record_admitted(now);
+                    if let Some(tr) = s.trackers[local as usize].conformant(now) {
+                        if let Some(h) = hub.as_deref_mut() {
+                            h.record_health(now, source as usize, tr.from.slug(), tr.to.slug());
+                        }
+                    }
+                    s.note_admitted(local, now, cfg.checkpoint_every);
+                    let start = s.busy_until[lane].max(now);
+                    let completion = start + cfg.service_cost;
+                    s.busy_until[lane] = completion;
+                    let id = queue
+                        .schedule_at(
+                            completion,
+                            FleetEvent::Drain {
+                                shard: shard_id,
+                                lane: lane as u32,
+                            },
+                        )
+                        .expect("completions are in the future");
+                    s.in_flight[lane].push_back(InFlight {
+                        id,
+                        source,
+                        arrival: now,
+                    });
+                });
+                let tn = &mut rt.tenants[tenant];
+                tn.group.record(now);
+                rt.global.record(now);
+                tn.counters.admitted += 1;
+                if attempt > 0 {
+                    tn.counters.rescued += 1;
+                }
+                tn.brownout.record(false);
+                admitted[source as usize].push(now);
+                if let Some(h) = hub.as_deref_mut() {
+                    h.record_admitted(now, source as usize);
+                }
+            }
+        }
+    }
+}
+
+/// Per-tenant live state inside one fleet run.
+#[derive(Debug)]
+struct TenantRt {
+    group: GroupBudget,
+    brownout: BrownoutController,
+    counters: TenantCounters,
+}
+
+/// Everything the tenancy layer threads through one run: per-tenant
+/// budgets and brownout controllers, the global window budget and the
+/// frozen source → tenant table. Fleet-level on purpose — a shard crash
+/// rebuilds shard arenas but never this ledger, so the budget hierarchy
+/// survives failover exactly.
+#[derive(Debug)]
+struct TenancyRuntime {
+    tenants: Vec<TenantRt>,
+    global: WindowBudget,
+    tenant_of: Vec<u32>,
+    best_effort_lane: usize,
+    retry_ladder: bool,
+}
+
+impl TenancyRuntime {
+    fn new(tc: &TenantConfig) -> Self {
+        let tenants = tc
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| TenantRt {
+                group: GroupBudget::new(spec.budget, tc.window),
+                brownout: BrownoutController::new(
+                    tc.brownout,
+                    tc.window,
+                    spec.budget,
+                    tc.seed,
+                    i as u32,
+                ),
+                counters: TenantCounters::default(),
+            })
+            .collect();
+        TenancyRuntime {
+            tenants,
+            global: WindowBudget::new(tc.window, tc.global_budget),
+            tenant_of: tc.tenant_of(),
+            best_effort_lane: tc.tenants.len(),
+            retry_ladder: tc.retry_ladder,
+        }
+    }
+
+    /// Assembles the per-tenant ledgers (attributing remaining in-flight
+    /// work through the source → tenant table) and pushes the per-tenant
+    /// gauges into the hub.
+    fn finish(
+        mut self,
+        shards: &[Shard],
+        end: Instant,
+        hub: Option<&mut MetricsHub>,
+    ) -> (Vec<TenantLedger>, Vec<u32>) {
+        let mut in_flight = vec![0u64; self.tenants.len()];
+        for shard in shards {
+            shard.with_state(|s| {
+                for lane in &s.in_flight {
+                    for flight in lane {
+                        in_flight[self.tenant_of[flight.source as usize] as usize] += 1;
+                    }
+                }
+            });
+        }
+        let ledgers: Vec<TenantLedger> = self
+            .tenants
+            .iter_mut()
+            .enumerate()
+            .map(|(t, rt)| TenantLedger {
+                counters: rt.counters,
+                in_flight_at_end: in_flight[t],
+                final_level: rt.brownout.level(),
+                escalations: rt.brownout.escalations(),
+                recoveries: rt.brownout.recoveries(),
+                headroom_at_end: rt.group.headroom(end),
+            })
+            .collect();
+        if let Some(h) = hub {
+            for (t, ledger) in ledgers.iter().enumerate() {
+                h.record_tenant_gauges(
+                    t,
+                    ledger.counters.shed_permille(),
+                    u64::from(ledger.final_level.rank()),
+                    ledger.headroom_at_end,
+                );
+            }
+        }
+        (ledgers, self.tenant_of)
     }
 }
 
@@ -598,6 +1024,13 @@ pub struct FleetReport {
     pub latency: LatencyHistogram,
     /// Worst observed completion latency.
     pub max_latency: Duration,
+    /// Per-tenant ledgers, empty for a flat run.
+    pub tenants: Vec<TenantLedger>,
+    /// `tenant_of[source]`, empty for a flat run.
+    pub tenant_of: Vec<u32>,
+    /// The tenancy the run executed under, if any — carried so the oracle
+    /// can re-check group and global budgets offline.
+    pub tenancy: Option<TenantConfig>,
 }
 
 impl FleetReport {
@@ -636,6 +1069,34 @@ impl FleetReport {
         self.counters.shed_total() * 1000 / self.counters.scheduled
     }
 
+    /// One tenant's merged admitted stream, `(time, source)` ordered —
+    /// the stream the isolation theorem says must not move when *other*
+    /// tenants misbehave.
+    #[must_use]
+    pub fn tenant_admitted(&self, tenant: usize) -> Vec<(Instant, u32)> {
+        let mut merged: Vec<(Instant, u32)> = self
+            .admitted
+            .iter()
+            .enumerate()
+            .filter(|&(source, _)| self.tenant_of.get(source).copied() == Some(tenant as u32))
+            .flat_map(|(source, times)| times.iter().map(move |&at| (at, source as u32)))
+            .collect();
+        merged.sort_unstable();
+        merged
+    }
+
+    /// Canonical byte encoding of one tenant's admitted stream
+    /// (`"<at_ns> <source>\n"` lines) — the byte-identity witness of the
+    /// isolation proptest.
+    #[must_use]
+    pub fn tenant_bytes(&self, tenant: usize) -> String {
+        let mut out = String::new();
+        for (at, source) in self.tenant_admitted(tenant) {
+            out.push_str(&format!("{} {}\n", at.as_nanos(), source));
+        }
+        out
+    }
+
     /// The fleet-wide oracle: per-victim δ⁻ replay, sliding-window η⁺
     /// counts and the Eq. 13–16 interference bound over each source's
     /// admitted stream — *including across crash/failover cuts*, because
@@ -664,6 +1125,42 @@ impl FleetReport {
                 scheduled: c.admitted,
                 accounted: service_accounted,
             });
+        }
+        if let Some(tc) = &self.tenancy {
+            let mut union: Vec<Instant> = Vec::new();
+            for (tenant, ledger) in self.tenants.iter().enumerate() {
+                let t = &ledger.counters;
+                let ingress = t.admitted + t.denied_total() + t.shed_total();
+                if ingress != t.scheduled {
+                    out.push(Violation::TenantConservation {
+                        tenant,
+                        expected: t.scheduled,
+                        accounted: ingress,
+                    });
+                }
+                let service = t.completed + t.lost_in_flight + ledger.in_flight_at_end;
+                if service != t.admitted {
+                    out.push(Violation::TenantConservation {
+                        tenant,
+                        expected: t.admitted,
+                        accounted: service,
+                    });
+                }
+                let stream: Vec<Instant> = self
+                    .tenant_admitted(tenant)
+                    .into_iter()
+                    .map(|(at, _)| at)
+                    .collect();
+                out.extend(check_group_budget(
+                    tenant,
+                    &stream,
+                    tc.tenants[tenant].budget,
+                    tc.window,
+                ));
+                union.extend(stream);
+            }
+            union.sort_unstable();
+            out.extend(check_global_budget(&union, tc.global_budget, tc.window));
         }
         out
     }

@@ -23,6 +23,14 @@
 //!   bound over the union of all shards' admitted streams, plus the two
 //!   ledger conservation identities.
 //!
+//! * **Tenant isolation** ([`tenant`]) — a two-level admission hierarchy:
+//!   every source belongs to a tenant with its own δ⁻ group budget (an
+//!   aggregate monitor / window-budget pair), all tenants draw from a
+//!   global interference budget, and an adaptive brownout controller
+//!   degrades overloaded tenants through a ladder (shrink → best-effort →
+//!   quarantine) with seed-jittered hysteresis. Overload in one tenant
+//!   provably never moves another tenant's admitted stream.
+//!
 //! The [`storm`] module packages all of it into the deterministic,
 //! journal-resumable `admit_storm` campaign.
 //!
@@ -34,6 +42,7 @@
 pub mod fleet;
 pub mod shard;
 pub mod storm;
+pub mod tenant;
 
 pub use fleet::{
     route, AdmitFleet, AdmitOutcome, FailoverMode, FleetConfig, FleetError, FleetReport,
@@ -41,7 +50,13 @@ pub use fleet::{
 };
 pub use shard::{Shard, ShardCounters};
 pub use storm::{
-    assemble_report, fleet_faults, report_passes, run_storm_scenario, storm_hub, storm_scenarios,
+    assemble_report, assemble_tenant_report, fleet_faults, report_passes, run_storm_scenario,
+    run_tenant_scenario, storm_hub, storm_scenarios, tenant_scenarios, tenant_storm_hub,
     traffic_events, ArmOutcome, ScenarioRecord, StormConfig, StormOutcome, StormScenario,
-    TrafficKind, HOT_SOURCES,
+    TenantOutcome, TenantRecord, TenantScenario, TenantStormConfig, TrafficKind, HOT_SOURCES,
+};
+pub use tenant::{
+    global_budget_for_bound, group_delta, BrownoutController, BrownoutLevel, BrownoutPolicy,
+    GroupBudget, TenantBudgetError, TenantConfig, TenantCounters, TenantLedger, TenantSpec,
+    WindowBudget, MAX_GROUP_BUDGET,
 };

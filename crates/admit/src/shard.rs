@@ -40,6 +40,9 @@ pub struct ShardCounters {
     /// Arrivals shed by the supervision ladder (Probation/Quarantined
     /// sources demoted first under load).
     pub shed_demoted: u64,
+    /// Arrivals shed because their tenant was quarantined by the brownout
+    /// controller (always zero in a flat, tenant-less fleet).
+    pub shed_quarantined: u64,
     /// Admitted activations lost in flight to a shard crash (typed — their
     /// service completions never happen, but they are never silent).
     pub lost_in_flight: u64,
@@ -59,10 +62,10 @@ pub struct ShardCounters {
 }
 
 impl ShardCounters {
-    /// Total typed sheds (queue-full + stalled + demoted).
+    /// Total typed sheds (queue-full + stalled + demoted + quarantined).
     #[must_use]
     pub fn shed_total(&self) -> u64 {
-        self.shed_queue_full + self.shed_stalled + self.shed_demoted
+        self.shed_queue_full + self.shed_stalled + self.shed_demoted + self.shed_quarantined
     }
 
     /// Field-wise accumulation (fleet aggregation).
@@ -73,6 +76,7 @@ impl ShardCounters {
         self.shed_queue_full += other.shed_queue_full;
         self.shed_stalled += other.shed_stalled;
         self.shed_demoted += other.shed_demoted;
+        self.shed_quarantined += other.shed_quarantined;
         self.lost_in_flight += other.lost_in_flight;
         self.completed += other.completed;
         self.retries += other.retries;
@@ -114,11 +118,14 @@ pub(crate) struct ShardState {
     journal: Vec<(u32, Instant)>,
     /// When a stall window ends, if one is active.
     pub stalled_until: Option<Instant>,
-    /// Single-server service horizon: the next admission completes at
-    /// `max(busy_until, now) + service_cost`.
-    pub busy_until: Instant,
-    /// Admitted-but-not-completed activations, completion order.
-    pub in_flight: VecDeque<InFlight>,
+    /// Per-lane single-server service horizons: lane `l`'s next admission
+    /// completes at `max(busy_until[l], now) + service_cost`. A flat fleet
+    /// has one lane; a tenanted fleet has one reserved lane per tenant
+    /// plus a shared best-effort lane, so one tenant's backlog cannot
+    /// delay another's completions.
+    pub busy_until: Vec<Instant>,
+    /// Admitted-but-not-completed activations per lane, completion order.
+    pub in_flight: Vec<VecDeque<InFlight>>,
     /// This shard's ledger.
     pub counters: ShardCounters,
 }
@@ -176,10 +183,16 @@ impl ShardState {
         delta: &DeltaFunction,
         policy: SupervisionPolicy,
     ) -> Vec<InFlight> {
-        let dropped: Vec<InFlight> = self.in_flight.drain(..).collect();
+        let dropped: Vec<InFlight> = self
+            .in_flight
+            .iter_mut()
+            .flat_map(|lane| lane.drain(..))
+            .collect();
         self.counters.lost_in_flight += dropped.len() as u64;
         self.counters.crashes += 1;
-        self.busy_until = at;
+        for busy in &mut self.busy_until {
+            *busy = at;
+        }
         self.stalled_until = None;
         match mode {
             FailoverMode::Checkpoint => {
@@ -213,8 +226,14 @@ pub struct Shard {
 
 impl Shard {
     /// Builds a shard for `locals` sources sharing one δ⁻ condition and
-    /// one supervision policy, checkpointed at its (empty) initial state.
-    pub(crate) fn new(locals: usize, delta: &DeltaFunction, policy: SupervisionPolicy) -> Self {
+    /// one supervision policy, with `lanes` independent service lanes,
+    /// checkpointed at its (empty) initial state.
+    pub(crate) fn new(
+        locals: usize,
+        lanes: usize,
+        delta: &DeltaFunction,
+        policy: SupervisionPolicy,
+    ) -> Self {
         let (monitors, trackers) = ShardState::fresh_arena(locals, delta, policy);
         let checkpoint = ShardCheckpoint {
             monitors: monitors.clone(),
@@ -227,11 +246,17 @@ impl Shard {
                 checkpoint,
                 journal: Vec::new(),
                 stalled_until: None,
-                busy_until: Instant::ZERO,
-                in_flight: VecDeque::new(),
+                busy_until: vec![Instant::ZERO; lanes],
+                in_flight: vec![VecDeque::new(); lanes],
                 counters: ShardCounters::default(),
             }),
         }
+    }
+
+    /// Admissions currently in service across all lanes.
+    #[must_use]
+    pub fn in_flight_len(&self) -> usize {
+        self.with_state(|s| s.in_flight.iter().map(VecDeque::len).sum())
     }
 
     /// Runs `f` under the shard lock. A poisoned lock is recovered, not

@@ -6,10 +6,47 @@
 
 use proptest::prelude::*;
 
-use rthv_admit::{route, AdmitFleet, FailoverMode, FleetConfig, ShardFault, ShardFaultKind};
+use rthv_admit::{
+    route, AdmitFleet, FailoverMode, FleetConfig, ShardFault, ShardFaultKind, TenantConfig,
+    TenantSpec,
+};
 use rthv_monitor::DeltaFunction;
 use rthv_time::{Duration, Instant};
-use rthv_workload::{open_loop_flood, FloodSpec};
+use rthv_workload::{flood_overlay, open_loop_flood, FloodSpec, OverlaySpec};
+
+/// The tenant campaign's geometry adapted for property runs: heavy
+/// service cost, watermark ladder off, a 2-tenant split with the
+/// aggressor on the upper half and `retry_ladder` on. The lane is deep
+/// (unlike the campaign's shallow queue, which only the flat ablation
+/// needs): byte-identity requires the victim never to hit its *own*
+/// lane cap, because a crash drains in-flight work and thereby moves
+/// queue-full timing — self-saturation is not an isolation failure.
+fn tenancy_config(shards: u32, engine: &str, checkpoint_every: u64) -> FleetConfig {
+    let mut config = FleetConfig::paper(shards, 16);
+    config.queue_capacity = 64;
+    config.service_cost = Duration::from_micros(800);
+    config.shed_watermark_permille = 1000;
+    config.engine = engine.to_owned();
+    config.checkpoint_every = checkpoint_every;
+    config.tenancy = Some(TenantConfig {
+        window: Duration::from_millis(10),
+        global_budget: 100,
+        tenants: vec![
+            TenantSpec {
+                sources: 8,
+                budget: 40,
+            },
+            TenantSpec {
+                sources: 8,
+                budget: 60,
+            },
+        ],
+        brownout: Default::default(),
+        seed: 0x7E4A_5EED,
+        retry_ladder: true,
+    });
+    config
+}
 
 /// A fleet config whose sheds cannot fire: admissions depend only on each
 /// source's own monitor and arrival times, which is exactly the
@@ -134,5 +171,108 @@ proptest! {
         let fresh = AdmitFleet::new(fresh_cfg).unwrap().run(&arrivals, &[fault], None);
         prop_assert!(fresh.counters.admitted >= crashed.counters.admitted,
             "forgetting δ⁻ history can only admit more");
+    }
+
+    /// Routing ignores the tenancy: attaching a tenant hierarchy never
+    /// moves a source to a different shard, across shard counts {1, 4, 16}
+    /// and both engines — tenancy partitions budgets, not placement.
+    #[test]
+    fn routing_is_stable_under_tenant_assignment(
+        checkpoint_every in 1u64..48,
+    ) {
+        for shards in [1u32, 4, 16] {
+            for engine in ["heap", "wheel"] {
+                let flat = AdmitFleet::new(
+                    unshedding_config(shards, 16, engine, checkpoint_every),
+                ).unwrap();
+                let tenanted = AdmitFleet::new(
+                    tenancy_config(shards, engine, checkpoint_every),
+                ).unwrap();
+                for source in 0..16 {
+                    prop_assert_eq!(
+                        flat.route_of(source), tenanted.route_of(source),
+                        "tenancy moved source {} under shards={} engine={}",
+                        source, shards, engine
+                    );
+                    prop_assert_eq!(
+                        flat.route_of(source).unwrap().0,
+                        route(source, shards)
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The isolation theorem: a seeded aggressor flood plus correlated
+    /// crash cuts in tenant 1 leave tenant 0's admitted stream
+    /// byte-identical to the fault-free, flood-free run — at every shard
+    /// count in {1, 4, 16}, on both engines, under arbitrary checkpoint
+    /// cadences. The stream is also engine-invariant per shard count (it
+    /// is *not* shard-count-invariant: lane capacity and drain rate are
+    /// per-shard physical resources, so resharding may move it — what must
+    /// never move it is another tenant's behavior).
+    #[test]
+    fn tenant_isolation_survives_floods_crashes_resharding_and_engines(
+        seed in any::<u64>(),
+        checkpoint_every in 1u64..48,
+        crash_a_us in 12_000u64..55_000,
+        crash_b_us in 12_000u64..55_000,
+        crash_shard_a in 0u32..16,
+        crash_shard_b in 0u32..16,
+    ) {
+        let horizon = Duration::from_millis(60);
+        let calm = open_loop_flood(&FloodSpec {
+            sources: 16,
+            mean: Duration::from_millis(6),
+            horizon,
+            seed,
+        });
+        let storm = flood_overlay(&calm, &OverlaySpec {
+            first_source: 8,
+            sources: 8,
+            mean: Duration::from_micros(300),
+            onset: Duration::from_millis(10),
+            horizon,
+            seed: seed ^ 0x0A66_0E55,
+        });
+        for shards in [1u32, 4, 16] {
+            let faults = vec![
+                ShardFault {
+                    at: Instant::ZERO + Duration::from_micros(crash_a_us),
+                    shard: crash_shard_a % shards,
+                    kind: ShardFaultKind::Crash,
+                },
+                ShardFault {
+                    at: Instant::ZERO + Duration::from_micros(crash_b_us),
+                    shard: crash_shard_b % shards,
+                    kind: ShardFaultKind::Crash,
+                },
+            ];
+            let mut reference: Option<String> = None;
+            for engine in ["heap", "wheel"] {
+                let config = tenancy_config(shards, engine, checkpoint_every);
+                let fleet = AdmitFleet::new(config).unwrap();
+                let calm_victim = fleet.run(&calm, &[], None).tenant_bytes(0);
+                let storm_victim = fleet.run(&storm, &faults, None).tenant_bytes(0);
+                prop_assert_eq!(
+                    &calm_victim, &storm_victim,
+                    "aggressor flood + crashes moved the victim stream \
+                     under shards={} engine={}",
+                    shards, engine
+                );
+                match &reference {
+                    None => reference = Some(calm_victim),
+                    Some(r) => prop_assert_eq!(
+                        r, &calm_victim,
+                        "victim stream differs across engines at shards={}",
+                        shards
+                    ),
+                }
+            }
+        }
     }
 }

@@ -6,7 +6,7 @@
 //! results written as a deterministic JSON report.
 //!
 //! Usage: `cargo run --release -p rthv-experiments --bin admit_storm
-//! [output-path] [scenario-count] [base-seed] [--smoke]
+//! [output-path] [scenario-count] [base-seed] [--smoke] [--tenants]
 //! [--journal <jsonl>] [--resume <jsonl>] [--abort-after <n>]
 //! [--metrics <json>]`
 //! (defaults: `STORM_admit.json`, 7 scenarios, seed `0xAD2014`).
@@ -15,6 +15,15 @@
 //! 4×16-source 250 ms one; families and verdict are unchanged. The event
 //! engine comes from `RTHV_ENGINE` (`heap`, the default, or `wheel`); an
 //! unknown value is a typed, loud failure before any scenario runs.
+//!
+//! `--tenants` runs the tenant-isolation campaign instead: each scenario
+//! drives four arms (hierarchy calm/storm, flat-ablation calm/storm)
+//! under correlated-failure fault plans, and the verdict demands the
+//! hierarchy keep the victim tenant's admitted stream byte-identical
+//! while the flat ablation demonstrably does not, with zero group- and
+//! global-budget oracle violations. Defaults become `STORM_tenants.json`
+//! and 3 scenarios; `--journal`/`--resume`/`--abort-after`/`--metrics`
+//! compose the same way.
 //!
 //! With `--journal`, each completed scenario is appended to a JSONL
 //! journal the moment it finishes; with `--resume`, scenarios already
@@ -38,10 +47,13 @@
 use std::process::ExitCode;
 
 use rthv_admit::{
-    assemble_report, report_passes, run_storm_scenario, storm_hub, storm_scenarios, AdmitFleet,
-    ScenarioRecord, StormConfig,
+    assemble_report, assemble_tenant_report, report_passes, run_storm_scenario,
+    run_tenant_scenario, storm_hub, storm_scenarios, tenant_scenarios, tenant_storm_hub,
+    AdmitFleet, ScenarioRecord, StormConfig, TenantRecord, TenantStormConfig,
 };
-use rthv_experiments::{parse_journal_flags, read_complete_lines, Journal, SweepRunner};
+use rthv_experiments::{
+    parse_journal_flags, read_complete_lines, Journal, JournalOptions, SweepRunner,
+};
 
 fn main() -> ExitCode {
     let (options, positional) = match parse_journal_flags(std::env::args().skip(1)) {
@@ -52,28 +64,38 @@ fn main() -> ExitCode {
         }
     };
     let mut smoke = false;
+    let mut tenants = false;
     let positional: Vec<String> = positional
         .into_iter()
         .filter(|arg| {
             let is_smoke = arg == "--smoke";
+            let is_tenants = arg == "--tenants";
             smoke |= is_smoke;
-            !is_smoke
+            tenants |= is_tenants;
+            !is_smoke && !is_tenants
         })
         .collect();
     let mut positional = positional.into_iter();
-    let path = positional
-        .next()
-        .unwrap_or_else(|| "STORM_admit.json".to_string());
+    let path = positional.next().unwrap_or_else(|| {
+        if tenants {
+            "STORM_tenants.json".to_string()
+        } else {
+            "STORM_admit.json".to_string()
+        }
+    });
     let count: u32 = positional
         .next()
         .map(|s| s.parse().expect("scenario count must be a number"))
-        .unwrap_or(7);
+        .unwrap_or(if tenants { 3 } else { 7 });
     let base_seed: u64 = positional
         .next()
         .map(|s| s.parse().expect("base seed must be a number"))
         .unwrap_or(0xAD_2014);
 
     let engine = std::env::var("RTHV_ENGINE").unwrap_or_else(|_| "heap".to_string());
+    if tenants {
+        return tenant_campaign(&options, smoke, &engine, &path, count, base_seed);
+    }
     let config = if smoke {
         StormConfig::smoke(&engine)
     } else {
@@ -202,6 +224,155 @@ fn main() -> ExitCode {
 
     if report_passes(&report) {
         eprintln!("PASS: failover holds the bound, the fresh-state baseline demonstrably does not");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: see the verdict block in {path}");
+        ExitCode::FAILURE
+    }
+}
+
+/// The `--tenants` campaign: same sweep/journal/resume machinery as the
+/// flat campaign, over [`TenantRecord`]s and the tenant-isolation verdict.
+fn tenant_campaign(
+    options: &JournalOptions,
+    smoke: bool,
+    engine: &str,
+    path: &str,
+    count: u32,
+    base_seed: u64,
+) -> ExitCode {
+    let config = if smoke {
+        TenantStormConfig::smoke(engine)
+    } else {
+        TenantStormConfig::standard(engine)
+    };
+    // Fail loudly on a bad fleet or tenancy config — in particular an
+    // unknown RTHV_ENGINE value — before any scenario burns cycles.
+    if let Err(error) = AdmitFleet::new(config.base.clone()) {
+        eprintln!("admit_storm: {error}");
+        return ExitCode::FAILURE;
+    }
+    let scenarios = tenant_scenarios(count, base_seed, config.horizon);
+
+    let resumed: Vec<Option<TenantRecord>> = match &options.resume {
+        Some(journal_path) => {
+            let lines = read_complete_lines(journal_path).expect("read resume journal");
+            let mut completed = Vec::new();
+            for line in &lines {
+                match TenantRecord::parse_journal_line(line) {
+                    Some(record) => completed.push(record),
+                    None => eprintln!("admit_storm: ignoring corrupt journal line"),
+                }
+            }
+            scenarios
+                .iter()
+                .map(|scenario| {
+                    completed
+                        .iter()
+                        .find(|r| r.label == scenario.label() && r.seed == scenario.fault.seed)
+                        .cloned()
+                })
+                .collect()
+        }
+        None => scenarios.iter().map(|_| None).collect(),
+    };
+    let journal = options
+        .journal
+        .as_deref()
+        .map(|p| Journal::open_append(p).expect("open journal"));
+    let abort_after = options.abort_after;
+
+    let runner = SweepRunner::available();
+    let records = runner.run(&scenarios, |index, scenario| {
+        if let Some(done) = &resumed[index] {
+            return done.clone();
+        }
+        let outcome = run_tenant_scenario(&config, scenario, None)
+            .expect("fleet config was validated before the sweep");
+        let record = outcome.record();
+        if let Some(journal) = &journal {
+            let appended = journal
+                .append(&record.to_journal_line())
+                .expect("journal append");
+            if abort_after.is_some_and(|limit| appended >= limit) {
+                eprintln!("admit_storm: --abort-after {appended} reached, aborting");
+                std::process::abort();
+            }
+        }
+        record
+    });
+    let report = assemble_tenant_report(&config, base_seed, &records);
+
+    let resumed_count = resumed.iter().filter(|r| r.is_some()).count();
+    if (runner.threads() > 1 || resumed_count > 0) && count <= 8 {
+        // Cheap campaigns double as a determinism self-check, exactly as
+        // in the flat campaign.
+        let reference = SweepRunner::sequential().run(&scenarios, |_, scenario| {
+            run_tenant_scenario(&config, scenario, None)
+                .expect("fleet config was validated before the sweep")
+                .record()
+        });
+        assert_eq!(
+            assemble_tenant_report(&config, base_seed, &reference),
+            report,
+            "parallel/resumed tenant report diverged from sequential re-execution"
+        );
+    }
+
+    std::fs::write(path, &report).expect("write tenant storm report");
+
+    if let Some(metrics_path) = &options.metrics {
+        let mut hub = tenant_storm_hub(&config);
+        let observed = run_tenant_scenario(&config, &scenarios[0], Some(&mut hub))
+            .expect("fleet config was validated before the sweep");
+        assert_eq!(
+            observed.record(),
+            records[0],
+            "metrics instrumentation changed a tenant scenario outcome"
+        );
+        std::fs::write(metrics_path, hub.snapshot_json()).expect("write metrics snapshot");
+        eprintln!(
+            "admit_storm: metrics snapshot -> {}",
+            metrics_path.display()
+        );
+    }
+
+    let hier_violations: u64 = records.iter().map(|r| r.hier_violations).sum();
+    let budget_violations: u64 = records
+        .iter()
+        .map(|r| r.group_budget_violations + r.global_budget_violations)
+        .sum();
+    let isolated = records
+        .iter()
+        .filter(|r| r.identity_family && r.hier_isolated)
+        .count();
+    let identity = records.iter().filter(|r| r.identity_family).count();
+    let broken = records
+        .iter()
+        .filter(|r| r.identity_family && r.flat_violates)
+        .count();
+    let worst_victim_shed = records
+        .iter()
+        .map(|r| r.victim_shed_permille)
+        .max()
+        .unwrap_or(0);
+    eprintln!(
+        "admit_storm: {} tenant scenarios ({} resumed) on {} thread(s), engine {engine} -> {path}",
+        records.len(),
+        resumed_count,
+        runner.threads(),
+    );
+    eprintln!("  hierarchy oracle violations: {hier_violations}");
+    eprintln!("  group+global budget breaks:  {budget_violations}");
+    eprintln!("  victim isolated:             {isolated}/{identity} identity scenarios");
+    eprintln!("  flat ablation broken:        {broken}/{identity} identity scenarios");
+    eprintln!("  worst victim shed:           {worst_victim_shed} permille");
+
+    if report_passes(&report) {
+        eprintln!(
+            "PASS: the hierarchy isolates the victim tenant, the flat ablation demonstrably \
+             does not"
+        );
         ExitCode::SUCCESS
     } else {
         eprintln!("FAIL: see the verdict block in {path}");

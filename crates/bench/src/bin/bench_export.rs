@@ -26,7 +26,9 @@ use rthv::time::{Duration as SimDuration, Instant as SimInstant};
 use rthv::{
     EngineChoice, EngineKind, IrqHandlingMode, IrqSourceId, Machine, PaperSetup, SupervisionPolicy,
 };
+use rthv_admit::{AdmitFleet, FleetConfig, FleetReport, TenantConfig, TenantSpec};
 use rthv_experiments::{parse_journal_flags, SweepRunner};
+use rthv_workload::FloodEvent;
 
 /// IRQs per load level at each scale; the paper's Figure 6 uses 5000.
 const SCALES: [usize; 3] = [1_000, 5_000, 20_000];
@@ -201,6 +203,99 @@ fn measure_obs(instrumented: bool) -> ObsMeasured {
         wall_seconds,
         decisions: report.counters.monitor_admitted + report.counters.monitor_denied,
         snapshot,
+    }
+}
+
+/// Conformant arrivals per source in the tenant-hierarchy overhead probe.
+const TENANT_ARRIVALS_PER_SOURCE: u64 = 4_000;
+
+/// Sources in the tenant probe fleet (split across two tenants).
+const TENANT_SOURCES: u32 = 16;
+
+/// Flat/hierarchical run pairs; the reported overhead is the median of the
+/// pairwise ratios, for the same noise-cancelling reasons as the
+/// observability probe.
+const TENANT_REPS: usize = 9;
+
+/// The hierarchical admission path (tenant table, brownout roll, group
+/// window + aggregate monitor, global window) must stay within this factor
+/// of the flat path's per-decision cost.
+const TENANT_OVERHEAD_BUDGET: f64 = 1.3;
+
+/// A conformant fleet trace: every source fires exactly at `d_min`, with a
+/// small per-source phase offset so arrivals interleave rather than
+/// colliding on one instant. Both fleet shapes admit every arrival, so the
+/// timing delta is purely the hierarchy bookkeeping.
+fn tenant_probe_arrivals() -> Vec<FloodEvent> {
+    let dmin = SimDuration::from_millis(1);
+    let phase = SimDuration::from_micros(25);
+    let mut arrivals = Vec::with_capacity((TENANT_ARRIVALS_PER_SOURCE * 16) as usize);
+    for i in 1..=TENANT_ARRIVALS_PER_SOURCE {
+        for source in 0..TENANT_SOURCES {
+            arrivals.push(FloodEvent {
+                at: SimInstant::ZERO + dmin.saturating_mul(i) + phase.saturating_mul(source.into()),
+                source,
+            });
+        }
+    }
+    arrivals
+}
+
+/// The probe fleet: deep queues so sheds are structurally impossible, and
+/// — when hierarchical — a 2-tenant split whose budgets (9 admissions per
+/// 500 µs window against an 8-arrival burst per tenant per millisecond) never deny a conformant stream.
+/// The short window also keeps the group's aggregate δ⁻ short — the
+/// group check is O(budget) per decision — so the probe prices the
+/// hierarchy's bookkeeping, not a degenerate monitor scan.
+fn tenant_probe_fleet(hierarchical: bool) -> AdmitFleet {
+    let mut config = FleetConfig::paper(4, TENANT_SOURCES);
+    config.queue_capacity = 1 << 20;
+    if hierarchical {
+        config.tenancy = Some(TenantConfig {
+            window: SimDuration::from_micros(500),
+            global_budget: 18,
+            tenants: vec![
+                TenantSpec {
+                    sources: TENANT_SOURCES / 2,
+                    budget: 9,
+                },
+                TenantSpec {
+                    sources: TENANT_SOURCES / 2,
+                    budget: 9,
+                },
+            ],
+            brownout: Default::default(),
+            seed: 0x7E4A_BE4C,
+            retry_ladder: true,
+        });
+    }
+    AdmitFleet::new(config).expect("tenant probe config is valid")
+}
+
+struct TenantMeasured {
+    wall_seconds: f64,
+    decisions: u64,
+    report: FleetReport,
+}
+
+impl TenantMeasured {
+    fn decisions_per_sec(&self) -> f64 {
+        self.decisions as f64 / self.wall_seconds
+    }
+}
+
+/// Times one full fleet run over the conformant trace, flat or
+/// hierarchical. The caller asserts both shapes admit byte-identically —
+/// the hierarchy must be pure bookkeeping on a stream it never refuses.
+fn measure_tenant(hierarchical: bool, arrivals: &[FloodEvent]) -> TenantMeasured {
+    let fleet = tenant_probe_fleet(hierarchical);
+    let start = HostInstant::now();
+    let report = fleet.run(arrivals, &[], None);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    TenantMeasured {
+        wall_seconds,
+        decisions: report.counters.scheduled,
+        report,
     }
 }
 
@@ -609,6 +704,49 @@ fn main() {
         );
     }
 
+    // Flat vs hierarchical admission cost, paired back to back with the
+    // median pairwise ratio, exactly like the observability probe.
+    let arrivals = tenant_probe_arrivals();
+    let mut tenant_ratios = Vec::with_capacity(TENANT_REPS);
+    let mut flat = measure_tenant(false, &arrivals);
+    let mut hierarchical = measure_tenant(true, &arrivals);
+    assert_eq!(
+        flat.report.merged_bytes(),
+        hierarchical.report.merged_bytes(),
+        "the hierarchy must not move a conformant stream it never refuses"
+    );
+    assert_eq!(flat.decisions, hierarchical.decisions);
+    tenant_ratios.push(hierarchical.wall_seconds / flat.wall_seconds);
+    for _ in 1..TENANT_REPS {
+        let f = measure_tenant(false, &arrivals);
+        let h = measure_tenant(true, &arrivals);
+        tenant_ratios.push(h.wall_seconds / f.wall_seconds);
+        if f.wall_seconds < flat.wall_seconds {
+            flat = f;
+        }
+        if h.wall_seconds < hierarchical.wall_seconds {
+            hierarchical = h;
+        }
+    }
+    tenant_ratios.sort_by(f64::total_cmp);
+    let tenant_ratio = tenant_ratios[tenant_ratios.len() / 2];
+    eprintln!(
+        "tenant hierarchy overhead: {} decisions — flat {:.0} decisions/s ({:.3} s), \
+         hierarchical {:.0} decisions/s ({:.3} s), ratio {tenant_ratio:.3}x (budget \
+         {TENANT_OVERHEAD_BUDGET:.2}x)",
+        flat.decisions,
+        flat.decisions_per_sec(),
+        flat.wall_seconds,
+        hierarchical.decisions_per_sec(),
+        hierarchical.wall_seconds,
+    );
+    if tenant_ratio > TENANT_OVERHEAD_BUDGET {
+        eprintln!(
+            "WARNING: tenant hierarchy overhead {tenant_ratio:.3}x exceeds the \
+             {TENANT_OVERHEAD_BUDGET:.2}x budget on this host"
+        );
+    }
+
     let checkpoint = measure_checkpoint();
     eprintln!(
         "checkpoint overhead: {} boundaries — plain {:.3} s, hashed {:.3} s ({:+.2}%), \
@@ -656,6 +794,22 @@ fn main() {
     "overhead_budget_ratio": {OBS_OVERHEAD_BUDGET:.2},
     "within_budget": {within_budget}
   }},
+  "tenant_hierarchy_overhead": {{
+    "description": "conformant 16-source fleet trace run through the flat fleet vs the 2-tenant budget hierarchy; both shapes admit byte-identically (asserted), so the delta is the tenant table, brownout roll, group window + aggregate monitor and global window on the admission hot path",
+    "arrivals": {tarrivals},
+    "admission_decisions": {tdecisions},
+    "flat": {{
+      "wall_seconds": {tfw:.6},
+      "decisions_per_sec": {tfd:.1}
+    }},
+    "hierarchical": {{
+      "wall_seconds": {thw:.6},
+      "decisions_per_sec": {thd:.1}
+    }},
+    "overhead_ratio": {tenant_ratio:.4},
+    "overhead_budget_ratio": {TENANT_OVERHEAD_BUDGET:.2},
+    "within_budget": {tenant_within_budget}
+  }},
   "checkpoint_overhead": {{
     "description": "conformant monitored workload with online arrival injection, stepped slot-by-slot without vs with state_hash() at every boundary (verified non-perturbing), plus mean snapshot()/restore() cost of a mid-run machine; state_hash is O(live machine state), so pre-scheduling an entire campaign's arrivals would inflate it",
     "arrivals": {carrivals},
@@ -685,6 +839,13 @@ fn main() {
         iw = instrumented.wall_seconds,
         id = instrumented.decisions_per_sec(),
         within_budget = obs_ratio <= OBS_OVERHEAD_BUDGET,
+        tarrivals = TENANT_ARRIVALS_PER_SOURCE * u64::from(TENANT_SOURCES),
+        tdecisions = flat.decisions,
+        tfw = flat.wall_seconds,
+        tfd = flat.decisions_per_sec(),
+        thw = hierarchical.wall_seconds,
+        thd = hierarchical.decisions_per_sec(),
+        tenant_within_budget = tenant_ratio <= TENANT_OVERHEAD_BUDGET,
         carrivals = CHECKPOINT_ARRIVALS,
         boundaries = checkpoint.boundaries,
         cplain = checkpoint.plain_seconds,

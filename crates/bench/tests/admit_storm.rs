@@ -183,6 +183,79 @@ fn metrics_snapshot_is_deterministic_and_pure() {
     }
 }
 
+/// The tenant-isolation campaign behind `--tenants`: the report is
+/// byte-identical across engines, the verdict passes, and a run killed by
+/// `--abort-after` mid-sweep resumes byte-identically from its journal —
+/// the same guarantees as the flat campaign, over the four-arm tenant
+/// scenarios.
+#[test]
+fn tenant_campaign_is_engine_invariant_and_resumes_byte_identical() {
+    let heap = temp_path("tenants-heap.json");
+    let wheel = temp_path("tenants-wheel.json");
+    let resumed_report = temp_path("tenants-resumed.json");
+    let journal = temp_path("tenants-journal.jsonl");
+    for p in [&heap, &wheel, &resumed_report, &journal] {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let first = run_storm("heap", &heap, &["--tenants"]);
+    assert!(
+        first.status.success(),
+        "tenant smoke campaign failed; stderr:\n{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let second = run_storm("wheel", &wheel, &["--tenants"]);
+    assert!(
+        second.status.success(),
+        "wheel tenant campaign failed; stderr:\n{}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    let reference = std::fs::read(&heap).expect("heap tenant report");
+    assert_eq!(
+        reference,
+        std::fs::read(&wheel).expect("wheel tenant report"),
+        "the event engine leaked into the tenant report"
+    );
+    assert!(
+        String::from_utf8_lossy(&reference).contains("\"pass\":true"),
+        "tenant verdict did not pass"
+    );
+
+    let journal_arg = journal.to_str().expect("utf-8 path");
+    let aborted = run_storm(
+        "heap",
+        &resumed_report,
+        &["--tenants", "--journal", journal_arg, "--abort-after", "1"],
+    );
+    assert!(
+        !aborted.status.success(),
+        "--abort-after 1 should have killed the process"
+    );
+    assert!(
+        !resumed_report.exists(),
+        "the aborted run must die before writing a report"
+    );
+    let resumed = run_storm(
+        "heap",
+        &resumed_report,
+        &["--tenants", "--resume", journal_arg],
+    );
+    assert!(
+        resumed.status.success(),
+        "resumed tenant campaign failed; stderr:\n{}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        reference,
+        std::fs::read(&resumed_report).expect("resumed tenant report"),
+        "resumed tenant report differs from the uninterrupted one"
+    );
+
+    for p in [&heap, &wheel, &resumed_report, &journal] {
+        let _ = std::fs::remove_file(p);
+    }
+}
+
 /// The end-to-end face of the typed engine-selection error: an unknown
 /// `RTHV_ENGINE` value fails loudly, names the offender, and writes no
 /// report — never a silent fallback to a default engine.

@@ -114,6 +114,34 @@ pub enum FaultKind {
         /// Length of each stall.
         stall: Duration,
     },
+    /// Correlated failure: `k` distinct shards crash inside one `window`
+    /// (seeded pick of the crash instants and targets). The single-crash
+    /// family exercises failover; this one exercises failover *capacity* —
+    /// most of the fleet's monitor state disappears at once.
+    CorrelatedCrash {
+        /// Window inside which all `k` crashes land.
+        window: Duration,
+        /// Number of distinct shards crashed within the window.
+        k: u32,
+    },
+    /// A shard crash whose recovery is immediately hit by a stall on the
+    /// *same* shard — checkpoint restore followed by unresponsiveness, the
+    /// worst ordering for the retry ladder.
+    FailoverStall {
+        /// Spacing between consecutive crash-then-stall episodes.
+        period: Duration,
+        /// Stall length applied right after each crash's failover.
+        stall: Duration,
+    },
+    /// Shard crashes timed to land while an aggressor tenant floods — the
+    /// fleet must absorb the flood *and* the failover without moving a
+    /// conformant victim tenant's admitted stream.
+    RecoveryFlood {
+        /// Spacing between consecutive crashes under flood.
+        period: Duration,
+        /// Number of crashes over the horizon.
+        crashes: u32,
+    },
 }
 
 impl FaultKind {
@@ -132,6 +160,9 @@ impl FaultKind {
             FaultKind::HarnessCrash { .. } => "harness-crash",
             FaultKind::ShardCrash { .. } => "shard-crash",
             FaultKind::ShardStall { .. } => "shard-stall",
+            FaultKind::CorrelatedCrash { .. } => "correlated-crash",
+            FaultKind::FailoverStall { .. } => "failover-stall",
+            FaultKind::RecoveryFlood { .. } => "recovery-flood",
         }
     }
 }
@@ -321,7 +352,10 @@ impl FaultScenario {
             FaultKind::Nominal { period }
             | FaultKind::HarnessCrash { period, .. }
             | FaultKind::ShardCrash { period, .. }
-            | FaultKind::ShardStall { period, .. } => {
+            | FaultKind::ShardStall { period, .. }
+            | FaultKind::CorrelatedCrash { window: period, .. }
+            | FaultKind::FailoverStall { period, .. }
+            | FaultKind::RecoveryFlood { period, .. } => {
                 let period_ns = period.as_nanos();
                 assert!(period_ns > 0, "nominal period must be positive");
                 let mut t = period_ns;

@@ -139,6 +139,22 @@ fn violation_from_json(v: &Json) -> Result<Violation, JournalError> {
             actual: num(v, "actual")?,
             seed: num(v, "seed")?,
         },
+        "tenant-conservation" => Violation::TenantConservation {
+            tenant: num(v, "tenant")? as usize,
+            expected: num(v, "expected")?,
+            accounted: num(v, "accounted")?,
+        },
+        "group-budget" => Violation::GroupBudget {
+            tenant: num(v, "tenant")? as usize,
+            start: instant(v, "start_ns")?,
+            observed: num(v, "observed")?,
+            allowed: num(v, "allowed")?,
+        },
+        "global-budget" => Violation::GlobalBudget {
+            start: instant(v, "start_ns")?,
+            observed: num(v, "observed")?,
+            allowed: num(v, "allowed")?,
+        },
         _ => return Err(JournalError::UnknownViolation(kind)),
     })
 }
@@ -397,6 +413,22 @@ mod tests {
                 expected: 1,
                 actual: 2,
                 seed: 7,
+            },
+            Violation::TenantConservation {
+                tenant: 1,
+                expected: 64,
+                accounted: 63,
+            },
+            Violation::GroupBudget {
+                tenant: 2,
+                start: Instant::from_nanos(66),
+                observed: 9,
+                allowed: 8,
+            },
+            Violation::GlobalBudget {
+                start: Instant::from_nanos(77),
+                observed: 33,
+                allowed: 32,
             },
         ];
         for violation in all {

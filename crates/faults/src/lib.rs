@@ -68,7 +68,10 @@ pub use campaign::{
 };
 pub use inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
 pub use journal::JournalError;
-pub use oracle::{check_admitted_stream, check_report, check_supervision, OracleConfig, Violation};
+pub use oracle::{
+    check_admitted_stream, check_global_budget, check_group_budget, check_report,
+    check_supervision, OracleConfig, Violation,
+};
 pub use replay::{
     record_scenario, verify, verify_cross_engine, verify_from, ReplayConfig, ReplayTrace,
 };

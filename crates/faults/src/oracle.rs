@@ -129,6 +129,39 @@ pub enum Violation {
         /// The policy's probation window.
         window: Duration,
     },
+    /// A tenant's ledger does not cover every arrival scheduled for it:
+    /// admitted, denied (any level), shed (any reason), lost-in-flight must
+    /// partition the tenant's scheduled count. A mismatch names the tenant.
+    TenantConservation {
+        /// The tenant whose ledger failed to balance.
+        tenant: usize,
+        /// Arrivals scheduled for the tenant's sources.
+        expected: u64,
+        /// Arrivals the tenant's ledger accounts for.
+        accounted: u64,
+    },
+    /// A tenant's merged admitted stream packs more activations into a
+    /// sliding group-budget window than its δ⁻ group budget allows.
+    GroupBudget {
+        /// The offending tenant.
+        tenant: usize,
+        /// Start of the offending window (an admitted activation).
+        start: Instant,
+        /// Activations observed in `[start, start + window)`.
+        observed: u64,
+        /// The tenant's group budget for that window.
+        allowed: u64,
+    },
+    /// The union of all tenants' admitted streams exceeds the global
+    /// interference budget in a sliding window.
+    GlobalBudget {
+        /// Start of the offending window (an admitted activation).
+        start: Instant,
+        /// Activations observed in `[start, start + window)`.
+        observed: u64,
+        /// The global budget for that window.
+        allowed: u64,
+    },
 }
 
 impl Violation {
@@ -146,6 +179,9 @@ impl Violation {
             Violation::UnjustifiedQuarantine { .. } => "unjustified-quarantine",
             Violation::ReplayDivergence { .. } => "replay-divergence",
             Violation::PrematureRecovery { .. } => "premature-recovery",
+            Violation::TenantConservation { .. } => "tenant-conservation",
+            Violation::GroupBudget { .. } => "group-budget",
+            Violation::GlobalBudget { .. } => "global-budget",
         }
     }
 
@@ -227,6 +263,30 @@ impl Violation {
             } => format!(
                 r#"{{"kind":"replay-divergence","slot":{slot},"expected":{expected},"actual":{actual},"seed":{seed}}}"#
             ),
+            Violation::TenantConservation {
+                tenant,
+                expected,
+                accounted,
+            } => format!(
+                r#"{{"kind":"tenant-conservation","tenant":{tenant},"expected":{expected},"accounted":{accounted}}}"#
+            ),
+            Violation::GroupBudget {
+                tenant,
+                start,
+                observed,
+                allowed,
+            } => format!(
+                r#"{{"kind":"group-budget","tenant":{tenant},"start_ns":{},"observed":{observed},"allowed":{allowed}}}"#,
+                start.as_nanos()
+            ),
+            Violation::GlobalBudget {
+                start,
+                observed,
+                allowed,
+            } => format!(
+                r#"{{"kind":"global-budget","start_ns":{},"observed":{observed},"allowed":{allowed}}}"#,
+                start.as_nanos()
+            ),
         }
     }
 }
@@ -300,6 +360,31 @@ impl fmt::Display for Violation {
                 f,
                 "replay diverged at slot boundary {slot}: recorded hash \
                  {expected:#018x}, replayed {actual:#018x} (repro seed {seed})"
+            ),
+            Violation::TenantConservation {
+                tenant,
+                expected,
+                accounted,
+            } => write!(
+                f,
+                "tenant {tenant} ledger covers {accounted} of {expected} scheduled arrivals"
+            ),
+            Violation::GroupBudget {
+                tenant,
+                start,
+                observed,
+                allowed,
+            } => write!(
+                f,
+                "tenant {tenant} admitted {observed} in a group-budget window at {start}, allowed {allowed}"
+            ),
+            Violation::GlobalBudget {
+                start,
+                observed,
+                allowed,
+            } => write!(
+                f,
+                "global stream admitted {observed} in a budget window at {start}, allowed {allowed}"
             ),
         }
     }
@@ -451,6 +536,70 @@ pub fn check_admitted_stream(
         }
     }
     out
+}
+
+/// Sliding-count check of one tenant's merged admitted stream against its
+/// δ⁻ group budget: no window `[t, t + window)` anchored at an admission
+/// may hold more than `budget` admissions. η⁺ cannot express this bound
+/// (a group δ⁻ has `d_min = 0`), so the count is checked directly with a
+/// two-pointer sweep. `admitted` must be in non-decreasing time order.
+/// Only the first offending window is reported.
+#[must_use]
+pub fn check_group_budget(
+    tenant: usize,
+    admitted: &[Instant],
+    budget: u64,
+    window: Duration,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Some((start, observed)) = first_window_overflow(admitted, budget, window) {
+        out.push(Violation::GroupBudget {
+            tenant,
+            start,
+            observed,
+            allowed: budget,
+        });
+    }
+    out
+}
+
+/// Sliding-count check of the union of all tenants' admitted streams
+/// against the global interference budget (same sweep as
+/// [`check_group_budget`], fleet-wide). `admitted` must be in
+/// non-decreasing time order. Only the first offending window is reported.
+#[must_use]
+pub fn check_global_budget(admitted: &[Instant], budget: u64, window: Duration) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if let Some((start, observed)) = first_window_overflow(admitted, budget, window) {
+        out.push(Violation::GlobalBudget {
+            start,
+            observed,
+            allowed: budget,
+        });
+    }
+    out
+}
+
+/// First window `[admitted[lo], +window)` holding more than `budget`
+/// admissions, with its count, if any.
+fn first_window_overflow(
+    admitted: &[Instant],
+    budget: u64,
+    window: Duration,
+) -> Option<(Instant, u64)> {
+    let mut hi = 0usize;
+    for lo in 0..admitted.len() {
+        let end = admitted[lo] + window;
+        hi = hi.max(lo);
+        while hi < admitted.len() && admitted[hi] < end {
+            hi += 1;
+        }
+        let observed = (hi - lo) as u64;
+        if observed > budget {
+            return Some((admitted[lo], observed));
+        }
+    }
+    None
 }
 
 /// Invariant C — budget check: each traced interposed window may span its

@@ -123,6 +123,20 @@ pub struct EngineObs {
     pub overflow_len: u64,
 }
 
+/// Last-observed per-tenant admission gauges, written by the admission
+/// fleet when it assembles its report. Plain integers (per-mille rates,
+/// brownout ladder rank, remaining group-budget events) so the hub stays
+/// independent of the admit crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantObs {
+    /// Typed sheds per thousand scheduled arrivals of the tenant.
+    pub shed_permille: u64,
+    /// Brownout ladder rank (0 = nominal … 3 = quarantined).
+    pub brownout_rank: u64,
+    /// Group-budget events still unspent at the end of the run.
+    pub budget_headroom: u64,
+}
+
 /// The metrics registry: counters, per-source latency histograms and
 /// headroom gauges, plus the flight recorder.
 ///
@@ -138,6 +152,7 @@ pub struct MetricsHub {
     engine: EngineObs,
     latency: Vec<LatencyHistogram>,
     gauges: Vec<HeadroomGauge>,
+    tenants: Vec<TenantObs>,
     recorder: FlightRecorder,
 }
 
@@ -161,6 +176,7 @@ impl MetricsHub {
                 .iter()
                 .map(|s| HeadroomGauge::new(config.gauge_window, s.budget_events, s.effective_cost))
                 .collect(),
+            tenants: Vec::new(),
             recorder: FlightRecorder::new(config.recorder_capacity),
         }
     }
@@ -314,11 +330,45 @@ impl MetricsHub {
         &self.engine
     }
 
+    /// Overwrites tenant `tenant`'s admission gauges (shed rate in ‰,
+    /// brownout ladder rank 0–3, remaining group-budget events). Unlike the
+    /// hot-path hooks this may grow the tenant table — the fleet calls it
+    /// once per tenant when it assembles its report, off the hot path.
+    pub fn record_tenant_gauges(
+        &mut self,
+        tenant: usize,
+        shed_permille: u64,
+        brownout_rank: u64,
+        budget_headroom: u64,
+    ) {
+        if self.tenants.len() <= tenant {
+            self.tenants.resize(tenant + 1, TenantObs::default());
+        }
+        self.tenants[tenant] = TenantObs {
+            shed_permille,
+            brownout_rank,
+            budget_headroom,
+        };
+    }
+
+    /// Tenant gauges of `tenant`, when recorded.
+    #[must_use]
+    pub fn tenant(&self, tenant: usize) -> Option<&TenantObs> {
+        self.tenants.get(tenant)
+    }
+
+    /// Number of tenants with recorded gauges (zero on flat fleets).
+    #[must_use]
+    pub fn tenants(&self) -> usize {
+        self.tenants.len()
+    }
+
     /// Clears all observations, keeping geometry and allocations — the
     /// observability mirror of `Machine::reset`.
     pub fn reset(&mut self) {
         self.counters = ObsCounters::default();
         self.engine = EngineObs::default();
+        self.tenants.clear();
         for histogram in &mut self.latency {
             *histogram =
                 LatencyHistogram::new(self.config.latency_bin_width, self.config.latency_range)
@@ -367,6 +417,24 @@ impl MetricsHub {
         let _ = writeln!(out, "    \"occupied_buckets\": {},", e.occupied_buckets);
         let _ = writeln!(out, "    \"overflow_len\": {}", e.overflow_len);
         let _ = writeln!(out, "  }},");
+        if self.tenants.is_empty() {
+            let _ = writeln!(out, "  \"tenants\": [],");
+        } else {
+            let _ = writeln!(out, "  \"tenants\": [");
+            for (tenant, obs) in self.tenants.iter().enumerate() {
+                let comma = if tenant + 1 < self.tenants.len() {
+                    ","
+                } else {
+                    ""
+                };
+                let _ = writeln!(
+                    out,
+                    "    {{\"tenant\": {tenant}, \"shed_permille\": {}, \"brownout_rank\": {}, \"budget_headroom\": {}}}{comma}",
+                    obs.shed_permille, obs.brownout_rank, obs.budget_headroom
+                );
+            }
+            let _ = writeln!(out, "  ],");
+        }
         let _ = writeln!(out, "  \"sources\": [");
         for (source, (histogram, gauge)) in self.latency.iter().zip(&self.gauges).enumerate() {
             let _ = writeln!(out, "    {{");
@@ -493,6 +561,30 @@ mod tests {
         hub_a.record_completion(Instant::from_micros(2), 0, Duration::from_micros(1));
         hub_a.reset();
         assert_eq!(hub_a.snapshot_json(), pristine);
+    }
+
+    #[test]
+    fn tenant_gauges_serialize_and_reset() {
+        let mut hub = hub();
+        assert_eq!(hub.tenants(), 0);
+        assert!(hub.snapshot_json().contains("\"tenants\": []"));
+        hub.record_tenant_gauges(1, 250, 2, 7);
+        assert_eq!(hub.tenants(), 2);
+        assert_eq!(hub.tenant(0), Some(&TenantObs::default()));
+        assert_eq!(
+            hub.tenant(1),
+            Some(&TenantObs {
+                shed_permille: 250,
+                brownout_rank: 2,
+                budget_headroom: 7,
+            })
+        );
+        let json = hub.snapshot_json();
+        assert!(json.contains(
+            "{\"tenant\": 1, \"shed_permille\": 250, \"brownout_rank\": 2, \"budget_headroom\": 7}"
+        ));
+        hub.reset();
+        assert_eq!(hub.tenants(), 0);
     }
 
     #[test]

@@ -94,6 +94,59 @@ pub fn ecu_fleet(sources: u32, horizon: Duration, seed: u64) -> Vec<FloodEvent> 
     merge(events)
 }
 
+/// Geometry of a tenant flood overlay: extra Poisson traffic poured onto a
+/// contiguous range of sources (one tenant's slice of the fleet) from an
+/// onset instant — the aggressor half of an isolation experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverlaySpec {
+    /// First source receiving overlay traffic.
+    pub first_source: u32,
+    /// Number of consecutive sources receiving overlay traffic.
+    pub sources: u32,
+    /// Mean interarrival time per overlaid source.
+    pub mean: Duration,
+    /// Overlay onset; no overlay arrival fires before it.
+    pub onset: Duration,
+    /// Generation horizon; every arrival satisfies `at < horizon`.
+    pub horizon: Duration,
+    /// Base seed; each overlaid source derives its own stream seed.
+    pub seed: u64,
+}
+
+/// Merges `base` with an aggressor overlay: every source in
+/// `[first_source, first_source + sources)` gains an independent seeded
+/// Poisson stream starting at `onset`. Sources outside the range keep
+/// their base sub-streams byte-identical (overlay seeds derive from
+/// `(spec.seed, source)` only), which is the property tenant-isolation
+/// experiments rest on.
+///
+/// # Panics
+///
+/// Panics if the overlay has zero sources or its onset is at/after the
+/// horizon.
+#[must_use]
+pub fn flood_overlay(base: &[FloodEvent], spec: &OverlaySpec) -> Vec<FloodEvent> {
+    assert!(spec.sources > 0, "overlay needs at least one source");
+    assert!(
+        spec.onset < spec.horizon,
+        "overlay onset must precede the horizon"
+    );
+    let span = spec.horizon - spec.onset;
+    let expected = (span.as_nanos() / spec.mean.as_nanos().max(1)) as usize;
+    let count = expected * 2 + 32;
+    let mut events = base.to_vec();
+    for source in spec.first_source..spec.first_source + spec.sources {
+        // A distinct lane space (high bit) keeps overlay streams
+        // independent of the base flood's per-source streams.
+        let lane_seed = derive_seed(spec.seed ^ 0x0E7A_11AD, source);
+        let stream = ExponentialArrivals::new(spec.mean, lane_seed)
+            .with_min_distance(Duration::from_nanos(1))
+            .generate(count, Instant::ZERO + spec.onset);
+        collect_until(&mut events, stream.as_slice(), source, spec.horizon);
+    }
+    merge(events)
+}
+
 /// Appends `(at, source)` events for every timestamp below the horizon.
 fn collect_until(events: &mut Vec<FloodEvent>, times: &[Instant], source: u32, horizon: Duration) {
     let end = Instant::ZERO + horizon;
@@ -185,6 +238,65 @@ mod tests {
         let expected = 400.0;
         let ratio = events.len() as f64 / expected;
         assert!((0.8..1.2).contains(&ratio), "rate off: {}", events.len());
+    }
+
+    #[test]
+    fn overlay_leaves_other_sources_byte_identical() {
+        let base = open_loop_flood(&spec());
+        let overlay = OverlaySpec {
+            first_source: 4,
+            sources: 4,
+            mean: Duration::from_micros(100),
+            onset: Duration::from_millis(10),
+            horizon: HORIZON,
+            seed: 0xA66_0E55,
+        };
+        let flooded = flood_overlay(&base, &overlay);
+        assert!(flooded.len() > base.len(), "overlay added nothing");
+        for s in 0..4 {
+            let a: Vec<Instant> = base
+                .iter()
+                .filter(|e| e.source == s)
+                .map(|e| e.at)
+                .collect();
+            let b: Vec<Instant> = flooded
+                .iter()
+                .filter(|e| e.source == s)
+                .map(|e| e.at)
+                .collect();
+            assert_eq!(a, b, "overlay moved untargeted source {s}");
+        }
+        for e in &flooded {
+            if !base.contains(e) {
+                assert!(
+                    (4..8).contains(&e.source),
+                    "overlay hit source {}",
+                    e.source
+                );
+                assert!(
+                    e.at >= Instant::ZERO + overlay.onset,
+                    "overlay before onset"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlay_is_a_pure_seed_function() {
+        let base = open_loop_flood(&spec());
+        let overlay = OverlaySpec {
+            first_source: 0,
+            sources: 2,
+            mean: Duration::from_micros(200),
+            onset: Duration::from_millis(5),
+            horizon: HORIZON,
+            seed: 1,
+        };
+        let a = flood_overlay(&base, &overlay);
+        let b = flood_overlay(&base, &overlay);
+        assert_eq!(a, b);
+        let c = flood_overlay(&base, &OverlaySpec { seed: 2, ..overlay });
+        assert_ne!(a, c, "overlay ignores its seed");
     }
 
     #[test]

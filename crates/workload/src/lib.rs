@@ -41,7 +41,7 @@ mod trace_io;
 
 pub use ecu::{AutomotiveTraceBuilder, BurstSpec, PeriodicTaskSpec};
 pub use exponential::ExponentialArrivals;
-pub use flood::{ecu_fleet, open_loop_flood, FloodEvent, FloodSpec};
+pub use flood::{ecu_fleet, flood_overlay, open_loop_flood, FloodEvent, FloodSpec, OverlaySpec};
 pub use periodic::PeriodicJitterArrivals;
 pub use trace::{ArrivalTrace, TraceError};
 pub use trace_io::{

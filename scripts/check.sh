@@ -92,6 +92,24 @@ cmp target/STORM_smoke_heap.json target/STORM_smoke_wheel.json \
 grep -q '"failover_violations":0' target/STORM_smoke_heap.json \
     || { echo "admission-fleet failover arm tripped the independence oracle"; exit 1; }
 
+echo "==> smoke tenant-isolation storm (both engines, byte-identical reports)"
+# The two-level tenant hierarchy under correlated-failure storms: exits
+# non-zero unless the hierarchy keeps the victim tenant's admitted stream
+# byte-identical under aggressor floods plus crashes, the flat ablation
+# demonstrably does not, and the per-tenant oracle reports zero group- and
+# global-budget violations. Pure in (config, seed): heap and wheel must
+# agree byte for byte.
+RTHV_ENGINE=heap cargo run --release -q -p rthv-experiments --bin admit_storm \
+    target/STORM_tenants_heap.json 3 16392212 --smoke --tenants
+RTHV_ENGINE=wheel cargo run --release -q -p rthv-experiments --bin admit_storm \
+    target/STORM_tenants_wheel.json 3 16392212 --smoke --tenants
+cmp target/STORM_tenants_heap.json target/STORM_tenants_wheel.json \
+    || { echo "cross-engine divergence: heap and wheel tenant reports differ"; exit 1; }
+grep -q '"tenant_isolated":true' target/STORM_tenants_heap.json \
+    || { echo "tenant hierarchy failed to isolate the victim tenant"; exit 1; }
+grep -q '"flat_ablation_broken":true' target/STORM_tenants_heap.json \
+    || { echo "flat ablation failed to demonstrate cross-tenant interference"; exit 1; }
+
 echo "==> smoke supervised campaign (nominal + 7 fault families, fixed seed)"
 # Fails on any oracle violation (quarantine soundness included), a
 # quarantine on the nominal ablation, a storm/flood scenario that never
