@@ -1109,7 +1109,13 @@ impl FleetReport {
             if stream.is_empty() {
                 continue;
             }
-            out.extend(check_admitted_stream(source, stream, delta, effective_cost));
+            out.extend(check_admitted_stream(
+                0,
+                source,
+                stream,
+                delta,
+                effective_cost,
+            ));
         }
         let c = &self.counters;
         let ingress_accounted = c.admitted + c.denied + c.shed_total();

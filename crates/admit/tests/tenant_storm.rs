@@ -132,7 +132,7 @@ fn failover_stall_pairs_a_stall_right_after_each_crash() {
             period: Duration::from_millis(60),
             stall: Duration::from_millis(2),
         },
-        seed: 0x57A_11,
+        seed: 0x0005_7A11,
     };
     let faults = fleet_faults(&fault, 4, horizon);
     assert!(!faults.is_empty());

@@ -14,7 +14,11 @@
 //! identical to the sequential one before reporting its timing. A
 //! single-core host cannot demonstrate parallel speedup, so each sweep
 //! point records how many workers actually ran and whether its speedup
-//! number is meaningful at all.
+//! number is meaningful at all. The same convention covers the
+//! `smp_scaling` probe (the five multi-core platform families at simulated
+//! core counts 1/2/4, sequential vs fanned), and every single-threaded
+//! probe records `"threads": 1` so the export is explicit about what ran
+//! where.
 
 use std::fmt::Write as _;
 use std::time::Instant as HostInstant;
@@ -28,6 +32,7 @@ use rthv::{
 };
 use rthv_admit::{AdmitFleet, FleetConfig, FleetReport, TenantConfig, TenantSpec};
 use rthv_experiments::{parse_journal_flags, SweepRunner};
+use rthv_faults::{run_smp_case, smp_scenarios, SmpArm, SmpCase, SmpConfig};
 use rthv_workload::FloodEvent;
 
 /// IRQs per load level at each scale; the paper's Figure 6 uses 5000.
@@ -417,6 +422,43 @@ fn measure_checkpoint() -> CheckpointMeasured {
     }
 }
 
+/// Simulated core counts for the multi-core platform scaling probe — the
+/// same ladder the `smp_storm` campaign sweeps.
+const SMP_CORES: [usize; 3] = [1, 2, 4];
+
+/// Scenarios in the smp scaling probe (the five SMP families once each).
+const SMP_SCENARIOS: u32 = 5;
+
+struct SmpMeasured {
+    wall_seconds: f64,
+    cases: Vec<SmpCase>,
+}
+
+impl SmpMeasured {
+    fn scenarios_per_sec(&self) -> f64 {
+        self.cases.len() as f64 / self.wall_seconds
+    }
+}
+
+/// Runs the smoke-geometry SMP families at a fixed simulated core count,
+/// fanning the scenarios over the given runner, and times the sweep. The
+/// per-scenario outcomes come back in scenario order, so the caller can
+/// assert the parallel fan-out is observationally identical to the
+/// sequential reference before trusting its timing.
+fn measure_smp(config: &SmpConfig, cores: usize, runner: &SweepRunner) -> SmpMeasured {
+    let scenarios = smp_scenarios(SMP_SCENARIOS, 0x5317_2014, config.horizon);
+    let start = HostInstant::now();
+    let cases = runner.run(&scenarios, |_, scenario| {
+        run_smp_case(config, scenario, SmpArm::HierAffinity, cores, true, None)
+            .expect("smoke smp geometry is valid")
+            .0
+    });
+    SmpMeasured {
+        wall_seconds: start.elapsed().as_secs_f64(),
+        cases,
+    }
+}
+
 /// Live-population levels for the `queue_micro` probe: small (a single
 /// scenario's working set), medium (a pre-scheduled campaign), large (the
 /// scaling-cliff regime the heap degraded in).
@@ -618,6 +660,7 @@ fn main() {
       "host_cores": {cores},
       "fill": {fill},
       "timed_ops": {ops},
+      "threads": 1,
       "schedule_ops_per_sec": {s:.1},
       "cancel_ops_per_sec": {c:.1},
       "pop_ops_per_sec": {p:.1}
@@ -633,6 +676,76 @@ fn main() {
             queue_micro.push_str(",\n");
         } else {
             queue_micro.push('\n');
+        }
+    }
+
+    // Multi-core platform scaling: the five SMP families at each simulated
+    // core count, sequentially and fanned over host cores. The per-core
+    // speedup-meaningful flag follows the Fig. 6 convention — one host
+    // core (or one effective worker) makes the parallel number noise.
+    let smp_config = SmpConfig::smoke();
+    let mut smp_points = String::new();
+    for (i, &smp_cores) in SMP_CORES.iter().enumerate() {
+        let sequential = measure_smp(&smp_config, smp_cores, &SweepRunner::sequential());
+        let parallel = measure_smp(&smp_config, smp_cores, &parallel_runner);
+        assert_eq!(
+            sequential.cases, parallel.cases,
+            "parallel smp sweep diverged from sequential at {smp_cores} core(s)"
+        );
+        let violations: u64 = sequential.cases.iter().map(|c| c.violations).sum();
+        let sheds: u64 = sequential.cases.iter().map(|c| c.sheds).sum();
+        let ipi_in: u64 = sequential.cases.iter().map(|c| c.ipi_in).sum();
+        let speedup = sequential.wall_seconds / parallel.wall_seconds;
+        let threads_used = parallel_runner.effective_threads(sequential.cases.len());
+        let speedup_meaningful = cores > 1 && threads_used > 1;
+        eprintln!(
+            "smp_scaling @ {smp_cores} sim core(s): sequential {:.1} scenarios/s ({:.3} s), \
+             parallel {:.1} scenarios/s ({:.3} s), speedup {speedup:.2}x on {threads_used} \
+             worker(s){}",
+            sequential.scenarios_per_sec(),
+            sequential.wall_seconds,
+            parallel.scenarios_per_sec(),
+            parallel.wall_seconds,
+            if speedup_meaningful {
+                ""
+            } else {
+                " [speedup not meaningful]"
+            },
+        );
+        let _ = write!(
+            smp_points,
+            r#"    {{
+      "sim_cores": {smp_cores},
+      "host_cores": {cores},
+      "scenarios": {scenarios},
+      "oracle_violations": {violations},
+      "typed_sheds": {sheds},
+      "cross_core_deliveries": {ipi_in},
+      "sequential": {{
+        "threads": 1,
+        "wall_seconds": {sw:.6},
+        "scenarios_per_sec": {ss:.1}
+      }},
+      "parallel": {{
+        "threads": {threads},
+        "threads_used": {threads_used},
+        "wall_seconds": {pw:.6},
+        "scenarios_per_sec": {ps:.1}
+      }},
+      "parallel_speedup": {speedup:.3},
+      "parallel_speedup_meaningful": {speedup_meaningful}
+    }}"#,
+            scenarios = sequential.cases.len(),
+            sw = sequential.wall_seconds,
+            ss = sequential.scenarios_per_sec(),
+            threads = parallel_runner.threads(),
+            pw = parallel.wall_seconds,
+            ps = parallel.scenarios_per_sec(),
+        );
+        if i + 1 < SMP_CORES.len() {
+            smp_points.push_str(",\n");
+        } else {
+            smp_points.push('\n');
         }
     }
 
@@ -762,10 +875,11 @@ fn main() {
     let json = format!(
         r#"{{
   "benchmark": "fig6c_conformant_scenario",
-  "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales per event engine (heap reference vs hierarchical timing wheel, verified observationally identical); parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass; queue_micro times raw engine schedule/cancel/pop ops at three fill levels",
+  "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales per event engine (heap reference vs hierarchical timing wheel, verified observationally identical); parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass; smp_scaling times the five multi-core platform families at simulated core counts 1/2/4; queue_micro times raw engine schedule/cancel/pop ops at three fill levels; every probe records the thread count it ran on, and per-core speedups are flagged not-meaningful on a single-core host",
   "host_cores": {cores},
   "supervision_overhead": {{
     "description": "conformant monitored workload timed with health supervision off vs on; both runs make identical admission decisions, so the delta is pure supervision bookkeeping",
+    "threads": 1,
     "arrivals": {arrivals},
     "admission_decisions": {decisions},
     "off": {{
@@ -780,6 +894,7 @@ fn main() {
   }},
   "observability_overhead": {{
     "description": "conformant monitored workload timed with the flight-recorder observability layer off vs on; both runs make identical admission decisions, so the delta is the cost of the counter/histogram/gauge/recorder hooks",
+    "threads": 1,
     "arrivals": {oarrivals},
     "admission_decisions": {odecisions},
     "bare": {{
@@ -796,6 +911,7 @@ fn main() {
   }},
   "tenant_hierarchy_overhead": {{
     "description": "conformant 16-source fleet trace run through the flat fleet vs the 2-tenant budget hierarchy; both shapes admit byte-identically (asserted), so the delta is the tenant table, brownout roll, group window + aggregate monitor and global window on the admission hot path",
+    "threads": 1,
     "arrivals": {tarrivals},
     "admission_decisions": {tdecisions},
     "flat": {{
@@ -812,6 +928,7 @@ fn main() {
   }},
   "checkpoint_overhead": {{
     "description": "conformant monitored workload with online arrival injection, stepped slot-by-slot without vs with state_hash() at every boundary (verified non-perturbing), plus mean snapshot()/restore() cost of a mid-run machine; state_hash is O(live machine state), so pre-scheduling an entire campaign's arrivals would inflate it",
+    "threads": 1,
     "arrivals": {carrivals},
     "slot_boundaries": {boundaries},
     "plain_wall_seconds": {cplain:.6},
@@ -820,6 +937,8 @@ fn main() {
     "snapshot_mean_us": {csnap:.2},
     "restore_mean_us": {crestore:.2}
   }},
+  "smp_scaling": [
+{smp_points}  ],
   "queue_micro": [
 {queue_micro}  ],
   "points": [

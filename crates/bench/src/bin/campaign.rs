@@ -68,7 +68,13 @@ fn main() -> ExitCode {
         scenarios: standard_scenarios(count, base_seed),
         ..CampaignConfig::default()
     };
-    let idle = idle_reference(&config);
+    let idle = match idle_reference(&config) {
+        Ok(idle) => idle,
+        Err(error) => {
+            eprintln!("campaign: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     // Completed outcomes from the resume journal, aligned to the scenario
     // list by (label, seed) so a journal from a different seed or count
@@ -107,7 +113,7 @@ fn main() -> ExitCode {
         if let Some(done) = &resumed[index] {
             return done.clone();
         }
-        let outcome = run_scenario(&config, &idle, scenario);
+        let outcome = run_scenario(&config, &idle, scenario).expect("validated campaign config");
         if let Some(journal) = &journal {
             let appended = journal
                 .append(&outcome.to_journal_json())
@@ -129,7 +135,7 @@ fn main() -> ExitCode {
         // sequential re-execution must reproduce the assembled report,
         // including every outcome taken from the resume journal.
         let reference = SweepRunner::sequential().run(&config.scenarios, |_, scenario| {
-            run_scenario(&config, &idle, scenario)
+            run_scenario(&config, &idle, scenario).expect("validated campaign config")
         });
         assert_eq!(
             CampaignReport::from_outcomes(&config, reference).to_json(),
@@ -146,7 +152,8 @@ fn main() -> ExitCode {
         // flight recorder on. Metrics never change outcomes, so the report
         // above is untouched; the assert pins that.
         let scenario = &config.scenarios[0];
-        let observation = run_scenario_with_metrics(&config, &idle, scenario, None);
+        let observation = run_scenario_with_metrics(&config, &idle, scenario, None)
+            .expect("validated campaign config");
         assert_eq!(
             observation.outcome, report.scenarios[0],
             "metrics instrumentation changed a scenario outcome"

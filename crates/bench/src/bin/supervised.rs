@@ -61,7 +61,13 @@ fn main() -> ExitCode {
 
     let mut config = SupervisedCampaignConfig::default();
     config.base.scenarios = supervised_scenarios(base_seed);
-    let idle = idle_reference(&config.base);
+    let idle = match idle_reference(&config.base) {
+        Ok(idle) => idle,
+        Err(error) => {
+            eprintln!("supervised: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     // Completed outcomes from the resume journal, aligned by (label, seed).
     let resumed: Vec<Option<SupervisedScenarioOutcome>> = match &options.resume {
@@ -99,7 +105,8 @@ fn main() -> ExitCode {
         if let Some(done) = &resumed[index] {
             return done.clone();
         }
-        let outcome = run_supervised_scenario(&config, &idle, scenario);
+        let outcome =
+            run_supervised_scenario(&config, &idle, scenario).expect("validated campaign config");
         if let Some(journal) = &journal {
             let appended = journal
                 .append(&outcome.to_journal_json())
@@ -118,7 +125,7 @@ fn main() -> ExitCode {
         // cheap — it doubles as the cross-thread determinism self-check and
         // cross-checks every outcome taken from the resume journal.
         let reference = SweepRunner::sequential().run(&config.base.scenarios, |_, scenario| {
-            run_supervised_scenario(&config, &idle, scenario)
+            run_supervised_scenario(&config, &idle, scenario).expect("validated campaign config")
         });
         assert_eq!(
             SupervisedCampaignReport::from_outcomes(&config, reference).to_json(),
@@ -136,7 +143,8 @@ fn main() -> ExitCode {
         // alongside the admission stream.
         let scenario = &config.base.scenarios[0];
         let observation =
-            run_scenario_with_metrics(&config.base, &idle, scenario, Some(config.policy));
+            run_scenario_with_metrics(&config.base, &idle, scenario, Some(config.policy))
+                .expect("validated campaign config");
         write_scenario_observation(metrics_path, &observation).expect("write metrics snapshot");
         eprintln!("supervised: metrics snapshot -> {}", metrics_path.display());
     }

@@ -19,9 +19,9 @@ fn campaign() -> CampaignConfig {
 }
 
 fn fan_out(config: &CampaignConfig, threads: usize) -> CampaignReport {
-    let idle = idle_reference(config);
+    let idle = idle_reference(config).expect("valid config");
     let outcomes = SweepRunner::new(threads).run(&config.scenarios, |_, scenario| {
-        run_scenario(config, &idle, scenario)
+        run_scenario(config, &idle, scenario).expect("valid config")
     });
     CampaignReport::from_outcomes(config, outcomes)
 }
@@ -33,7 +33,7 @@ fn standard_campaign_upholds_the_papers_claims() {
         config.scenarios.len() >= 20,
         "acceptance requires at least 20 scenarios"
     );
-    let report = run_campaign(&config);
+    let report = run_campaign(&config).expect("valid config");
 
     // Every monitored run passes the oracle: δ⁻ conformance, η⁺ window
     // counts, window budgets, IRQ conservation, no defects, and the
@@ -84,7 +84,7 @@ fn standard_campaign_upholds_the_papers_claims() {
 
 #[test]
 fn graceful_degradation_paths_engage_without_losing_accounting() {
-    let report = run_campaign(&campaign());
+    let report = run_campaign(&campaign()).expect("valid config");
     // Somewhere in the campaign the bounded subscriber queue overflowed —
     // the degradation path is actually exercised, not just available.
     let rejected: u64 = report
@@ -119,10 +119,10 @@ fn graceful_degradation_paths_engage_without_losing_accounting() {
 #[test]
 fn campaign_report_is_byte_identical_across_threads_and_repetition() {
     let config = campaign();
-    let sequential = run_campaign(&config).to_json();
+    let sequential = run_campaign(&config).expect("valid config").to_json();
     assert_eq!(
         sequential,
-        run_campaign(&config).to_json(),
+        run_campaign(&config).expect("valid config").to_json(),
         "repetition diverged"
     );
     for threads in [2, 8] {

@@ -22,7 +22,7 @@ fn temp_path(name: &str) -> PathBuf {
 fn small_campaign() -> CampaignConfig {
     CampaignConfig {
         horizon: Duration::from_millis(120),
-        scenarios: standard_scenarios(5, 0xC0FF_EE),
+        scenarios: standard_scenarios(5, 0x00C0_FFEE),
         ..CampaignConfig::default()
     }
 }
@@ -34,11 +34,11 @@ fn small_campaign() -> CampaignConfig {
 #[test]
 fn journal_cut_at_every_scenario_resumes_byte_identical() {
     let config = small_campaign();
-    let idle = idle_reference(&config);
+    let idle = idle_reference(&config).expect("valid config");
     let outcomes: Vec<ScenarioOutcome> = config
         .scenarios
         .iter()
-        .map(|scenario| run_scenario(&config, &idle, scenario))
+        .map(|scenario| run_scenario(&config, &idle, scenario).expect("valid config"))
         .collect();
     let uninterrupted = CampaignReport::from_outcomes(&config, outcomes.clone()).to_json();
 
@@ -71,7 +71,9 @@ fn journal_cut_at_every_scenario_resumes_byte_identical() {
                     .iter()
                     .find(|o| o.label == scenario.label() && o.seed == scenario.seed)
                     .cloned()
-                    .unwrap_or_else(|| run_scenario(&config, &idle, scenario))
+                    .unwrap_or_else(|| {
+                        run_scenario(&config, &idle, scenario).expect("valid config")
+                    })
             })
             .collect();
         let report = CampaignReport::from_outcomes(&config, resumed).to_json();
@@ -88,8 +90,8 @@ fn journal_cut_at_every_scenario_resumes_byte_identical() {
 #[test]
 fn journal_from_a_different_seed_resumes_nothing() {
     let config = small_campaign();
-    let idle = idle_reference(&config);
-    let outcome = run_scenario(&config, &idle, &config.scenarios[0]);
+    let idle = idle_reference(&config).expect("valid config");
+    let outcome = run_scenario(&config, &idle, &config.scenarios[0]).expect("valid config");
     let line = outcome.to_journal_json();
     let reparsed = ScenarioOutcome::from_journal_json(&line).expect("parse");
 

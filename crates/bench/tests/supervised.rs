@@ -20,9 +20,9 @@ fn campaign() -> SupervisedCampaignConfig {
 }
 
 fn fan_out(config: &SupervisedCampaignConfig, threads: usize) -> SupervisedCampaignReport {
-    let idle = idle_reference(&config.base);
+    let idle = idle_reference(&config.base).expect("valid config");
     let outcomes = SweepRunner::new(threads).run(&config.base.scenarios, |_, scenario| {
-        run_supervised_scenario(config, &idle, scenario)
+        run_supervised_scenario(config, &idle, scenario).expect("valid config")
     });
     SupervisedCampaignReport::from_outcomes(config, outcomes)
 }
@@ -30,7 +30,7 @@ fn fan_out(config: &SupervisedCampaignConfig, threads: usize) -> SupervisedCampa
 #[test]
 fn standard_supervised_campaign_meets_every_acceptance_criterion() {
     let config = campaign();
-    let report = run_supervised_campaign(&config);
+    let report = run_supervised_campaign(&config).expect("valid config");
 
     // One check to rule them all: zero oracle violations in both arms
     // (independence and quarantine soundness included), no quarantine on
@@ -69,10 +69,14 @@ fn standard_supervised_campaign_meets_every_acceptance_criterion() {
 #[test]
 fn supervised_report_is_byte_identical_across_threads_and_repetition() {
     let config = campaign();
-    let sequential = run_supervised_campaign(&config).to_json();
+    let sequential = run_supervised_campaign(&config)
+        .expect("valid config")
+        .to_json();
     assert_eq!(
         sequential,
-        run_supervised_campaign(&config).to_json(),
+        run_supervised_campaign(&config)
+            .expect("valid config")
+            .to_json(),
         "repetition diverged"
     );
     for threads in [2, 8] {

@@ -68,14 +68,16 @@ pub use paper::PaperSetup;
 
 // The platform types most users need, at the crate root.
 pub use rthv_hypervisor::{
-    render_timeline, AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, CostModel,
-    Counters, EngineChoice, EngineKind, EngineSelectError, EngineStats, HandlingClass,
-    HealthSignal, HealthState, HealthTracker, HealthTransition, HypervisorConfig, IrqCompletion,
-    IrqFlagSemantics, IrqHandlingMode, IrqSourceId, IrqSourceSpec, Machine, MachineError,
-    MachineSnapshot, OverflowPolicy, PartitionId, PartitionService, PartitionSpec, PolicyOptions,
-    RunReport, ScheduleIrqError, ServiceInterval, ServiceKind, SlotSpec, Span, SupervisionEvent,
-    SupervisionEventKind, SupervisionPolicy, SupervisionReport, Supervisor, TdmaSchedule,
-    TraceRecorder, TransitionCause,
+    render_timeline, AdmissionClock, AdmissionRecord, BoundaryPolicy, ConfigError, CoreCounters,
+    CoreFault, CostModel, Counters, EngineChoice, EngineKind, EngineSelectError, EngineStats,
+    FailoverPolicy, FallbackRoute, HandlingClass, HealthSignal, HealthState, HealthTracker,
+    HealthTransition, HypervisorConfig, IrqCompletion, IrqFlagSemantics, IrqHandlingMode,
+    IrqSourceId, IrqSourceSpec, Machine, MachineError, MachineSnapshot, MultiMachine,
+    MultiRunReport, MultiSnapshot, OverflowPolicy, PartitionId, PartitionService, PartitionSpec,
+    Platform, PlatformError, PlatformScheduleError, PlatformSource, PolicyOptions, RerouteBudget,
+    RunReport, ScheduleIrqError, ServiceInterval, ServiceKind, ShedReason, ShedRecord, SlotSpec,
+    Span, SupervisionEvent, SupervisionEventKind, SupervisionPolicy, SupervisionReport, Supervisor,
+    TdmaSchedule, TraceRecorder, TransitionCause,
 };
 
 /// Virtual-time primitives ([`rthv_time`]).

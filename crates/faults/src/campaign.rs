@@ -26,8 +26,8 @@ use std::fmt::Write as _;
 use rthv::monitor::{interference_bound_dmin, DeltaFunction};
 use rthv::time::{Duration, Instant};
 use rthv::{
-    EngineChoice, IrqHandlingMode, IrqSourceId, Machine, OverflowPolicy, PaperSetup, PartitionId,
-    RunReport, SupervisionPolicy,
+    ConfigError, EngineChoice, IrqHandlingMode, IrqSourceId, Machine, OverflowPolicy, PaperSetup,
+    PartitionId, RunReport, ScheduleIrqError, SupervisionPolicy,
 };
 
 use crate::inject::{standard_scenarios, FaultPlan, FaultScenario};
@@ -85,6 +85,51 @@ impl CampaignConfig {
     }
 }
 
+/// Why a campaign could not be set up: the user-supplied configuration is
+/// invalid. Typed so the campaign binaries report the exact defect and
+/// exit cleanly instead of panicking.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignConfigError {
+    /// `dmin` cannot parameterize a δ⁻ function (it must be positive).
+    InvalidDmin {
+        /// The rejected monitoring distance.
+        dmin: Duration,
+    },
+    /// The platform configuration the campaign builds is invalid.
+    Platform(ConfigError),
+    /// A plan arrival could not be scheduled into the campaign machine.
+    Arrival(ScheduleIrqError),
+    /// The replay configuration's checkpoint period is zero.
+    ZeroCheckpointPeriod,
+}
+
+impl std::fmt::Display for CampaignConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignConfigError::InvalidDmin { dmin } => {
+                write!(f, "d_min {dmin} cannot parameterize a δ⁻ function")
+            }
+            CampaignConfigError::Platform(error) => {
+                write!(f, "invalid campaign platform: {error}")
+            }
+            CampaignConfigError::Arrival(error) => {
+                write!(f, "unschedulable plan arrival: {error}")
+            }
+            CampaignConfigError::ZeroCheckpointPeriod => {
+                write!(f, "replay checkpoint period must be non-zero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignConfigError {}
+
+impl From<ConfigError> for CampaignConfigError {
+    fn from(error: ConfigError) -> Self {
+        CampaignConfigError::Platform(error)
+    }
+}
+
 /// Per-partition service totals of a run with no IRQs at all — the
 /// reference the independence check measures loss against. Depends only on
 /// the platform geometry and horizon, so it is computed once per campaign.
@@ -95,27 +140,27 @@ pub struct IdleReference {
 
 /// Runs the no-IRQ reference once.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the campaign's platform configuration is invalid.
-#[must_use]
-pub fn idle_reference(config: &CampaignConfig) -> IdleReference {
-    let delta = DeltaFunction::from_dmin(config.dmin).expect("positive d_min");
+/// [`CampaignConfigError`] if the campaign's platform configuration is
+/// invalid.
+pub fn idle_reference(config: &CampaignConfig) -> Result<IdleReference, CampaignConfigError> {
+    let delta = campaign_delta(config.dmin)?;
     let mut hv = config
         .setup
         .config(IrqHandlingMode::Interposed, Some(delta));
     hv.policies.engine = config.engine;
-    let mut machine = Machine::new(hv).expect("paper setup is valid");
+    let mut machine = Machine::new(hv)?;
     machine.run_until(Instant::ZERO + config.horizon);
     let report = machine.finish();
-    IdleReference {
+    Ok(IdleReference {
         service: report
             .counters
             .service
             .iter()
             .map(rthv::PartitionService::total)
             .collect(),
-    }
+    })
 }
 
 /// One mode's outcome (monitored or unmonitored) for one scenario.
@@ -162,13 +207,22 @@ pub struct ScenarioOutcome {
     pub unmonitored: ModeOutcome,
 }
 
+/// Builds the campaign's δ⁻ function, rejecting distances that cannot
+/// shape any stream (zero, or structurally invalid).
+fn campaign_delta(dmin: Duration) -> Result<DeltaFunction, CampaignConfigError> {
+    if dmin.is_zero() {
+        return Err(CampaignConfigError::InvalidDmin { dmin });
+    }
+    DeltaFunction::from_dmin(dmin).map_err(|_| CampaignConfigError::InvalidDmin { dmin })
+}
+
 pub(crate) fn run_mode(
     config: &CampaignConfig,
     idle: &IdleReference,
     plan: &FaultPlan,
     monitored: bool,
-) -> ModeOutcome {
-    run_mode_report(config, idle, plan, monitored, None).0
+) -> Result<ModeOutcome, CampaignConfigError> {
+    Ok(run_mode_report(config, idle, plan, monitored, None)?.0)
 }
 
 /// Like [`run_mode`], but optionally enables runtime health supervision and
@@ -180,17 +234,16 @@ pub(crate) fn run_mode(
 /// [`replay`](crate::replay) oracle re-executes the *same* machine, not a
 /// reimplementation of it.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the campaign platform configuration is invalid or a plan
-/// arrival lies outside the horizon.
-#[must_use]
+/// [`CampaignConfigError`] if the campaign platform configuration is
+/// invalid or a plan arrival cannot be scheduled.
 pub fn scenario_machine(
     config: &CampaignConfig,
     plan: &FaultPlan,
     monitored: bool,
     supervision: Option<SupervisionPolicy>,
-) -> Machine {
+) -> Result<Machine, CampaignConfigError> {
     // The unmonitored baseline still runs interposed, but its "monitor"
     // admits any stream with 1 ns spacing — the safety mechanism is off.
     let dmin = if monitored {
@@ -198,7 +251,7 @@ pub fn scenario_machine(
     } else {
         Duration::from_nanos(1)
     };
-    let delta = DeltaFunction::from_dmin(dmin).expect("positive d_min");
+    let delta = campaign_delta(dmin)?;
     let mut hv = config
         .setup
         .config(IrqHandlingMode::Interposed, Some(delta));
@@ -208,14 +261,14 @@ pub fn scenario_machine(
     hv.policies.engine = config.engine;
     hv.partitions[config.setup.subscriber().index()].queue_capacity = config.queue_capacity;
 
-    let mut machine = Machine::new(hv).expect("campaign platform is valid");
+    let mut machine = Machine::new(hv)?;
     machine.enable_service_trace();
     for arrival in &plan.arrivals {
         machine
             .schedule_irq_with_work(IrqSourceId::new(0), arrival.at, arrival.work)
-            .expect("plan arrivals lie inside the horizon");
+            .map_err(CampaignConfigError::Arrival)?;
     }
-    machine
+    Ok(machine)
 }
 
 pub(crate) fn run_mode_report(
@@ -224,9 +277,10 @@ pub(crate) fn run_mode_report(
     plan: &FaultPlan,
     monitored: bool,
     supervision: Option<SupervisionPolicy>,
-) -> (ModeOutcome, RunReport) {
-    let (outcome, report, _) = run_mode_observed(config, idle, plan, monitored, supervision, false);
-    (outcome, report)
+) -> Result<(ModeOutcome, RunReport), CampaignConfigError> {
+    let (outcome, report, _) =
+        run_mode_observed(config, idle, plan, monitored, supervision, false)?;
+    Ok((outcome, report))
 }
 
 /// Like [`run_mode_report`], but when `metrics` is set the machine runs with
@@ -241,8 +295,8 @@ pub(crate) fn run_mode_observed(
     monitored: bool,
     supervision: Option<SupervisionPolicy>,
     metrics: bool,
-) -> (ModeOutcome, RunReport, Option<String>) {
-    let mut machine = scenario_machine(config, plan, monitored, supervision);
+) -> Result<(ModeOutcome, RunReport, Option<String>), CampaignConfigError> {
+    let mut machine = scenario_machine(config, plan, monitored, supervision)?;
     if metrics {
         let obs_config = machine.default_obs_config();
         machine.enable_metrics(obs_config);
@@ -252,8 +306,16 @@ pub(crate) fn run_mode_observed(
     let report = machine.finish();
 
     let scheduled = plan.arrivals.len() as u64;
+    let delta = if monitored {
+        Some(
+            DeltaFunction::from_dmin(config.dmin)
+                .map_err(|_| CampaignConfigError::InvalidDmin { dmin: config.dmin })?,
+        )
+    } else {
+        None
+    };
     let oracle = OracleConfig {
-        delta: monitored.then(|| DeltaFunction::from_dmin(config.dmin).expect("positive d_min")),
+        delta,
         budget: config.setup.bottom_cost,
         scheduled,
     };
@@ -279,6 +341,7 @@ pub(crate) fn run_mode_observed(
         worst_loss = worst_loss.max(lost);
         if lost > bound {
             violations.push(Violation::Independence {
+                core: 0,
                 victim: victim.index(),
                 lost,
                 bound,
@@ -287,7 +350,7 @@ pub(crate) fn run_mode_observed(
     }
 
     let outcome = mode_outcome(monitored, &report, worst_loss, bound, violations);
-    (outcome, report, obs)
+    Ok((outcome, report, obs))
 }
 
 fn mode_outcome(
@@ -316,20 +379,23 @@ fn mode_outcome(
 /// Runs one scenario in both modes. Pure in `(config, idle, scenario)` and
 /// `Sync`-friendly, so campaign binaries can fan scenarios across threads
 /// and still assemble a byte-identical report.
-#[must_use]
+///
+/// # Errors
+///
+/// [`CampaignConfigError`] if the campaign configuration is invalid.
 pub fn run_scenario(
     config: &CampaignConfig,
     idle: &IdleReference,
     scenario: &FaultScenario,
-) -> ScenarioOutcome {
+) -> Result<ScenarioOutcome, CampaignConfigError> {
     let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
-    ScenarioOutcome {
+    Ok(ScenarioOutcome {
         label: scenario.label(),
         seed: scenario.seed,
         scheduled: plan.arrivals.len() as u64,
-        monitored: run_mode(config, idle, &plan, true),
-        unmonitored: run_mode(config, idle, &plan, false),
-    }
+        monitored: run_mode(config, idle, &plan, true)?,
+        unmonitored: run_mode(config, idle, &plan, false)?,
+    })
 }
 
 /// One scenario's outcome together with the observability snapshots of both
@@ -351,19 +417,22 @@ pub struct ScenarioObservation {
 /// identical to what [`run_scenario`] produces without them (given the same
 /// `supervision`), and two calls with the same inputs yield byte-identical
 /// snapshot JSON — both properties are pinned by tests.
-#[must_use]
+///
+/// # Errors
+///
+/// [`CampaignConfigError`] if the campaign configuration is invalid.
 pub fn run_scenario_with_metrics(
     config: &CampaignConfig,
     idle: &IdleReference,
     scenario: &FaultScenario,
     supervision: Option<SupervisionPolicy>,
-) -> ScenarioObservation {
+) -> Result<ScenarioObservation, CampaignConfigError> {
     let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
     let (monitored, _, monitored_obs) =
-        run_mode_observed(config, idle, &plan, true, supervision, true);
+        run_mode_observed(config, idle, &plan, true, supervision, true)?;
     let (unmonitored, _, unmonitored_obs) =
-        run_mode_observed(config, idle, &plan, false, supervision, true);
-    ScenarioObservation {
+        run_mode_observed(config, idle, &plan, false, supervision, true)?;
+    Ok(ScenarioObservation {
         outcome: ScenarioOutcome {
             label: scenario.label(),
             seed: scenario.seed,
@@ -373,7 +442,7 @@ pub fn run_scenario_with_metrics(
         },
         monitored_obs: monitored_obs.expect("metrics were enabled"),
         unmonitored_obs: unmonitored_obs.expect("metrics were enabled"),
-    }
+    })
 }
 
 /// The whole campaign's result.
@@ -537,15 +606,18 @@ pub(crate) fn write_mode(out: &mut String, key: &str, mode: &ModeOutcome, traile
 /// Runs the whole campaign sequentially (the reference path; the `campaign`
 /// binary fans [`run_scenario`] over threads instead and must produce a
 /// byte-identical report).
-#[must_use]
-pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
-    let idle = idle_reference(config);
+///
+/// # Errors
+///
+/// [`CampaignConfigError`] if the campaign configuration is invalid.
+pub fn run_campaign(config: &CampaignConfig) -> Result<CampaignReport, CampaignConfigError> {
+    let idle = idle_reference(config)?;
     let outcomes = config
         .scenarios
         .iter()
         .map(|s| run_scenario(config, &idle, s))
-        .collect();
-    CampaignReport::from_outcomes(config, outcomes)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(CampaignReport::from_outcomes(config, outcomes))
 }
 
 #[cfg(test)]
@@ -580,7 +652,7 @@ mod tests {
 
     #[test]
     fn monitored_runs_are_violation_free() {
-        let report = run_campaign(&small());
+        let report = run_campaign(&small()).expect("valid config");
         assert_eq!(
             report.monitored_violations(),
             0,
@@ -596,7 +668,7 @@ mod tests {
 
     #[test]
     fn unmonitored_storm_breaks_independence() {
-        let report = run_campaign(&small());
+        let report = run_campaign(&small()).expect("valid config");
         assert!(report.unmonitored_independence_violations() >= 1);
         let storm = &report.scenarios[0];
         assert!(storm
@@ -610,7 +682,7 @@ mod tests {
 
     #[test]
     fn bounded_queue_degrades_gracefully_under_storm() {
-        let report = run_campaign(&small());
+        let report = run_campaign(&small()).expect("valid config");
         let storm = &report.scenarios[0];
         // The monitored storm overwhelms the 16-deep queue: the overflow
         // path engages, yet the oracle's conservation ledger stays exact.
@@ -620,7 +692,7 @@ mod tests {
 
     #[test]
     fn budget_overrun_is_clipped_not_fatal() {
-        let report = run_campaign(&small());
+        let report = run_campaign(&small()).expect("valid config");
         let overrun = &report.scenarios[1];
         assert!(overrun.monitored.expired_windows > 0);
         assert!(overrun.monitored.violations.is_empty());
@@ -629,15 +701,15 @@ mod tests {
     #[test]
     fn sequential_and_manual_fanout_reports_are_byte_identical() {
         let config = small();
-        let sequential = run_campaign(&config).to_json();
+        let sequential = run_campaign(&config).expect("valid config").to_json();
         // Simulate the parallel path: compute outcomes independently (in
         // reverse), then assemble in scenario order.
-        let idle = idle_reference(&config);
+        let idle = idle_reference(&config).expect("valid config");
         let mut outcomes: Vec<ScenarioOutcome> = config
             .scenarios
             .iter()
             .rev()
-            .map(|s| run_scenario(&config, &idle, s))
+            .map(|s| run_scenario(&config, &idle, s).expect("valid config"))
             .collect();
         outcomes.reverse();
         let assembled = CampaignReport::from_outcomes(&config, outcomes).to_json();
@@ -646,7 +718,7 @@ mod tests {
 
     #[test]
     fn json_shape_is_stable() {
-        let report = run_campaign(&small());
+        let report = run_campaign(&small()).expect("valid config");
         let json = report.to_json();
         assert!(json.contains(r#""campaign": "fault-injection""#));
         assert!(json.contains(r#""label": "00-irq-storm""#));
@@ -660,15 +732,21 @@ mod tests {
     fn idle_reference_is_deterministic() {
         let config = small();
         assert_eq!(idle_reference(&config), idle_reference(&config));
+        assert!(idle_reference(&CampaignConfig {
+            dmin: Duration::ZERO,
+            ..small()
+        })
+        .is_err());
     }
 
     #[test]
     fn metrics_never_change_a_scenario_outcome() {
         let config = small();
-        let idle = idle_reference(&config);
+        let idle = idle_reference(&config).expect("valid config");
         for scenario in &config.scenarios {
-            let bare = run_scenario(&config, &idle, scenario);
-            let observed = run_scenario_with_metrics(&config, &idle, scenario, None);
+            let bare = run_scenario(&config, &idle, scenario).expect("valid config");
+            let observed =
+                run_scenario_with_metrics(&config, &idle, scenario, None).expect("valid config");
             assert_eq!(
                 observed.outcome,
                 bare,
@@ -681,10 +759,12 @@ mod tests {
     #[test]
     fn metrics_snapshots_are_byte_identical_across_runs() {
         let config = small();
-        let idle = idle_reference(&config);
+        let idle = idle_reference(&config).expect("valid config");
         let scenario = &config.scenarios[0];
-        let first = run_scenario_with_metrics(&config, &idle, scenario, None);
-        let second = run_scenario_with_metrics(&config, &idle, scenario, None);
+        let first =
+            run_scenario_with_metrics(&config, &idle, scenario, None).expect("valid config");
+        let second =
+            run_scenario_with_metrics(&config, &idle, scenario, None).expect("valid config");
         assert_eq!(first, second);
         // The storm scenario must leave real marks in both snapshots.
         assert!(first.monitored_obs.contains("\"obs\": \"flight-recorder\""));

@@ -142,6 +142,29 @@ pub enum FaultKind {
         /// Number of crashes over the horizon.
         crashes: u32,
     },
+    /// A nominal periodic stream on a *multi-core platform* that loses
+    /// physical cores: `crashes` seeded core failures spaced roughly
+    /// `period` apart freeze whole per-core machines, and the platform
+    /// must fail the victims over to their fallback cores under the
+    /// destination δ⁻ budget. Like the shard families, the plan itself is
+    /// nominal — `rthv-faults::smp` derives crash times and victim cores
+    /// from the scenario seed one layer up.
+    CoreCrash {
+        /// Spacing between consecutive core crashes.
+        period: Duration,
+        /// Number of core crashes over the horizon.
+        crashes: u32,
+    },
+    /// A nominal periodic stream on a multi-core platform whose cross-core
+    /// routing *stalls*: every `period` a seeded IPI edge stops delivering
+    /// for `stall`. Plain IPIs must wait the stall out; failover reroutes
+    /// must walk the bounded retry ladder and then shed — typed.
+    RouteStall {
+        /// Spacing between consecutive stall onsets.
+        period: Duration,
+        /// Length of each stall.
+        stall: Duration,
+    },
 }
 
 impl FaultKind {
@@ -163,6 +186,8 @@ impl FaultKind {
             FaultKind::CorrelatedCrash { .. } => "correlated-crash",
             FaultKind::FailoverStall { .. } => "failover-stall",
             FaultKind::RecoveryFlood { .. } => "recovery-flood",
+            FaultKind::CoreCrash { .. } => "core-crash",
+            FaultKind::RouteStall { .. } => "route-stall",
         }
     }
 }
@@ -346,16 +371,19 @@ impl FaultScenario {
                     t += every_ns;
                 }
             }
-            // The shard-fault families plan nominally too: the adversity
-            // lives in the admission fleet above the machine, exactly like
-            // the harness-crash family's fault lives in the sweep runner.
+            // The shard- and core-fault families plan nominally too: the
+            // adversity lives in the admission fleet or the multi-core
+            // platform above the machine, exactly like the harness-crash
+            // family's fault lives in the sweep runner.
             FaultKind::Nominal { period }
             | FaultKind::HarnessCrash { period, .. }
             | FaultKind::ShardCrash { period, .. }
             | FaultKind::ShardStall { period, .. }
             | FaultKind::CorrelatedCrash { window: period, .. }
             | FaultKind::FailoverStall { period, .. }
-            | FaultKind::RecoveryFlood { period, .. } => {
+            | FaultKind::RecoveryFlood { period, .. }
+            | FaultKind::CoreCrash { period, .. }
+            | FaultKind::RouteStall { period, .. } => {
                 let period_ns = period.as_nanos();
                 assert!(period_ns > 0, "nominal period must be positive");
                 let mut t = period_ns;
@@ -581,6 +609,38 @@ mod tests {
             }
             .slug(),
             "shard-stall"
+        );
+    }
+
+    #[test]
+    fn core_fault_kinds_plan_nominally() {
+        // The multi-core families follow the same convention: the platform
+        // derives crash times and stalled edges from the seed one layer up,
+        // so the simulated plan stays the nominal periodic stream.
+        let period = Duration::from_millis(20);
+        let nominal = scenario(FaultKind::Nominal { period }, 9).plan(HORIZON, C_BH);
+        let crash = scenario(FaultKind::CoreCrash { period, crashes: 2 }, 9).plan(HORIZON, C_BH);
+        let stall = scenario(
+            FaultKind::RouteStall {
+                period,
+                stall: Duration::from_millis(5),
+            },
+            9,
+        )
+        .plan(HORIZON, C_BH);
+        assert_eq!(crash, nominal);
+        assert_eq!(stall, nominal);
+        assert_eq!(
+            FaultKind::CoreCrash { period, crashes: 2 }.slug(),
+            "core-crash"
+        );
+        assert_eq!(
+            FaultKind::RouteStall {
+                period,
+                stall: Duration::from_millis(5)
+            }
+            .slug(),
+            "route-stall"
         );
     }
 

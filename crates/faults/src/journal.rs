@@ -115,6 +115,7 @@ fn violation_from_json(v: &Json) -> Result<Violation, JournalError> {
             context: string(v, "context")?,
         },
         "independence" => Violation::Independence {
+            core: num(v, "core")? as usize,
             victim: num(v, "victim")? as usize,
             lost: duration(v, "lost_ns")?,
             bound: duration(v, "bound_ns")?,
@@ -331,9 +332,9 @@ mod tests {
     #[test]
     fn scenario_outcomes_round_trip_losslessly() {
         let config = campaign();
-        let idle = idle_reference(&config);
+        let idle = idle_reference(&config).expect("valid config");
         for scenario in &config.scenarios {
-            let outcome = run_scenario(&config, &idle, scenario);
+            let outcome = run_scenario(&config, &idle, scenario).expect("valid config");
             let line = outcome.to_journal_json();
             assert!(!line.contains('\n'), "journal lines must be single-line");
             assert!(!line.contains('.'), "journal lines must be integer-only");
@@ -353,9 +354,9 @@ mod tests {
             .into_iter()
             .filter(|s| s.id <= 2)
             .collect();
-        let idle = idle_reference(&config.base);
+        let idle = idle_reference(&config.base).expect("valid config");
         for scenario in &config.base.scenarios {
-            let outcome = run_supervised_scenario(&config, &idle, scenario);
+            let outcome = run_supervised_scenario(&config, &idle, scenario).expect("valid config");
             let line = outcome.to_journal_json();
             let parsed = SupervisedScenarioOutcome::from_journal_json(&line).expect("round-trip");
             assert_eq!(parsed, outcome);
@@ -390,6 +391,7 @@ mod tests {
                 context: r#"invariant "window\budget" broke"#.to_string(),
             },
             Violation::Independence {
+                core: 1,
                 victim: 2,
                 lost: Duration::from_nanos(100),
                 bound: Duration::from_nanos(90),

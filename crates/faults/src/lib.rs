@@ -45,6 +45,10 @@
 //! * [`journal`] — complete, hand-rolled JSON round-trips for scenario
 //!   outcomes, so a killed campaign's journal reloads bit-identically and
 //!   a `--resume` run assembles the same report as an uninterrupted one.
+//! * [`smp`] — the multi-core platform campaign: both placement arms
+//!   across core counts {1, 2, 4}, seeded core-crash/route-stall plans,
+//!   the per-victim-core oracle sweep, victim-stream identity digests and
+//!   the failover-disabled ablation that must demonstrably break.
 //!
 //! [`RunReport`]: rthv::RunReport
 //! [`IrqHandlingMode::Interposed`]: rthv::IrqHandlingMode::Interposed
@@ -59,12 +63,13 @@ pub mod journal;
 mod json;
 pub mod oracle;
 pub mod replay;
+pub mod smp;
 pub mod supervised;
 
 pub use campaign::{
     idle_reference, run_campaign, run_scenario, run_scenario_with_metrics, scenario_machine,
-    CampaignConfig, CampaignReport, IdleReference, ModeOutcome, ScenarioObservation,
-    ScenarioOutcome,
+    CampaignConfig, CampaignConfigError, CampaignReport, IdleReference, ModeOutcome,
+    ScenarioObservation, ScenarioOutcome,
 };
 pub use inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
 pub use journal::JournalError;
@@ -73,7 +78,13 @@ pub use oracle::{
     check_supervision, OracleConfig, Violation,
 };
 pub use replay::{
-    record_scenario, verify, verify_cross_engine, verify_from, ReplayConfig, ReplayTrace,
+    record_scenario, verify, verify_cross_engine, verify_from, ReplayConfig, ReplayError,
+    ReplayTrace,
+};
+pub use smp::{
+    assemble_smp_report, build_platform, run_smp_case, run_smp_scenario, smp_report_passes,
+    smp_scenarios, SmpArm, SmpCase, SmpConfig, SmpError, SmpOutcome, SmpRecord, SmpScenario,
+    SmpTraffic,
 };
 pub use supervised::{
     composite_plan, run_supervised_campaign, run_supervised_scenario, supervised_scenarios,

@@ -79,6 +79,8 @@ pub enum Violation {
     },
     /// A victim partition lost more service than the Eq. 13–16 bound.
     Independence {
+        /// Physical core hosting the victim (0 on single-core platforms).
+        core: usize,
         /// Victim partition index.
         victim: usize,
         /// Measured service loss vs the idle reference.
@@ -228,11 +230,12 @@ impl Violation {
                 format!(r#"{{"kind":"defect","context":"{}"}}"#, escape(context))
             }
             Violation::Independence {
+                core,
                 victim,
                 lost,
                 bound,
             } => format!(
-                r#"{{"kind":"independence","victim":{victim},"lost_ns":{},"bound_ns":{}}}"#,
+                r#"{{"kind":"independence","core":{core},"victim":{victim},"lost_ns":{},"bound_ns":{}}}"#,
                 lost.as_nanos(),
                 bound.as_nanos()
             ),
@@ -328,12 +331,13 @@ impl fmt::Display for Violation {
             ),
             Violation::Defect { context } => write!(f, "machine defect: {context}"),
             Violation::Independence {
+                core,
                 victim,
                 lost,
                 bound,
             } => write!(
                 f,
-                "partition {victim} lost {lost}, independence bound {bound}"
+                "core {core} partition {victim} lost {lost}, independence bound {bound}"
             ),
             Violation::QuarantineOnNominal { source, at } => {
                 write!(f, "source {source} quarantined at {at} on a nominal run")
@@ -500,8 +504,16 @@ fn check_window_counts(admitted: &[Instant], delta: &DeltaFunction, out: &mut Ve
 /// `admitted` must be in non-decreasing time order (merge the per-shard
 /// streams before calling). A δ⁻ with `d_min = 0` bounds nothing and
 /// returns no violations, matching [`check_report`].
+///
+/// `core` is the physical core hosting the victim's stream — multi-core
+/// platforms check each `(core, admitted-on-that-core)` substream
+/// separately (a failed-over stream restarts on a fresh monitor, so
+/// merging across the crash cut would manufacture false positives) and
+/// the reported [`Violation::Independence`] names the core. Single-core
+/// callers pass `0`.
 #[must_use]
 pub fn check_admitted_stream(
+    core: usize,
     victim: usize,
     admitted: &[Instant],
     delta: &DeltaFunction,
@@ -529,6 +541,7 @@ pub fn check_admitted_stream(
         let lost = effective_cost.saturating_mul(worst);
         if lost > bound {
             out.push(Violation::Independence {
+                core,
                 victim,
                 lost,
                 bound,
@@ -937,13 +950,14 @@ mod tests {
     #[test]
     fn violation_json_is_integer_only() {
         let v = Violation::Independence {
+            core: 0,
             victim: 0,
             lost: Duration::from_nanos(223_000_001),
             bound: Duration::from_nanos(26_800_000),
         };
         assert_eq!(
             v.to_json(),
-            r#"{"kind":"independence","victim":0,"lost_ns":223000001,"bound_ns":26800000}"#
+            r#"{"kind":"independence","core":0,"victim":0,"lost_ns":223000001,"bound_ns":26800000}"#
         );
         assert_eq!(v.slug(), "independence");
     }

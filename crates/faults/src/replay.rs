@@ -19,9 +19,37 @@
 use rthv::time::Instant;
 use rthv::{EngineChoice, Machine, MachineSnapshot, RunReport, SupervisionPolicy, TdmaSchedule};
 
-use crate::campaign::{scenario_machine, CampaignConfig};
+use crate::campaign::{scenario_machine, CampaignConfig, CampaignConfigError};
 use crate::inject::FaultScenario;
 use crate::oracle::Violation;
+
+/// Why a replay verification failed: the campaign configuration is
+/// invalid, or the re-execution diverged from the recording.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayError {
+    /// The campaign configuration could not build a machine at all.
+    Config(CampaignConfigError),
+    /// The re-execution went off the recorded trajectory; always a
+    /// [`Violation::ReplayDivergence`].
+    Divergence(Violation),
+}
+
+impl std::fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplayError::Config(error) => write!(f, "{error}"),
+            ReplayError::Divergence(violation) => write!(f, "replay diverged: {violation}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+impl From<CampaignConfigError> for ReplayError {
+    fn from(error: CampaignConfigError) -> Self {
+        ReplayError::Config(error)
+    }
+}
 
 /// How a scenario is recorded and replayed.
 #[derive(Debug, Clone)]
@@ -94,19 +122,20 @@ impl ReplayTrace {
 /// Runs one scenario to the horizon, recording boundary hashes and
 /// periodic checkpoints.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `replay.checkpoint_every` is zero or the campaign platform
-/// configuration is invalid.
-#[must_use]
+/// [`CampaignConfigError`] if `replay.checkpoint_every` is zero or the
+/// campaign platform configuration is invalid.
 pub fn record_scenario(
     config: &CampaignConfig,
     scenario: &FaultScenario,
     replay: &ReplayConfig,
-) -> ReplayTrace {
-    assert!(replay.checkpoint_every > 0, "checkpoint period must be > 0");
+) -> Result<ReplayTrace, CampaignConfigError> {
+    if replay.checkpoint_every == 0 {
+        return Err(CampaignConfigError::ZeroCheckpointPeriod);
+    }
     let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
-    let mut machine = scenario_machine(config, &plan, replay.monitored, replay.supervision);
+    let mut machine = scenario_machine(config, &plan, replay.monitored, replay.supervision)?;
     let schedule = machine.schedule().clone();
     let horizon = Instant::ZERO + config.horizon;
 
@@ -123,13 +152,13 @@ pub fn record_scenario(
     }
     machine.run_until(horizon);
     let report = machine.finish();
-    ReplayTrace {
+    Ok(ReplayTrace {
         seed: scenario.seed,
         boundary_hashes,
         checkpoints,
         report_digest: fnv1a(format!("{report:?}").as_bytes()),
         report,
-    }
+    })
 }
 
 /// Re-executes the recorded run from its initial state and checks every
@@ -137,13 +166,15 @@ pub fn record_scenario(
 ///
 /// # Errors
 ///
-/// The first diverging boundary, as [`Violation::ReplayDivergence`].
+/// The first diverging boundary, as
+/// [`ReplayError::Divergence`], or [`ReplayError::Config`] if the
+/// configuration cannot build a machine.
 pub fn verify(
     config: &CampaignConfig,
     scenario: &FaultScenario,
     replay: &ReplayConfig,
     trace: &ReplayTrace,
-) -> Result<(), Violation> {
+) -> Result<(), ReplayError> {
     verify_from(config, scenario, replay, trace, 0)
 }
 
@@ -154,20 +185,17 @@ pub fn verify(
 ///
 /// # Errors
 ///
-/// The first diverging boundary, as [`Violation::ReplayDivergence`]
-/// carrying `(slot, expected hash, actual hash, scenario seed)`.
-///
-/// # Panics
-///
-/// Panics if `trace` was recorded with a different `checkpoint_every` (so
-/// no usable checkpoint exists) or under a different boundary count.
+/// The first diverging boundary, as [`ReplayError::Divergence`] carrying
+/// a [`Violation::ReplayDivergence`] with `(slot, expected hash, actual
+/// hash, scenario seed)`; [`ReplayError::Config`] if the configuration
+/// cannot build a machine.
 pub fn verify_from(
     config: &CampaignConfig,
     scenario: &FaultScenario,
     replay: &ReplayConfig,
     trace: &ReplayTrace,
     from_slot: u64,
-) -> Result<(), Violation> {
+) -> Result<(), ReplayError> {
     verify_from_with(config, scenario, replay, trace, from_slot, |_, _| {})
 }
 
@@ -180,10 +208,6 @@ pub fn verify_from(
 /// # Errors
 ///
 /// See [`verify_from`].
-///
-/// # Panics
-///
-/// See [`verify_from`].
 pub fn verify_from_with(
     config: &CampaignConfig,
     scenario: &FaultScenario,
@@ -191,7 +215,7 @@ pub fn verify_from_with(
     trace: &ReplayTrace,
     from_slot: u64,
     mut mutate: impl FnMut(u64, &mut Machine),
-) -> Result<(), Violation> {
+) -> Result<(), ReplayError> {
     let (start, snapshot) = trace
         .checkpoints
         .iter()
@@ -200,7 +224,7 @@ pub fn verify_from_with(
         .expect("checkpoint 0 always exists");
 
     let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
-    let mut machine = scenario_machine(config, &plan, replay.monitored, replay.supervision);
+    let mut machine = scenario_machine(config, &plan, replay.monitored, replay.supervision)?;
     machine.restore(snapshot);
     let schedule: TdmaSchedule = machine.schedule().clone();
     let horizon = Instant::ZERO + config.horizon;
@@ -211,12 +235,12 @@ pub fn verify_from_with(
         let actual = machine.state_hash();
         let expected = trace.boundary_hashes[(k - 1) as usize];
         if actual != expected {
-            return Err(Violation::ReplayDivergence {
+            return Err(ReplayError::Divergence(Violation::ReplayDivergence {
                 slot: k,
                 expected,
                 actual,
                 seed: trace.seed,
-            });
+            }));
         }
     }
 
@@ -229,12 +253,12 @@ pub fn verify_from_with(
     let report = machine.finish();
     let actual = fnv1a(format!("{report:?}").as_bytes());
     if actual != trace.report_digest {
-        return Err(Violation::ReplayDivergence {
+        return Err(ReplayError::Divergence(Violation::ReplayDivergence {
             slot: end_slot,
             expected: trace.report_digest,
             actual,
             seed: trace.seed,
-        });
+        }));
     }
     Ok(())
 }
@@ -257,17 +281,14 @@ pub fn verify_from_with(
 /// # Errors
 ///
 /// The first diverging boundary (or the horizon, for a report-only
-/// divergence), as [`Violation::ReplayDivergence`].
-///
-/// # Panics
-///
-/// Panics if `replay.checkpoint_every` is zero or the campaign platform
+/// divergence), as [`ReplayError::Divergence`]; [`ReplayError::Config`]
+/// if `replay.checkpoint_every` is zero or the campaign platform
 /// configuration is invalid.
 pub fn verify_cross_engine(
     config: &CampaignConfig,
     scenario: &FaultScenario,
     replay: &ReplayConfig,
-) -> Result<(), Violation> {
+) -> Result<(), ReplayError> {
     let heap = CampaignConfig {
         engine: EngineChoice::Heap,
         ..config.clone()
@@ -276,10 +297,10 @@ pub fn verify_cross_engine(
         engine: EngineChoice::Wheel,
         ..config.clone()
     };
-    let trace = record_scenario(&heap, scenario, replay);
+    let trace = record_scenario(&heap, scenario, replay)?;
 
     let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
-    let mut machine = scenario_machine(&wheel, &plan, replay.monitored, replay.supervision);
+    let mut machine = scenario_machine(&wheel, &plan, replay.monitored, replay.supervision)?;
     let schedule: TdmaSchedule = machine.schedule().clone();
     let horizon = Instant::ZERO + config.horizon;
 
@@ -288,18 +309,19 @@ pub fn verify_cross_engine(
         let actual = machine.state_hash();
         let expected = trace.boundary_hashes[(k - 1) as usize];
         if actual != expected {
-            return Err(Violation::ReplayDivergence {
+            return Err(ReplayError::Divergence(Violation::ReplayDivergence {
                 slot: k,
                 expected,
                 actual,
                 seed: trace.seed,
-            });
+            }));
         }
         if k.is_multiple_of(replay.checkpoint_every) {
             // Snapshot/restore cut: continue from a freshly built machine
             // restored from the wheel snapshot, not the original.
             let snapshot = machine.snapshot();
-            let mut resumed = scenario_machine(&wheel, &plan, replay.monitored, replay.supervision);
+            let mut resumed =
+                scenario_machine(&wheel, &plan, replay.monitored, replay.supervision)?;
             resumed.restore(&snapshot);
             machine = resumed;
         }
@@ -309,12 +331,12 @@ pub fn verify_cross_engine(
     let report = machine.finish();
     let actual = fnv1a(format!("{report:?}").as_bytes());
     if actual != trace.report_digest {
-        return Err(Violation::ReplayDivergence {
+        return Err(ReplayError::Divergence(Violation::ReplayDivergence {
             slot: trace.boundaries() + 1,
             expected: trace.report_digest,
             actual,
             seed: trace.seed,
-        });
+        }));
     }
     Ok(())
 }
@@ -359,7 +381,7 @@ mod tests {
     fn clean_replay_verifies_from_every_checkpoint() {
         let config = config();
         let replay = ReplayConfig::default();
-        let trace = record_scenario(&config, &storm(), &replay);
+        let trace = record_scenario(&config, &storm(), &replay).expect("valid config");
         assert!(trace.boundaries() > 10);
         assert!(trace.checkpoints() > 1);
         for from_slot in [0, 1, 7, 8, 9, trace.boundaries()] {
@@ -378,15 +400,27 @@ mod tests {
             supervision: Some(rthv::SupervisionPolicy::default()),
             ..ReplayConfig::default()
         };
-        let trace = record_scenario(&config, &storm(), &replay);
+        let trace = record_scenario(&config, &storm(), &replay).expect("valid config");
         assert_eq!(verify(&config, &storm(), &replay, &trace), Ok(()));
+    }
+
+    #[test]
+    fn zero_checkpoint_period_is_a_typed_error() {
+        let replay = ReplayConfig {
+            checkpoint_every: 0,
+            ..ReplayConfig::default()
+        };
+        assert!(matches!(
+            record_scenario(&config(), &storm(), &replay),
+            Err(CampaignConfigError::ZeroCheckpointPeriod)
+        ));
     }
 
     #[test]
     fn injected_mutation_is_pinned_to_its_slot() {
         let config = config();
         let replay = ReplayConfig::default();
-        let trace = record_scenario(&config, &storm(), &replay);
+        let trace = record_scenario(&config, &storm(), &replay).expect("valid config");
 
         // Corrupt the machine right before the segment ending at boundary
         // 11: a δ⁻ swap silently changes future admissions. The oracle
@@ -399,12 +433,12 @@ mod tests {
             }
         });
         match verdict {
-            Err(Violation::ReplayDivergence {
+            Err(ReplayError::Divergence(Violation::ReplayDivergence {
                 slot,
                 expected,
                 actual,
                 seed,
-            }) => {
+            })) => {
                 assert_eq!(slot, 11);
                 assert_ne!(expected, actual);
                 assert_eq!(seed, 0xFA);

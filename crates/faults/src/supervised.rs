@@ -40,8 +40,8 @@ use rthv::time::{Duration, Instant};
 use rthv::SupervisionPolicy;
 
 use crate::campaign::{
-    idle_reference, run_mode, run_mode_report, write_mode, CampaignConfig, IdleReference,
-    ModeOutcome,
+    idle_reference, run_mode, run_mode_report, write_mode, CampaignConfig, CampaignConfigError,
+    IdleReference, ModeOutcome,
 };
 use crate::inject::{standard_scenarios, FaultKind, FaultPlan, FaultScenario, InjectedArrival};
 use crate::oracle::{check_supervision, Violation};
@@ -165,20 +165,24 @@ pub struct SupervisedScenarioOutcome {
 /// Runs one scenario in both arms. Pure in `(config, idle, scenario)`, so
 /// campaign binaries can fan scenarios across threads and still assemble a
 /// byte-identical report.
-#[must_use]
+///
+/// # Errors
+///
+/// [`CampaignConfigError`] if the campaign configuration cannot build or
+/// schedule a machine.
 pub fn run_supervised_scenario(
     config: &SupervisedCampaignConfig,
     idle: &IdleReference,
     scenario: &FaultScenario,
-) -> SupervisedScenarioOutcome {
+) -> Result<SupervisedScenarioOutcome, CampaignConfigError> {
     let plan = composite_plan(config, scenario);
-    let baseline = run_mode(&config.base, idle, &plan, true);
-    let (mode, report) = run_mode_report(&config.base, idle, &plan, true, Some(config.policy));
+    let baseline = run_mode(&config.base, idle, &plan, true)?;
+    let (mode, report) = run_mode_report(&config.base, idle, &plan, true, Some(config.policy))?;
 
     let expect_nominal = matches!(scenario.kind, FaultKind::Nominal { .. });
     let supervision_violations = check_supervision(&report, expect_nominal);
 
-    SupervisedScenarioOutcome {
+    Ok(SupervisedScenarioOutcome {
         label: scenario.label(),
         seed: scenario.seed,
         scheduled: plan.arrivals.len() as u64,
@@ -191,7 +195,7 @@ pub fn run_supervised_scenario(
             shrunk_windows: report.counters.shrunk_windows,
             supervision_violations,
         },
-    }
+    })
 }
 
 /// The whole supervised campaign's result.
@@ -421,16 +425,22 @@ impl SupervisedCampaignReport {
 /// Runs the whole supervised campaign sequentially (the reference path; the
 /// `supervised` binary fans [`run_supervised_scenario`] over threads
 /// instead and must produce a byte-identical report).
-#[must_use]
-pub fn run_supervised_campaign(config: &SupervisedCampaignConfig) -> SupervisedCampaignReport {
-    let idle = idle_reference(&config.base);
+///
+/// # Errors
+///
+/// [`CampaignConfigError`] if the campaign configuration cannot build or
+/// schedule a machine.
+pub fn run_supervised_campaign(
+    config: &SupervisedCampaignConfig,
+) -> Result<SupervisedCampaignReport, CampaignConfigError> {
+    let idle = idle_reference(&config.base)?;
     let outcomes = config
         .base
         .scenarios
         .iter()
         .map(|s| run_supervised_scenario(config, &idle, s))
-        .collect();
-    SupervisedCampaignReport::from_outcomes(config, outcomes)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SupervisedCampaignReport::from_outcomes(config, outcomes))
 }
 
 #[cfg(test)]
@@ -451,7 +461,7 @@ mod tests {
 
     #[test]
     fn nominal_scenario_never_quarantines() {
-        let report = run_supervised_campaign(&small());
+        let report = run_supervised_campaign(&small()).expect("valid config");
         assert_eq!(report.nominal_quarantines(), 0);
         let nominal = &report.scenarios[0];
         assert_eq!(nominal.supervised.quarantines, 0);
@@ -461,7 +471,7 @@ mod tests {
 
     #[test]
     fn storm_and_flood_quarantine_then_recover() {
-        let report = run_supervised_campaign(&small());
+        let report = run_supervised_campaign(&small()).expect("valid config");
         for s in &report.scenarios[1..] {
             assert!(s.supervised.quarantines >= 1, "{}: no quarantine", s.label);
             assert!(s.supervised.recoveries >= 1, "{}: no recovery", s.label);
@@ -475,7 +485,7 @@ mod tests {
 
     #[test]
     fn supervision_strictly_reduces_victim_loss_under_storm_and_flood() {
-        let report = run_supervised_campaign(&small());
+        let report = run_supervised_campaign(&small()).expect("valid config");
         for s in &report.scenarios[1..] {
             assert!(
                 s.supervised.mode.worst_victim_loss < s.baseline.worst_victim_loss,
@@ -489,7 +499,7 @@ mod tests {
 
     #[test]
     fn campaign_is_oracle_clean_and_accepted() {
-        let report = run_supervised_campaign(&small());
+        let report = run_supervised_campaign(&small()).expect("valid config");
         assert_eq!(
             report.acceptance_failures(),
             Vec::<String>::new(),
@@ -500,14 +510,16 @@ mod tests {
     #[test]
     fn sequential_and_manual_fanout_reports_are_byte_identical() {
         let config = small();
-        let sequential = run_supervised_campaign(&config).to_json();
-        let idle = idle_reference(&config.base);
+        let sequential = run_supervised_campaign(&config)
+            .expect("valid config")
+            .to_json();
+        let idle = idle_reference(&config.base).expect("valid config");
         let mut outcomes: Vec<SupervisedScenarioOutcome> = config
             .base
             .scenarios
             .iter()
             .rev()
-            .map(|s| run_supervised_scenario(&config, &idle, s))
+            .map(|s| run_supervised_scenario(&config, &idle, s).expect("valid config"))
             .collect();
         outcomes.reverse();
         let assembled = SupervisedCampaignReport::from_outcomes(&config, outcomes).to_json();
@@ -516,7 +528,7 @@ mod tests {
 
     #[test]
     fn json_shape_is_stable_and_integer_only() {
-        let report = run_supervised_campaign(&small());
+        let report = run_supervised_campaign(&small()).expect("valid config");
         let json = report.to_json();
         assert!(json.contains(r#""campaign": "supervised-fault-injection""#));
         assert!(json.contains(r#""label": "00-nominal""#));

@@ -14,7 +14,7 @@ use rthv_faults::{
     scenario_machine, verify_cross_engine, CampaignConfig, FaultKind, FaultScenario, ReplayConfig,
 };
 
-/// All nine fault families with representative tier-1 geometry.
+/// All eleven fault families with representative tier-1 geometry.
 fn kind(index: usize) -> FaultKind {
     match index {
         0 => FaultKind::IrqStorm {
@@ -47,9 +47,17 @@ fn kind(index: usize) -> FaultKind {
         7 => FaultKind::Nominal {
             period: Duration::from_millis(6),
         },
-        _ => FaultKind::HarnessCrash {
+        8 => FaultKind::HarnessCrash {
             period: Duration::from_millis(6),
             crashes: 1,
+        },
+        9 => FaultKind::CoreCrash {
+            period: Duration::from_millis(6),
+            crashes: 1,
+        },
+        _ => FaultKind::RouteStall {
+            period: Duration::from_millis(6),
+            stall: Duration::from_millis(4),
         },
     }
 }
@@ -72,7 +80,7 @@ proptest! {
     /// discrepancy between the engines pins the first diverging boundary.
     #[test]
     fn engines_agree_at_every_slot_boundary(
-        kind_index in 0usize..9,
+        kind_index in 0usize..11,
         seed in any::<u64>(),
         monitored in prop::bool::ANY,
         supervised in prop::bool::ANY,
@@ -84,8 +92,10 @@ proptest! {
         let supervision = supervised.then(SupervisionPolicy::default);
         let horizon = Instant::ZERO + heap_config.horizon;
 
-        let mut heap = scenario_machine(&heap_config, &plan, monitored, supervision);
-        let mut wheel = scenario_machine(&wheel_config, &plan, monitored, supervision);
+        let mut heap =
+            scenario_machine(&heap_config, &plan, monitored, supervision).expect("valid config");
+        let mut wheel =
+            scenario_machine(&wheel_config, &plan, monitored, supervision).expect("valid config");
         prop_assert_eq!(heap.engine_kind(), EngineKind::Heap);
         prop_assert_eq!(wheel.engine_kind(), EngineKind::Wheel);
         prop_assert_eq!(heap.state_hash(), wheel.state_hash(), "initial state");
@@ -118,7 +128,7 @@ proptest! {
     /// fault family.
     #[test]
     fn cross_engine_replay_oracle_is_clean(
-        kind_index in 0usize..9,
+        kind_index in 0usize..11,
         seed in any::<u64>(),
         monitored in prop::bool::ANY,
     ) {
@@ -148,7 +158,7 @@ fn cancel_storm_keeps_tombstone_debt_bounded() {
             seed: 0xCA11,
         };
         let plan = scenario.plan(config.horizon, config.setup.bottom_cost);
-        let mut machine = scenario_machine(&config, &plan, true, None);
+        let mut machine = scenario_machine(&config, &plan, true, None).expect("valid config");
         let horizon = Instant::ZERO + config.horizon;
 
         let mut saw_stale = false;

@@ -9,7 +9,7 @@ use rthv::time::{Duration, Instant};
 use rthv::{Machine, SupervisionPolicy};
 use rthv_faults::{scenario_machine, CampaignConfig, FaultKind, FaultScenario};
 
-/// All nine fault families with representative tier-1 geometry.
+/// All eleven fault families with representative tier-1 geometry.
 fn kind(index: usize) -> FaultKind {
     match index {
         0 => FaultKind::IrqStorm {
@@ -42,9 +42,17 @@ fn kind(index: usize) -> FaultKind {
         7 => FaultKind::Nominal {
             period: Duration::from_millis(6),
         },
-        _ => FaultKind::HarnessCrash {
+        8 => FaultKind::HarnessCrash {
             period: Duration::from_millis(6),
             crashes: 1,
+        },
+        9 => FaultKind::CoreCrash {
+            period: Duration::from_millis(6),
+            crashes: 1,
+        },
+        _ => FaultKind::RouteStall {
+            period: Duration::from_millis(6),
+            stall: Duration::from_millis(4),
         },
     }
 }
@@ -72,7 +80,7 @@ proptest! {
     /// for every fault family, monitored or not, supervised or not.
     #[test]
     fn snapshot_restore_is_byte_identical(
-        kind_index in 0usize..9,
+        kind_index in 0usize..11,
         seed in any::<u64>(),
         cut_permille in 0u64..1000,
         monitored in prop::bool::ANY,
@@ -84,7 +92,8 @@ proptest! {
         let supervision = supervised.then(SupervisionPolicy::default);
         let horizon = Instant::ZERO + config.horizon;
 
-        let mut original = scenario_machine(&config, &plan, monitored, supervision);
+        let mut original = scenario_machine(&config, &plan, monitored, supervision)
+            .expect("valid config");
         let schedule = original.schedule().clone();
 
         // Cut at a random slot boundary inside the horizon.
@@ -96,7 +105,8 @@ proptest! {
         original.run_until(schedule.boundary_time(cut_slot));
         let checkpoint = original.snapshot();
 
-        let mut restored = scenario_machine(&config, &plan, monitored, supervision);
+        let mut restored = scenario_machine(&config, &plan, monitored, supervision)
+            .expect("valid config");
         restored.restore(&checkpoint);
         prop_assert_eq!(restored.state_hash(), original.state_hash());
 

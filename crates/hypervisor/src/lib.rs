@@ -26,6 +26,7 @@
 mod config;
 mod ids;
 mod machine;
+mod platform;
 mod record;
 mod schedule;
 mod supervise;
@@ -38,6 +39,11 @@ pub use config::{
 };
 pub use ids::{IrqSourceId, PartitionId};
 pub use machine::{Machine, MachineError, MachineSnapshot, RunReport, ScheduleIrqError};
+pub use platform::{
+    CoreCounters, CoreFault, FailoverPolicy, FallbackRoute, MultiMachine, MultiRunReport,
+    MultiSnapshot, Platform, PlatformError, PlatformScheduleError, PlatformSource, RerouteBudget,
+    ShedReason, ShedRecord,
+};
 pub use record::{
     AdmissionRecord, Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval,
     ServiceKind, Span, TraceRecorder,

@@ -499,6 +499,15 @@ impl Machine {
         self.metrics.as_ref().map(MetricsHub::snapshot_json)
     }
 
+    /// Writes the platform routing/failover gauge into this core's hub
+    /// (no-op without metrics). Called by the multi-core machine when its
+    /// routing ledger is finalized; pure observation, outside `state_hash`.
+    pub fn record_platform_obs(&mut self, gauge: rthv_obs::PlatformObs) {
+        if let Some(hub) = self.metrics.as_mut() {
+            hub.record_platform(gauge);
+        }
+    }
+
     /// Switches the top-handler variant at run time.
     ///
     /// The Appendix-A scenario starts in [`IrqHandlingMode::Baseline`]

@@ -123,6 +123,26 @@ pub struct EngineObs {
     pub overflow_len: u64,
 }
 
+/// Last-observed per-core platform routing/failover gauges, written by the
+/// multi-core machine when its routing ledger is finalized. Plain integers
+/// so the hub stays independent of the hypervisor crate; a single-machine
+/// hub simply never records one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlatformObs {
+    /// Cross-core IRQs delivered to this core (IPIs received).
+    pub ipi_in: u64,
+    /// Cross-core IRQs originating on this core (IPIs sent).
+    pub ipi_out: u64,
+    /// Failed-over arrivals this core accepted for a lost peer.
+    pub failover_in: u64,
+    /// Retry-ladder steps taken while failing over to this core.
+    pub failover_retries: u64,
+    /// Plain IPI deliveries deferred behind a stalled route into this core.
+    pub stall_deferrals: u64,
+    /// Arrivals shed because this (home) core was unreachable.
+    pub shed: u64,
+}
+
 /// Last-observed per-tenant admission gauges, written by the admission
 /// fleet when it assembles its report. Plain integers (per-mille rates,
 /// brownout ladder rank, remaining group-budget events) so the hub stays
@@ -150,6 +170,7 @@ pub struct MetricsHub {
     config: ObsConfig,
     counters: ObsCounters,
     engine: EngineObs,
+    platform: Option<PlatformObs>,
     latency: Vec<LatencyHistogram>,
     gauges: Vec<HeadroomGauge>,
     tenants: Vec<TenantObs>,
@@ -171,6 +192,7 @@ impl MetricsHub {
             config,
             counters: ObsCounters::default(),
             engine: EngineObs::default(),
+            platform: None,
             latency: vec![histogram; sources.len()],
             gauges: sources
                 .iter()
@@ -330,6 +352,20 @@ impl MetricsHub {
         &self.engine
     }
 
+    /// Overwrites the platform routing/failover gauge — the multi-core
+    /// machine writes it once per core hub when the routing ledger is
+    /// finalized, off the hot path.
+    #[inline]
+    pub fn record_platform(&mut self, gauge: PlatformObs) {
+        self.platform = Some(gauge);
+    }
+
+    /// The last-recorded platform gauge (`None` on single-machine hubs).
+    #[must_use]
+    pub fn platform(&self) -> Option<&PlatformObs> {
+        self.platform.as_ref()
+    }
+
     /// Overwrites tenant `tenant`'s admission gauges (shed rate in ‰,
     /// brownout ladder rank 0–3, remaining group-budget events). Unlike the
     /// hot-path hooks this may grow the tenant table — the fleet calls it
@@ -368,6 +404,7 @@ impl MetricsHub {
     pub fn reset(&mut self) {
         self.counters = ObsCounters::default();
         self.engine = EngineObs::default();
+        self.platform = None;
         self.tenants.clear();
         for histogram in &mut self.latency {
             *histogram =
@@ -417,6 +454,16 @@ impl MetricsHub {
         let _ = writeln!(out, "    \"occupied_buckets\": {},", e.occupied_buckets);
         let _ = writeln!(out, "    \"overflow_len\": {}", e.overflow_len);
         let _ = writeln!(out, "  }},");
+        if let Some(p) = &self.platform {
+            let _ = writeln!(out, "  \"platform\": {{");
+            let _ = writeln!(out, "    \"ipi_in\": {},", p.ipi_in);
+            let _ = writeln!(out, "    \"ipi_out\": {},", p.ipi_out);
+            let _ = writeln!(out, "    \"failover_in\": {},", p.failover_in);
+            let _ = writeln!(out, "    \"failover_retries\": {},", p.failover_retries);
+            let _ = writeln!(out, "    \"stall_deferrals\": {},", p.stall_deferrals);
+            let _ = writeln!(out, "    \"shed\": {}", p.shed);
+            let _ = writeln!(out, "  }},");
+        }
         if self.tenants.is_empty() {
             let _ = writeln!(out, "  \"tenants\": [],");
         } else {

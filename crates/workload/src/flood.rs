@@ -214,7 +214,7 @@ mod tests {
 
     #[test]
     fn per_source_substreams_are_strictly_increasing() {
-        for events in [open_loop_flood(&spec()), ecu_fleet(6, HORIZON, 0xEC0_FA)] {
+        for events in [open_loop_flood(&spec()), ecu_fleet(6, HORIZON, 0x000E_C0FA)] {
             let sources = events.iter().map(|e| e.source).max().unwrap() + 1;
             for s in 0..sources {
                 let times: Vec<Instant> = events

@@ -110,6 +110,26 @@ grep -q '"tenant_isolated":true' target/STORM_tenants_heap.json \
 grep -q '"flat_ablation_broken":true' target/STORM_tenants_heap.json \
     || { echo "flat ablation failed to demonstrate cross-tenant interference"; exit 1; }
 
+echo "==> smoke multi-core platform storm (both engines, byte-identical reports)"
+# The multi-core platform campaign: core counts {1,2,4} x two placement
+# arms under seeded core-crash/route-stall storms. Exits non-zero on any
+# monitored per-victim-core oracle violation, a victim stream that moves
+# across core counts on a crash-free scenario, or a failover-disabled
+# ablation that fails to break independence. Pure in (config, seed): the
+# heap and wheel runs must agree byte for byte.
+RTHV_ENGINE=heap cargo run --release -q -p rthv-experiments --bin smp_storm \
+    target/STORM_smp_heap.json 5 16392212 --smoke
+RTHV_ENGINE=wheel cargo run --release -q -p rthv-experiments --bin smp_storm \
+    target/STORM_smp_wheel.json 5 16392212 --smoke
+cmp target/STORM_smp_heap.json target/STORM_smp_wheel.json \
+    || { echo "cross-engine divergence: heap and wheel smp reports differ"; exit 1; }
+grep -q '"monitored_clean":true' target/STORM_smp_heap.json \
+    || { echo "budgeted failover arm tripped the per-core independence oracle"; exit 1; }
+grep -q '"identity_held":true' target/STORM_smp_heap.json \
+    || { echo "victim stream moved across core counts on a crash-free scenario"; exit 1; }
+grep -q '"ablation_broken":true' target/STORM_smp_heap.json \
+    || { echo "failover-disabled ablation failed to demonstrate an independence violation"; exit 1; }
+
 echo "==> smoke supervised campaign (nominal + 7 fault families, fixed seed)"
 # Fails on any oracle violation (quarantine soundness included), a
 # quarantine on the nominal ablation, a storm/flood scenario that never
