@@ -16,9 +16,10 @@
 //! point records how many workers actually ran and whether its speedup
 //! number is meaningful at all. The same convention covers the
 //! `smp_scaling` probe (the five multi-core platform families at simulated
-//! core counts 1/2/4, sequential vs fanned), and every single-threaded
-//! probe records `"threads": 1` so the export is explicit about what ran
-//! where.
+//! core counts 1/2/4, stepped sequentially vs in parallel inside each
+//! scenario on one scoped worker per simulated core, verified
+//! byte-identical), and every single-threaded probe records
+//! `"threads": 1` so the export is explicit about what ran where.
 
 use std::fmt::Write as _;
 use std::time::Instant as HostInstant;
@@ -28,11 +29,12 @@ use rthv::scenarios::{merge_fig6_loads, run_fig6_load, Fig6Config, Fig6Run, Fig6
 use rthv::sim::EngineQueue;
 use rthv::time::{Duration as SimDuration, Instant as SimInstant};
 use rthv::{
-    EngineChoice, EngineKind, IrqHandlingMode, IrqSourceId, Machine, PaperSetup, SupervisionPolicy,
+    EngineChoice, EngineKind, IrqHandlingMode, IrqSourceId, Machine, PaperSetup, StepChoice,
+    SupervisionPolicy,
 };
 use rthv_admit::{AdmitFleet, FleetConfig, FleetReport, TenantConfig, TenantSpec};
 use rthv_experiments::{parse_journal_flags, SweepRunner};
-use rthv_faults::{run_smp_case, smp_scenarios, SmpArm, SmpCase, SmpConfig};
+use rthv_faults::{run_smp_case_stepped, smp_scenarios, SmpArm, SmpCase, SmpConfig};
 use rthv_workload::FloodEvent;
 
 /// IRQs per load level at each scale; the paper's Figure 6 uses 5000.
@@ -422,12 +424,28 @@ fn measure_checkpoint() -> CheckpointMeasured {
     }
 }
 
+/// Physical host core count — the single source of truth for every
+/// probe's `host_cores` field and speedup-meaningful flag; computing it
+/// in one place means the flags can never disagree between probes.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A measured speedup says something only when the host can actually run
+/// more than one worker *and* the probe used more than one.
+fn speedup_meaningful(host_cores: usize, threads_used: usize) -> bool {
+    host_cores > 1 && threads_used > 1
+}
+
 /// Simulated core counts for the multi-core platform scaling probe — the
 /// same ladder the `smp_storm` campaign sweeps.
 const SMP_CORES: [usize; 3] = [1, 2, 4];
 
 /// Scenarios in the smp scaling probe (the five SMP families once each).
 const SMP_SCENARIOS: u32 = 5;
+
+/// Timed passes per smp stepping mode; the best pass is reported.
+const SMP_REPS: u32 = 3;
 
 struct SmpMeasured {
     wall_seconds: f64,
@@ -440,21 +458,39 @@ impl SmpMeasured {
     }
 }
 
-/// Runs the smoke-geometry SMP families at a fixed simulated core count,
-/// fanning the scenarios over the given runner, and times the sweep. The
-/// per-scenario outcomes come back in scenario order, so the caller can
-/// assert the parallel fan-out is observationally identical to the
-/// sequential reference before trusting its timing.
-fn measure_smp(config: &SmpConfig, cores: usize, runner: &SweepRunner) -> SmpMeasured {
+/// Runs the SMP families at a fixed simulated core count with an explicit
+/// platform stepping mode, scenarios strictly one after another so
+/// intra-scenario stepping is the *only* concurrency being timed, and
+/// reports the best of [`SMP_REPS`] passes. The per-scenario outcomes
+/// come back in scenario order, so the caller can assert parallel
+/// stepping is byte-identical to sequential before trusting its timing.
+fn measure_smp(config: &SmpConfig, cores: usize, step: StepChoice) -> SmpMeasured {
     let scenarios = smp_scenarios(SMP_SCENARIOS, 0x5317_2014, config.horizon);
-    let start = HostInstant::now();
-    let cases = runner.run(&scenarios, |_, scenario| {
-        run_smp_case(config, scenario, SmpArm::HierAffinity, cores, true, None)
-            .expect("smoke smp geometry is valid")
-            .0
-    });
+    let mut wall_seconds = f64::INFINITY;
+    let mut cases = Vec::new();
+    for _ in 0..SMP_REPS {
+        let start = HostInstant::now();
+        let pass: Vec<SmpCase> = scenarios
+            .iter()
+            .map(|scenario| {
+                run_smp_case_stepped(
+                    config,
+                    scenario,
+                    SmpArm::HierAffinity,
+                    cores,
+                    true,
+                    None,
+                    step,
+                )
+                .expect("smp scaling geometry is valid")
+                .0
+            })
+            .collect();
+        wall_seconds = wall_seconds.min(start.elapsed().as_secs_f64());
+        cases = pass;
+    }
     SmpMeasured {
-        wall_seconds: start.elapsed().as_secs_f64(),
+        wall_seconds,
         cases,
     }
 }
@@ -543,7 +579,7 @@ fn main() {
         .into_iter()
         .next()
         .unwrap_or_else(|| "BENCH_sim.json".to_string());
-    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let cores = host_cores();
     let parallel_runner = SweepRunner::available();
 
     let mut points = String::new();
@@ -574,7 +610,7 @@ fn main() {
             // pass is just the sequential pass with extra bookkeeping; its
             // speedup says nothing about the engine and is flagged as such.
             let threads_used = parallel_runner.effective_threads(config.loads.len());
-            let speedup_meaningful = cores > 1 && threads_used > 1;
+            let speedup_meaningful = speedup_meaningful(cores, threads_used);
 
             eprintln!(
                 "{engine} @ scale {scale}: sequential {:.0} events/s ({:.3} s), parallel {:.0} \
@@ -680,28 +716,43 @@ fn main() {
     }
 
     // Multi-core platform scaling: the five SMP families at each simulated
-    // core count, sequentially and fanned over host cores. The per-core
-    // speedup-meaningful flag follows the Fig. 6 convention — one host
-    // core (or one effective worker) makes the parallel number noise.
+    // core count, stepped sequentially vs in parallel *inside* each
+    // scenario (scoped worker threads at the safe-horizon barriers, one
+    // per simulated core — scenarios themselves run strictly one after
+    // another). Parallel stepping is byte-identical by construction and
+    // asserted so per core count; the speedup-meaningful flag follows the
+    // Fig. 6 convention, with the worker count being the simulated core
+    // count itself.
     let smp_config = SmpConfig::smoke();
     let mut smp_points = String::new();
     for (i, &smp_cores) in SMP_CORES.iter().enumerate() {
-        let sequential = measure_smp(&smp_config, smp_cores, &SweepRunner::sequential());
-        let parallel = measure_smp(&smp_config, smp_cores, &parallel_runner);
+        let sequential = measure_smp(&smp_config, smp_cores, StepChoice::Sequential);
+        let parallel = measure_smp(&smp_config, smp_cores, StepChoice::Parallel);
         assert_eq!(
             sequential.cases, parallel.cases,
-            "parallel smp sweep diverged from sequential at {smp_cores} core(s)"
+            "parallel stepping diverged from sequential at {smp_cores} core(s)"
         );
         let violations: u64 = sequential.cases.iter().map(|c| c.violations).sum();
         let sheds: u64 = sequential.cases.iter().map(|c| c.sheds).sum();
         let ipi_in: u64 = sequential.cases.iter().map(|c| c.ipi_in).sum();
         let speedup = sequential.wall_seconds / parallel.wall_seconds;
-        let threads_used = parallel_runner.effective_threads(sequential.cases.len());
-        let speedup_meaningful = cores > 1 && threads_used > 1;
+        // Parallel stepping spawns one scoped worker per simulated core
+        // (a single-core platform short-circuits to the sequential walk);
+        // the host can only truly run `cores` of them at once.
+        let workers = if smp_cores > 1 { smp_cores } else { 1 };
+        let threads_used = workers.min(cores);
+        let speedup_meaningful = speedup_meaningful(cores, threads_used);
+        if speedup_meaningful && smp_cores == SMP_CORES[SMP_CORES.len() - 1] {
+            assert!(
+                speedup > 1.0,
+                "parallel stepping must beat sequential at {smp_cores} simulated cores on a \
+                 {cores}-core host (measured {speedup:.3}x)"
+            );
+        }
         eprintln!(
-            "smp_scaling @ {smp_cores} sim core(s): sequential {:.1} scenarios/s ({:.3} s), \
-             parallel {:.1} scenarios/s ({:.3} s), speedup {speedup:.2}x on {threads_used} \
-             worker(s){}",
+            "smp_scaling @ {smp_cores} sim core(s): sequential stepping {:.1} scenarios/s \
+             ({:.3} s), parallel stepping {:.1} scenarios/s ({:.3} s), speedup {speedup:.2}x on \
+             {workers} worker(s) ({threads_used} effective){}",
             sequential.scenarios_per_sec(),
             sequential.wall_seconds,
             parallel.scenarios_per_sec(),
@@ -721,13 +772,13 @@ fn main() {
       "oracle_violations": {violations},
       "typed_sheds": {sheds},
       "cross_core_deliveries": {ipi_in},
-      "sequential": {{
+      "sequential_stepping": {{
         "threads": 1,
         "wall_seconds": {sw:.6},
         "scenarios_per_sec": {ss:.1}
       }},
-      "parallel": {{
-        "threads": {threads},
+      "parallel_stepping": {{
+        "threads": {workers},
         "threads_used": {threads_used},
         "wall_seconds": {pw:.6},
         "scenarios_per_sec": {ps:.1}
@@ -738,7 +789,6 @@ fn main() {
             scenarios = sequential.cases.len(),
             sw = sequential.wall_seconds,
             ss = sequential.scenarios_per_sec(),
-            threads = parallel_runner.threads(),
             pw = parallel.wall_seconds,
             ps = parallel.scenarios_per_sec(),
         );
@@ -875,7 +925,7 @@ fn main() {
     let json = format!(
         r#"{{
   "benchmark": "fig6c_conformant_scenario",
-  "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales per event engine (heap reference vs hierarchical timing wheel, verified observationally identical); parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass; smp_scaling times the five multi-core platform families at simulated core counts 1/2/4; queue_micro times raw engine schedule/cancel/pop ops at three fill levels; every probe records the thread count it ran on, and per-core speedups are flagged not-meaningful on a single-core host",
+  "description": "Fig. 6c (monitored, d_min-conformant arrivals) at three scales per event engine (heap reference vs hierarchical timing wheel, verified observationally identical); parallel pass fans the three load levels over host cores and is verified bit-identical to the sequential pass; smp_scaling times the five multi-core platform families at simulated core counts 1/2/4 with sequential vs parallel intra-scenario stepping (one scoped worker per simulated core, byte-identical results asserted); queue_micro times raw engine schedule/cancel/pop ops at three fill levels; every probe records the thread count it ran on, and per-core speedups are flagged not-meaningful on a single-core host",
   "host_cores": {cores},
   "supervision_overhead": {{
     "description": "conformant monitored workload timed with health supervision off vs on; both runs make identical admission decisions, so the delta is pure supervision bookkeeping",

@@ -42,7 +42,7 @@ use rthv::time::{Duration, Instant};
 use rthv::{
     CoreFault, CostModel, FailoverPolicy, FallbackRoute, HypervisorConfig, IrqHandlingMode,
     IrqSourceId, IrqSourceSpec, MultiMachine, MultiRunReport, PartitionId, PartitionSpec, Platform,
-    PlatformError, PlatformScheduleError, PlatformSource,
+    PlatformError, PlatformScheduleError, PlatformSource, StepChoice,
 };
 
 use crate::inject::{FaultKind, FaultScenario};
@@ -428,7 +428,7 @@ fn uniform_route(cores: usize, cost: Duration) -> Vec<Vec<Duration>> {
 /// One line's arrival schedule: a pure function of `(scenario seed,
 /// line)`, independent of arm and core count — that independence is what
 /// the victim-identity verdict leans on.
-fn line_arrivals(config: &SmpConfig, scenario: &SmpScenario, line: usize) -> Vec<Instant> {
+pub fn line_arrivals(config: &SmpConfig, scenario: &SmpScenario, line: usize) -> Vec<Instant> {
     let mut rng =
         StdRng::seed_from_u64(scenario.fault.seed ^ (line as u64 + 1).wrapping_mul(SEED_STRIDE));
     let dmin = config.dmin.as_nanos();
@@ -455,7 +455,7 @@ fn line_arrivals(config: &SmpConfig, scenario: &SmpScenario, line: usize) -> Vec
 /// hosts the victim line and must survive, exactly like the crash plans
 /// one layer down never target shard 0's journal. Single-core platforms
 /// have nothing to crash or stall; the plan degenerates to calm.
-fn core_faults(scenario: &SmpScenario, cores: usize, horizon: Duration) -> Vec<CoreFault> {
+pub fn core_faults(scenario: &SmpScenario, cores: usize, horizon: Duration) -> Vec<CoreFault> {
     if cores <= 1 {
         return Vec::new();
     }
@@ -543,10 +543,38 @@ pub fn run_smp_case(
     failover_enabled: bool,
     metrics: Option<ObsConfig>,
 ) -> Result<(SmpCase, Option<String>), SmpError> {
+    run_smp_case_stepped(
+        config,
+        scenario,
+        arm,
+        cores,
+        failover_enabled,
+        metrics,
+        StepChoice::Auto,
+    )
+}
+
+/// [`run_smp_case`] with an explicit stepping mode instead of the
+/// `RTHV_PARALLEL` default — the hook the differential proptests and the
+/// bench smp_scaling probe use to run the *same* case sequentially and in
+/// parallel and compare bytes.
+///
+/// # Errors
+///
+/// As [`run_smp_case`].
+pub fn run_smp_case_stepped(
+    config: &SmpConfig,
+    scenario: &SmpScenario,
+    arm: SmpArm,
+    cores: usize,
+    failover_enabled: bool,
+    metrics: Option<ObsConfig>,
+    step: StepChoice,
+) -> Result<(SmpCase, Option<String>), SmpError> {
     let platform = build_platform(config, arm, cores, failover_enabled)?;
     let line_count = platform.sources.len();
     let faults = core_faults(scenario, cores, config.horizon);
-    let mut multi = MultiMachine::new(platform, &faults)?;
+    let mut multi = MultiMachine::with_step(platform, &faults, step)?;
     if let Some(obs) = metrics {
         multi.enable_metrics(obs);
     }

@@ -14,9 +14,12 @@ use rthv::monitor::DeltaFunction;
 use rthv::time::{Duration, Instant};
 use rthv::{
     EngineChoice, FailoverPolicy, HypervisorConfig, IrqHandlingMode, IrqSourceId, Machine,
-    MultiMachine, PaperSetup, Platform, PlatformSource, SupervisionPolicy,
+    MultiMachine, PaperSetup, Platform, PlatformSource, StepChoice, SupervisionPolicy,
 };
-use rthv_faults::{FaultKind, FaultScenario};
+use rthv_faults::{
+    build_platform, core_faults, line_arrivals, FaultKind, FaultScenario, SmpArm, SmpConfig,
+    SmpScenario, SmpTraffic,
+};
 
 /// All eleven fault families with representative tier-1 geometry (the same
 /// ladder as the cross-engine differential tests).
@@ -223,5 +226,93 @@ proptest! {
         prop_assert_eq!(multi.state_hash(), cut_hash, "restored state");
         multi.run_until(horizon);
         prop_assert_eq!(multi.state_hash(), reference, "replayed horizon state");
+    }
+
+    /// Parallel stepping is byte-identical to sequential: the same smp
+    /// campaign case driven by `StepChoice::Sequential` and
+    /// `StepChoice::Parallel` must agree on `state_hash` at **every** slot
+    /// boundary to the horizon, across all fault families × both engines ×
+    /// cores {1, 2, 4}, and a snapshot/restore cut taken mid-scenario on
+    /// the parallel machine must replay onto the same bytes.
+    #[test]
+    fn parallel_stepping_matches_sequential_at_every_slot_boundary(
+        kind_index in 0usize..11,
+        seed in any::<u64>(),
+        cores_pick in 0usize..3,
+        wheel in prop::bool::ANY,
+        storm in prop::bool::ANY,
+        cut in 1u64..6,
+    ) {
+        let cores = [1usize, 2, 4][cores_pick];
+        let engine = if wheel { EngineChoice::Wheel } else { EngineChoice::Heap };
+        let config = SmpConfig {
+            horizon: Duration::from_millis(60),
+            ..SmpConfig::smoke()
+        };
+        let scenario = SmpScenario {
+            id: 0,
+            traffic: if storm { SmpTraffic::Storm } else { SmpTraffic::Nominal },
+            fault: FaultScenario { id: 0, kind: kind(kind_index), seed },
+        };
+        let mut platform = build_platform(&config, SmpArm::RoundRobin, cores, true)
+            .expect("campaign platform is valid");
+        for core in &mut platform.cores {
+            core.policies.engine = engine;
+        }
+        let faults = core_faults(&scenario, cores, config.horizon);
+        let lines = platform.sources.len();
+        let build = |step| {
+            let mut m = MultiMachine::with_step(platform.clone(), &faults, step)
+                .expect("explicit step choice never fails");
+            for line in 0..lines {
+                for at in line_arrivals(&config, &scenario, line) {
+                    m.schedule_irq(line, at).expect("campaign arrivals are in range");
+                }
+            }
+            m
+        };
+        let mut seq = build(StepChoice::Sequential);
+        let mut par = build(StepChoice::Parallel);
+
+        // All cores share the campaign's TDMA geometry; probe it off core 0.
+        let schedule = Machine::new(platform.cores[0].clone())
+            .expect("campaign core config is valid")
+            .schedule()
+            .clone();
+        let horizon = Instant::ZERO + config.horizon;
+        let cut_at = schedule.boundary_time(cut).min(horizon);
+        let mut checkpoint = None;
+        let mut k = 1u64;
+        while schedule.boundary_time(k) <= horizon {
+            let boundary = schedule.boundary_time(k);
+            seq.run_until(boundary);
+            par.run_until(boundary);
+            prop_assert_eq!(
+                seq.state_hash(),
+                par.state_hash(),
+                "parallel diverged from sequential at slot boundary {}",
+                k
+            );
+            if boundary == cut_at {
+                checkpoint = Some(par.snapshot());
+            }
+            k += 1;
+        }
+        seq.run_until(horizon);
+        par.run_until(horizon);
+        let reference = seq.state_hash();
+        prop_assert_eq!(par.state_hash(), reference, "horizon state");
+
+        if let Some(checkpoint) = checkpoint {
+            par.restore(&checkpoint);
+            par.run_until(horizon);
+            prop_assert_eq!(par.state_hash(), reference, "replayed horizon state");
+        }
+
+        let seq = seq.finish();
+        let par = par.finish();
+        prop_assert!(seq.conserved() && par.conserved(), "ledger leaked");
+        prop_assert_eq!(&seq.counters, &par.counters, "counters differ");
+        prop_assert_eq!(&seq.sheds, &par.sheds, "sheds differ");
     }
 }

@@ -42,7 +42,7 @@ pub use machine::{Machine, MachineError, MachineSnapshot, RunReport, ScheduleIrq
 pub use platform::{
     CoreCounters, CoreFault, FailoverPolicy, FallbackRoute, MultiMachine, MultiRunReport,
     MultiSnapshot, Platform, PlatformError, PlatformScheduleError, PlatformSource, RerouteBudget,
-    ShedReason, ShedRecord,
+    ShedReason, ShedRecord, StepChoice, StepKind, StepSelectError,
 };
 pub use record::{
     AdmissionRecord, Counters, HandlingClass, IrqCompletion, PartitionService, ServiceInterval,
